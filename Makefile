@@ -1,0 +1,34 @@
+# RISPP run-time system reproduction — common workflows.
+
+GO ?= go
+
+.PHONY: all build test short bench figures verify clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Skips the full 140-frame integration sweep.
+short:
+	$(GO) test -short ./...
+
+# Regenerate every paper table/figure as testing.B benchmarks.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Text + SVG renderings of all paper artifacts into ./figures.
+figures:
+	$(GO) run ./cmd/risppbench -svg figures | tee figures/report.txt
+
+# The final artifacts the repository ships with.
+verify:
+	$(GO) test ./... 2>&1 | tee test_output.txt
+	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
+
+clean:
+	rm -rf figures test_output.txt bench_output.txt

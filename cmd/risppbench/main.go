@@ -1,0 +1,99 @@
+// Command risppbench regenerates the tables and figures of the paper's
+// evaluation section (DATE 2008).
+//
+// Usage:
+//
+//	risppbench                 # everything (Figure 7 / Table 2 take ~10 s)
+//	risppbench -exp fig2       # one experiment: table1, fig2, fig4, fig7,
+//	                           # table2, fig8, table3, sw
+//	risppbench -frames 20      # faster, qualitatively identical sweeps
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"rispp/internal/experiments"
+	"rispp/internal/hwmodel"
+	"rispp/internal/isa"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "all", "experiment: table1, fig2, fig4, fig7, table2, fig8, table3, sw, optimal or all")
+		frames = flag.Int("frames", 140, "frames for the Figure 7 / Table 2 sweeps")
+		csv    = flag.Bool("csv", false, "emit Figure 7 / Table 2 as CSV instead of tables")
+		svgDir = flag.String("svg", "", "also write SVG figures (fig2, fig7, table2, fig8) into this directory")
+	)
+	flag.Parse()
+
+	p := experiments.Params{Frames: *frames}
+	run := func(name string, f func() string) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		fmt.Println(strings.Repeat("=", 72))
+		fmt.Print(f())
+		fmt.Println()
+	}
+
+	known := map[string]bool{"all": true, "table1": true, "fig2": true, "fig4": true,
+		"fig7": true, "table2": true, "fig8": true, "table3": true, "sw": true, "optimal": true}
+	if !known[*exp] {
+		fmt.Fprintf(os.Stderr, "risppbench: unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+
+	writeSVG := func(name, svg string) {
+		if *svgDir == "" {
+			return
+		}
+		path := filepath.Join(*svgDir, name)
+		if err := os.WriteFile(path, []byte(svg), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "risppbench:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stderr, "wrote", path)
+	}
+	if *svgDir != "" {
+		if err := os.MkdirAll(*svgDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "risppbench:", err)
+			os.Exit(1)
+		}
+	}
+
+	run("table1", experiments.Table1)
+	run("fig2", func() string {
+		r := experiments.Fig2()
+		writeSVG("fig2.svg", r.SVG())
+		return r.Text
+	})
+	run("fig4", func() string { return experiments.Fig4().Text })
+	run("fig7", func() string {
+		r := experiments.Fig7(p)
+		writeSVG("fig7.svg", r.SVG())
+		if *csv {
+			return r.CSV()
+		}
+		return r.Text
+	})
+	run("table2", func() string {
+		r := experiments.Table2(p)
+		writeSVG("table2.svg", r.SVG())
+		if *csv {
+			return r.CSV()
+		}
+		return r.Text
+	})
+	run("fig8", func() string {
+		r := experiments.Fig8()
+		writeSVG("fig8.svg", r.SVG())
+		return r.Text
+	})
+	run("table3", func() string { return "Table 3 — Hardware implementation results\n\n" + hwmodel.Table3(isa.H264()) })
+	run("sw", func() string { _, txt := experiments.SoftwareBaseline(p); return txt })
+	run("optimal", func() string { return experiments.OptimalGap().Text })
+}

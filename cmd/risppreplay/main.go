@@ -1,0 +1,71 @@
+// Command risppreplay renders a simulation journal (risppsim -journal) as
+// a per-phase timeline: hot-spot durations, Atom loads and SI latency
+// steps, with proportional bars.
+//
+//	risppsim -frames 2 -acs 10 -journal run.jsonl
+//	risppreplay -in run.jsonl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"rispp/internal/isa"
+	"rispp/internal/sim"
+)
+
+func main() {
+	in := flag.String("in", "", "journal file (JSONL, from risppsim -journal)")
+	flag.Parse()
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "risppreplay: need -in FILE")
+		os.Exit(2)
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	events, err := sim.ReadJournal(f)
+	if err != nil {
+		fatal(err)
+	}
+	summary, err := sim.Summarize(events)
+	if err != nil {
+		fatal(err)
+	}
+
+	is := isa.H264()
+	name := func(h int) string {
+		for _, hs := range is.HotSpots {
+			if int(hs.ID) == h {
+				return hs.Name
+			}
+		}
+		return fmt.Sprintf("hot spot %d", h)
+	}
+
+	var longest int64
+	for _, p := range summary.Phases {
+		if d := p.End - p.Start; d > longest {
+			longest = d
+		}
+	}
+	fmt.Printf("%d events, %d phases, %d Atom loads\n\n", len(events), len(summary.Phases), summary.Loads)
+	for i, p := range summary.Phases {
+		d := p.End - p.Start
+		barLen := 1
+		if longest > 0 {
+			barLen = 1 + int(d*40/longest)
+		}
+		fmt.Printf("%3d %-18s %9.3fM cycles |%s| %d loads, %d latency steps\n",
+			i, name(p.HotSpot), float64(d)/1e6, strings.Repeat("#", barLen), p.Loads, p.LatencySteps)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "risppreplay:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,88 @@
+// Command rispptrace generates, inspects and validates workload traces.
+//
+// Usage:
+//
+//	rispptrace -gen -frames 20 -motion 0.3 -out trace.json
+//	rispptrace -info trace.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"rispp/internal/isa"
+	"rispp/internal/stats"
+	"rispp/internal/workload"
+)
+
+func main() {
+	var (
+		gen    = flag.Bool("gen", false, "generate an H.264 trace")
+		frames = flag.Int("frames", 140, "frames (with -gen)")
+		motion = flag.Float64("motion", 0, "motion variability (with -gen)")
+		scene  = flag.Int("scene", 0, "scene-change frame (with -gen)")
+		seed   = flag.Int64("seed", 0, "PRNG seed (with -gen)")
+		out    = flag.String("out", "", "output file (with -gen; default stdout)")
+		info   = flag.String("info", "", "trace file to inspect")
+	)
+	flag.Parse()
+
+	is := isa.H264()
+	switch {
+	case *gen:
+		tr := workload.H264(workload.H264Config{
+			Frames:            *frames,
+			MotionVariability: *motion,
+			SceneChangeFrame:  *scene,
+			Seed:              *seed,
+		})
+		w := os.Stdout
+		if *out != "" {
+			f, err := os.Create(*out)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := tr.WriteJSON(w); err != nil {
+			fatal(err)
+		}
+	case *info != "":
+		f, err := os.Open(*info)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		tr, err := workload.ReadJSON(f, is)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("trace:       %s\n", tr.Name)
+		fmt.Printf("phases:      %d\n", len(tr.Phases))
+		fmt.Printf("executions:  %d\n", tr.TotalExecutions())
+		fmt.Printf("sw cycles:   %d (%.1fM)\n", tr.SoftwareCycles(is), float64(tr.SoftwareCycles(is))/1e6)
+		tb := &stats.Table{Header: []string{"SI", "executions"}}
+		ex := tr.Executions()
+		var ids []int
+		for si := range ex {
+			ids = append(ids, int(si))
+		}
+		sort.Ints(ids)
+		for _, id := range ids {
+			tb.AddRow(is.SI(isa.SIID(id)).Name, fmt.Sprint(ex[isa.SIID(id)]))
+		}
+		fmt.Println()
+		fmt.Print(tb.String())
+	default:
+		fmt.Fprintln(os.Stderr, "rispptrace: need -gen or -info FILE")
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rispptrace:", err)
+	os.Exit(1)
+}

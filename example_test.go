@@ -1,0 +1,33 @@
+package rispp_test
+
+import (
+	"fmt"
+
+	"rispp"
+	"rispp/internal/workload"
+)
+
+// Run two frames of the H.264 encoder on a 10-container RISPP fabric with
+// the HEF scheduler and compare against the plain base processor.
+func Example() {
+	tr := workload.H264(workload.H264Config{Frames: 2})
+
+	hef, err := rispp.Run(rispp.Config{
+		Scheduler:     "HEF",
+		NumACs:        10,
+		Workload:      tr,
+		SeedForecasts: true,
+	})
+	if err != nil {
+		panic(err)
+	}
+	sw, err := rispp.Run(rispp.Config{Scheduler: "software", Workload: tr})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("runtime:", hef.Runtime)
+	fmt.Println("faster than software:", hef.TotalCycles < sw.TotalCycles)
+	// Output:
+	// runtime: RISPP/HEF
+	// faster than software: true
+}

@@ -1,0 +1,162 @@
+// The RISPP concept is not limited to video encoding (paper Section 1).
+// This example builds a custom dynamic instruction set for an adaptive
+// network-security appliance that alternates between two hot spots with
+// workload-dependent intensity:
+//
+//   - bulk encryption (AES-like round SIs: SubBytes/MixColumns pipelines),
+//   - integrity hashing (SHA-like compression SIs),
+//
+// and shows the run-time system adapting the Atom loading to traffic that
+// shifts from encryption-heavy to hash-heavy mid-run — the kind of
+// non-predictable behaviour that defeats design-time specialization.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rispp"
+	"rispp/internal/isa"
+	"rispp/internal/workload"
+)
+
+// Atom types of the crypto ISA.
+const (
+	atomSBox   isa.AtomID = iota // S-box substitution slice
+	atomMixCol                   // MixColumns GF(2^8) multiplier
+	atomKeyXor                   // round-key XOR lanes
+	atomSigma                    // SHA sigma/rotate unit
+	atomCSA                      // carry-save adder tree
+	numAtoms
+)
+
+// SIs and hot spots.
+const (
+	siAESRound isa.SIID = iota
+	siAESKeyExp
+	siSHACompress
+)
+
+const (
+	hotEncrypt isa.HotSpotID = iota
+	hotHash
+)
+
+func cryptoISA() *isa.ISA {
+	specs := []struct {
+		name    string
+		hotSpot isa.HotSpotID
+		spec    isa.MoleculeSpec
+	}{
+		{"AES round", hotEncrypt, isa.MoleculeSpec{
+			Atoms:    []isa.AtomID{atomSBox, atomMixCol, atomKeyXor},
+			Occ:      []int{16, 4, 4},
+			HWCyc:    []int{1, 2, 1},
+			SWCyc:    []int{30, 55, 18},
+			Steps:    [][]int{{0, 1, 2, 4}, {0, 1, 2}, {0, 1}},
+			Overhead: 8,
+			Count:    10,
+		}},
+		{"AES key expansion", hotEncrypt, isa.MoleculeSpec{
+			Atoms:    []isa.AtomID{atomSBox, atomKeyXor},
+			Occ:      []int{4, 8},
+			HWCyc:    []int{1, 1},
+			SWCyc:    []int{30, 18},
+			Steps:    [][]int{{0, 1, 2}, {0, 1, 2}},
+			Overhead: 6,
+			Count:    5,
+		}},
+		{"SHA compress", hotHash, isa.MoleculeSpec{
+			Atoms:    []isa.AtomID{atomSigma, atomCSA, atomKeyXor},
+			Occ:      []int{16, 8, 4},
+			HWCyc:    []int{1, 1, 1},
+			SWCyc:    []int{26, 34, 18},
+			Steps:    [][]int{{0, 1, 2, 4}, {0, 1, 2}, {0, 1}},
+			Overhead: 10,
+			Count:    9,
+		}},
+	}
+	is := &isa.ISA{
+		Name: "adaptive crypto appliance",
+		Atoms: []isa.AtomType{
+			{ID: atomSBox, Name: "SBox", BitstreamBytes: 52000, Slices: 300, LUTs: 590, FFs: 24},
+			{ID: atomMixCol, Name: "MixCol", BitstreamBytes: 63000, Slices: 450, LUTs: 880, FFs: 40},
+			{ID: atomKeyXor, Name: "KeyXor", BitstreamBytes: 47000, Slices: 210, LUTs: 400, FFs: 16},
+			{ID: atomSigma, Name: "Sigma", BitstreamBytes: 58000, Slices: 380, LUTs: 740, FFs: 36},
+			{ID: atomCSA, Name: "CSA", BitstreamBytes: 55000, Slices: 340, LUTs: 660, FFs: 30},
+		},
+		HotSpots: []isa.HotSpot{
+			{ID: hotEncrypt, Name: "bulk encryption", SIs: []isa.SIID{siAESRound, siAESKeyExp}},
+			{ID: hotHash, Name: "integrity hashing", SIs: []isa.SIID{siSHACompress}},
+		},
+	}
+	for i, d := range specs {
+		id := isa.SIID(i)
+		is.SIs = append(is.SIs, isa.SI{
+			ID:        id,
+			Name:      d.name,
+			HotSpot:   d.hotSpot,
+			SWLatency: d.spec.SWLatency(),
+			Molecules: d.spec.Generate(id, int(numAtoms)),
+		})
+	}
+	if err := is.Validate(); err != nil {
+		log.Fatal(err)
+	}
+	return is
+}
+
+// trafficTrace models bursts of packets: initially encryption-heavy VPN
+// traffic, then (after the "shift") hash-heavy storage traffic.
+func trafficTrace(batches int, shiftAt int) *workload.Trace {
+	b := workload.NewBuilder("adaptive-traffic")
+	for i := 0; i < batches; i++ {
+		encPackets, hashPackets := 900, 150
+		if i >= shiftAt {
+			encPackets, hashPackets = 200, 1100
+		}
+		b.Phase(hotEncrypt, 4000).
+			Burst(siAESKeyExp, 16, 10).
+			Burst(siAESRound, encPackets*10, 6) // 10 rounds per packet
+		b.Phase(hotHash, 4000).
+			Burst(siSHACompress, hashPackets*4, 6) // 4 blocks per packet
+	}
+	return b.Build()
+}
+
+func main() {
+	is := cryptoISA()
+	tr := trafficTrace(40, 20)
+
+	for _, system := range []string{"HEF", "Molen", "software"} {
+		res, err := rispp.Run(rispp.Config{
+			ISA:           is,
+			Workload:      tr,
+			Scheduler:     system,
+			NumACs:        6,
+			SeedForecasts: true,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-9s %7.2fM cycles\n", system, float64(res.TotalCycles)/1e6)
+	}
+
+	// Show the adaptation: per-SI hardware share with the HEF run-time.
+	res, err := rispp.Run(rispp.Config{
+		ISA: is, Workload: tr, Scheduler: "HEF", NumACs: 6, SeedForecasts: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nHEF hardware share per SI (6 ACs, traffic shift at batch 20):")
+	for i := range is.SIs {
+		id := isa.SIID(i)
+		total := res.Executions[id]
+		if total == 0 {
+			continue
+		}
+		fmt.Printf("  %-18s %6.1f%% of %d executions\n",
+			is.SI(id).Name, 100*float64(res.HWExecutions[id])/float64(total), total)
+	}
+}

@@ -1,0 +1,78 @@
+// Design-space exploration: a designer has a slice budget on the FPGA and
+// must split it between Atom Containers (1024 slices each), the HEF
+// run-time scheduler block, and everything else. This example combines the
+// hardware cost model with the analytic estimator and the cycle simulator
+// to answer: how many containers are worth it, and does the run-time
+// scheduler pay for its own area?
+//
+//	go run ./examples/designspace -slices 16384
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"rispp"
+	"rispp/internal/estimate"
+	"rispp/internal/hwmodel"
+	"rispp/internal/isa"
+	"rispp/internal/reconfig"
+	"rispp/internal/stats"
+	"rispp/internal/workload"
+)
+
+func main() {
+	budget := flag.Int("slices", hwmodel.SlicesOfXC2V3000, "slice budget of the target device")
+	frames := flag.Int("frames", 20, "frames for the simulated check")
+	flag.Parse()
+
+	is := isa.H264()
+	tr := workload.H264(workload.H264Config{Frames: *frames})
+	hef := hwmodel.HEFScheduler().Resources()
+	baseOther := 4096 // base pipeline, memories, peripherals
+
+	fmt.Printf("device budget: %d slices; base system %d; HEF scheduler %d\n\n",
+		*budget, baseOther, hef.Slices)
+	avail := *budget - baseOther - hef.Slices
+	maxACs := avail / hwmodel.ACSlices
+	if maxACs < 1 {
+		log.Fatal("budget too small for a single Atom Container")
+	}
+
+	tb := &stats.Table{Header: []string{"#ACs", "slices used", "est. speedup", "simulated speedup"}}
+	sw := tr.SoftwareCycles(is)
+	best, bestACs := 0.0, 0
+	for acs := 1; acs <= maxACs; acs += maxACs/12 + 1 {
+		est := estimate.SpeedupEstimate(is, tr, acs, reconfig.DefaultTiming())
+		res, err := rispp.Run(rispp.Config{Scheduler: "HEF", NumACs: acs, Workload: tr, SeedForecasts: true})
+		if err != nil {
+			log.Fatal(err)
+		}
+		simSp := float64(sw) / float64(res.TotalCycles)
+		used := baseOther + hef.Slices + acs*hwmodel.ACSlices
+		tb.AddRow(fmt.Sprint(acs), fmt.Sprint(used), fmt.Sprintf("%.2fx", est), fmt.Sprintf("%.2fx", simSp))
+		if simSp > best {
+			best, bestACs = simSp, acs
+		}
+	}
+	fmt.Print(tb.String())
+
+	// Is the HEF block worth its area? Compare best-HEF against spending
+	// those slices differently: the ASF scheduler is (nearly) free in
+	// hardware, so give its configuration the HEF block's slices back —
+	// not even enough for one more container.
+	resHEF, err := rispp.Run(rispp.Config{Scheduler: "HEF", NumACs: bestACs, Workload: tr, SeedForecasts: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	resASF, err := rispp.Run(rispp.Config{Scheduler: "ASF", NumACs: bestACs, Workload: tr, SeedForecasts: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nat %d ACs: HEF %.1fM cycles vs ASF %.1fM cycles — the %d-slice HEF block buys %.1f%%\n",
+		bestACs, float64(resHEF.TotalCycles)/1e6, float64(resASF.TotalCycles)/1e6, hef.Slices,
+		100*(float64(resASF.TotalCycles)/float64(resHEF.TotalCycles)-1))
+	fmt.Printf("(and it is smaller than one additional Atom Container: %d < %d slices)\n",
+		hef.Slices, hwmodel.ACSlices)
+}

@@ -1,0 +1,65 @@
+// The paper's headline experiment as an application: encode a CIF video
+// sequence on a RISPP processor, sweeping the four SI schedulers and the
+// Molen-like baseline over a range of Atom Container counts, and print the
+// execution times (Figure 7) and speedups (Table 2).
+//
+// Flags allow shrinking the sweep for a quick look:
+//
+//	go run ./examples/h264encoder -frames 20 -acs 5,10,17,24
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strconv"
+	"strings"
+
+	"rispp"
+	"rispp/internal/stats"
+	"rispp/internal/workload"
+)
+
+func main() {
+	frames := flag.Int("frames", 140, "CIF frames to encode")
+	acsFlag := flag.String("acs", "5,7,10,12,14,17,20,24", "comma-separated Atom Container counts")
+	flag.Parse()
+
+	var acs []int
+	for _, f := range strings.Split(*acsFlag, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			log.Fatalf("bad -acs element %q: %v", f, err)
+		}
+		acs = append(acs, n)
+	}
+
+	tr := workload.H264(workload.H264Config{Frames: *frames})
+	systems := append(append([]string(nil), rispp.Schedulers...), "Molen")
+	cycles, err := rispp.Sweep(rispp.Config{Workload: tr, SeedForecasts: true}, systems, acs)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("Encoding %d CIF frames — execution time [Mcycles]\n\n", *frames)
+	tb := &stats.Table{Header: append([]string{"#ACs"}, systems...)}
+	for _, n := range acs {
+		row := []string{fmt.Sprint(n)}
+		for _, s := range systems {
+			row = append(row, fmt.Sprintf("%.1f", float64(cycles[s][n])/1e6))
+		}
+		tb.AddRow(row...)
+	}
+	fmt.Print(tb.String())
+
+	fmt.Printf("\nSpeedups vs. the Molen-like baseline\n\n")
+	tb2 := &stats.Table{Header: append([]string{"#ACs"}, rispp.Schedulers...)}
+	for _, n := range acs {
+		row := []string{fmt.Sprint(n)}
+		for _, s := range rispp.Schedulers {
+			row = append(row, stats.Speedup(cycles["Molen"][n], cycles[s][n]))
+		}
+		tb2.AddRow(row...)
+	}
+	fmt.Print(tb2.String())
+}

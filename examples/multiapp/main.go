@@ -1,0 +1,103 @@
+// Two applications time-share one RISPP fabric: a video encoder and a
+// packet-crypto stack, interleaved (the camera pipeline encodes a frame,
+// then the network stack encrypts it for transmission). isa.Merge combines
+// the two dynamic instruction sets into one Atom space, and the Run-Time
+// Manager arbitrates the Atom Containers between the applications' hot
+// spots — the "varying workloads" scenario of the paper's introduction.
+//
+//	go run ./examples/multiapp
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rispp"
+	"rispp/internal/isa"
+	"rispp/internal/workload"
+)
+
+// cryptoISA is a compact encryption instruction set (see
+// examples/adaptivecrypto for the richer standalone version).
+func cryptoISA() *isa.ISA {
+	spec := isa.MoleculeSpec{
+		Atoms:    []isa.AtomID{0, 1, 2},
+		Occ:      []int{16, 4, 4},
+		HWCyc:    []int{1, 2, 1},
+		SWCyc:    []int{30, 55, 18},
+		Steps:    [][]int{{0, 1, 2, 4}, {0, 1, 2}, {0, 1}},
+		Overhead: 8,
+		Count:    10,
+	}
+	is := &isa.ISA{
+		Name: "crypto",
+		Atoms: []isa.AtomType{
+			{ID: 0, Name: "SBox", BitstreamBytes: 52000, Slices: 300, LUTs: 590, FFs: 24},
+			{ID: 1, Name: "MixCol", BitstreamBytes: 63000, Slices: 450, LUTs: 880, FFs: 40},
+			{ID: 2, Name: "KeyXor", BitstreamBytes: 47000, Slices: 210, LUTs: 400, FFs: 16},
+		},
+		SIs: []isa.SI{{
+			ID: 0, Name: "AES round", HotSpot: 0,
+			SWLatency: spec.SWLatency(),
+			Molecules: spec.Generate(0, 3),
+		}},
+		HotSpots: []isa.HotSpot{{ID: 0, Name: "encrypt", SIs: []isa.SIID{0}}},
+	}
+	if err := is.Validate(); err != nil {
+		log.Fatal(err)
+	}
+	return is
+}
+
+func main() {
+	h264 := isa.H264()
+	crypto := cryptoISA()
+	merged, err := isa.Merge("video + crypto", h264, crypto)
+	if err != nil {
+		log.Fatal(err)
+	}
+	siOff, hsOff := isa.Offsets(h264, crypto)
+
+	// Interleaved workload: per frame, the encoder's ME→EE→LF rotation is
+	// followed by an encryption burst over the produced bitstream.
+	frames := 20
+	videoTrace := workload.H264(workload.H264Config{Frames: frames})
+	b := workload.NewBuilder("video+crypto")
+	for f := 0; f < frames; f++ {
+		for p := 0; p < 3; p++ {
+			src := videoTrace.Phases[f*3+p]
+			b.Phase(src.HotSpot, src.Setup) // H.264 hot spots keep IDs (offset 0)
+			for _, burst := range src.Bursts {
+				b.Burst(burst.SI, burst.Count, burst.Gap)
+			}
+		}
+		b.Phase(isa.HotSpotID(hsOff[1]), 20_000).
+			Burst(isa.SIID(siOff[1]), 4000, 6) // encrypt the frame's bitstream
+	}
+	tr := b.Build()
+	if err := tr.Validate(merged); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("merged ISA: %d Atom types, %d SIs, %d hot spots\n",
+		merged.Dim(), len(merged.SIs), len(merged.HotSpots))
+	fmt.Printf("workload: %d phases, %d SI executions\n\n", len(tr.Phases), tr.TotalExecutions())
+
+	for _, acs := range []int{8, 14, 20} {
+		line := fmt.Sprintf("ACs=%2d:", acs)
+		for _, system := range []string{"HEF", "Molen", "software"} {
+			res, err := rispp.Run(rispp.Config{
+				ISA:           merged,
+				Workload:      tr,
+				Scheduler:     system,
+				NumACs:        acs,
+				SeedForecasts: true,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			line += fmt.Sprintf("  %s=%6.1fM", system, float64(res.TotalCycles)/1e6)
+		}
+		fmt.Println(line)
+	}
+}

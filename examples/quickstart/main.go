@@ -1,0 +1,37 @@
+// Quickstart: simulate the paper's H.264 encoder on a RISPP processor with
+// 10 Atom Containers using the proposed HEF Special Instruction Scheduler,
+// and compare against the plain base processor.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rispp"
+	"rispp/internal/workload"
+)
+
+func main() {
+	// Ten frames keep the quickstart instant; drop Workload to run the
+	// paper's full 140-frame CIF sequence.
+	tr := workload.H264(workload.H264Config{Frames: 10})
+
+	hef, err := rispp.Run(rispp.Config{
+		Scheduler:     "HEF",
+		NumACs:        10,
+		Workload:      tr,
+		SeedForecasts: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	sw, err := rispp.Run(rispp.Config{Scheduler: "software", Workload: tr})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("base processor (0 ACs): %6.1fM cycles\n", float64(sw.TotalCycles)/1e6)
+	fmt.Printf("RISPP/HEF (10 ACs):     %6.1fM cycles\n", float64(hef.TotalCycles)/1e6)
+	fmt.Printf("speedup:                %6.2fx\n", float64(sw.TotalCycles)/float64(hef.TotalCycles))
+}

@@ -1,0 +1,62 @@
+// Visualize what the SI Scheduler does (paper Figure 8): run the first hot
+// spots of one frame for every scheduler and print each SI's latency
+// staircase and execution-rate sparkline, so the differences between FSFR,
+// ASF, SJF and HEF become visible.
+//
+//	go run ./examples/schedulerviz -acs 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"rispp"
+	"rispp/internal/isa"
+	"rispp/internal/stats"
+	"rispp/internal/workload"
+)
+
+func main() {
+	acs := flag.Int("acs", 10, "Atom Containers")
+	flag.Parse()
+
+	is := isa.H264()
+	full := workload.H264(workload.H264Config{Frames: 1})
+	two := &workload.Trace{Name: "me+ee", Phases: full.Phases[:2]}
+	watch := []isa.SIID{isa.SISAD, isa.SISATD, isa.SIMC, isa.SIDCT}
+
+	for _, scheduler := range rispp.Schedulers {
+		cfg := rispp.Config{
+			Scheduler:     scheduler,
+			NumACs:        *acs,
+			Workload:      two,
+			SeedForecasts: true,
+		}
+		cfg.Collect.HistogramBucket = 100_000
+		cfg.Collect.Timeline = true
+		res, err := rispp.Run(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		fmt.Printf("=== %s — ME+EE of one frame, %d ACs: %.2fM cycles ===\n",
+			res.Runtime, *acs, float64(res.TotalCycles)/1e6)
+		for _, si := range watch {
+			events := res.Timeline.PerSI(int(si))
+			fmt.Printf("  %-10s latency:", is.SI(si).Name)
+			for _, e := range events {
+				fmt.Printf(" %d@%.1fM", e.Latency, float64(e.Cycle)/1e6)
+			}
+			fmt.Println()
+		}
+		labels := []string{}
+		series := [][]int64{}
+		for _, si := range watch {
+			labels = append(labels, "  "+is.SI(si).Name)
+			series = append(series, res.Histogram.Counts(int(si)))
+		}
+		fmt.Print(stats.Chart(labels, series))
+		fmt.Println()
+	}
+}

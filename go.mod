@@ -1,0 +1,3 @@
+module rispp
+
+go 1.22

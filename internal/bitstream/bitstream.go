@@ -1,0 +1,169 @@
+// Package bitstream models the partial-reconfiguration bitstreams of the
+// RISPP prototype. The paper's Atoms are implemented as module-based
+// partial bitstreams (Xilinx XAPP290 flow) spanning four CLB rows on the
+// xc2v3000, averaging 60,488 bytes and loading through the SelectMap/ICAP
+// port in on average 874.03 µs.
+//
+// Since the real bitstreams are device-specific binaries, this package
+// generates synthetic images with the same sizes and a realistic on-disk
+// structure — header, configuration frames, CRC — plus the repository the
+// Run-Time Manager fetches them from. The reconfiguration *timing* derives
+// from the true byte sizes, so every latency in the repo is anchored to
+// these images.
+package bitstream
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+
+	"rispp/internal/isa"
+	"rispp/internal/reconfig"
+)
+
+// Magic identifies a RISPP partial bitstream image.
+const Magic = "RBIT"
+
+// Version of the image format.
+const Version = 1
+
+// CLBRows is the height of every Atom module; the paper notes the
+// FPGA-specific constraint of using four CLB rows.
+const CLBRows = 4
+
+// FrameBytes is the size of one synthetic configuration frame (the
+// Virtex-II frame of the xc2v3000 is 824 bytes).
+const FrameBytes = 824
+
+// headerLen is the fixed image header size; crcLen the trailing checksum.
+const (
+	headerLen = 16
+	crcLen    = 2
+)
+
+// Header describes a parsed bitstream image.
+type Header struct {
+	Atom       isa.AtomID
+	Rows       int
+	Frames     int // full configuration frames in the payload
+	PayloadLen int // payload bytes (tail frame may be partial)
+}
+
+// Image is one partial bitstream: header, frame payload, CRC-16 trailer.
+type Image []byte
+
+// Generate builds the synthetic partial bitstream of an Atom. The total
+// image length equals the Atom's BitstreamBytes exactly, so reconfiguration
+// timing computed from the image matches the ISA's calibration. Generation
+// is deterministic in (atom.ID, seed).
+func Generate(atom isa.AtomType, seed int64) Image {
+	total := atom.BitstreamBytes
+	if total < headerLen+crcLen {
+		panic(fmt.Sprintf("bitstream: atom %q bitstream too small (%d bytes)", atom.Name, total))
+	}
+	payload := total - headerLen - crcLen
+	img := make(Image, total)
+	copy(img, Magic)
+	img[4] = Version
+	img[5] = byte(atom.ID)
+	img[6] = CLBRows
+	img[7] = 0 // reserved
+	binary.BigEndian.PutUint32(img[8:12], uint32(payload))
+	binary.BigEndian.PutUint32(img[12:16], uint32(payload/FrameBytes))
+
+	rng := rand.New(rand.NewSource(seed ^ int64(atom.ID)<<32))
+	body := img[headerLen : headerLen+payload]
+	rng.Read(body)
+
+	crc := CRC16(img[:headerLen+payload])
+	binary.BigEndian.PutUint16(img[headerLen+payload:], crc)
+	return img
+}
+
+// Parse validates an image (magic, version, lengths, CRC) and returns its
+// header.
+func Parse(img Image) (Header, error) {
+	var h Header
+	if len(img) < headerLen+crcLen {
+		return h, fmt.Errorf("bitstream: image truncated (%d bytes)", len(img))
+	}
+	if string(img[:4]) != Magic {
+		return h, fmt.Errorf("bitstream: bad magic %q", img[:4])
+	}
+	if img[4] != Version {
+		return h, fmt.Errorf("bitstream: unsupported version %d", img[4])
+	}
+	payload := int(binary.BigEndian.Uint32(img[8:12]))
+	if len(img) != headerLen+payload+crcLen {
+		return h, fmt.Errorf("bitstream: length %d does not match header payload %d", len(img), payload)
+	}
+	want := binary.BigEndian.Uint16(img[headerLen+payload:])
+	if got := CRC16(img[:headerLen+payload]); got != want {
+		return h, fmt.Errorf("bitstream: CRC mismatch: computed %04x, stored %04x", got, want)
+	}
+	h.Atom = isa.AtomID(img[5])
+	h.Rows = int(img[6])
+	h.PayloadLen = payload
+	h.Frames = int(binary.BigEndian.Uint32(img[12:16]))
+	return h, nil
+}
+
+// CRC16 computes the CRC-16/CCITT-FALSE checksum used by the image trailer.
+func CRC16(data []byte) uint16 {
+	crc := uint16(0xFFFF)
+	for _, b := range data {
+		crc ^= uint16(b) << 8
+		for i := 0; i < 8; i++ {
+			if crc&0x8000 != 0 {
+				crc = crc<<1 ^ 0x1021
+			} else {
+				crc <<= 1
+			}
+		}
+	}
+	return crc
+}
+
+// Repository holds the partial bitstream of every Atom type of an ISA —
+// the in-memory bitstream store of the Run-Time Manager.
+type Repository struct {
+	is     *isa.ISA
+	images []Image
+}
+
+// NewRepository generates and validates the bitstreams of all Atom types.
+func NewRepository(is *isa.ISA, seed int64) (*Repository, error) {
+	r := &Repository{is: is, images: make([]Image, len(is.Atoms))}
+	for i, a := range is.Atoms {
+		img := Generate(a, seed)
+		h, err := Parse(img)
+		if err != nil {
+			return nil, fmt.Errorf("bitstream: atom %q: %w", a.Name, err)
+		}
+		if h.Atom != a.ID {
+			return nil, fmt.Errorf("bitstream: atom %q: header names atom %d", a.Name, h.Atom)
+		}
+		r.images[i] = img
+	}
+	return r, nil
+}
+
+// Image returns the bitstream of an Atom type.
+func (r *Repository) Image(atom isa.AtomID) Image { return r.images[atom] }
+
+// LoadCycles returns the reconfiguration time of an Atom derived from its
+// actual image size — by construction identical to the ISA-based timing
+// used everywhere else (asserted by tests).
+func (r *Repository) LoadCycles(atom isa.AtomID, t reconfig.Timing) reconfig.Cycle {
+	return t.LoadCycles(len(r.images[atom]))
+}
+
+// TotalBytes returns the memory footprint of the repository — the paper's
+// platform stores all partial bitstreams in memory for fast reloading.
+func (r *Repository) TotalBytes() int {
+	n := 0
+	for _, img := range r.images {
+		n += len(img)
+	}
+	return n
+}

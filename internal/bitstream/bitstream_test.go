@@ -1,0 +1,156 @@
+package bitstream
+
+import (
+	"testing"
+	"testing/quick"
+
+	"rispp/internal/isa"
+	"rispp/internal/reconfig"
+)
+
+func TestGenerateParseRoundTrip(t *testing.T) {
+	is := isa.H264()
+	for _, a := range is.Atoms {
+		img := Generate(a, 42)
+		if len(img) != a.BitstreamBytes {
+			t.Fatalf("atom %q: image %d bytes, want %d", a.Name, len(img), a.BitstreamBytes)
+		}
+		h, err := Parse(img)
+		if err != nil {
+			t.Fatalf("atom %q: %v", a.Name, err)
+		}
+		if h.Atom != a.ID {
+			t.Errorf("atom %q: header atom %d", a.Name, h.Atom)
+		}
+		if h.Rows != CLBRows {
+			t.Errorf("atom %q: rows = %d, want %d (paper's FPGA constraint)", a.Name, h.Rows, CLBRows)
+		}
+		if h.PayloadLen != a.BitstreamBytes-headerLen-crcLen {
+			t.Errorf("atom %q: payload %d", a.Name, h.PayloadLen)
+		}
+		if h.Frames != h.PayloadLen/FrameBytes {
+			t.Errorf("atom %q: frames %d", a.Name, h.Frames)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := isa.H264().Atoms[0]
+	x := Generate(a, 7)
+	y := Generate(a, 7)
+	if string(x) != string(y) {
+		t.Fatal("generation not deterministic")
+	}
+	z := Generate(a, 8)
+	if string(x) == string(z) {
+		t.Fatal("seed ignored")
+	}
+}
+
+func TestParseRejectsCorruption(t *testing.T) {
+	a := isa.H264().Atoms[0]
+	base := Generate(a, 1)
+
+	cases := []struct {
+		name   string
+		mutate func(Image) Image
+	}{
+		{"truncated", func(img Image) Image { return img[:10] }},
+		{"bad magic", func(img Image) Image { img[0] = 'X'; return img }},
+		{"bad version", func(img Image) Image { img[4] = 99; return img }},
+		{"length mismatch", func(img Image) Image { return append(img, 0) }},
+		{"payload bit flip", func(img Image) Image { img[headerLen+100] ^= 0x01; return img }},
+		{"crc tampered", func(img Image) Image { img[len(img)-1] ^= 0xFF; return img }},
+	}
+	for _, c := range cases {
+		img := append(Image(nil), base...)
+		if _, err := Parse(c.mutate(img)); err == nil {
+			t.Errorf("%s: Parse accepted a corrupt image", c.name)
+		}
+	}
+}
+
+func TestEveryPayloadBitFlipIsDetected(t *testing.T) {
+	// CRC-16 detects all single-bit errors; inject one at every byte
+	// position of a small sampled stride.
+	a := isa.AtomType{ID: 3, Name: "t", BitstreamBytes: 256}
+	base := Generate(a, 5)
+	for pos := 0; pos < len(base)-crcLen; pos += 7 {
+		for bit := 0; bit < 8; bit++ {
+			img := append(Image(nil), base...)
+			img[pos] ^= 1 << bit
+			if _, err := Parse(img); err == nil {
+				t.Fatalf("bit flip at byte %d bit %d undetected", pos, bit)
+			}
+		}
+	}
+}
+
+func TestCRC16KnownVector(t *testing.T) {
+	// CRC-16/CCITT-FALSE("123456789") = 0x29B1.
+	if got := CRC16([]byte("123456789")); got != 0x29B1 {
+		t.Fatalf("CRC16 = %04x, want 29b1", got)
+	}
+	if CRC16(nil) != 0xFFFF {
+		t.Fatal("CRC16(empty) != initial value")
+	}
+}
+
+func TestCRC16LinearityProperty(t *testing.T) {
+	// Appending the big-endian CRC to the message and re-checksumming
+	// yields 0 for this CRC variant.
+	err := quick.Check(func(data []byte) bool {
+		crc := CRC16(data)
+		full := append(append([]byte(nil), data...), byte(crc>>8), byte(crc))
+		return CRC16(full) == 0
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRepository(t *testing.T) {
+	is := isa.H264()
+	r, err := NewRepository(is, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, a := range is.Atoms {
+		img := r.Image(a.ID)
+		if len(img) != a.BitstreamBytes {
+			t.Errorf("atom %q image size %d", a.Name, len(img))
+		}
+		total += a.BitstreamBytes
+	}
+	if r.TotalBytes() != total {
+		t.Fatalf("TotalBytes = %d, want %d", r.TotalBytes(), total)
+	}
+}
+
+func TestRepositoryTimingMatchesISACalibration(t *testing.T) {
+	// The reconfiguration latency derived from the actual image bytes must
+	// equal the latency the rest of the system computes from the ISA data.
+	is := isa.H264()
+	r, err := NewRepository(is, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm := reconfig.DefaultTiming()
+	for _, a := range is.Atoms {
+		fromImage := r.LoadCycles(a.ID, tm)
+		fromISA := tm.LoadCycles(a.BitstreamBytes)
+		if fromImage != fromISA {
+			t.Errorf("atom %q: image timing %d != ISA timing %d", a.Name, fromImage, fromISA)
+		}
+	}
+}
+
+func TestGenerateTooSmallPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("tiny bitstream did not panic")
+		}
+	}()
+	Generate(isa.AtomType{Name: "x", BitstreamBytes: 4}, 0)
+}

@@ -1,0 +1,29 @@
+package bitstream
+
+import (
+	"testing"
+
+	"rispp/internal/isa"
+)
+
+// FuzzParse hardens the bitstream parser against arbitrary byte soup: it
+// must never panic, and anything it accepts must be self-consistent.
+func FuzzParse(f *testing.F) {
+	for _, a := range isa.H264().Atoms[:3] {
+		f.Add([]byte(Generate(a, 1)))
+	}
+	f.Add([]byte("RBIT"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h, err := Parse(data)
+		if err != nil {
+			return
+		}
+		if h.PayloadLen != len(data)-headerLen-crcLen {
+			t.Fatalf("accepted image with inconsistent payload length %d (total %d)", h.PayloadLen, len(data))
+		}
+		if h.Frames != h.PayloadLen/FrameBytes {
+			t.Fatalf("accepted image with inconsistent frame count")
+		}
+	})
+}

@@ -1,0 +1,282 @@
+// Package datapath provides functional reference implementations of the
+// H.264 kernels the RISPP Special Instructions accelerate, together with
+// the Atom-level decompositions of Figure 3 (BytePack → PointFilter →
+// Clip3 for Motion Compensation, butterfly stages for the transforms, …).
+//
+// The rest of the repository simulates timing only; this package pins down
+// the *functionality* and verifies the paper's central structural claim:
+// an SI "may be executed utilizing different combinations of these data
+// paths (but still maintain its functionality)" — the Atom-composed
+// implementations compute bit-identical results to the straightforward
+// reference code (and hence to the base-processor trap routines).
+//
+// The arithmetic follows ITU-T H.264 (2005): the 4x4 integer core
+// transform, the 4x4/2x2 Hadamard transforms, the 6-tap half-pel filter
+// (1, −5, 20, 20, −5, 1), DC intra prediction, and the boundary-strength-4
+// deblocking filter.
+package datapath
+
+// Clip3 clamps x into [lo, hi] — the Clip3 Atom of Figure 3.
+func Clip3(x, lo, hi int) int {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// Clip255 clamps to the 8-bit pixel range.
+func Clip255(x int) int { return Clip3(x, 0, 255) }
+
+// Abs returns |x|.
+func Abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Block4 is a 4x4 sample block (row-major).
+type Block4 [4][4]int
+
+// Block2 is a 2x2 sample block.
+type Block2 [2][2]int
+
+// --- SAD ------------------------------------------------------------------
+
+// SAD16 is the reference sum of absolute differences over 16 samples — the
+// work one SAD SI execution performs.
+func SAD16(a, b *[16]int) int {
+	s := 0
+	for i := 0; i < 16; i++ {
+		s += Abs(a[i] - b[i])
+	}
+	return s
+}
+
+// SAD16Tree computes the same SAD the way the SAD16 Atom does: absolute
+// differences feed a balanced adder tree (4-2-1 reduction).
+func SAD16Tree(a, b *[16]int) int {
+	var d [16]int
+	for i := range d {
+		d[i] = Abs(a[i] - b[i])
+	}
+	// Three reduction levels of the adder tree.
+	var l1 [8]int
+	for i := range l1 {
+		l1[i] = d[2*i] + d[2*i+1]
+	}
+	var l2 [4]int
+	for i := range l2 {
+		l2[i] = l1[2*i] + l1[2*i+1]
+	}
+	return (l2[0] + l2[1]) + (l2[2] + l2[3])
+}
+
+// --- Hadamard / SATD --------------------------------------------------------
+
+// Hadamard4 applies the 4-point Hadamard butterfly to a vector — one pass
+// of the Transform Atom.
+func Hadamard4(v [4]int) [4]int {
+	a := v[0] + v[2]
+	b := v[0] - v[2]
+	c := v[1] + v[3]
+	d := v[1] - v[3]
+	return [4]int{a + c, b + d, b - d, a - c}
+}
+
+// Hadamard4x4 transforms a block with the 2-D Hadamard transform
+// (rows then columns), the core of SATD.
+func Hadamard4x4(x Block4) Block4 {
+	var t, y Block4
+	for r := 0; r < 4; r++ {
+		t[r] = Hadamard4(x[r])
+	}
+	for c := 0; c < 4; c++ {
+		col := Hadamard4([4]int{t[0][c], t[1][c], t[2][c], t[3][c]})
+		for r := 0; r < 4; r++ {
+			y[r][c] = col[r]
+		}
+	}
+	return y
+}
+
+// SATD4x4 is the reference sum of absolute transformed differences of two
+// 4x4 blocks: Σ|Hadamard(a−b)| / 2.
+func SATD4x4(a, b Block4) int {
+	var d Block4
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 4; c++ {
+			d[r][c] = a[r][c] - b[r][c]
+		}
+	}
+	t := Hadamard4x4(d)
+	s := 0
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 4; c++ {
+			s += Abs(t[r][c])
+		}
+	}
+	return s / 2
+}
+
+// --- 4x4 integer core transform ---------------------------------------------
+
+// Forward4x4 applies the H.264 forward core transform Y = C·X·Cᵀ with
+// C = [[1,1,1,1],[2,1,−1,−2],[1,−1,−1,1],[1,−2,2,−1]].
+func Forward4x4(x Block4) Block4 {
+	rowPass := func(v [4]int) [4]int {
+		s0 := v[0] + v[3]
+		s1 := v[1] + v[2]
+		s2 := v[1] - v[2]
+		s3 := v[0] - v[3]
+		return [4]int{s0 + s1, 2*s3 + s2, s0 - s1, s3 - 2*s2}
+	}
+	var t, y Block4
+	for r := 0; r < 4; r++ {
+		t[r] = rowPass(x[r])
+	}
+	for c := 0; c < 4; c++ {
+		col := rowPass([4]int{t[0][c], t[1][c], t[2][c], t[3][c]})
+		for r := 0; r < 4; r++ {
+			y[r][c] = col[r]
+		}
+	}
+	return y
+}
+
+// Inverse4x4 applies the H.264 inverse core transform (the decoder
+// butterflies of subclause 8.5.10 with their >>1 stages) and the final
+// (x+32)>>6 rounding. Note that exact reconstruction of Forward4x4 output
+// additionally requires the codec's dequantization scaling (the row norms
+// of C are 4 and 10), which belongs to the quantizer and is out of scope
+// here; the tests validate the butterflies against an exact-arithmetic
+// reference of the inverse-transform matrix.
+func Inverse4x4(y Block4) Block4 {
+	rowPass := func(v [4]int) [4]int {
+		e0 := v[0] + v[2]
+		e1 := v[0] - v[2]
+		e2 := (v[1] >> 1) - v[3]
+		e3 := v[1] + (v[3] >> 1)
+		return [4]int{e0 + e3, e1 + e2, e1 - e2, e0 - e3}
+	}
+	var t, x Block4
+	for c := 0; c < 4; c++ {
+		col := rowPass([4]int{y[0][c], y[1][c], y[2][c], y[3][c]})
+		for r := 0; r < 4; r++ {
+			t[r][c] = col[r]
+		}
+	}
+	for r := 0; r < 4; r++ {
+		row := rowPass(t[r])
+		for c := 0; c < 4; c++ {
+			x[r][c] = (row[c] + 32) >> 6
+		}
+	}
+	return x
+}
+
+// --- 2x2 Hadamard (chroma DC) -----------------------------------------------
+
+// HT2x2 transforms the 2x2 chroma DC block: Y = H·X·H with H = [[1,1],[1,−1]].
+func HT2x2(x Block2) Block2 {
+	a := x[0][0] + x[0][1]
+	b := x[0][0] - x[0][1]
+	c := x[1][0] + x[1][1]
+	d := x[1][0] - x[1][1]
+	return Block2{{a + c, b + d}, {a - c, b - d}}
+}
+
+// --- Motion compensation (Figure 3) ------------------------------------------
+
+// PointFilter is the 6-tap half-pel filter Atom of Figure 3:
+// (1, −5, 20, 20, −5, 1) over a sample window, before rounding.
+func PointFilter(w [6]int) int {
+	return w[0] - 5*w[1] + 20*w[2] + 20*w[3] - 5*w[4] + w[5]
+}
+
+// HalfPel rounds and clips a PointFilter output to a pixel — the Clip3
+// stage behind the PointFilter in the MC SI.
+func HalfPel(w [6]int) int {
+	return Clip255((PointFilter(w) + 16) >> 5)
+}
+
+// MCRowReference interpolates the half-pel samples of a pixel row the
+// straightforward way (the trap routine): for each output sample, gather
+// the 6-tap window and filter it.
+func MCRowReference(row []int) []int {
+	n := len(row) - 5
+	if n <= 0 {
+		return nil
+	}
+	out := make([]int, n)
+	for i := 0; i < n; i++ {
+		out[i] = Clip255((row[i] - 5*row[i+1] + 20*row[i+2] + 20*row[i+3] - 5*row[i+4] + row[i+5] + 16) >> 5)
+	}
+	return out
+}
+
+// MCRowAtoms computes the same row through the Figure 3 Atom chain:
+// BytePack gathers the windows, PointFilter computes the taps, Clip3
+// rounds and clamps.
+func MCRowAtoms(row []int) []int {
+	n := len(row) - 5
+	if n <= 0 {
+		return nil
+	}
+	out := make([]int, n)
+	for i := 0; i < n; i++ {
+		w := BytePack(row, i) // operand gathering Atom
+		out[i] = Clip255((PointFilter(w) + 16) >> 5)
+	}
+	return out
+}
+
+// BytePack is the operand-gathering Atom of Figure 3: it packs the 6-sample
+// window starting at offset i.
+func BytePack(row []int, i int) [6]int {
+	var w [6]int
+	copy(w[:], row[i:i+6])
+	return w
+}
+
+// --- Intra prediction ---------------------------------------------------------
+
+// PredHDC computes the horizontal DC prediction of a 4-row block: the DC of
+// the left neighbours, replicated.
+func PredHDC(left [4]int) int {
+	return (left[0] + left[1] + left[2] + left[3] + 2) >> 2
+}
+
+// PredVDC computes the vertical DC prediction from the top neighbours.
+func PredVDC(top [4]int) int {
+	return (top[0] + top[1] + top[2] + top[3] + 2) >> 2
+}
+
+// --- Deblocking (boundary strength 4) -----------------------------------------
+
+// LFCond evaluates the strong-filter condition of the BS4 deblocking filter
+// (the LFCond Atom): the edge is filtered when the gradients are below the
+// α/β thresholds.
+func LFCond(p0, q0, p1, q1, alpha, beta int) bool {
+	return Abs(p0-q0) < alpha && Abs(p1-p0) < beta && Abs(q1-q0) < beta
+}
+
+// DeblockBS4 applies the H.264 strong (boundary strength 4) luma filter to
+// one edge: p3..p0 on one side, q0..q3 on the other. It returns the three
+// filtered samples of each side. The luma strong filter is used when the
+// additional threshold |p0−q0| < (α>>2)+2 holds; callers gate on LFCond
+// first.
+func DeblockBS4(p [4]int, q [4]int) (pf [3]int, qf [3]int) {
+	p0, p1, p2, p3 := p[0], p[1], p[2], p[3]
+	q0, q1, q2, q3 := q[0], q[1], q[2], q[3]
+	pf[0] = (p2 + 2*p1 + 2*p0 + 2*q0 + q1 + 4) >> 3
+	pf[1] = (p2 + p1 + p0 + q0 + 2) >> 2
+	pf[2] = (2*p3 + 3*p2 + p1 + p0 + q0 + 4) >> 3
+	qf[0] = (q2 + 2*q1 + 2*q0 + 2*p0 + p1 + 4) >> 3
+	qf[1] = (q2 + q1 + q0 + p0 + 2) >> 2
+	qf[2] = (2*q3 + 3*q2 + q1 + q0 + p0 + 4) >> 3
+	return pf, qf
+}

@@ -1,0 +1,94 @@
+package datapath
+
+// H.264 quantization of 4x4 transform coefficients (subclauses 8.5.9 /
+// 8.5.10 of the standard): the forward multiplier tables MF and the
+// dequantization scale tables V, per QP class. Together with Forward4x4 /
+// Inverse4x4 this completes the (I)DCT Special Instruction's arithmetic
+// and makes a real encode→decode round trip possible (see internal/video's
+// encoder loop).
+//
+// Coefficient positions fall into three classes:
+//
+//	class 0: (i,j) with both indices even   — e.g. the DC position
+//	class 1: both indices odd
+//	class 2: the rest
+//
+// The tables below are indexed [qp%6][class].
+
+var quantMF = [6][3]int{
+	{13107, 5243, 8066},
+	{11916, 4660, 7490},
+	{10082, 4194, 6554},
+	{9362, 3647, 5825},
+	{8192, 3355, 5243},
+	{7282, 2893, 4559},
+}
+
+var dequantV = [6][3]int{
+	{10, 16, 13},
+	{11, 18, 14},
+	{13, 20, 16},
+	{14, 23, 18},
+	{16, 25, 20},
+	{18, 29, 23},
+}
+
+// coeffClass returns the quantization class of coefficient position (i, j).
+func coeffClass(i, j int) int {
+	switch {
+	case i%2 == 0 && j%2 == 0:
+		return 0
+	case i%2 == 1 && j%2 == 1:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// Quant quantizes a block of Forward4x4 coefficients at the given QP
+// (0..51): Z = sign(W) · ((|W|·MF + f) >> qbits) with the intra rounding
+// offset f = 2^qbits/3.
+func Quant(w Block4, qp int) Block4 {
+	qbits := 15 + qp/6
+	f := (1 << qbits) / 3
+	mf := quantMF[qp%6]
+	var z Block4
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			c := w[i][j]
+			neg := c < 0
+			if neg {
+				c = -c
+			}
+			q := (c*mf[coeffClass(i, j)] + f) >> qbits
+			if neg {
+				q = -q
+			}
+			z[i][j] = q
+		}
+	}
+	return z
+}
+
+// Dequant rescales quantized levels for the inverse transform:
+// W' = Z · V · 2^(qp/6). Feeding the result to Inverse4x4 (with its final
+// (x+32)>>6) reconstructs the residual up to the quantization error.
+func Dequant(z Block4, qp int) Block4 {
+	v := dequantV[qp%6]
+	shift := qp / 6
+	var w Block4
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			w[i][j] = z[i][j] * v[coeffClass(i, j)] << shift
+		}
+	}
+	return w
+}
+
+// RoundTrip4x4 runs a residual block through the full coding chain —
+// forward transform, quantization, dequantization, inverse transform — and
+// returns the reconstructed residual. This is what one "(I)DCT" SI pair
+// computes per 4x4 block in the Encoding Engine hot spot.
+func RoundTrip4x4(residual Block4, qp int) Block4 {
+	return Inverse4x4(Dequant(Quant(Forward4x4(residual), qp), qp))
+}

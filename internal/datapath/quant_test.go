@@ -1,0 +1,123 @@
+package datapath
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestQuantZeroBlock(t *testing.T) {
+	var z Block4
+	if Quant(z, 20) != z || Dequant(z, 20) != z {
+		t.Fatal("zero block not preserved")
+	}
+	if RoundTrip4x4(z, 30) != z {
+		t.Fatal("zero residual not reconstructed as zero")
+	}
+}
+
+func TestQuantSignSymmetry(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		w := randBlock4(rng, 2000)
+		var neg Block4
+		for r := 0; r < 4; r++ {
+			for c := 0; c < 4; c++ {
+				neg[r][c] = -w[r][c]
+			}
+		}
+		qp := rng.Intn(52)
+		zw := Quant(w, qp)
+		zn := Quant(neg, qp)
+		for r := 0; r < 4; r++ {
+			for c := 0; c < 4; c++ {
+				if zw[r][c] != -zn[r][c] {
+					t.Fatalf("quantization not sign-symmetric at qp %d", qp)
+				}
+			}
+		}
+	}
+}
+
+// TestRoundTripErrorBounded: the reconstruction error of the complete
+// transform/quant chain is bounded by the quantizer step size, which grows
+// with QP (roughly doubling every 6 QP steps).
+func TestRoundTripErrorBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, qp := range []int{0, 6, 12, 20, 30} {
+		// Step size ≈ 0.625 · 2^(qp/6); the transform chain spreads error
+		// over the block — allow 2 steps of slack per sample.
+		bound := 2 + (5*(1<<(qp/6)))/4
+		for i := 0; i < 200; i++ {
+			x := randBlock4(rng, 256)
+			y := RoundTrip4x4(x, qp)
+			for r := 0; r < 4; r++ {
+				for c := 0; c < 4; c++ {
+					if Abs(y[r][c]-x[r][c]) > bound {
+						t.Fatalf("qp %d: sample error %d exceeds bound %d (x=%d, y=%d)",
+							qp, Abs(y[r][c]-x[r][c]), bound, x[r][c], y[r][c])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestDistortionGrowsWithQP: coarser quantization must on average distort
+// more — the monotonicity every rate controller depends on.
+func TestDistortionGrowsWithQP(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	sse := func(qp int) int64 {
+		var total int64
+		for i := 0; i < 300; i++ {
+			x := randBlock4(rng, 200)
+			y := RoundTrip4x4(x, qp)
+			for r := 0; r < 4; r++ {
+				for c := 0; c < 4; c++ {
+					d := int64(y[r][c] - x[r][c])
+					total += d * d
+				}
+			}
+		}
+		return total
+	}
+	low, mid, high := sse(4), sse(20), sse(36)
+	if !(low < mid && mid < high) {
+		t.Fatalf("distortion not monotone in QP: %d, %d, %d", low, mid, high)
+	}
+}
+
+func TestCoeffClass(t *testing.T) {
+	if coeffClass(0, 0) != 0 || coeffClass(2, 2) != 0 {
+		t.Fatal("even/even positions must be class 0")
+	}
+	if coeffClass(1, 1) != 1 || coeffClass(3, 1) != 1 {
+		t.Fatal("odd/odd positions must be class 1")
+	}
+	if coeffClass(0, 1) != 2 || coeffClass(3, 2) != 2 {
+		t.Fatal("mixed positions must be class 2")
+	}
+}
+
+// TestQuantDequantGainNearUnity: for every QP, MF·V ≈ 2^(qbits−shift)·scale
+// such that the end-to-end gain of quant→dequant is close to 1 relative to
+// the transform normalization; empirically the DC of a flat block must
+// reconstruct to within one step.
+func TestQuantDequantGainNearUnity(t *testing.T) {
+	for qp := 0; qp < 52; qp++ {
+		var x Block4
+		for r := range x {
+			for c := range x[r] {
+				x[r][c] = 100
+			}
+		}
+		y := RoundTrip4x4(x, qp)
+		bound := 1 + (5*(1<<(qp/6)))/8
+		for r := 0; r < 4; r++ {
+			for c := 0; c < 4; c++ {
+				if Abs(y[r][c]-100) > bound {
+					t.Fatalf("qp %d: flat block reconstructed to %d (bound %d)", qp, y[r][c], bound)
+				}
+			}
+		}
+	}
+}

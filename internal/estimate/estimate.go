@@ -1,0 +1,185 @@
+// Package estimate implements the offline estimation tool of the RISPP
+// toolchain ("Our whole platform consists of a toolchain including
+// estimation and simulation tools", paper Section 1): it profiles a
+// workload trace and predicts execution-time bounds for a given fabric
+// size analytically, without running the cycle simulator.
+//
+// The estimator brackets the run time between an optimistic bound (every
+// SI executes at its selected Molecule's latency from the start; the
+// reconfiguration port is never on the critical path) and a pessimistic
+// bound (no stepwise upgrades: every SI runs in software until its complete
+// selected Molecule is loaded, with loads serialized — the Molen-like
+// behaviour). A fixed-point ramp model distributes each hot spot's SI
+// executions across its reconfiguration window.
+package estimate
+
+import (
+	"fmt"
+
+	"rispp/internal/isa"
+	"rispp/internal/reconfig"
+	"rispp/internal/selection"
+	"rispp/internal/workload"
+)
+
+// Profile summarizes a trace the way the offline profiler of the toolchain
+// would: per hot spot, the average SI execution counts per occurrence.
+type Profile struct {
+	Occurrences map[isa.HotSpotID]int
+	PerSpot     map[isa.HotSpotID]map[isa.SIID]int64 // average per occurrence
+	Gap         map[isa.SIID]int                     // average glue cycles
+	Setup       map[isa.HotSpotID]int64              // average setup cycles
+}
+
+// ProfileTrace computes the profile of a workload trace.
+func ProfileTrace(tr *workload.Trace) *Profile {
+	p := &Profile{
+		Occurrences: make(map[isa.HotSpotID]int),
+		PerSpot:     make(map[isa.HotSpotID]map[isa.SIID]int64),
+		Gap:         make(map[isa.SIID]int),
+		Setup:       make(map[isa.HotSpotID]int64),
+	}
+	totalSetup := map[isa.HotSpotID]int64{}
+	totals := map[isa.HotSpotID]map[isa.SIID]int64{}
+	gapSum := map[isa.SIID]int64{}
+	gapN := map[isa.SIID]int64{}
+	for i := range tr.Phases {
+		ph := &tr.Phases[i]
+		p.Occurrences[ph.HotSpot]++
+		totalSetup[ph.HotSpot] += ph.Setup
+		if totals[ph.HotSpot] == nil {
+			totals[ph.HotSpot] = make(map[isa.SIID]int64)
+		}
+		for _, b := range ph.Bursts {
+			totals[ph.HotSpot][b.SI] += int64(b.Count)
+			gapSum[b.SI] += int64(b.Gap) * int64(b.Count)
+			gapN[b.SI] += int64(b.Count)
+		}
+	}
+	for h, per := range totals {
+		occ := int64(p.Occurrences[h])
+		avg := make(map[isa.SIID]int64, len(per))
+		for si, n := range per {
+			avg[si] = n / occ
+		}
+		p.PerSpot[h] = avg
+		p.Setup[h] = totalSetup[h] / occ
+	}
+	for si, sum := range gapSum {
+		p.Gap[si] = int(sum / gapN[si])
+	}
+	return p
+}
+
+// Bounds carries the analytic execution-time estimates in cycles.
+type Bounds struct {
+	Optimistic  int64 // all selected Molecules available from the start
+	Pessimistic int64 // software until fully composed (Molen-like), per entry
+	Ramp        int64 // fixed-point ramp model of the upgrade window
+}
+
+// ForTrace estimates the execution time of the trace on a RISPP fabric
+// with numACs containers, using the greedy Molecule selection on the
+// profiled execution counts.
+func ForTrace(is *isa.ISA, tr *workload.Trace, numACs int, timing reconfig.Timing) Bounds {
+	prof := ProfileTrace(tr)
+	var b Bounds
+	for i := range tr.Phases {
+		ph := &tr.Phases[i]
+		pb := phaseBounds(is, prof, ph, numACs, timing)
+		b.Optimistic += pb.Optimistic
+		b.Pessimistic += pb.Pessimistic
+		b.Ramp += pb.Ramp
+	}
+	return b
+}
+
+// phaseBounds estimates one hot-spot occurrence.
+func phaseBounds(is *isa.ISA, prof *Profile, ph *workload.Phase, numACs int, timing reconfig.Timing) Bounds {
+	// Selection exactly as the run-time system would do it, from the
+	// profiled expectations.
+	var cands []selection.Candidate
+	for _, si := range is.HotSpotSIs(ph.HotSpot) {
+		cands = append(cands, selection.Candidate{SI: si, Expected: prof.PerSpot[ph.HotSpot][si.ID]})
+	}
+	reqs := selection.Greedy(cands, numACs, is.Dim())
+	lat := make(map[isa.SIID]int, len(is.SIs))
+	for _, si := range is.HotSpotSIs(ph.HotSpot) {
+		lat[si.ID] = si.SWLatency
+	}
+	for _, r := range reqs {
+		lat[r.SI.ID] = r.Selected.Latency
+	}
+
+	// Reconfiguration window per SI: cumulative serialized load time in
+	// request order, ignoring cross-SI Atom sharing (upper bound).
+	window := make(map[isa.SIID]int64, len(reqs))
+	var cum int64
+	for _, r := range reqs {
+		for _, u := range r.Selected.Atoms.Units() {
+			cum += timing.LoadCycles(is.Atom(isa.AtomID(u)).BitstreamBytes)
+		}
+		window[r.SI.ID] = cum
+	}
+
+	counts := map[isa.SIID]int64{}
+	for _, bu := range ph.Bursts {
+		counts[bu.SI] += int64(bu.Count)
+	}
+
+	var opt int64 = ph.Setup
+	for si, n := range counts {
+		opt += n * int64(lat[si]+prof.Gap[si])
+	}
+
+	// Pessimistic / ramp: executions before the SI's window closes run in
+	// software. The share running slow depends on the phase duration,
+	// which depends on that share — iterate the fixed point.
+	fixpoint := func(full bool) int64 {
+		t := opt
+		for iter := 0; iter < 32; iter++ {
+			var next int64 = ph.Setup
+			for si, n := range counts {
+				w := window[si]
+				if !full {
+					// Ramp model: stepwise upgrades halve the effective
+					// software window (the SI spends the window at
+					// intermediate latencies rather than full software).
+					w /= 2
+				}
+				slow := int64(0)
+				if t > 0 && w > 0 {
+					slow = n * w / t
+					if slow > n {
+						slow = n
+					}
+				}
+				sw := is.SI(si).SWLatency
+				next += slow*int64(sw+prof.Gap[si]) + (n-slow)*int64(lat[si]+prof.Gap[si])
+			}
+			if next == t {
+				break
+			}
+			t = next
+		}
+		return t
+	}
+	return Bounds{Optimistic: opt, Pessimistic: fixpoint(true), Ramp: fixpoint(false)}
+}
+
+// SpeedupEstimate predicts the speedup over pure software execution using
+// the ramp model — the number a designer would read off before committing
+// to a fabric size.
+func SpeedupEstimate(is *isa.ISA, tr *workload.Trace, numACs int, timing reconfig.Timing) float64 {
+	b := ForTrace(is, tr, numACs, timing)
+	sw := tr.SoftwareCycles(is)
+	if b.Ramp == 0 {
+		return 0
+	}
+	return float64(sw) / float64(b.Ramp)
+}
+
+func (b Bounds) String() string {
+	return fmt.Sprintf("optimistic %dM / ramp %dM / pessimistic %dM cycles",
+		b.Optimistic/1e6, b.Ramp/1e6, b.Pessimistic/1e6)
+}

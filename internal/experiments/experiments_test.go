@@ -1,0 +1,220 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"rispp/internal/isa"
+)
+
+// small keeps sweep tests fast while preserving the qualitative shapes.
+var small = Params{Frames: 20, ACs: []int{5, 10, 14, 24}}
+
+func TestFig2UpgradeFinishesEarlier(t *testing.T) {
+	r := Fig2()
+	if r.With.TotalCycles >= r.Without.TotalCycles {
+		t.Fatalf("stepwise upgrade (%d) not faster than no-upgrade (%d)",
+			r.With.TotalCycles, r.Without.TotalCycles)
+	}
+	// Both versions execute the full 31,977 ME SI executions (Figure 2).
+	for _, res := range []struct {
+		name string
+		n    int64
+	}{
+		{"with", r.With.Executions[isa.SISAD] + r.With.Executions[isa.SISATD]},
+		{"without", r.Without.Executions[isa.SISAD] + r.Without.Executions[isa.SISATD]},
+	} {
+		if res.n != 31977 {
+			t.Errorf("%s upgrade: %d SI executions, want 31977", res.name, res.n)
+		}
+	}
+	if !strings.Contains(r.Text, "Figure 2") {
+		t.Error("missing caption")
+	}
+}
+
+func TestFig2UpgradeAcceleratesEarlier(t *testing.T) {
+	// The defining transient: in some early 100K bucket, the upgrade
+	// version already executes noticeably more SIs than the no-upgrade
+	// version (which is still stuck in software).
+	r := Fig2()
+	withC := r.With.Histogram.Counts(int(isa.SISAD))
+	withoutC := r.Without.Histogram.Counts(int(isa.SISAD))
+	found := false
+	for i := 0; i < len(withC) && i < len(withoutC); i++ {
+		if withC[i] > 2*withoutC[i] && withC[i] > 100 {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no early bucket where stepwise upgrade is ahead")
+	}
+}
+
+func TestFig4Table(t *testing.T) {
+	r := Fig4()
+	want := []struct {
+		good, naive string
+	}{
+		{"-", "-"},
+		{"-", "-"},
+		{"m1", "-"},
+		{"m2", "-"},
+		{"m2", "m2"},
+		{"m3", "m3"},
+	}
+	if len(r.Rows) != 6 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	for i, w := range want {
+		if r.Rows[i].Good != w.good || r.Rows[i].Naive != w.naive {
+			t.Errorf("after %d Atoms: good=%q naive=%q, want %q/%q",
+				i+1, r.Rows[i].Good, r.Rows[i].Naive, w.good, w.naive)
+		}
+	}
+}
+
+func TestTable1ListsAllSIs(t *testing.T) {
+	out := Table1()
+	for _, name := range []string{"SAD", "SATD", "(I)DCT", "(I)HT 2x2", "(I)HT 4x4", "MC", "IPred HDC", "IPred VDC", "LF_BS4"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("Table1 missing %q", name)
+		}
+	}
+	if !strings.Contains(out, "Motion Estimation") || !strings.Contains(out, "Loop Filter") {
+		t.Error("Table1 missing hot spot names")
+	}
+}
+
+func TestFig7Shapes(t *testing.T) {
+	r := Fig7(small)
+	// HEF is never slower than any other scheduler (±0.5% tolerance for
+	// micro-instances, cf. the paper's "never performed slower").
+	for _, n := range small.ACs {
+		hef := float64(r.Cycles["HEF"][n])
+		for _, s := range []string{"FSFR", "ASF", "SJF"} {
+			if float64(r.Cycles[s][n]) < 0.995*hef {
+				t.Errorf("ACs=%d: %s (%d) beats HEF (%d)", n, s, r.Cycles[s][n], r.Cycles["HEF"][n])
+			}
+		}
+	}
+	// More containers help HEF substantially across the range.
+	if r.Cycles["HEF"][24] >= r.Cycles["HEF"][5] {
+		t.Errorf("HEF at 24 ACs (%d) not faster than at 5 ACs (%d)",
+			r.Cycles["HEF"][24], r.Cycles["HEF"][5])
+	}
+	if !strings.Contains(r.Text, "Figure 7") {
+		t.Error("missing caption")
+	}
+}
+
+func TestTable2Shapes(t *testing.T) {
+	r := Table2(small)
+	last := len(r.ACs) - 1
+	// HEF vs Molen speedup grows with the fabric and exceeds 1.5x at the
+	// top of the range (paper: 1.09 → 2.38).
+	if r.HEFvsMolen[0] < 1.0 {
+		t.Errorf("HEF vs Molen at %d ACs = %.2f < 1", r.ACs[0], r.HEFvsMolen[0])
+	}
+	if r.HEFvsMolen[last] < 1.5 {
+		t.Errorf("HEF vs Molen at %d ACs = %.2f, want ≥ 1.5", r.ACs[last], r.HEFvsMolen[last])
+	}
+	if r.HEFvsMolen[last] <= r.HEFvsMolen[0] {
+		t.Error("HEF vs Molen speedup does not grow with ACs")
+	}
+	// HEF is never slower than ASF, and ASF never slower than Molen.
+	for i := range r.ACs {
+		if r.HEFvsASF[i] < 0.995 {
+			t.Errorf("ACs=%d: HEF vs ASF = %.3f < 1", r.ACs[i], r.HEFvsASF[i])
+		}
+		if r.ASFvsMolen[i] < 1.0 {
+			t.Errorf("ACs=%d: ASF vs Molen = %.3f < 1", r.ACs[i], r.ASFvsMolen[i])
+		}
+	}
+	if r.AvgHEFvsMolen < 1.2 {
+		t.Errorf("average HEF vs Molen = %.2f, want well above 1", r.AvgHEFvsMolen)
+	}
+}
+
+func TestFig8Detail(t *testing.T) {
+	r := Fig8()
+	// All four watched SIs must show latency steps: the initial (software
+	// or leftover) latency plus at least one upgrade.
+	for _, si := range []isa.SIID{isa.SISAD, isa.SISATD, isa.SIMC, isa.SIDCT} {
+		ev := r.Result.Timeline.PerSI(int(si))
+		if len(ev) < 2 {
+			t.Errorf("SI %d: only %d latency steps, upgrades missing", si, len(ev))
+		}
+		for i := 1; i < len(ev); i++ {
+			if ev[i].Latency >= ev[i-1].Latency {
+				t.Errorf("SI %d: latency did not decrease monotonically within ME+EE", si)
+			}
+		}
+	}
+	if r.Result.TotalCycles > 4_000_000 {
+		t.Errorf("ME+EE of one frame took %d cycles; expected a few million", r.Result.TotalCycles)
+	}
+}
+
+func TestSoftwareBaseline(t *testing.T) {
+	res, txt := SoftwareBaseline(Params{Frames: 140})
+	if res.TotalCycles < 7_350_000_000 || res.TotalCycles > 7_450_000_000 {
+		t.Fatalf("software baseline = %d, want ≈7,403M", res.TotalCycles)
+	}
+	if !strings.Contains(txt, "7,403M") {
+		t.Error("baseline text missing paper reference")
+	}
+}
+
+func TestCSVRendering(t *testing.T) {
+	f := Fig7(small)
+	csv := f.CSV()
+	if !strings.HasPrefix(csv, "acs,FSFR,ASF,SJF,HEF\n") {
+		t.Fatalf("Fig7 CSV header wrong:\n%s", csv)
+	}
+	t2 := Table2(small)
+	csv2 := t2.CSV()
+	if !strings.HasPrefix(csv2, "acs,hef_vs_asf,asf_vs_molen,hef_vs_molen\n") {
+		t.Fatalf("Table2 CSV header wrong:\n%s", csv2)
+	}
+	if len(strings.Split(strings.TrimSpace(csv2), "\n")) != len(small.ACs)+1 {
+		t.Fatal("Table2 CSV row count wrong")
+	}
+}
+
+func TestSVGRendering(t *testing.T) {
+	for name, svg := range map[string]string{
+		"fig2":   Fig2().SVG(),
+		"fig7":   Fig7(small).SVG(),
+		"table2": Table2(small).SVG(),
+		"fig8":   Fig8().SVG(),
+	} {
+		if !strings.HasPrefix(svg, "<svg") || !strings.HasSuffix(strings.TrimSpace(svg), "</svg>") {
+			t.Errorf("%s: not a complete SVG document", name)
+		}
+		if len(svg) < 500 {
+			t.Errorf("%s: suspiciously small SVG (%d bytes)", name, len(svg))
+		}
+	}
+}
+
+func TestOptimalGap(t *testing.T) {
+	r := OptimalGap()
+	for spot, ratios := range r.Ratio {
+		for name, ratio := range ratios {
+			if ratio < 0.999 {
+				t.Errorf("%s/%s: ratio %.3f below optimal", spot, name, ratio)
+			}
+			if name == "HEF" && ratio > 1.30 {
+				t.Errorf("%s: HEF optimality gap %.3f too large", spot, ratio)
+			}
+		}
+		if ratios["HEF"] > ratios["FSFR"]+0.001 {
+			t.Errorf("%s: HEF (%.3f) worse than FSFR (%.3f)", spot, ratios["HEF"], ratios["FSFR"])
+		}
+	}
+	if !strings.Contains(r.Text, "optimum") {
+		t.Error("caption missing")
+	}
+}

@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"rispp/internal/hwmodel"
+	"rispp/internal/isa"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// golden compares rendered experiment text against a stored snapshot; the
+// simulator and library are fully deterministic, so any diff is a real
+// behavioural change. Refresh intentionally with `go test -update`.
+func golden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run `go test ./internal/experiments -update`): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("%s changed; run with -update if intentional.\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+	}
+}
+
+func TestGoldenTable1(t *testing.T) {
+	golden(t, "table1.golden", Table1())
+}
+
+func TestGoldenFig4(t *testing.T) {
+	golden(t, "fig4.golden", Fig4().Text)
+}
+
+func TestGoldenTable3(t *testing.T) {
+	golden(t, "table3.golden", hwmodel.Table3(isa.H264()))
+}
+
+func TestGoldenFig2(t *testing.T) {
+	golden(t, "fig2.golden", Fig2().Text)
+}
+
+func TestGoldenFig8(t *testing.T) {
+	golden(t, "fig8.golden", Fig8().Text)
+}
+
+func TestGoldenFig7Small(t *testing.T) {
+	golden(t, "fig7_small.golden", Fig7(small).CSV())
+}
+
+func TestGoldenTable2Small(t *testing.T) {
+	golden(t, "table2_small.golden", Table2(small).CSV())
+}

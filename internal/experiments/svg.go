@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"fmt"
+
+	"rispp/internal/isa"
+	"rispp/internal/plot"
+	"rispp/internal/sched"
+)
+
+// SVG renders the Figure 7 sweep as a line chart.
+func (r *Fig7Result) SVG() string {
+	var series []plot.Series
+	for _, name := range sched.Names {
+		s := plot.Series{Name: name}
+		for _, n := range r.ACs {
+			s.X = append(s.X, float64(n))
+			s.Y = append(s.Y, float64(r.Cycles[name][n])/1e6)
+		}
+		series = append(series, s)
+	}
+	return plot.Line(series, plot.Options{
+		Title:  "Figure 7 — Execution time vs. Atom Containers",
+		XLabel: "#Atom Containers",
+		YLabel: "execution time [Mcycles]",
+	})
+}
+
+// SVG renders the Table 2 speedups as a line chart.
+func (r *Table2Result) SVG() string {
+	mk := func(name string, ys []float64) plot.Series {
+		s := plot.Series{Name: name}
+		for i, n := range r.ACs {
+			s.X = append(s.X, float64(n))
+			s.Y = append(s.Y, ys[i])
+		}
+		return s
+	}
+	return plot.Line([]plot.Series{
+		mk("HEF vs Molen", r.HEFvsMolen),
+		mk("ASF vs Molen", r.ASFvsMolen),
+		mk("HEF vs ASF", r.HEFvsASF),
+	}, plot.Options{
+		Title:  "Table 2 — Speedup over the Molen-like baseline",
+		XLabel: "#Atom Containers",
+		YLabel: "speedup [x]",
+	})
+}
+
+// SVG renders the Figure 2 comparison as grouped execution-rate bars.
+func (r *Fig2Result) SVG() string {
+	sum := func(res interface {
+		Counts(int) []int64
+	}) []float64 {
+		var out []float64
+		for _, si := range []isa.SIID{isa.SISAD, isa.SISATD} {
+			for i, c := range res.Counts(int(si)) {
+				if i >= len(out) {
+					out = append(out, 0)
+				}
+				out[i] += float64(c)
+			}
+		}
+		return out
+	}
+	return plot.Bars([]plot.Series{
+		{Name: "no SI upgrade", Y: sum(r.Without.Histogram)},
+		{Name: "stepwise SI upgrade", Y: sum(r.With.Histogram)},
+	}, plot.Options{
+		Title:  "Figure 2 — ME hot spot SI executions per 100K cycles",
+		XLabel: "execution time [100K-cycle buckets]",
+		YLabel: "SI executions",
+	})
+}
+
+// SVG renders the Figure 8 detail: latency staircases on a log axis.
+func (r *Fig8Result) SVG() string {
+	is := isa.H264()
+	var series []plot.Series
+	for _, si := range []isa.SIID{isa.SISAD, isa.SISATD, isa.SIMC, isa.SIDCT} {
+		s := plot.Series{Name: is.SI(si).Name + " latency"}
+		events := r.Result.Timeline.PerSI(int(si))
+		for i, e := range events {
+			// Draw a staircase: hold the previous latency until the step.
+			if i > 0 {
+				s.X = append(s.X, float64(e.Cycle)/1e5)
+				s.Y = append(s.Y, float64(events[i-1].Latency))
+			}
+			s.X = append(s.X, float64(e.Cycle)/1e5)
+			s.Y = append(s.Y, float64(e.Latency))
+		}
+		if len(events) > 0 {
+			s.X = append(s.X, float64(r.Result.TotalCycles)/1e5)
+			s.Y = append(s.Y, float64(events[len(events)-1].Latency))
+		}
+		series = append(series, s)
+	}
+	return plot.Line(series, plot.Options{
+		Title:  fmt.Sprintf("Figure 8 — HEF latency steps, ME+EE of one frame (%d cycles)", r.Result.TotalCycles),
+		XLabel: "execution time [100K cycles]",
+		YLabel: "SI latency [cycles]",
+		LogY:   true,
+	})
+}

@@ -1,0 +1,227 @@
+// Package hwmodel estimates the hardware cost of the RISPP run-time
+// components on the paper's target technology (Xilinx Virtex-II
+// xc2v3000-6), reproducing the synthesis results of Table 3: the HEF
+// scheduler module — a 12-state FSM with a pipelined, division-free benefit
+// datapath — against the average Atom.
+//
+// The model is structural: a module is a list of components with LUT / FF /
+// MULT18X18 counts; slices follow from technology packing (a Virtex-II
+// slice holds two 4-input LUTs and two flip-flops; datapath logic packs
+// tightly at 2 LUTs/slice, irregular control logic at ~1.33 LUTs/slice),
+// gate equivalents and clock delay from per-primitive tables.
+package hwmodel
+
+import (
+	"fmt"
+	"strings"
+
+	"rispp/internal/isa"
+)
+
+// Class distinguishes packing density of a component's logic.
+type Class int
+
+const (
+	// Datapath logic (adders, monus units, comparators) packs two LUTs per
+	// slice.
+	Datapath Class = iota
+	// Control logic (FSM next-state functions, iterators) packs poorly:
+	// three LUTs occupy four slice halves (~1.33 LUTs per slice).
+	Control
+)
+
+// Technology constants of the Virtex-II target.
+const (
+	// ACSlices is the size of one Atom Container on the prototype: the HEF
+	// scheduler must fit within it to be "cheaper than one more AC".
+	ACSlices = 1024
+
+	geDatapathLUT = 8    // gate equivalents per datapath LUT
+	geControlLUT  = 18   // per control LUT (wide input functions)
+	geFF          = 8    // per flip-flop
+	geMult        = 3456 // per MULT18X18 block
+)
+
+// Component is one structural building block of a module.
+type Component struct {
+	Name  string
+	Class Class
+	LUTs  int
+	FFs   int
+	Mults int
+}
+
+// PathElement is one hop on a module's critical path.
+type PathElement struct {
+	Name    string
+	DelayNs float64
+}
+
+// Module is a synthesizable block: components plus the pipeline stage
+// critical path that determines its clock.
+type Module struct {
+	Name         string
+	FSMStates    int
+	Components   []Component
+	CriticalPath []PathElement
+}
+
+// Resources summarizes synthesis results (the columns of Table 3).
+type Resources struct {
+	Slices          int
+	LUTs            int
+	FFs             int
+	Mults           int
+	GateEquivalents int
+	ClockDelayNs    float64
+}
+
+// Resources runs the cost model over the module.
+func (m *Module) Resources() Resources {
+	var r Resources
+	var dpLUTs, ctlLUTs int
+	for _, c := range m.Components {
+		r.LUTs += c.LUTs
+		r.FFs += c.FFs
+		r.Mults += c.Mults
+		if c.Class == Control {
+			ctlLUTs += c.LUTs
+		} else {
+			dpLUTs += c.LUTs
+		}
+	}
+	// Packing: datapath 2 LUTs/slice; control 4 slice-halves per 3 LUTs.
+	r.Slices = (dpLUTs+1)/2 + (ctlLUTs*3+3)/4
+	// FF-dominated modules need at least FFs/2 slices.
+	if ff := (r.FFs + 1) / 2; ff > r.Slices {
+		r.Slices = ff
+	}
+	r.GateEquivalents = dpLUTs*geDatapathLUT + ctlLUTs*geControlLUT + r.FFs*geFF + r.Mults*geMult
+	for _, p := range m.CriticalPath {
+		r.ClockDelayNs += p.DelayNs
+	}
+	return r
+}
+
+// HEFScheduler is the structural model of the paper's HEF hardware
+// implementation: a finite state machine with 12 states driving a pipelined
+// benefit computation. The expensive division of
+//
+//	benefit = (expected · Δlatency) / additionalAtoms
+//
+// is avoided by cross-multiplying the comparison (a·b)/c > (d·e)/f into
+// (a·b)·f > (d·e)·c (legal because the additional-Atom counts c, f are
+// always positive after candidate cleaning), which costs five MULT18X18
+// blocks: one for the 18×18 product a·b, two for the 32×18 product with f,
+// and two to re-scale the stored best side by c.
+func HEFScheduler() *Module {
+	return &Module{
+		Name:      "HEF scheduler",
+		FSMStates: 12,
+		Components: []Component{
+			{"FSM (12 states) + handshake", Control, 120, 24, 0},
+			{"Molecule candidate iterator", Control, 146, 41, 0},
+			{"candidate cleaning (eq. 4)", Control, 100, 32, 0},
+			{"monus / determinant datapath (a ⊖ o, |·|)", Datapath, 249, 48, 0},
+			{"benefit stage 1: expected × Δlatency", Datapath, 50, 32, 1},
+			{"benefit stage 2: (e·Δ) × addAtoms(best)", Datapath, 60, 64, 2},
+			{"best-side rescale: best × addAtoms(cand)", Datapath, 60, 40, 2},
+			{"48-bit benefit comparator + best register", Datapath, 130, 16, 0},
+		},
+		CriticalPath: []PathElement{
+			{"MULT18X18 (32×18 partial product)", 6.846},
+			{"interconnect", 2.10},
+			{"48-bit comparator", 2.95},
+			{"register setup", 0.70},
+		},
+	}
+}
+
+// HEFWithDivider models the naive HEF datapath that divides instead of
+// cross-multiplying: a 32-bit restoring divider replaces the two rescale
+// multipliers. It exists for the ablation showing why the paper avoids the
+// division (Section 5): more area, and a 32-cycle iterative latency per
+// candidate instead of one pipelined comparison per cycle.
+func HEFWithDivider() *Module {
+	m := HEFScheduler()
+	m.Name = "HEF scheduler (with divider)"
+	comps := m.Components[:0]
+	for _, c := range m.Components {
+		switch c.Name {
+		case "benefit stage 2: (e·Δ) × addAtoms(best)",
+			"best-side rescale: best × addAtoms(cand)":
+			// dropped: replaced by the divider below
+		default:
+			comps = append(comps, c)
+		}
+	}
+	m.Components = append(comps,
+		Component{"32-bit restoring divider (32 cycles/op)", Datapath, 540, 130, 0},
+	)
+	m.CriticalPath = []PathElement{
+		{"MULT18X18 (18×18 product)", 6.846},
+		{"interconnect", 2.10},
+		{"divider subtract/shift stage", 4.35},
+		{"register setup", 0.70},
+	}
+	return m
+}
+
+// DividerCyclesPerOp is the iterative latency of the restoring divider in
+// HEFWithDivider; the division-free comparison decides in a single
+// pipelined cycle.
+const DividerCyclesPerOp = 32
+
+// AvgAtomDelayNs is the measured clock delay of the average Atom data path
+// (Table 3): a single LUT level between pipeline registers.
+const AvgAtomDelayNs = 1.284
+
+// AvgAtom aggregates the synthesis characteristics of the ISA's Atoms into
+// the Table 3 "Avg. Atom" column. Atoms are pure datapath modules.
+func AvgAtom(is *isa.ISA) Resources {
+	var r Resources
+	n := len(is.Atoms)
+	if n == 0 {
+		return r
+	}
+	var slices, luts, ffs int
+	for _, a := range is.Atoms {
+		slices += a.Slices
+		luts += a.LUTs
+		ffs += a.FFs
+	}
+	r.Slices = slices / n
+	r.LUTs = luts / n
+	r.FFs = ffs / n
+	r.GateEquivalents = (luts*geDatapathLUT + ffs*geFF) / n
+	r.ClockDelayNs = AvgAtomDelayNs
+	return r
+}
+
+// Table3 renders the paper's Table 3 comparison for the given ISA.
+func Table3(is *isa.ISA) string {
+	hef := HEFScheduler().Resources()
+	atom := AvgAtom(is)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-20s %12s %10s\n", "Characteristics", "HEF sched.", "Avg. Atom")
+	fmt.Fprintf(&b, "%-20s %12d %10d\n", "# Slices", hef.Slices, atom.Slices)
+	fmt.Fprintf(&b, "%-20s %12d %10d\n", "# LUTs", hef.LUTs, atom.LUTs)
+	fmt.Fprintf(&b, "%-20s %12d %10d\n", "# FFs", hef.FFs, atom.FFs)
+	fmt.Fprintf(&b, "%-20s %12d %10d\n", "# MULT18X18", hef.Mults, atom.Mults)
+	fmt.Fprintf(&b, "%-20s %12d %10d\n", "Gate Equivalents", hef.GateEquivalents, atom.GateEquivalents)
+	fmt.Fprintf(&b, "%-20s %12.3f %10.3f\n", "Clock delay [ns]", hef.ClockDelayNs, atom.ClockDelayNs)
+	fmt.Fprintf(&b, "\nHEF uses %.2f%% of one Atom Container (%d slices), %.2fx the average Atom.\n",
+		100*float64(hef.Slices)/float64(ACSlices), ACSlices, float64(hef.Slices)/float64(atom.Slices))
+	return b.String()
+}
+
+// SlicesOfXC2V3000 is the total slice count of the prototype FPGA; the HEF
+// utilization the paper reports (3.83%) is relative to a 14,336-slice
+// device.
+const SlicesOfXC2V3000 = 14336
+
+// DeviceUtilization returns the fraction of the prototype FPGA the module
+// occupies.
+func DeviceUtilization(m *Module) float64 {
+	return float64(m.Resources().Slices) / float64(SlicesOfXC2V3000)
+}

@@ -1,0 +1,117 @@
+package hwmodel
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"rispp/internal/isa"
+)
+
+// TestHEFMatchesTable3 checks the structural model against the paper's
+// synthesis results within tight tolerances.
+func TestHEFMatchesTable3(t *testing.T) {
+	r := HEFScheduler().Resources()
+	checks := []struct {
+		name      string
+		got, want float64
+		tolerance float64 // relative
+	}{
+		{"slices", float64(r.Slices), 549, 0.01},
+		{"LUTs", float64(r.LUTs), 915, 0},
+		{"FFs", float64(r.FFs), 297, 0},
+		{"MULT18X18", float64(r.Mults), 5, 0},
+		{"gate equivalents", float64(r.GateEquivalents), 30769, 0.01},
+		{"clock delay", r.ClockDelayNs, 12.596, 0.001},
+	}
+	for _, c := range checks {
+		diff := math.Abs(c.got - c.want)
+		if c.want != 0 {
+			diff /= c.want
+		}
+		if diff > c.tolerance {
+			t.Errorf("HEF %s = %v, want %v (±%v%%)", c.name, c.got, c.want, c.tolerance*100)
+		}
+	}
+}
+
+func TestHEFHasTwelveStates(t *testing.T) {
+	if got := HEFScheduler().FSMStates; got != 12 {
+		t.Fatalf("FSM states = %d, want 12", got)
+	}
+}
+
+func TestAvgAtomMatchesTable3(t *testing.T) {
+	r := AvgAtom(isa.H264())
+	if r.Slices != 421 || r.LUTs != 839 || r.FFs != 45 || r.Mults != 0 {
+		t.Fatalf("avg Atom = %+v, want 421/839/45/0", r)
+	}
+	if math.Abs(float64(r.GateEquivalents)-6944)/6944 > 0.02 {
+		t.Fatalf("avg Atom GE = %d, want ≈6944", r.GateEquivalents)
+	}
+	if r.ClockDelayNs != 1.284 {
+		t.Fatalf("avg Atom delay = %v", r.ClockDelayNs)
+	}
+}
+
+func TestAvgAtomEmptyISA(t *testing.T) {
+	if r := AvgAtom(&isa.ISA{}); r.Slices != 0 {
+		t.Fatalf("empty ISA avg = %+v", r)
+	}
+}
+
+// TestHEFFitsOneAC verifies the paper's headline hardware claims: the
+// run-time scheduler is cheaper than one additional Atom Container and only
+// ~1.3x the average Atom.
+func TestHEFFitsOneAC(t *testing.T) {
+	hef := HEFScheduler().Resources()
+	if hef.Slices >= ACSlices {
+		t.Fatalf("HEF (%d slices) does not fit one AC (%d)", hef.Slices, ACSlices)
+	}
+	atom := AvgAtom(isa.H264())
+	ratio := float64(hef.Slices) / float64(atom.Slices)
+	if ratio < 1.25 || ratio > 1.35 {
+		t.Fatalf("HEF/avg-Atom slice ratio = %.2f, want ≈1.30", ratio)
+	}
+	// Device utilization ≈ 3.83% of the xc2v3000.
+	util := DeviceUtilization(HEFScheduler())
+	if math.Abs(util-0.0383) > 0.002 {
+		t.Fatalf("device utilization = %.4f, want ≈0.0383", util)
+	}
+}
+
+// TestDividerAblation shows why the paper avoids the division: the naive
+// datapath is bigger and needs 32 iterative cycles per candidate while the
+// cross-multiplied comparison is a single pipelined operation.
+func TestDividerAblation(t *testing.T) {
+	free := HEFScheduler().Resources()
+	div := HEFWithDivider().Resources()
+	if div.Slices <= free.Slices {
+		t.Fatalf("divider variant (%d slices) not bigger than division-free (%d)", div.Slices, free.Slices)
+	}
+	if DividerCyclesPerOp <= 1 {
+		t.Fatal("divider latency model degenerate")
+	}
+	if div.Mults >= free.Mults {
+		t.Fatalf("divider variant should drop the rescale multipliers (%d vs %d)", div.Mults, free.Mults)
+	}
+}
+
+func TestTable3Rendering(t *testing.T) {
+	out := Table3(isa.H264())
+	for _, want := range []string{"# Slices", "MULT18X18", "Gate Equivalents", "Atom Container"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Table3 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFFDominatedPacking(t *testing.T) {
+	m := &Module{Name: "regfile", Components: []Component{
+		{"registers", Datapath, 10, 400, 0},
+	}}
+	r := m.Resources()
+	if r.Slices != 200 {
+		t.Fatalf("FF-dominated slices = %d, want 200", r.Slices)
+	}
+}

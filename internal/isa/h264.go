@@ -1,0 +1,196 @@
+package isa
+
+// The H.264 video encoder dynamic instruction set of the paper's Table 1.
+//
+//	Hot spot              SI          #Atom-types  #Molecules
+//	Motion Estimation     SAD              1            3
+//	                      SATD             4           20
+//	Encoding Engine       (I)DCT           3           12
+//	                      (I)HT 2x2        1            2
+//	                      (I)HT 4x4        2            7
+//	                      MC               3           11
+//	                      IPred HDC        2            4
+//	                      IPred VDC        1            3
+//	Loop Filter           LF_BS4           2            5
+//
+// The global Atom-type space includes shared Atoms (e.g. Transform is used
+// by SATD, (I)DCT and both Hadamard transforms; Clip3 by MC and LF_BS4;
+// Repack by several SIs), which is the essence of RISPP's efficient
+// hardware reuse.
+
+// Global Atom-type IDs of the H.264 ISA.
+const (
+	AtomSAD16       AtomID = iota // 16-pixel SAD accumulation tree
+	AtomQSub                      // quad packed subtraction
+	AtomTransform                 // 2-D butterfly transform (DCT/Hadamard core)
+	AtomSAV                       // sum of absolute values
+	AtomRepack                    // operand repacking / byte rearrangement
+	AtomDCTQ                      // DCT quantization stage
+	AtomPointFilter               // 6-tap half-pel point filter (Figure 3)
+	AtomBytePack                  // byte packing (Figure 3)
+	AtomClip3                     // 3-operand clipping (Figure 3)
+	AtomPredHDC                   // horizontal DC intra prediction
+	AtomPredVDC                   // vertical DC intra prediction
+	AtomLFCond                    // loop-filter boundary-strength condition
+
+	numH264Atoms = int(AtomLFCond) + 1
+)
+
+// SI IDs of the H.264 ISA.
+const (
+	SISAD SIID = iota
+	SISATD
+	SIDCT
+	SIHT2x2
+	SIHT4x4
+	SIMC
+	SIIPredHDC
+	SIIPredVDC
+	SILFBS4
+)
+
+// Hot spot IDs of the H.264 encoder (Figure 1).
+const (
+	HotSpotME HotSpotID = iota // Motion Estimation
+	HotSpotEE                  // Encoding Engine
+	HotSpotLF                  // Loop Filter
+)
+
+// h264AtomTypes lists hardware characteristics of each Atom. The values are
+// calibrated so that the averages match the paper's Table 3 "Avg. Atom"
+// column (421 slices, 839 LUTs, 45 FFs) and the average partial-bitstream
+// size matches the reported 60,488 bytes.
+var h264AtomTypes = []AtomType{
+	{AtomSAD16, "SAD16", 66200, 512, 980, 64},
+	{AtomQSub, "QSub", 52300, 280, 560, 24},
+	{AtomTransform, "Transform", 66800, 520, 1010, 80},
+	{AtomSAV, "SAV", 53800, 300, 590, 30},
+	{AtomRepack, "Repack", 48200, 220, 420, 16},
+	{AtomDCTQ, "DCTQ", 63900, 460, 900, 60},
+	{AtomPointFilter, "PointFilter", 67400, 540, 1050, 72},
+	{AtomBytePack, "BytePack", 50100, 260, 500, 20},
+	{AtomClip3, "Clip3", 54500, 310, 610, 28},
+	{AtomPredHDC, "PredHDC", 61200, 430, 840, 48},
+	{AtomPredVDC, "PredVDC", 60300, 410, 800, 44},
+	{AtomLFCond, "LFCond", 81156, 810, 1808, 54},
+}
+
+// h264SIs defines name, hot spot and the Molecule generator of every SI;
+// the software (trap) latency is derived from the same model (all Atom
+// types emulated by base instructions). Molecule counts match Table 1
+// exactly.
+var h264SIs = []struct {
+	name    string
+	hotSpot HotSpotID
+	spec    MoleculeSpec
+}{
+	{"SAD", HotSpotME, MoleculeSpec{
+		Atoms:    []AtomID{AtomSAD16},
+		Occ:      []int{16},
+		HWCyc:    []int{2},
+		SWCyc:    []int{69},
+		Steps:    [][]int{{1, 4, 16}},
+		Overhead: 6,
+		Count:    3,
+	}}, // SW 1110; Molecules 38 / 14 / 8
+	{"SATD", HotSpotME, MoleculeSpec{
+		Atoms:    []AtomID{AtomQSub, AtomTransform, AtomSAV, AtomRepack},
+		Occ:      []int{8, 16, 8, 4},
+		HWCyc:    []int{1, 2, 1, 1},
+		SWCyc:    []int{26, 64, 28, 36},
+		Steps:    [][]int{{0, 1, 2, 4}, {0, 1, 2, 4, 8}, {0, 1, 2}, {0, 1, 2}},
+		Overhead: 20,
+		Count:    20,
+	}}, // SW 1620; full Molecule (4,8,2,2) at 32
+	{"(I)DCT", HotSpotEE, MoleculeSpec{
+		Atoms:    []AtomID{AtomTransform, AtomDCTQ, AtomRepack},
+		Occ:      []int{16, 8, 4},
+		HWCyc:    []int{1, 1, 1},
+		SWCyc:    []int{15, 15, 15},
+		Steps:    [][]int{{0, 1, 2, 4}, {0, 1, 2}, {0, 1, 2}},
+		Overhead: 15,
+		Count:    12,
+	}}, // SW 435; full Molecule (4,2,2) at 25
+	{"(I)HT 2x2", HotSpotEE, MoleculeSpec{
+		Atoms:    []AtomID{AtomTransform},
+		Occ:      []int{4},
+		HWCyc:    []int{2},
+		SWCyc:    []int{85},
+		Steps:    [][]int{{1, 2}},
+		Overhead: 7,
+		Count:    2,
+	}}, // SW 347; Molecules 15 / 11
+	{"(I)HT 4x4", HotSpotEE, MoleculeSpec{
+		Atoms:    []AtomID{AtomTransform, AtomRepack},
+		Occ:      []int{8, 4},
+		HWCyc:    []int{2, 1},
+		SWCyc:    []int{45, 30},
+		Steps:    [][]int{{0, 1, 2, 4, 8}, {0, 1, 2}},
+		Overhead: 10,
+		Count:    7,
+	}}, // SW 490; full Molecule (8,2) at 14
+	{"MC", HotSpotEE, MoleculeSpec{
+		Atoms:    []AtomID{AtomPointFilter, AtomBytePack, AtomClip3},
+		Occ:      []int{16, 8, 8},
+		HWCyc:    []int{2, 1, 1},
+		SWCyc:    []int{62, 26, 28},
+		Steps:    [][]int{{0, 1, 2, 4}, {0, 1, 2}, {0, 1, 2}},
+		Overhead: 16,
+		Count:    11,
+	}}, // SW 1440; full Molecule (4,2,2) at 32
+	{"IPred HDC", HotSpotEE, MoleculeSpec{
+		Atoms:    []AtomID{AtomPredHDC, AtomRepack},
+		Occ:      []int{8, 4},
+		HWCyc:    []int{2, 1},
+		SWCyc:    []int{54, 30},
+		Steps:    [][]int{{0, 1, 2}, {0, 1, 2}},
+		Overhead: 8,
+		Count:    4,
+	}}, // SW 560; full Molecule (2,2) at 18
+	{"IPred VDC", HotSpotEE, MoleculeSpec{
+		Atoms:    []AtomID{AtomPredVDC},
+		Occ:      []int{8},
+		HWCyc:    []int{2},
+		SWCyc:    []int{56},
+		Steps:    [][]int{{1, 2, 4}},
+		Overhead: 12,
+		Count:    3,
+	}}, // SW 460; Molecules 28 / 20 / 16
+	{"LF_BS4", HotSpotLF, MoleculeSpec{
+		Atoms:    []AtomID{AtomLFCond, AtomClip3},
+		Occ:      []int{8, 8},
+		HWCyc:    []int{2, 1},
+		SWCyc:    []int{50, 40},
+		Steps:    [][]int{{0, 1, 2, 4}, {0, 1, 2}},
+		Overhead: 15,
+		Count:    5,
+	}}, // SW 735; full Molecule (4,2) at 23
+}
+
+// H264 constructs the H.264 encoder ISA of Table 1. The returned ISA is
+// freshly allocated and safe for concurrent use by independent simulations.
+func H264() *ISA {
+	is := &ISA{
+		Name:  "H.264 encoder",
+		Atoms: append([]AtomType(nil), h264AtomTypes...),
+		HotSpots: []HotSpot{
+			{HotSpotME, "Motion Estimation", []SIID{SISAD, SISATD}},
+			{HotSpotEE, "Encoding Engine", []SIID{SIDCT, SIHT2x2, SIHT4x4, SIMC, SIIPredHDC, SIIPredVDC}},
+			{HotSpotLF, "Loop Filter", []SIID{SILFBS4}},
+		},
+	}
+	for i, d := range h264SIs {
+		id := SIID(i)
+		is.SIs = append(is.SIs, SI{
+			ID:        id,
+			Name:      d.name,
+			HotSpot:   d.hotSpot,
+			SWLatency: d.spec.SWLatency(),
+			Molecules: d.spec.Generate(id, numH264Atoms),
+		})
+	}
+	if err := is.Validate(); err != nil {
+		panic("isa: H264 library invalid: " + err.Error())
+	}
+	return is
+}

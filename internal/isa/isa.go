@@ -1,0 +1,366 @@
+// Package isa models the dynamic instruction set of a RISPP processor:
+// reconfigurable Atom types, Special Instructions (SIs), and the Molecules
+// (Atom-count vectors with an execution latency) that implement each SI.
+//
+// It ships the full H.264 encoder SI library of the paper's Table 1 (see
+// H264), but any application-specific library can be described with the same
+// types (see examples/adaptivecrypto).
+package isa
+
+import (
+	"fmt"
+	"sort"
+
+	"rispp/internal/molecule"
+)
+
+// AtomID identifies an Atom type in the global Atom-type space of an ISA.
+// It doubles as the index into Molecule vectors.
+type AtomID int
+
+// SIID identifies a Special Instruction within an ISA.
+type SIID int
+
+// HotSpotID identifies a computational hot spot of the application, e.g.
+// Motion Estimation. Each SI belongs to exactly one hot spot.
+type HotSpotID int
+
+// AtomType describes one elementary reconfigurable data path. The hardware
+// characteristics feed the reconfiguration-time model (BitstreamBytes) and
+// the synthesis cost model of package hwmodel.
+type AtomType struct {
+	ID             AtomID
+	Name           string
+	BitstreamBytes int // partial bitstream size; determines reload time
+	Slices         int // FPGA slices occupied
+	LUTs           int
+	FFs            int
+}
+
+// Molecule is one implementation alternative of an SI: the vector of Atom
+// instances it needs and the resulting latency of a single SI execution.
+type Molecule struct {
+	SI      SIID
+	Atoms   molecule.Vector // over the global Atom-type space
+	Latency int             // cycles per SI execution
+}
+
+// Determinant returns the total number of Atom instances the Molecule needs.
+func (m Molecule) Determinant() int { return m.Atoms.Determinant() }
+
+// SI is a Special Instruction: a name, the hot spot it accelerates, the
+// latency of the base-instruction-set trap implementation (the "software
+// Molecule" using zero Atoms), and its hardware Molecules.
+type SI struct {
+	ID        SIID
+	Name      string
+	HotSpot   HotSpotID
+	SWLatency int        // cycles per execution via the synchronous trap
+	Molecules []Molecule // sorted by decreasing latency (slowest first)
+}
+
+// FastestAvailable returns the fastest Molecule of the SI that is fully
+// contained in the available Atoms a, and true; or a zero Molecule and false
+// if no hardware Molecule is available (the SI then executes in software).
+// This implements getFastestAvailableMolecule(a) from the paper.
+func (s *SI) FastestAvailable(a molecule.Vector) (Molecule, bool) {
+	// Molecules are sorted slowest-first, so scan from the back.
+	for i := len(s.Molecules) - 1; i >= 0; i-- {
+		if s.Molecules[i].Atoms.Leq(a) {
+			return s.Molecules[i], true
+		}
+	}
+	return Molecule{}, false
+}
+
+// LatencyWith returns the per-execution latency of the SI given available
+// Atoms a: the fastest available Molecule's latency, or the software latency
+// if no Molecule is loaded.
+func (s *SI) LatencyWith(a molecule.Vector) int {
+	if m, ok := s.FastestAvailable(a); ok {
+		return m.Latency
+	}
+	return s.SWLatency
+}
+
+// Fastest returns the highest-performance Molecule of the SI (maximum
+// Molecule-level parallelism).
+func (s *SI) Fastest() Molecule { return s.Molecules[len(s.Molecules)-1] }
+
+// Slowest returns the smallest hardware Molecule of the SI.
+func (s *SI) Slowest() Molecule { return s.Molecules[0] }
+
+// HotSpot describes one computational hot spot.
+type HotSpot struct {
+	ID   HotSpotID
+	Name string
+	SIs  []SIID
+}
+
+// ISA is a complete dynamic instruction set: the global Atom-type space,
+// the Special Instructions, and the hot spots they belong to.
+type ISA struct {
+	Name     string
+	Atoms    []AtomType
+	SIs      []SI
+	HotSpots []HotSpot
+}
+
+// Dim returns the dimension n of the global Atom-type space; all Molecule
+// vectors of this ISA have this length.
+func (is *ISA) Dim() int { return len(is.Atoms) }
+
+// Atom returns the Atom type with the given ID.
+func (is *ISA) Atom(id AtomID) *AtomType {
+	if int(id) < 0 || int(id) >= len(is.Atoms) {
+		panic(fmt.Sprintf("isa: atom id %d out of range", id))
+	}
+	return &is.Atoms[id]
+}
+
+// SI returns the Special Instruction with the given ID.
+func (is *ISA) SI(id SIID) *SI {
+	if int(id) < 0 || int(id) >= len(is.SIs) {
+		panic(fmt.Sprintf("isa: SI id %d out of range", id))
+	}
+	return &is.SIs[id]
+}
+
+// SIByName looks an SI up by name; it returns nil if no SI matches.
+func (is *ISA) SIByName(name string) *SI {
+	for i := range is.SIs {
+		if is.SIs[i].Name == name {
+			return &is.SIs[i]
+		}
+	}
+	return nil
+}
+
+// HotSpotSIs returns the SIs belonging to the given hot spot.
+func (is *ISA) HotSpotSIs(h HotSpotID) []*SI {
+	var out []*SI
+	for i := range is.SIs {
+		if is.SIs[i].HotSpot == h {
+			out = append(out, &is.SIs[i])
+		}
+	}
+	return out
+}
+
+// AvgBitstreamBytes returns the average partial-bitstream size over all
+// Atom types, which the paper reports as 60,488 bytes.
+func (is *ISA) AvgBitstreamBytes() float64 {
+	if len(is.Atoms) == 0 {
+		return 0
+	}
+	sum := 0
+	for _, a := range is.Atoms {
+		sum += a.BitstreamBytes
+	}
+	return float64(sum) / float64(len(is.Atoms))
+}
+
+// Validate checks the structural invariants every ISA must satisfy:
+//
+//   - every Molecule vector has the global dimension and is non-zero,
+//   - Molecule vectors of one SI are pairwise distinct,
+//   - Molecules are sorted by decreasing latency,
+//   - latency is ≤-monotone: o ≤ m implies latency(o) ≥ latency(m)
+//     (more Atoms never hurt),
+//   - every hardware Molecule beats the software latency,
+//   - Molecules only use Atom types with positive occurrence.
+func (is *ISA) Validate() error {
+	n := is.Dim()
+	for i := range is.Atoms {
+		a := &is.Atoms[i]
+		if a.ID != AtomID(i) {
+			return fmt.Errorf("isa %s: atom %q has ID %d, want %d", is.Name, a.Name, a.ID, i)
+		}
+		if a.BitstreamBytes <= 0 {
+			return fmt.Errorf("isa %s: atom %q has non-positive bitstream size", is.Name, a.Name)
+		}
+	}
+	for i := range is.SIs {
+		s := &is.SIs[i]
+		if s.ID != SIID(i) {
+			return fmt.Errorf("isa %s: SI %q has ID %d, want %d", is.Name, s.Name, s.ID, i)
+		}
+		if s.SWLatency <= 0 {
+			return fmt.Errorf("isa %s: SI %q has non-positive software latency", is.Name, s.Name)
+		}
+		if len(s.Molecules) == 0 {
+			return fmt.Errorf("isa %s: SI %q has no Molecules", is.Name, s.Name)
+		}
+		for j, m := range s.Molecules {
+			if m.SI != s.ID {
+				return fmt.Errorf("isa %s: SI %q Molecule %d references SI %d", is.Name, s.Name, j, m.SI)
+			}
+			if m.Atoms.Len() != n {
+				return fmt.Errorf("isa %s: SI %q Molecule %d has dimension %d, want %d", is.Name, s.Name, j, m.Atoms.Len(), n)
+			}
+			if m.Atoms.IsZero() {
+				return fmt.Errorf("isa %s: SI %q Molecule %d is the zero vector", is.Name, s.Name, j)
+			}
+			if m.Latency <= 0 || m.Latency >= s.SWLatency {
+				return fmt.Errorf("isa %s: SI %q Molecule %d latency %d not in (0, SW=%d)", is.Name, s.Name, j, m.Latency, s.SWLatency)
+			}
+			if j > 0 && m.Latency > s.Molecules[j-1].Latency {
+				return fmt.Errorf("isa %s: SI %q Molecules not sorted by decreasing latency at %d", is.Name, s.Name, j)
+			}
+			for k := 0; k < j; k++ {
+				if m.Atoms.Equal(s.Molecules[k].Atoms) {
+					return fmt.Errorf("isa %s: SI %q has duplicate Molecule vector %v", is.Name, s.Name, m.Atoms)
+				}
+			}
+		}
+		// ≤-monotonicity across all pairs.
+		for _, a := range s.Molecules {
+			for _, b := range s.Molecules {
+				if a.Atoms.Leq(b.Atoms) && a.Latency < b.Latency {
+					return fmt.Errorf("isa %s: SI %q latency not ≤-monotone: %v (%d) ≤ %v (%d)",
+						is.Name, s.Name, a.Atoms, a.Latency, b.Atoms, b.Latency)
+				}
+			}
+		}
+	}
+	for _, h := range is.HotSpots {
+		for _, id := range h.SIs {
+			if int(id) < 0 || int(id) >= len(is.SIs) {
+				return fmt.Errorf("isa %s: hot spot %q references unknown SI %d", is.Name, h.Name, id)
+			}
+			if is.SIs[id].HotSpot != h.ID {
+				return fmt.Errorf("isa %s: SI %q not tagged with hot spot %q", is.Name, is.SIs[id].Name, h.Name)
+			}
+		}
+	}
+	return nil
+}
+
+// MoleculeSpec procedurally generates the Molecule set of one SI. Following
+// the paper's execution model — "an SI can be executed with a mixture of
+// dynamically loaded data paths in conjunction with the base processor
+// instructions" — a Molecule may cover only some Atom types: covered types
+// run on hardware (reusing one instance for all occurrences, or exploiting
+// Molecule-level parallelism with several), uncovered types are emulated by
+// base instructions. The latency model is
+//
+//	latency(m) = Overhead + Σ_i work_i(m_i)
+//	work_i(0)  = Occ[i] · SWCyc[i]              (emulated in software)
+//	work_i(k)  = ceil(Occ[i] / k) · HWCyc[i]    (k Atom instances)
+//
+// where Occ[i] is the number of work units Atom type Atoms[i] processes per
+// SI execution. The all-zero vector is the trap implementation: its latency
+// is the SI's software latency (see SWLatency). Latency is ≤-monotone by
+// construction.
+//
+// Steps[i] lists the candidate instance counts for dimension i (0 = type
+// not covered); the full grid minus the zero vector is generated and
+// thinned to exactly Count Molecules, always keeping the smallest and the
+// largest vector.
+type MoleculeSpec struct {
+	Atoms    []AtomID // global Atom types used (local dimension order)
+	Occ      []int    // work units per Atom type per SI execution
+	HWCyc    []int    // cycles per work unit on one Atom instance
+	SWCyc    []int    // cycles per work unit emulated by base instructions
+	Steps    [][]int  // candidate instance counts per local dimension
+	Overhead int      // fixed cycles per SI execution
+	Count    int      // number of Molecules to keep
+}
+
+// Latency evaluates the latency model for local instance counts inst.
+func (sp *MoleculeSpec) Latency(inst []int) int {
+	lat := sp.Overhead
+	for i, m := range inst {
+		if m == 0 {
+			lat += sp.Occ[i] * sp.SWCyc[i]
+		} else {
+			lat += ((sp.Occ[i] + m - 1) / m) * sp.HWCyc[i]
+		}
+	}
+	return lat
+}
+
+// SWLatency returns the latency of the trap implementation (zero Atoms).
+func (sp *MoleculeSpec) SWLatency() int {
+	return sp.Latency(make([]int, len(sp.Occ)))
+}
+
+// Generate produces the Molecule set for SI si in an Atom space of dimension
+// dim. It panics on malformed specs; library construction is init-time.
+func (sp *MoleculeSpec) Generate(si SIID, dim int) []Molecule {
+	if len(sp.Atoms) != len(sp.Occ) || len(sp.Occ) != len(sp.HWCyc) ||
+		len(sp.HWCyc) != len(sp.SWCyc) || len(sp.SWCyc) != len(sp.Steps) {
+		panic("isa: MoleculeSpec dimension mismatch")
+	}
+	grid := enumerate(sp.Steps)
+	mols := make([]Molecule, 0, len(grid))
+	for _, inst := range grid {
+		v := molecule.New(dim)
+		for i, id := range sp.Atoms {
+			v[int(id)] = inst[i]
+		}
+		if v.IsZero() {
+			continue // the trap implementation is not a Molecule
+		}
+		mols = append(mols, Molecule{SI: si, Atoms: v, Latency: sp.Latency(inst)})
+	}
+	// Slowest (smallest) first; ties broken by fewer Atoms first so the
+	// kept subset prefers cheap upgrade steps.
+	sort.Slice(mols, func(i, j int) bool {
+		if mols[i].Latency != mols[j].Latency {
+			return mols[i].Latency > mols[j].Latency
+		}
+		return mols[i].Determinant() < mols[j].Determinant()
+	})
+	if sp.Count > len(mols) {
+		panic(fmt.Sprintf("isa: MoleculeSpec wants %d Molecules, grid has only %d", sp.Count, len(mols)))
+	}
+	if sp.Count == len(mols) {
+		return mols
+	}
+	if sp.Count == 1 {
+		// A single-Molecule SI keeps its fastest implementation.
+		return mols[len(mols)-1:]
+	}
+	// Evenly sample Count indices, always keeping first and last.
+	kept := make([]Molecule, 0, sp.Count)
+	for i := 0; i < sp.Count; i++ {
+		idx := i * (len(mols) - 1) / (sp.Count - 1)
+		kept = append(kept, mols[idx])
+	}
+	return dedupe(kept)
+}
+
+func enumerate(steps [][]int) [][]int {
+	out := [][]int{nil}
+	for _, dim := range steps {
+		var next [][]int
+		for _, prefix := range out {
+			for _, v := range dim {
+				row := make([]int, len(prefix)+1)
+				copy(row, prefix)
+				row[len(prefix)] = v
+				next = append(next, row)
+			}
+		}
+		out = next
+	}
+	return out
+}
+
+func dedupe(mols []Molecule) []Molecule {
+	out := mols[:0]
+	for _, m := range mols {
+		dup := false
+		for _, o := range out {
+			if o.Atoms.Equal(m.Atoms) {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, m)
+		}
+	}
+	return out
+}

@@ -1,0 +1,306 @@
+package isa
+
+import (
+	"testing"
+
+	"rispp/internal/molecule"
+)
+
+func TestH264Validates(t *testing.T) {
+	is := H264()
+	if err := is.Validate(); err != nil {
+		t.Fatalf("H264 ISA invalid: %v", err)
+	}
+}
+
+// TestTable1 checks the SI inventory against the paper's Table 1: number of
+// distinct Atom types and number of Molecules per SI.
+func TestTable1(t *testing.T) {
+	is := H264()
+	want := []struct {
+		name      string
+		atomTypes int
+		molecules int
+	}{
+		{"SAD", 1, 3},
+		{"SATD", 4, 20},
+		{"(I)DCT", 3, 12},
+		{"(I)HT 2x2", 1, 2},
+		{"(I)HT 4x4", 2, 7},
+		{"MC", 3, 11},
+		{"IPred HDC", 2, 4},
+		{"IPred VDC", 1, 3},
+		{"LF_BS4", 2, 5},
+	}
+	if len(is.SIs) != len(want) {
+		t.Fatalf("H264 has %d SIs, want %d", len(is.SIs), len(want))
+	}
+	for _, w := range want {
+		si := is.SIByName(w.name)
+		if si == nil {
+			t.Errorf("SI %q missing", w.name)
+			continue
+		}
+		if got := len(si.Molecules); got != w.molecules {
+			t.Errorf("SI %q has %d Molecules, want %d", w.name, got, w.molecules)
+		}
+		types := map[int]bool{}
+		for _, m := range si.Molecules {
+			for atom, c := range m.Atoms {
+				if c > 0 {
+					types[atom] = true
+				}
+			}
+		}
+		if got := len(types); got != w.atomTypes {
+			t.Errorf("SI %q uses %d Atom types, want %d", w.name, got, w.atomTypes)
+		}
+	}
+}
+
+func TestH264AtomAveragesMatchTable3(t *testing.T) {
+	is := H264()
+	var slices, luts, ffs, bytes int
+	for _, a := range is.Atoms {
+		slices += a.Slices
+		luts += a.LUTs
+		ffs += a.FFs
+		bytes += a.BitstreamBytes
+	}
+	n := len(is.Atoms)
+	if got := slices / n; got != 421 {
+		t.Errorf("avg Atom slices = %d, want 421", got)
+	}
+	if got := luts / n; got != 839 {
+		t.Errorf("avg Atom LUTs = %d, want 839", got)
+	}
+	if got := ffs / n; got != 45 {
+		t.Errorf("avg Atom FFs = %d, want 45", got)
+	}
+	if got := bytes / n; got != 60488 {
+		t.Errorf("avg Atom bitstream = %d bytes, want 60488", got)
+	}
+}
+
+func TestFastestAvailable(t *testing.T) {
+	is := H264()
+	sad := is.SI(SISAD)
+	none := molecule.New(is.Dim())
+	if _, ok := sad.FastestAvailable(none); ok {
+		t.Fatal("SAD has a Molecule available with zero Atoms")
+	}
+	if lat := sad.LatencyWith(none); lat != sad.SWLatency {
+		t.Fatalf("LatencyWith(0) = %d, want software %d", lat, sad.SWLatency)
+	}
+
+	one := molecule.New(is.Dim())
+	one[AtomSAD16] = 1
+	m, ok := sad.FastestAvailable(one)
+	if !ok {
+		t.Fatal("SAD not available with one SAD16 Atom")
+	}
+	if !m.Atoms.Equal(sad.Slowest().Atoms) {
+		t.Fatalf("fastest with 1 Atom = %v, want slowest Molecule %v", m.Atoms, sad.Slowest().Atoms)
+	}
+
+	all := molecule.New(is.Dim())
+	for i := range all {
+		all[i] = 16
+	}
+	m, ok = sad.FastestAvailable(all)
+	if !ok || m.Latency != sad.Fastest().Latency {
+		t.Fatalf("fastest with all Atoms = %+v, want %+v", m, sad.Fastest())
+	}
+}
+
+func TestLatencyWithIsMonotoneInAvailability(t *testing.T) {
+	is := H264()
+	for i := range is.SIs {
+		si := &is.SIs[i]
+		prev := si.SWLatency
+		a := molecule.New(is.Dim())
+		// Load the fastest Molecule's Atoms one by one; the latency must
+		// never increase.
+		for _, u := range si.Fastest().Atoms.Units() {
+			a = a.Add(molecule.Unit(u, is.Dim()))
+			lat := si.LatencyWith(a)
+			if lat > prev {
+				t.Fatalf("SI %q: latency increased from %d to %d at availability %v", si.Name, prev, lat, a)
+			}
+			prev = lat
+		}
+		if prev != si.Fastest().Latency {
+			t.Errorf("SI %q: after loading fastest Molecule, latency %d != fastest %d", si.Name, prev, si.Fastest().Latency)
+		}
+	}
+}
+
+func TestSharedAtomsAccelerateMultipleSIs(t *testing.T) {
+	is := H264()
+	// The Transform Atom is shared between SATD, (I)DCT and the Hadamard
+	// transforms; Clip3 between MC and LF_BS4. Check Molecules agree.
+	users := map[AtomID][]string{
+		AtomTransform: {"SATD", "(I)DCT", "(I)HT 2x2", "(I)HT 4x4"},
+		AtomClip3:     {"MC", "LF_BS4"},
+		AtomRepack:    {"SATD", "(I)DCT", "(I)HT 4x4", "IPred HDC"},
+	}
+	for atom, names := range users {
+		for _, name := range names {
+			si := is.SIByName(name)
+			if si == nil {
+				t.Fatalf("SI %q missing", name)
+			}
+			uses := false
+			for _, m := range si.Molecules {
+				if m.Atoms[atom] > 0 {
+					uses = true
+					break
+				}
+			}
+			if !uses {
+				t.Errorf("SI %q does not use shared Atom %v", name, is.Atom(atom).Name)
+			}
+		}
+	}
+}
+
+func TestMoleculeSpecLatencyModel(t *testing.T) {
+	sp := MoleculeSpec{
+		Atoms:    []AtomID{0, 1},
+		Occ:      []int{8, 4},
+		HWCyc:    []int{5, 2},
+		SWCyc:    []int{40, 20},
+		Steps:    [][]int{{0, 1, 2}, {0, 1, 2}},
+		Overhead: 4,
+		Count:    8,
+	}
+	// latency((1,1)) = 4 + 8*5 + 4*2 = 52
+	if got := sp.Latency([]int{1, 1}); got != 52 {
+		t.Fatalf("Latency(1,1) = %d, want 52", got)
+	}
+	// latency((2,2)) = 4 + 4*5 + 2*2 = 28
+	if got := sp.Latency([]int{2, 2}); got != 28 {
+		t.Fatalf("Latency(2,2) = %d, want 28", got)
+	}
+	// latency((0,1)): type 0 emulated in software = 4 + 8*40 + 4*2 = 332
+	if got := sp.Latency([]int{0, 1}); got != 332 {
+		t.Fatalf("Latency(0,1) = %d, want 332", got)
+	}
+	// The trap implementation uses the software cycles throughout.
+	if got := sp.SWLatency(); got != 4+8*40+4*20 {
+		t.Fatalf("SWLatency = %d, want %d", got, 4+8*40+4*20)
+	}
+	mols := sp.Generate(0, 2)
+	if len(mols) != 8 {
+		t.Fatalf("Generate kept %d Molecules, want 8 (grid minus zero vector)", len(mols))
+	}
+	for i := 1; i < len(mols); i++ {
+		if mols[i].Latency > mols[i-1].Latency {
+			t.Fatal("Molecules not sorted by decreasing latency")
+		}
+	}
+	for _, m := range mols {
+		if m.Atoms.IsZero() {
+			t.Fatal("Generate emitted the zero vector")
+		}
+	}
+}
+
+func TestMoleculeSpecCeilDivision(t *testing.T) {
+	sp := MoleculeSpec{
+		Atoms:    []AtomID{0},
+		Occ:      []int{5},
+		HWCyc:    []int{10},
+		SWCyc:    []int{100},
+		Steps:    [][]int{{2}},
+		Overhead: 0,
+		Count:    1,
+	}
+	// ceil(5/2) = 3 → 30 cycles.
+	if got := sp.Latency([]int{2}); got != 30 {
+		t.Fatalf("Latency = %d, want 30", got)
+	}
+}
+
+func TestGenerateKeepsExtremes(t *testing.T) {
+	is := H264()
+	for i := range is.SIs {
+		si := &is.SIs[i]
+		slowest := si.Slowest()
+		fastest := si.Fastest()
+		// The smallest Molecule must be dominated by every other and the
+		// largest must dominate in latency terms.
+		for _, m := range si.Molecules {
+			if m.Latency > slowest.Latency {
+				t.Errorf("SI %q: Molecule slower than Slowest()", si.Name)
+			}
+			if m.Latency < fastest.Latency {
+				t.Errorf("SI %q: Molecule faster than Fastest()", si.Name)
+			}
+		}
+		if fastest.Determinant() < slowest.Determinant() {
+			t.Errorf("SI %q: fastest Molecule smaller than slowest", si.Name)
+		}
+	}
+}
+
+func TestHotSpotSIs(t *testing.T) {
+	is := H264()
+	me := is.HotSpotSIs(HotSpotME)
+	if len(me) != 2 {
+		t.Fatalf("ME hot spot has %d SIs, want 2 (SAD, SATD)", len(me))
+	}
+	ee := is.HotSpotSIs(HotSpotEE)
+	if len(ee) != 6 {
+		t.Fatalf("EE hot spot has %d SIs, want 6", len(ee))
+	}
+	lf := is.HotSpotSIs(HotSpotLF)
+	if len(lf) != 1 || lf[0].Name != "LF_BS4" {
+		t.Fatalf("LF hot spot = %v", lf)
+	}
+}
+
+func TestSIByNameMissing(t *testing.T) {
+	if si := H264().SIByName("nope"); si != nil {
+		t.Fatalf("SIByName(nope) = %v, want nil", si)
+	}
+}
+
+func TestAvgBitstreamBytes(t *testing.T) {
+	is := H264()
+	if got := is.AvgBitstreamBytes(); got != 60488 {
+		t.Fatalf("AvgBitstreamBytes = %v, want 60488", got)
+	}
+	empty := &ISA{}
+	if got := empty.AvgBitstreamBytes(); got != 0 {
+		t.Fatalf("empty ISA avg = %v", got)
+	}
+}
+
+func TestValidateCatchesBrokenISAs(t *testing.T) {
+	break1 := H264()
+	break1.SIs[0].Molecules[0].Latency = break1.SIs[0].SWLatency + 1
+	if break1.Validate() == nil {
+		t.Error("Validate missed hardware slower than software")
+	}
+
+	break2 := H264()
+	break2.SIs[0].Molecules = nil
+	if break2.Validate() == nil {
+		t.Error("Validate missed SI without Molecules")
+	}
+
+	break3 := H264()
+	break3.SIs[1].Molecules[0].Atoms = molecule.New(3)
+	if break3.Validate() == nil {
+		t.Error("Validate missed dimension mismatch")
+	}
+
+	break4 := H264()
+	// Make the largest Molecule slower than the smallest: monotonicity broken.
+	last := len(break4.SIs[1].Molecules) - 1
+	break4.SIs[1].Molecules[last].Latency = break4.SIs[1].Molecules[0].Latency + 1
+	if break4.Validate() == nil {
+		t.Error("Validate missed non-monotone latency")
+	}
+}

@@ -1,0 +1,73 @@
+// Package isatest generates random, structurally valid dynamic instruction
+// sets for property-based testing of the scheduler, selection and run-time
+// packages.
+package isatest
+
+import (
+	"fmt"
+	"math/rand"
+
+	"rispp/internal/isa"
+)
+
+// RandomISA builds a random valid ISA: nSIs Special Instructions over a
+// dim-dimensional Atom space, each with a ≤-monotone Molecule set derived
+// from a random work model. All SIs share one hot spot (ID 0).
+func RandomISA(rng *rand.Rand, dim, nSIs int) *isa.ISA {
+	out := &isa.ISA{Name: "random"}
+	for a := 0; a < dim; a++ {
+		out.Atoms = append(out.Atoms, isa.AtomType{
+			ID:             isa.AtomID(a),
+			Name:           fmt.Sprintf("A%d", a),
+			BitstreamBytes: 40000 + rng.Intn(40000),
+			Slices:         200 + rng.Intn(500),
+			LUTs:           400 + rng.Intn(1000),
+			FFs:            10 + rng.Intn(80),
+		})
+	}
+	hs := isa.HotSpot{ID: 0, Name: "hot"}
+	for s := 0; s < nSIs; s++ {
+		nTypes := 1 + rng.Intn(3)
+		if nTypes > dim {
+			nTypes = dim
+		}
+		perm := rng.Perm(dim)[:nTypes]
+		spec := isa.MoleculeSpec{Overhead: 2 + rng.Intn(20)}
+		for _, a := range perm {
+			spec.Atoms = append(spec.Atoms, isa.AtomID(a))
+			spec.Occ = append(spec.Occ, 2+rng.Intn(15))
+			spec.HWCyc = append(spec.HWCyc, 1+rng.Intn(3))
+			spec.SWCyc = append(spec.SWCyc, 10+rng.Intn(60))
+			steps := []int{1, 2}
+			if nTypes > 1 && rng.Intn(2) == 0 {
+				steps = append([]int{0}, steps...)
+			}
+			if rng.Intn(2) == 0 {
+				steps = append(steps, 4)
+			}
+			spec.Steps = append(spec.Steps, steps)
+		}
+		grid := 1
+		for _, st := range spec.Steps {
+			grid *= len(st)
+		}
+		for _, st := range spec.Steps {
+			if st[0] == 0 {
+				grid-- // the all-zero vector is excluded once
+				break
+			}
+		}
+		spec.Count = 1 + rng.Intn(grid)
+		id := isa.SIID(s)
+		out.SIs = append(out.SIs, isa.SI{
+			ID:        id,
+			Name:      fmt.Sprintf("SI%d", s),
+			HotSpot:   0,
+			SWLatency: spec.SWLatency(),
+			Molecules: spec.Generate(id, dim),
+		})
+		hs.SIs = append(hs.SIs, id)
+	}
+	out.HotSpots = []isa.HotSpot{hs}
+	return out
+}

@@ -1,0 +1,85 @@
+package isa
+
+import (
+	"fmt"
+
+	"rispp/internal/molecule"
+)
+
+// Merge combines several dynamic instruction sets into one: the Atom-type
+// spaces are concatenated (no sharing across parts — different
+// applications bring their own data paths), SI and hot-spot IDs are
+// re-indexed, and Molecule vectors are lifted into the combined space.
+//
+// Merging models a RISPP processor that time-shares its fabric between
+// applications (e.g. a video encoder and a crypto stack): each
+// application's hot spots rotate through the same Atom Containers and the
+// run-time system arbitrates — exactly the "varying workloads" scenario
+// the paper's introduction motivates.
+func Merge(name string, parts ...*ISA) (*ISA, error) {
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("isa: Merge of no ISAs")
+	}
+	out := &ISA{Name: name}
+	atomOff := 0
+	siOff := 0
+	hsOff := 0
+	dims := make([]int, len(parts))
+	for _, p := range parts {
+		out.Atoms = append(out.Atoms, p.Atoms...)
+	}
+	dim := len(out.Atoms)
+	// Re-index atoms (IDs are positional).
+	for i := range out.Atoms {
+		out.Atoms[i].ID = AtomID(i)
+	}
+	for pi, p := range parts {
+		dims[pi] = p.Dim()
+		for si := range p.SIs {
+			src := &p.SIs[si]
+			ns := SI{
+				ID:        SIID(siOff + int(src.ID)),
+				Name:      src.Name,
+				HotSpot:   HotSpotID(hsOff + int(src.HotSpot)),
+				SWLatency: src.SWLatency,
+			}
+			for _, m := range src.Molecules {
+				v := molecule.New(dim)
+				for a, c := range m.Atoms {
+					v[atomOff+a] = c
+				}
+				ns.Molecules = append(ns.Molecules, Molecule{SI: ns.ID, Atoms: v, Latency: m.Latency})
+			}
+			out.SIs = append(out.SIs, ns)
+		}
+		for _, h := range p.HotSpots {
+			nh := HotSpot{ID: HotSpotID(hsOff + int(h.ID)), Name: fmt.Sprintf("%s: %s", p.Name, h.Name)}
+			for _, id := range h.SIs {
+				nh.SIs = append(nh.SIs, SIID(siOff+int(id)))
+			}
+			out.HotSpots = append(out.HotSpots, nh)
+		}
+		atomOff += p.Dim()
+		siOff += len(p.SIs)
+		hsOff += len(p.HotSpots)
+	}
+	if err := out.Validate(); err != nil {
+		return nil, fmt.Errorf("isa: merged ISA invalid: %w", err)
+	}
+	return out, nil
+}
+
+// Offsets reports the SI and hot-spot ID offsets Merge assigned to each
+// part, so callers can translate per-application IDs into the combined
+// space when building interleaved workloads.
+func Offsets(parts ...*ISA) (siOff, hsOff []int) {
+	siOff = make([]int, len(parts))
+	hsOff = make([]int, len(parts))
+	s, h := 0, 0
+	for i, p := range parts {
+		siOff[i], hsOff[i] = s, h
+		s += len(p.SIs)
+		h += len(p.HotSpots)
+	}
+	return siOff, hsOff
+}

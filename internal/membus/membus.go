@@ -1,0 +1,171 @@
+// Package membus models the shared memory bus between the processor core
+// and the reconfiguration DMA. The paper's related-work discussion notes
+// that Molen couples its reconfigurable hardware "via a dual-port register
+// file and an arbiter for shared memory"; on the RISPP prototype the
+// SelectMap/ICAP port likewise streams partial bitstreams from the same
+// memory the core executes from. This package quantifies that contention:
+// given the core's memory-traffic intensity and an arbitration policy, it
+// derives the effective reconfiguration bandwidth (stretching the Atom
+// reload times) and the slowdown of the core's own glue code.
+//
+// The model is max-min style bandwidth allocation over a unit-capacity
+// bus; it is deliberately simple, but it turns "reconfiguration bandwidth"
+// from a free constant into a consequence of system load — and the
+// resulting experiment (BenchmarkAblationBusContention) shows the SI
+// scheduler mattering more the more the port is starved.
+package membus
+
+import (
+	"fmt"
+
+	"rispp/internal/reconfig"
+	"rispp/internal/workload"
+)
+
+// Policy selects the bus arbitration.
+type Policy int
+
+const (
+	// CPUPriority always serves the core first; the reconfiguration DMA
+	// gets the leftover bandwidth (the common embedded default — code
+	// execution must not stall).
+	CPUPriority Policy = iota
+	// DMAPriority serves the reconfiguration stream first; the core's
+	// memory operations stall behind it.
+	DMAPriority
+	// Fair splits contended bandwidth max-min fairly.
+	Fair
+)
+
+func (p Policy) String() string {
+	switch p {
+	case CPUPriority:
+		return "cpu-priority"
+	case DMAPriority:
+		return "dma-priority"
+	case Fair:
+		return "fair"
+	}
+	return fmt.Sprintf("Policy(%d)", int(p))
+}
+
+// Config describes the bus and its load.
+type Config struct {
+	Policy Policy
+	// CPULoad is the fraction of bus capacity the core's load/store
+	// traffic demands (0..1).
+	CPULoad float64
+	// DMADemand is the fraction of bus capacity the reconfiguration port
+	// demands while streaming a bitstream (0..1). The prototype's 66 MB/s
+	// SelectMap against a ~266 MB/s memory system gives the 0.25 default.
+	DMADemand float64
+}
+
+func (c *Config) setDefaults() {
+	if c.DMADemand == 0 {
+		c.DMADemand = 0.25
+	}
+}
+
+// clamp01 bounds a fraction.
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+// Shares returns the bus fractions granted to the core and the DMA under
+// the configured policy.
+func (c Config) Shares() (cpu, dma float64) {
+	c.setDefaults()
+	cpuD := clamp01(c.CPULoad)
+	dmaD := clamp01(c.DMADemand)
+	if cpuD+dmaD <= 1 {
+		return cpuD, dmaD
+	}
+	switch c.Policy {
+	case CPUPriority:
+		cpu = cpuD
+		dma = 1 - cpu
+	case DMAPriority:
+		dma = dmaD
+		cpu = 1 - dma
+	case Fair:
+		// Max-min: both get half; a demand below half returns its surplus.
+		cpu, dma = 0.5, 0.5
+		if cpuD < 0.5 {
+			cpu = cpuD
+			dma = 1 - cpu
+		}
+		if dmaD < 0.5 {
+			dma = dmaD
+			cpu = 1 - dma
+		}
+	}
+	return cpu, dma
+}
+
+// DMAStretch returns the factor by which Atom reload times grow.
+func (c Config) DMAStretch() float64 {
+	c.setDefaults()
+	_, dma := c.Shares()
+	if dma <= 0 {
+		return 1e9 // starved: effectively no reconfiguration
+	}
+	return clamp01(c.DMADemand) / dma
+}
+
+// CPUStretch returns the factor by which the core's memory-bound glue
+// cycles grow.
+func (c Config) CPUStretch() float64 {
+	c.setDefaults()
+	cpu, _ := c.Shares()
+	d := clamp01(c.CPULoad)
+	if d == 0 {
+		return 1
+	}
+	if cpu <= 0 {
+		return 1e9
+	}
+	return d / cpu
+}
+
+// Timing derives the effective reconfiguration timing under contention.
+func (c Config) Timing(raw reconfig.Timing) reconfig.Timing {
+	stretch := c.DMAStretch()
+	eff := raw
+	eff.BandwidthBps = int64(float64(raw.BandwidthBps) / stretch)
+	if eff.BandwidthBps < 1 {
+		eff.BandwidthBps = 1
+	}
+	return eff
+}
+
+// ApplyToTrace returns a copy of the trace with the base-processor glue
+// cycles (burst gaps and phase setup) stretched by the core's slowdown —
+// the cost the core pays for sharing the bus.
+func (c Config) ApplyToTrace(tr *workload.Trace) *workload.Trace {
+	stretch := c.CPUStretch()
+	if stretch == 1 {
+		return tr
+	}
+	out := &workload.Trace{Name: tr.Name + "+bus", Phases: make([]workload.Phase, len(tr.Phases))}
+	for i := range tr.Phases {
+		p := tr.Phases[i]
+		np := workload.Phase{
+			HotSpot: p.HotSpot,
+			Setup:   int64(float64(p.Setup) * stretch),
+			Bursts:  make([]workload.Burst, len(p.Bursts)),
+		}
+		for j, b := range p.Bursts {
+			b.Gap = int(float64(b.Gap) * stretch)
+			np.Bursts[j] = b
+		}
+		out.Phases[i] = np
+	}
+	return out
+}

@@ -1,0 +1,119 @@
+package membus
+
+import (
+	"math"
+	"testing"
+
+	"rispp/internal/isa"
+	"rispp/internal/reconfig"
+	"rispp/internal/workload"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestSharesUncontended(t *testing.T) {
+	c := Config{Policy: CPUPriority, CPULoad: 0.3, DMADemand: 0.25}
+	cpu, dma := c.Shares()
+	if !almost(cpu, 0.3) || !almost(dma, 0.25) {
+		t.Fatalf("uncontended shares = %v, %v", cpu, dma)
+	}
+	if c.DMAStretch() != 1 || c.CPUStretch() != 1 {
+		t.Fatal("uncontended bus must not stretch anything")
+	}
+}
+
+func TestSharesCPUPriority(t *testing.T) {
+	c := Config{Policy: CPUPriority, CPULoad: 0.9, DMADemand: 0.25}
+	cpu, dma := c.Shares()
+	if !almost(cpu, 0.9) || !almost(dma, 0.1) {
+		t.Fatalf("shares = %v, %v", cpu, dma)
+	}
+	if got := c.DMAStretch(); !almost(got, 2.5) {
+		t.Fatalf("DMA stretch = %v, want 2.5 (0.25/0.1)", got)
+	}
+	if c.CPUStretch() != 1 {
+		t.Fatal("prioritized core must not stretch")
+	}
+}
+
+func TestSharesDMAPriority(t *testing.T) {
+	c := Config{Policy: DMAPriority, CPULoad: 0.9, DMADemand: 0.25}
+	cpu, dma := c.Shares()
+	if !almost(dma, 0.25) || !almost(cpu, 0.75) {
+		t.Fatalf("shares = %v, %v", cpu, dma)
+	}
+	if got := c.CPUStretch(); !almost(got, 0.9/0.75) {
+		t.Fatalf("CPU stretch = %v", got)
+	}
+	if c.DMAStretch() != 1 {
+		t.Fatal("prioritized DMA must not stretch")
+	}
+}
+
+func TestSharesFair(t *testing.T) {
+	// Both over half: split down the middle.
+	c := Config{Policy: Fair, CPULoad: 0.9, DMADemand: 0.7}
+	cpu, dma := c.Shares()
+	if !almost(cpu, 0.5) || !almost(dma, 0.5) {
+		t.Fatalf("fair shares = %v, %v", cpu, dma)
+	}
+	// DMA under half: it gets its demand, the core the rest.
+	c = Config{Policy: Fair, CPULoad: 0.9, DMADemand: 0.25}
+	cpu, dma = c.Shares()
+	if !almost(dma, 0.25) || !almost(cpu, 0.75) {
+		t.Fatalf("fair shares = %v, %v", cpu, dma)
+	}
+}
+
+func TestStarvedDMA(t *testing.T) {
+	c := Config{Policy: CPUPriority, CPULoad: 1.0, DMADemand: 0.25}
+	if c.DMAStretch() < 1e6 {
+		t.Fatal("fully loaded CPU-priority bus should starve the DMA")
+	}
+}
+
+func TestTimingStretch(t *testing.T) {
+	raw := reconfig.DefaultTiming()
+	c := Config{Policy: CPUPriority, CPULoad: 0.9, DMADemand: 0.25}
+	eff := c.Timing(raw)
+	// 2.5x stretch → 2.5x longer Atom loads.
+	rawCycles := raw.LoadCycles(60488)
+	effCycles := eff.LoadCycles(60488)
+	ratio := float64(effCycles) / float64(rawCycles)
+	if math.Abs(ratio-2.5) > 0.01 {
+		t.Fatalf("load stretch = %v, want 2.5", ratio)
+	}
+}
+
+func TestApplyToTrace(t *testing.T) {
+	tr := workload.NewBuilder("t").
+		Phase(isa.HotSpotME, 1000).
+		Burst(isa.SISAD, 10, 8).
+		Build()
+	c := Config{Policy: DMAPriority, CPULoad: 0.9, DMADemand: 0.25} // CPU stretch 1.2
+	out := c.ApplyToTrace(tr)
+	if out.Phases[0].Setup != 1200 {
+		t.Fatalf("setup = %d, want 1200", out.Phases[0].Setup)
+	}
+	if out.Phases[0].Bursts[0].Gap != 9 { // 8 × 1.2 = 9.6 → 9 (truncated)
+		t.Fatalf("gap = %d", out.Phases[0].Bursts[0].Gap)
+	}
+	// The original trace is untouched.
+	if tr.Phases[0].Setup != 1000 || tr.Phases[0].Bursts[0].Gap != 8 {
+		t.Fatal("ApplyToTrace mutated its input")
+	}
+	// No contention → same trace returned.
+	idle := Config{Policy: CPUPriority, CPULoad: 0.2}
+	if idle.ApplyToTrace(tr) != tr {
+		t.Fatal("uncontended ApplyToTrace should return the input unchanged")
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	if CPUPriority.String() != "cpu-priority" || DMAPriority.String() != "dma-priority" || Fair.String() != "fair" {
+		t.Fatal("Policy.String broken")
+	}
+	if Policy(9).String() != "Policy(9)" {
+		t.Fatal("unknown policy String broken")
+	}
+}

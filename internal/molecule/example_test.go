@@ -1,0 +1,40 @@
+package molecule_test
+
+import (
+	"fmt"
+
+	"rispp/internal/molecule"
+)
+
+// The Figure 4 Molecules: m1 ≤ m2 ≤ m3 form an upgrade chain; the monus
+// operator yields the Atoms each upgrade step still has to load.
+func Example() {
+	m1 := molecule.Of(1, 2)
+	m2 := molecule.Of(2, 2)
+	m3 := molecule.Of(3, 3)
+
+	fmt.Println("m1 ≤ m2:", m1.Leq(m2))
+	fmt.Println("sup(m1,m2,m3):", molecule.SupSet(2, m1, m2, m3))
+	fmt.Println("|m3|:", m3.Determinant())
+
+	available := molecule.Of(0, 3)
+	fmt.Println("still to load for m2:", available.Sub(m2))
+	// Output:
+	// m1 ≤ m2: true
+	// sup(m1,m2,m3): (3, 3)
+	// |m3|: 6
+	// still to load for m2: (2, 0)
+}
+
+func ExampleVector_Sup() {
+	a := molecule.Of(3, 1, 0)
+	b := molecule.Of(1, 2, 2)
+	fmt.Println(a.Sup(b))
+	// Output: (3, 2, 2)
+}
+
+func ExampleVector_Units() {
+	m := molecule.Of(2, 0, 1)
+	fmt.Println(m.Units())
+	// Output: [0 0 2]
+}

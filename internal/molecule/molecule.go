@@ -1,0 +1,222 @@
+// Package molecule implements the formal Molecule assembly model of the
+// RISPP run-time system (Bauer et al., DATE 2008, Section 4.1): the data
+// structure (ℕⁿ, ∪, ∩, ≤) over Atom-count vectors.
+//
+// A Vector m = (m_1, …, m_n) gives the desired number of instances of each
+// Atom type needed to implement a Molecule. The package provides the
+// Meta-Molecule operators ∪ (element-wise max, Sup), ∩ (element-wise min,
+// Inf), the partial order ≤ (Leq), the determinant |m| (total Atom count),
+// and the monus operator ⊖ (Sub) that yields the Atoms additionally required
+// on top of an already available set.
+//
+// (ℕⁿ, ∪) and (ℕⁿ, ∩) are Abelian semi-groups and (ℕⁿ, ≤) is a complete
+// lattice; the laws are enforced by property-based tests.
+package molecule
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Vector is an Atom-count vector in ℕⁿ: element i is the number of instances
+// of Atom type i. The zero-length Vector is a valid neutral element for
+// operations between equal-length vectors of length 0 only; all binary
+// operators require both operands to have the same length.
+type Vector []int
+
+// New returns a zero Vector of dimension n (the neutral element of ∪).
+func New(n int) Vector { return make(Vector, n) }
+
+// Of builds a Vector from the given counts. It panics if any count is
+// negative, since Molecules live in ℕⁿ.
+func Of(counts ...int) Vector {
+	v := make(Vector, len(counts))
+	for i, c := range counts {
+		if c < 0 {
+			panic(fmt.Sprintf("molecule: negative atom count %d at index %d", c, i))
+		}
+		v[i] = c
+	}
+	return v
+}
+
+// Unit returns the Unit-Molecule u_i of dimension n: a single instance of
+// Atom type i and nothing else.
+func Unit(i, n int) Vector {
+	if i < 0 || i >= n {
+		panic(fmt.Sprintf("molecule: unit index %d out of range [0,%d)", i, n))
+	}
+	u := make(Vector, n)
+	u[i] = 1
+	return u
+}
+
+// Len returns the dimension n of the vector.
+func (m Vector) Len() int { return len(m) }
+
+// Clone returns an independent copy of m.
+func (m Vector) Clone() Vector {
+	c := make(Vector, len(m))
+	copy(c, m)
+	return c
+}
+
+// IsZero reports whether m is the neutral element (0, …, 0) of ∪.
+func (m Vector) IsZero() bool {
+	for _, v := range m {
+		if v != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Valid reports whether all counts are non-negative, i.e. m ∈ ℕⁿ.
+func (m Vector) Valid() bool {
+	for _, v := range m {
+		if v < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func checkDim(a, b Vector, op string) {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("molecule: %s on vectors of different dimension (%d vs %d)", op, len(a), len(b)))
+	}
+}
+
+// Sup returns the Meta-Molecule m ∪ o with p_i = max(m_i, o_i): the Atoms
+// required to implement both m and o.
+func (m Vector) Sup(o Vector) Vector {
+	checkDim(m, o, "sup")
+	p := make(Vector, len(m))
+	for i := range m {
+		p[i] = max(m[i], o[i])
+	}
+	return p
+}
+
+// Inf returns m ∩ o with p_i = min(m_i, o_i): the Atoms collectively needed
+// for both m and o.
+func (m Vector) Inf(o Vector) Vector {
+	checkDim(m, o, "inf")
+	p := make(Vector, len(m))
+	for i := range m {
+		p[i] = min(m[i], o[i])
+	}
+	return p
+}
+
+// Leq reports whether m ≤ o, i.e. ∀i: m_i ≤ o_i. This is the partial order
+// of the complete lattice (ℕⁿ, ≤).
+func (m Vector) Leq(o Vector) bool {
+	checkDim(m, o, "leq")
+	for i := range m {
+		if m[i] > o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports element-wise equality.
+func (m Vector) Equal(o Vector) bool {
+	checkDim(m, o, "equal")
+	for i := range m {
+		if m[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Determinant returns |m| = Σ m_i, the total number of Atoms required to
+// implement the Molecule.
+func (m Vector) Determinant() int {
+	s := 0
+	for _, v := range m {
+		s += v
+	}
+	return s
+}
+
+// Sub returns the monus o ⊖ m … precisely the paper's m ⊖ o with the
+// receiver as the already available Atoms: p_i = o_i - m_i if positive,
+// else 0. The result is the minimum set of Atoms that additionally have to
+// be loaded to implement o, assuming the Atoms in m are already available.
+func (m Vector) Sub(o Vector) Vector {
+	checkDim(m, o, "sub")
+	p := make(Vector, len(m))
+	for i := range m {
+		if d := o[i] - m[i]; d > 0 {
+			p[i] = d
+		}
+	}
+	return p
+}
+
+// Add returns the element-wise sum m + o. It is used to account Atom loads:
+// loading the Unit-Molecule u_i onto an availability vector a yields a + u_i.
+func (m Vector) Add(o Vector) Vector {
+	checkDim(m, o, "add")
+	p := make(Vector, len(m))
+	for i := range m {
+		p[i] = m[i] + o[i]
+	}
+	return p
+}
+
+// SupSet returns sup(M) = ∪_{m ∈ M} m, the Meta-Molecule declaring all Atoms
+// needed to implement any Molecule in set. dim is required so the supremum
+// of the empty set is the neutral element (0, …, 0).
+func SupSet(dim int, set ...Vector) Vector {
+	s := New(dim)
+	for _, m := range set {
+		s = s.Sup(m)
+	}
+	return s
+}
+
+// InfSet returns inf(M) = ∩_{m ∈ M} m. The infimum of the empty set is the
+// neutral element of ∩, which in ℕⁿ is unbounded; InfSet panics on an empty
+// set instead of materializing (maxInt, …, maxInt).
+func InfSet(set ...Vector) Vector {
+	if len(set) == 0 {
+		panic("molecule: InfSet of empty set")
+	}
+	s := set[0].Clone()
+	for _, m := range set[1:] {
+		s = s.Inf(m)
+	}
+	return s
+}
+
+// String renders the vector in the paper's tuple notation, e.g. "(2, 1, 0)".
+func (m Vector) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, v := range m {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%d", v)
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// Units decomposes m into the multiset of Unit-Molecule indices it consists
+// of, in ascending Atom-type order: Atom type i appears m_i times. This is
+// the multiset a valid scheduling function SF must enumerate (condition (2)
+// of the paper).
+func (m Vector) Units() []int {
+	units := make([]int, 0, m.Determinant())
+	for i, c := range m {
+		for j := 0; j < c; j++ {
+			units = append(units, i)
+		}
+	}
+	return units
+}

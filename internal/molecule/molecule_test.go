@@ -1,0 +1,329 @@
+package molecule
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestOf(t *testing.T) {
+	v := Of(1, 2, 3)
+	if v.Len() != 3 || v[0] != 1 || v[1] != 2 || v[2] != 3 {
+		t.Fatalf("Of(1,2,3) = %v", v)
+	}
+}
+
+func TestOfPanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Of(-1) did not panic")
+		}
+	}()
+	Of(-1)
+}
+
+func TestNewIsZero(t *testing.T) {
+	v := New(5)
+	if !v.IsZero() {
+		t.Fatalf("New(5) = %v, want zero", v)
+	}
+	if v.Len() != 5 {
+		t.Fatalf("New(5).Len() = %d", v.Len())
+	}
+}
+
+func TestUnit(t *testing.T) {
+	u := Unit(2, 4)
+	want := Of(0, 0, 1, 0)
+	if !u.Equal(want) {
+		t.Fatalf("Unit(2,4) = %v, want %v", u, want)
+	}
+	if u.Determinant() != 1 {
+		t.Fatalf("Unit determinant = %d, want 1", u.Determinant())
+	}
+}
+
+func TestUnitPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Unit(4,4) did not panic")
+		}
+	}()
+	Unit(4, 4)
+}
+
+func TestSupPaperExample(t *testing.T) {
+	// Figure 5 caption: sup({m1, m2}) = m1 ∪ m2 for two-Atom-type Molecules.
+	m := Of(3, 1)
+	o := Of(1, 2)
+	got := m.Sup(o)
+	want := Of(3, 2)
+	if !got.Equal(want) {
+		t.Fatalf("%v ∪ %v = %v, want %v", m, o, got, want)
+	}
+}
+
+func TestInf(t *testing.T) {
+	got := Of(3, 1, 2).Inf(Of(1, 2, 2))
+	want := Of(1, 1, 2)
+	if !got.Equal(want) {
+		t.Fatalf("Inf = %v, want %v", got, want)
+	}
+}
+
+func TestLeq(t *testing.T) {
+	cases := []struct {
+		a, b Vector
+		want bool
+	}{
+		{Of(1, 1), Of(2, 2), true},
+		{Of(2, 2), Of(2, 2), true},
+		{Of(2, 3), Of(2, 2), false},
+		{Of(0, 0), Of(0, 0), true},
+		// Incomparable pair from the paper: m4=(1,3) vs m2=(2,2).
+		{Of(1, 3), Of(2, 2), false},
+		{Of(2, 2), Of(1, 3), false},
+	}
+	for _, c := range cases {
+		if got := c.a.Leq(c.b); got != c.want {
+			t.Errorf("%v ≤ %v = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestDeterminant(t *testing.T) {
+	if d := Of(2, 2).Determinant(); d != 4 {
+		t.Fatalf("|(2,2)| = %d, want 4", d)
+	}
+	if d := New(7).Determinant(); d != 0 {
+		t.Fatalf("|0| = %d, want 0", d)
+	}
+}
+
+func TestSubMonus(t *testing.T) {
+	// a ⊖ m: Atoms additionally required to offer m given a is available.
+	a := Of(0, 3)
+	m4 := Of(1, 3)
+	m2 := Of(2, 2)
+	if got := a.Sub(m4); !got.Equal(Of(1, 0)) {
+		t.Fatalf("(0,3) ⊖ (1,3) = %v, want (1, 0)", got)
+	}
+	if got := a.Sub(m2); !got.Equal(Of(2, 0)) {
+		t.Fatalf("(0,3) ⊖ (2,2) = %v, want (2, 0)", got)
+	}
+	// The paper's observation: |a⊖m4| ≤ |a⊖m2| for a=(0,3), so m4 can be
+	// the cheaper upgrade even though it is slower when starting from zero.
+	if a.Sub(m4).Determinant() > a.Sub(m2).Determinant() {
+		t.Fatal("paper example violated: |a⊖m4| > |a⊖m2|")
+	}
+}
+
+func TestAdd(t *testing.T) {
+	got := Of(1, 2).Add(Of(3, 0))
+	if !got.Equal(Of(4, 2)) {
+		t.Fatalf("Add = %v", got)
+	}
+}
+
+func TestSupSet(t *testing.T) {
+	got := SupSet(2, Of(3, 1), Of(1, 2), Of(2, 2))
+	if !got.Equal(Of(3, 2)) {
+		t.Fatalf("SupSet = %v, want (3, 2)", got)
+	}
+	if got := SupSet(3); !got.Equal(New(3)) {
+		t.Fatalf("SupSet of empty set = %v, want zero", got)
+	}
+}
+
+func TestInfSet(t *testing.T) {
+	got := InfSet(Of(3, 1), Of(1, 2), Of(2, 2))
+	if !got.Equal(Of(1, 1)) {
+		t.Fatalf("InfSet = %v, want (1, 1)", got)
+	}
+}
+
+func TestInfSetEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("InfSet() did not panic")
+		}
+	}()
+	InfSet()
+}
+
+func TestDimensionMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Sup with mismatched dims did not panic")
+		}
+	}()
+	Of(1, 2).Sup(Of(1, 2, 3))
+}
+
+func TestString(t *testing.T) {
+	if s := Of(2, 0, 1).String(); s != "(2, 0, 1)" {
+		t.Fatalf("String = %q", s)
+	}
+	if s := New(0).String(); s != "()" {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestUnits(t *testing.T) {
+	got := Of(2, 0, 1).Units()
+	want := []int{0, 0, 2}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Units = %v, want %v", got, want)
+	}
+	if len(New(3).Units()) != 0 {
+		t.Fatal("Units of zero vector not empty")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	a := Of(1, 2)
+	b := a.Clone()
+	b[0] = 9
+	if a[0] != 1 {
+		t.Fatal("Clone aliases original")
+	}
+}
+
+// --- Property-based tests: the algebraic laws claimed in Section 4.1. ---
+
+// genVec draws a small random vector of the given dimension.
+func genVec(r *rand.Rand, dim int) Vector {
+	v := make(Vector, dim)
+	for i := range v {
+		v[i] = r.Intn(6)
+	}
+	return v
+}
+
+// triple is a quick.Generator producing three same-dimension vectors.
+type triple struct{ A, B, C Vector }
+
+func (triple) Generate(r *rand.Rand, _ int) reflect.Value {
+	dim := 1 + r.Intn(8)
+	return reflect.ValueOf(triple{genVec(r, dim), genVec(r, dim), genVec(r, dim)})
+}
+
+func quickCheck(t *testing.T, name string, f any) {
+	t.Helper()
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Errorf("%s: %v", name, err)
+	}
+}
+
+func TestSupSemigroupLaws(t *testing.T) {
+	quickCheck(t, "sup commutative", func(tr triple) bool {
+		return tr.A.Sup(tr.B).Equal(tr.B.Sup(tr.A))
+	})
+	quickCheck(t, "sup associative", func(tr triple) bool {
+		return tr.A.Sup(tr.B).Sup(tr.C).Equal(tr.A.Sup(tr.B.Sup(tr.C)))
+	})
+	quickCheck(t, "sup neutral element", func(tr triple) bool {
+		return tr.A.Sup(New(tr.A.Len())).Equal(tr.A)
+	})
+	quickCheck(t, "sup idempotent", func(tr triple) bool {
+		return tr.A.Sup(tr.A).Equal(tr.A)
+	})
+}
+
+func TestInfSemigroupLaws(t *testing.T) {
+	quickCheck(t, "inf commutative", func(tr triple) bool {
+		return tr.A.Inf(tr.B).Equal(tr.B.Inf(tr.A))
+	})
+	quickCheck(t, "inf associative", func(tr triple) bool {
+		return tr.A.Inf(tr.B).Inf(tr.C).Equal(tr.A.Inf(tr.B.Inf(tr.C)))
+	})
+	quickCheck(t, "inf idempotent", func(tr triple) bool {
+		return tr.A.Inf(tr.A).Equal(tr.A)
+	})
+}
+
+func TestLatticeLaws(t *testing.T) {
+	quickCheck(t, "absorption sup", func(tr triple) bool {
+		return tr.A.Sup(tr.A.Inf(tr.B)).Equal(tr.A)
+	})
+	quickCheck(t, "absorption inf", func(tr triple) bool {
+		return tr.A.Inf(tr.A.Sup(tr.B)).Equal(tr.A)
+	})
+	quickCheck(t, "sup is least upper bound", func(tr triple) bool {
+		s := tr.A.Sup(tr.B)
+		if !tr.A.Leq(s) || !tr.B.Leq(s) {
+			return false
+		}
+		// Any other upper bound dominates s.
+		u := s.Sup(tr.C) // u ≥ A, B by construction
+		return s.Leq(u)
+	})
+	quickCheck(t, "inf is greatest lower bound", func(tr triple) bool {
+		i := tr.A.Inf(tr.B)
+		if !i.Leq(tr.A) || !i.Leq(tr.B) {
+			return false
+		}
+		l := i.Inf(tr.C) // l ≤ A, B by construction
+		return l.Leq(i)
+	})
+}
+
+func TestOrderLaws(t *testing.T) {
+	quickCheck(t, "reflexive", func(tr triple) bool {
+		return tr.A.Leq(tr.A)
+	})
+	quickCheck(t, "antisymmetric", func(tr triple) bool {
+		if tr.A.Leq(tr.B) && tr.B.Leq(tr.A) {
+			return tr.A.Equal(tr.B)
+		}
+		return true
+	})
+	quickCheck(t, "transitive", func(tr triple) bool {
+		a, b, c := tr.A, tr.A.Sup(tr.B), tr.A.Sup(tr.B).Sup(tr.C)
+		return a.Leq(b) && b.Leq(c) && a.Leq(c)
+	})
+	quickCheck(t, "leq iff sup is rhs", func(tr triple) bool {
+		return tr.A.Leq(tr.B) == tr.A.Sup(tr.B).Equal(tr.B)
+	})
+}
+
+func TestMonusLaws(t *testing.T) {
+	quickCheck(t, "monus yields valid vector", func(tr triple) bool {
+		return tr.A.Sub(tr.B).Valid()
+	})
+	quickCheck(t, "a + (a ⊖ b) ≥ b", func(tr triple) bool {
+		return tr.B.Leq(tr.A.Add(tr.A.Sub(tr.B)))
+	})
+	quickCheck(t, "monus zero iff b ≤ a", func(tr triple) bool {
+		return tr.A.Sub(tr.B).IsZero() == tr.B.Leq(tr.A)
+	})
+	quickCheck(t, "monus is minimal", func(tr triple) bool {
+		// Removing any unit from a non-zero monus no longer covers b.
+		d := tr.A.Sub(tr.B)
+		for i, c := range d {
+			if c == 0 {
+				continue
+			}
+			smaller := d.Clone()
+			smaller[i]--
+			if tr.B.Leq(tr.A.Add(smaller)) {
+				return false
+			}
+		}
+		return true
+	})
+	quickCheck(t, "determinant additive under add", func(tr triple) bool {
+		return tr.A.Add(tr.B).Determinant() == tr.A.Determinant()+tr.B.Determinant()
+	})
+}
+
+func TestUnitsRoundTrip(t *testing.T) {
+	quickCheck(t, "units reassemble", func(tr triple) bool {
+		v := New(tr.A.Len())
+		for _, i := range tr.A.Units() {
+			v = v.Add(Unit(i, tr.A.Len()))
+		}
+		return v.Equal(tr.A)
+	})
+}

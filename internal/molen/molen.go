@@ -1,0 +1,352 @@
+// Package molen implements the state-of-the-art baseline the paper compares
+// against (Section 5, Table 2): a Molen-like reconfigurable processor
+// system with a dynamic instruction set but a single, monolithic
+// implementation per Special Instruction.
+//
+// Differences to RISPP, per the paper's characterization of [19]/[21]:
+//
+//   - One implementation per SI: an SI is either fully reconfigured (then it
+//     runs at its selected Molecule's latency) or it executes in software.
+//     There are no intermediate upgrade steps.
+//   - The implementations are monolithic custom computing units, so no
+//     hardware is shared between SIs: each resident SI occupies containers
+//     equal to its implementation size.
+//   - The reconfiguration sequence is explicitly predetermined (set/execute
+//     instructions emitted at compile time): at every hot-spot entry the
+//     required units are loaded in fixed program order.
+//
+// For a fair comparison the same hardware accelerators are provided: the
+// implementations are the very Molecules the RISPP selection would pick,
+// loaded through the same reconfiguration-port timing.
+package molen
+
+import (
+	"rispp/internal/isa"
+	"rispp/internal/monitor"
+	"rispp/internal/reconfig"
+	"rispp/internal/sched"
+	"rispp/internal/selection"
+	"rispp/internal/workload"
+)
+
+// Config assembles the baseline system.
+type Config struct {
+	ISA          *isa.ISA
+	NumACs       int // container capacity, in Atom-sized units
+	Timing       reconfig.Timing
+	MonitorShift uint
+}
+
+// unit is one monolithic SI implementation resident in (or loading into)
+// the reconfigurable fabric.
+type unit struct {
+	mol      isa.Molecule
+	size     int // containers occupied (reserved at load start)
+	loaded   int // atoms of the bitstream already configured
+	complete bool
+	lastUse  int64
+}
+
+// Runtime is the Molen-like baseline; it implements sim.Runtime.
+type Runtime struct {
+	cfg Config
+	mon *monitor.Monitor
+
+	units map[isa.SIID]*unit // resident or loading units
+	queue []isa.SIID         // SIs waiting for the port, program order
+
+	inflight   isa.SIID
+	hasInflite bool
+	completeAt int64
+	portFree   int64
+
+	// Loads counts completed unit reconfigurations (whole SIs).
+	Loads int
+	// AtomLoads counts individual Atom-sized bitstream loads.
+	AtomLoads int
+
+	seeds map[isa.SIID]int64
+}
+
+// New builds the baseline runtime.
+func New(cfg Config) *Runtime {
+	if cfg.ISA == nil {
+		panic("molen: Config.ISA is required")
+	}
+	if cfg.Timing == (reconfig.Timing{}) {
+		cfg.Timing = reconfig.DefaultTiming()
+	}
+	r := &Runtime{cfg: cfg, seeds: make(map[isa.SIID]int64)}
+	r.Reset()
+	return r
+}
+
+// Name identifies the baseline.
+func (r *Runtime) Name() string { return "Molen" }
+
+// Seed installs a design-time execution-count estimate (Molen's
+// reconfiguration decisions are fixed at compile time from profiling).
+func (r *Runtime) Seed(si isa.SIID, expected int64) {
+	r.seeds[si] = expected
+	r.mon.Seed(si, expected)
+}
+
+// SeedFromTrace seeds estimates from the first occurrence of each hot spot.
+func (r *Runtime) SeedFromTrace(tr *workload.Trace) {
+	seen := make(map[isa.HotSpotID]bool)
+	for i := range tr.Phases {
+		p := &tr.Phases[i]
+		if seen[p.HotSpot] {
+			continue
+		}
+		seen[p.HotSpot] = true
+		per := make(map[isa.SIID]int64)
+		for _, b := range p.Bursts {
+			per[b.SI] += int64(b.Count)
+		}
+		for si, n := range per {
+			r.Seed(si, n)
+		}
+	}
+}
+
+// Reset returns the fabric to power-on state.
+func (r *Runtime) Reset() {
+	r.mon = monitor.New(r.cfg.ISA, r.cfg.MonitorShift)
+	for si, n := range r.seeds {
+		r.mon.Seed(si, n)
+	}
+	r.units = make(map[isa.SIID]*unit)
+	r.queue = nil
+	r.hasInflite = false
+	r.portFree = 0
+	r.Loads = 0
+	r.AtomLoads = 0
+}
+
+// resident returns the containers currently occupied (reserved).
+func (r *Runtime) resident() int {
+	n := 0
+	for _, u := range r.units {
+		n += u.size
+	}
+	return n
+}
+
+// EnterHotSpot selects one implementation per SI of the hot spot (greedy,
+// additive cost — monolithic units share nothing) and programs the fixed
+// load sequence. Units of other hot spots are evicted LRU as capacity
+// demands.
+func (r *Runtime) EnterHotSpot(h isa.HotSpotID, now int64) {
+	is := r.cfg.ISA
+	var cands []selection.Candidate
+	for _, si := range is.HotSpotSIs(h) {
+		cands = append(cands, selection.Candidate{SI: si, Expected: r.mon.Expected(h, si.ID)})
+	}
+	r.mon.EnterHotSpot(h)
+	reqs := selectAdditive(cands, r.cfg.NumACs)
+
+	// The hot-spot switch replaces the predetermined load sequence. An
+	// in-flight bitstream chunk cannot be aborted: the port stays busy
+	// until it finishes, but its unit is abandoned. All incomplete units
+	// free their containers.
+	if r.hasInflite {
+		r.portFree = r.completeAt
+		r.hasInflite = false
+	}
+	r.queue = r.queue[:0]
+	for si, u := range r.units {
+		if !u.complete {
+			delete(r.units, si)
+		}
+	}
+
+	// Keep complete resident units that match the selection; everything
+	// needed but absent is (re)loaded in fixed program order (ascending SI
+	// id — the order the compiler emitted the set instructions). Units of
+	// the current selection are protected from eviction.
+	protected := make(map[isa.SIID]bool, len(reqs))
+	for _, q := range reqs {
+		protected[q.SI.ID] = true
+	}
+	for _, q := range reqs {
+		if u, ok := r.units[q.SI.ID]; ok {
+			if u.mol.Atoms.Equal(q.Selected.Atoms) {
+				u.lastUse = now
+				continue
+			}
+			delete(r.units, q.SI.ID) // different implementation selected
+		}
+		r.enqueue(q.SI.ID, q.Selected, now, protected)
+	}
+}
+
+// enqueue reserves capacity (evicting LRU units of other hot spots) and
+// queues the unit for the port. Units of the current selection are never
+// victims. If capacity cannot be freed the SI stays in software.
+func (r *Runtime) enqueue(si isa.SIID, mol isa.Molecule, now int64, protected map[isa.SIID]bool) {
+	size := mol.Determinant()
+	for r.resident()+size > r.cfg.NumACs {
+		victim := isa.SIID(-1)
+		var oldest int64
+		for vsi, u := range r.units {
+			if protected[vsi] {
+				continue
+			}
+			if victim < 0 || u.lastUse < oldest || (u.lastUse == oldest && vsi < victim) {
+				victim, oldest = vsi, u.lastUse
+			}
+		}
+		if victim < 0 {
+			return // nothing evictable; SI remains in software
+		}
+		delete(r.units, victim)
+	}
+	r.units[si] = &unit{mol: mol, size: size, lastUse: now}
+	r.queue = append(r.queue, si)
+	if now > r.portFree {
+		r.portFree = now
+	}
+}
+
+// LeaveHotSpot finalizes monitoring.
+func (r *Runtime) LeaveHotSpot(now int64) { r.mon.LeaveHotSpot() }
+
+// Latency: the selected implementation if fully reconfigured, software
+// otherwise — Molen systems "cannot upgrade during run time".
+func (r *Runtime) Latency(si isa.SIID) int {
+	if u, ok := r.units[si]; ok && u.complete {
+		return u.mol.Latency
+	}
+	return r.cfg.ISA.SI(si).SWLatency
+}
+
+// Record feeds the monitor.
+func (r *Runtime) Record(si isa.SIID, n int64, now int64) {
+	r.mon.Record(si, n)
+	if u, ok := r.units[si]; ok {
+		u.lastUse = now
+	}
+}
+
+func (r *Runtime) start() {
+	for !r.hasInflite {
+		if len(r.queue) == 0 {
+			return
+		}
+		si := r.queue[0]
+		u, ok := r.units[si]
+		if !ok || u.complete {
+			r.queue = r.queue[1:]
+			continue
+		}
+		// Load the next atom-sized bitstream chunk of the unit. A
+		// monolithic implementation's bitstream is the concatenation of
+		// its data paths' bitstreams; we charge the same per-atom times
+		// the RISPP fabric pays.
+		atom := nthAtom(u.mol, u.loaded)
+		dur := r.cfg.Timing.LoadCycles(r.cfg.ISA.Atom(atom).BitstreamBytes)
+		r.inflight = si
+		r.hasInflite = true
+		r.completeAt = r.portFree + dur
+		return
+	}
+}
+
+// nthAtom returns the n-th Atom (in vector order) of a Molecule.
+func nthAtom(m isa.Molecule, n int) isa.AtomID {
+	for i, c := range m.Atoms {
+		if n < c {
+			return isa.AtomID(i)
+		}
+		n -= c
+	}
+	panic("molen: atom index out of range")
+}
+
+// NextEvent returns the next per-atom load completion.
+func (r *Runtime) NextEvent() (int64, bool) {
+	r.start()
+	if !r.hasInflite {
+		return 0, false
+	}
+	return r.completeAt, true
+}
+
+// Advance completes the in-flight atom chunk; when the unit's last chunk is
+// configured the SI becomes available at full (selected) performance.
+func (r *Runtime) Advance(t int64) {
+	r.start()
+	if !r.hasInflite {
+		panic("molen: Advance on idle port")
+	}
+	r.portFree = r.completeAt
+	r.hasInflite = false
+	r.AtomLoads++
+	si := r.inflight
+	if u, ok := r.units[si]; ok && !u.complete {
+		u.loaded++
+		if u.loaded == u.size {
+			u.complete = true
+			r.Loads++
+		}
+	}
+}
+
+// selectAdditive is the greedy selection with additive container cost: no
+// Atom sharing between monolithic units.
+func selectAdditive(cands []selection.Candidate, numACs int) []sched.Request {
+	chosen := make([]*isa.Molecule, len(cands))
+	curLat := make([]int, len(cands))
+	used := 0
+	for i, c := range cands {
+		curLat[i] = c.SI.SWLatency
+	}
+	for {
+		bestI, bestJ := -1, -1
+		var bestNum, bestDen int64
+		for i, c := range cands {
+			if c.Expected <= 0 {
+				continue
+			}
+			base := 0
+			if chosen[i] != nil {
+				base = chosen[i].Determinant()
+			}
+			for j := range c.SI.Molecules {
+				m := &c.SI.Molecules[j]
+				if m.Latency >= curLat[i] {
+					continue
+				}
+				cost := int64(m.Determinant() - base)
+				if cost <= 0 {
+					continue // monolithic re-synthesis never shrinks below current
+				}
+				if used+int(cost) > numACs {
+					continue
+				}
+				gain := c.Expected * int64(curLat[i]-m.Latency)
+				if bestI < 0 || gain*bestDen > bestNum*cost {
+					bestI, bestJ, bestNum, bestDen = i, j, gain, cost
+				}
+			}
+		}
+		if bestI < 0 {
+			break
+		}
+		prev := 0
+		if chosen[bestI] != nil {
+			prev = chosen[bestI].Determinant()
+		}
+		chosen[bestI] = &cands[bestI].SI.Molecules[bestJ]
+		curLat[bestI] = chosen[bestI].Latency
+		used += chosen[bestI].Determinant() - prev
+	}
+	var reqs []sched.Request
+	for i, c := range cands {
+		if chosen[i] != nil {
+			reqs = append(reqs, sched.Request{SI: c.SI, Selected: *chosen[i], Expected: c.Expected})
+		}
+	}
+	return reqs
+}

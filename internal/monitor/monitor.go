@@ -1,0 +1,194 @@
+// Package monitor implements the online monitoring of SI execution
+// frequencies that feeds the RISPP run-time system (paper Section 3.1,
+// task II of the Run-Time Manager; the lightweight implementation follows
+// the self-adaptive scheme of reference [24]).
+//
+// During each execution of a hot spot the monitor counts how often every SI
+// executes. When the hot spot is left, the measured value is compared with
+// the previous expectation and the expectation for the next execution
+// iteration of this hot spot is updated. To stay implementable as a small
+// hardware block, the update uses a binary-shift exponential smoothing
+//
+//	expected += (measured - expected) >> Shift
+//
+// i.e. a smoothing factor α = 2^-Shift, avoiding multipliers and dividers.
+package monitor
+
+import (
+	"fmt"
+
+	"rispp/internal/isa"
+)
+
+// DefaultShift gives α = 0.5: fast adaptation to scene changes while still
+// damping single-frame outliers.
+const DefaultShift = 1
+
+// Monitor tracks per-hot-spot SI execution counts and maintains the
+// expected executions used by Molecule selection and the SI Scheduler.
+type Monitor struct {
+	is    *isa.ISA
+	shift uint
+
+	expected   map[isa.HotSpotID][]int64 // per hot spot: expectation per SI
+	counts     []int64                   // live counters of the current hot spot
+	current    isa.HotSpotID
+	inSpot     bool
+	successors map[isa.HotSpotID]map[isa.HotSpotID]int // hot-spot rotation
+
+	// ObservedSpots counts completed hot-spot executions per hot spot.
+	ObservedSpots map[isa.HotSpotID]int
+	// AbsError accumulates |measured − previous expectation| per SI across
+	// all hot-spot executions; used to evaluate forecast quality.
+	AbsError int64
+	// Samples counts the (hot spot, SI) forecast comparisons behind AbsError.
+	Samples int
+}
+
+// New creates a monitor for the given ISA with smoothing α = 2^-shift.
+func New(is *isa.ISA, shift uint) *Monitor {
+	return &Monitor{
+		is:            is,
+		shift:         shift,
+		expected:      make(map[isa.HotSpotID][]int64),
+		counts:        make([]int64, len(is.SIs)),
+		ObservedSpots: make(map[isa.HotSpotID]int),
+	}
+}
+
+// Seed initializes the expectation of an SI before its hot spot was ever
+// observed, e.g. from an offline profiling run. Without seeding, the first
+// execution of a hot spot runs with zero expectations (every SI equally
+// unimportant) and the monitor learns from there.
+func (m *Monitor) Seed(si isa.SIID, expected int64) {
+	h := m.is.SI(si).HotSpot
+	m.expected[h] = m.ensure(h)
+	m.expected[h][si] = expected
+}
+
+func (m *Monitor) ensure(h isa.HotSpotID) []int64 {
+	if e, ok := m.expected[h]; ok {
+		return e
+	}
+	e := make([]int64, len(m.is.SIs))
+	m.expected[h] = e
+	return e
+}
+
+// EnterHotSpot starts counting SI executions for hot spot h. Entering a new
+// hot spot while another is active finalizes the previous one first.
+func (m *Monitor) EnterHotSpot(h isa.HotSpotID) {
+	if m.inSpot {
+		m.LeaveHotSpot()
+	}
+	m.current = h
+	m.inSpot = true
+	for i := range m.counts {
+		m.counts[i] = 0
+	}
+}
+
+// Record counts n executions of SI si within the current hot spot.
+func (m *Monitor) Record(si isa.SIID, n int64) {
+	if !m.inSpot {
+		panic("monitor: Record outside a hot spot")
+	}
+	m.counts[si] += n
+}
+
+// LeaveHotSpot finalizes the current hot spot execution: expectations are
+// updated from the measured counts.
+func (m *Monitor) LeaveHotSpot() {
+	if !m.inSpot {
+		return
+	}
+	e := m.ensure(m.current)
+	first := m.ObservedSpots[m.current] == 0
+	for si := range m.counts {
+		if m.counts[si] == 0 && e[si] == 0 {
+			continue
+		}
+		diff := m.counts[si] - e[si]
+		if diff < 0 {
+			m.AbsError += -diff
+		} else {
+			m.AbsError += diff
+		}
+		m.Samples++
+		if first && e[si] == 0 {
+			// Cold start: adopt the first measurement outright instead of
+			// halving toward it.
+			e[si] = m.counts[si]
+		} else {
+			// Arithmetic shift: negative diffs round toward −∞, so the
+			// expectation can always decay back to zero.
+			e[si] += diff >> m.shift
+		}
+	}
+	m.ObservedSpots[m.current]++
+	m.inSpot = false
+}
+
+// Expected returns the expected number of executions of SI si the next time
+// hot spot h runs. Unobserved, unseeded SIs forecast zero.
+func (m *Monitor) Expected(h isa.HotSpotID, si isa.SIID) int64 {
+	if e, ok := m.expected[h]; ok {
+		return e[si]
+	}
+	return 0
+}
+
+// Forecast returns the expectation vector for all SIs of hot spot h.
+func (m *Monitor) Forecast(h isa.HotSpotID) map[isa.SIID]int64 {
+	out := make(map[isa.SIID]int64)
+	for _, si := range m.is.HotSpotSIs(h) {
+		if v := m.Expected(h, si.ID); v > 0 {
+			out[si.ID] = v
+		}
+	}
+	return out
+}
+
+// MeanAbsError reports the average absolute forecast error per sample.
+func (m *Monitor) MeanAbsError() float64 {
+	if m.Samples == 0 {
+		return 0
+	}
+	return float64(m.AbsError) / float64(m.Samples)
+}
+
+func (m *Monitor) String() string {
+	return fmt.Sprintf("monitor(α=2^-%d, spots=%v)", m.shift, m.ObservedSpots)
+}
+
+// Successor prediction: the monitor also learns the hot-spot rotation
+// (ME → EE → LF → ME … in the H.264 encoder) so the Run-Time Manager can
+// prefetch Atoms for the upcoming hot spot while the reconfiguration port
+// would otherwise idle.
+
+// RecordTransition counts an observed hot-spot transition from → to. The
+// Manager calls it on every hot-spot switch.
+func (m *Monitor) RecordTransition(from, to isa.HotSpotID) {
+	if m.successors == nil {
+		m.successors = make(map[isa.HotSpotID]map[isa.HotSpotID]int)
+	}
+	row := m.successors[from]
+	if row == nil {
+		row = make(map[isa.HotSpotID]int)
+		m.successors[from] = row
+	}
+	row[to]++
+}
+
+// PredictNext returns the most frequently observed successor of hot spot h.
+// ok is false when h has no recorded successor yet.
+func (m *Monitor) PredictNext(h isa.HotSpotID) (next isa.HotSpotID, ok bool) {
+	row := m.successors[h]
+	best := -1
+	for to, n := range row {
+		if n > best || (n == best && to < next) {
+			best, next, ok = n, to, true
+		}
+	}
+	return next, ok
+}

@@ -1,0 +1,201 @@
+package monitor
+
+import (
+	"testing"
+
+	"rispp/internal/isa"
+)
+
+func TestColdStartAdoptsFirstMeasurement(t *testing.T) {
+	is := isa.H264()
+	m := New(is, DefaultShift)
+	m.EnterHotSpot(isa.HotSpotME)
+	m.Record(isa.SISAD, 26000)
+	m.Record(isa.SISATD, 6000)
+	m.LeaveHotSpot()
+	if got := m.Expected(isa.HotSpotME, isa.SISAD); got != 26000 {
+		t.Fatalf("cold-start expectation = %d, want 26000", got)
+	}
+	if got := m.Expected(isa.HotSpotME, isa.SISATD); got != 6000 {
+		t.Fatalf("cold-start expectation = %d, want 6000", got)
+	}
+}
+
+func TestSmoothingUpdate(t *testing.T) {
+	is := isa.H264()
+	m := New(is, 1) // α = 0.5
+	m.Seed(isa.SISAD, 1000)
+	m.EnterHotSpot(isa.HotSpotME)
+	m.Record(isa.SISAD, 2000)
+	m.LeaveHotSpot()
+	// expected += (2000-1000) >> 1 = 1500
+	if got := m.Expected(isa.HotSpotME, isa.SISAD); got != 1500 {
+		t.Fatalf("expectation = %d, want 1500", got)
+	}
+}
+
+func TestSmoothingConvergesToSteadyState(t *testing.T) {
+	is := isa.H264()
+	m := New(is, 2) // α = 0.25
+	m.Seed(isa.SISAD, 0)
+	for i := 0; i < 64; i++ {
+		m.EnterHotSpot(isa.HotSpotME)
+		m.Record(isa.SISAD, 4096)
+		m.LeaveHotSpot()
+	}
+	got := m.Expected(isa.HotSpotME, isa.SISAD)
+	if got < 4090 || got > 4096 {
+		t.Fatalf("expectation after 64 constant frames = %d, want ≈4096", got)
+	}
+}
+
+func TestExpectationDecaysToZero(t *testing.T) {
+	is := isa.H264()
+	m := New(is, 1)
+	m.Seed(isa.SISAD, 100)
+	for i := 0; i < 32; i++ {
+		m.EnterHotSpot(isa.HotSpotME)
+		m.LeaveHotSpot() // zero executions measured
+	}
+	if got := m.Expected(isa.HotSpotME, isa.SISAD); got != 0 {
+		t.Fatalf("expectation did not decay to 0, got %d", got)
+	}
+}
+
+func TestHotSpotsAreIndependent(t *testing.T) {
+	is := isa.H264()
+	m := New(is, 1)
+	m.EnterHotSpot(isa.HotSpotME)
+	m.Record(isa.SISAD, 500)
+	m.LeaveHotSpot()
+	m.EnterHotSpot(isa.HotSpotEE)
+	m.Record(isa.SIMC, 300)
+	m.LeaveHotSpot()
+	if got := m.Expected(isa.HotSpotEE, isa.SISAD); got != 0 {
+		t.Fatalf("SAD expectation leaked into EE: %d", got)
+	}
+	if got := m.Expected(isa.HotSpotME, isa.SISAD); got != 500 {
+		t.Fatalf("ME SAD expectation = %d", got)
+	}
+}
+
+func TestEnterFinalizesPrevious(t *testing.T) {
+	is := isa.H264()
+	m := New(is, 1)
+	m.EnterHotSpot(isa.HotSpotME)
+	m.Record(isa.SISAD, 100)
+	m.EnterHotSpot(isa.HotSpotEE) // implicit LeaveHotSpot
+	m.LeaveHotSpot()
+	if got := m.Expected(isa.HotSpotME, isa.SISAD); got != 100 {
+		t.Fatalf("implicit finalize lost counts: %d", got)
+	}
+	if m.ObservedSpots[isa.HotSpotME] != 1 || m.ObservedSpots[isa.HotSpotEE] != 1 {
+		t.Fatalf("ObservedSpots = %v", m.ObservedSpots)
+	}
+}
+
+func TestRecordOutsideHotSpotPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Record outside hot spot did not panic")
+		}
+	}()
+	New(isa.H264(), 1).Record(isa.SISAD, 1)
+}
+
+func TestLeaveWithoutEnterIsNoop(t *testing.T) {
+	m := New(isa.H264(), 1)
+	m.LeaveHotSpot() // must not panic
+	if len(m.ObservedSpots) != 0 {
+		t.Fatal("LeaveHotSpot without Enter counted a spot")
+	}
+}
+
+func TestForecastOmitsZeroSIs(t *testing.T) {
+	is := isa.H264()
+	m := New(is, 1)
+	m.EnterHotSpot(isa.HotSpotEE)
+	m.Record(isa.SIMC, 42)
+	m.LeaveHotSpot()
+	f := m.Forecast(isa.HotSpotEE)
+	if len(f) != 1 || f[isa.SIMC] != 42 {
+		t.Fatalf("Forecast = %v", f)
+	}
+}
+
+func TestMeanAbsError(t *testing.T) {
+	is := isa.H264()
+	m := New(is, 1)
+	m.Seed(isa.SISAD, 100)
+	m.EnterHotSpot(isa.HotSpotME)
+	m.Record(isa.SISAD, 160)
+	m.LeaveHotSpot()
+	if got := m.MeanAbsError(); got != 60 {
+		t.Fatalf("MeanAbsError = %v, want 60", got)
+	}
+	if New(is, 1).MeanAbsError() != 0 {
+		t.Fatal("MeanAbsError on fresh monitor != 0")
+	}
+}
+
+func TestTrackingChangingWorkload(t *testing.T) {
+	// The motivation for run-time adaptation: the encoding type of a Macro
+	// Block depends on the motion in the input sequence. Simulate a scene
+	// change and check the forecast follows within a few frames.
+	is := isa.H264()
+	m := New(is, 1)
+	for i := 0; i < 10; i++ {
+		m.EnterHotSpot(isa.HotSpotME)
+		m.Record(isa.SISATD, 2000)
+		m.LeaveHotSpot()
+	}
+	for i := 0; i < 6; i++ {
+		m.EnterHotSpot(isa.HotSpotME)
+		m.Record(isa.SISATD, 8000) // high-motion scene
+		m.LeaveHotSpot()
+	}
+	got := m.Expected(isa.HotSpotME, isa.SISATD)
+	if got < 7800 {
+		t.Fatalf("forecast lagging after scene change: %d, want ≥ 7800", got)
+	}
+}
+
+func TestStringer(t *testing.T) {
+	s := New(isa.H264(), 1).String()
+	if s == "" {
+		t.Fatal("String empty")
+	}
+}
+
+func TestSuccessorPrediction(t *testing.T) {
+	is := isa.H264()
+	m := New(is, 1)
+	if _, ok := m.PredictNext(isa.HotSpotME); ok {
+		t.Fatal("prediction without observations")
+	}
+	for i := 0; i < 5; i++ {
+		m.RecordTransition(isa.HotSpotME, isa.HotSpotEE)
+		m.RecordTransition(isa.HotSpotEE, isa.HotSpotLF)
+		m.RecordTransition(isa.HotSpotLF, isa.HotSpotME)
+	}
+	m.RecordTransition(isa.HotSpotME, isa.HotSpotLF) // one outlier
+	next, ok := m.PredictNext(isa.HotSpotME)
+	if !ok || next != isa.HotSpotEE {
+		t.Fatalf("PredictNext(ME) = %v, %v", next, ok)
+	}
+	next, ok = m.PredictNext(isa.HotSpotEE)
+	if !ok || next != isa.HotSpotLF {
+		t.Fatalf("PredictNext(EE) = %v, %v", next, ok)
+	}
+}
+
+func TestSuccessorPredictionTieBreaksDeterministically(t *testing.T) {
+	is := isa.H264()
+	m := New(is, 1)
+	m.RecordTransition(isa.HotSpotME, isa.HotSpotLF)
+	m.RecordTransition(isa.HotSpotME, isa.HotSpotEE)
+	next, ok := m.PredictNext(isa.HotSpotME)
+	if !ok || next != isa.HotSpotEE {
+		t.Fatalf("tie should pick the lower hot-spot id, got %v", next)
+	}
+}

@@ -1,0 +1,104 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"rispp/internal/isa"
+)
+
+// kernelShape parameterizes an SI emulation routine: the trap entry
+// sequence, then units loop iterations, each consisting of pixel groups
+// (load/load/sub/abs/accumulate), multiply groups (load/mul/accumulate —
+// for filter taps and transforms) and plain ALU bookkeeping.
+type kernelShape struct {
+	entryALUs int
+	units     int
+	pixGroups int
+	mulGroups int
+	extraALUs int
+}
+
+// h264Kernels describes the emulation routine of every H.264 SI. The
+// shapes are chosen so that executing the kernel on the pipeline model
+// yields exactly the trap latency of the isa package — the calibration the
+// paper's toolchain obtains from its estimation tools.
+var h264Kernels = map[isa.SIID]kernelShape{
+	// SAD: 16 packed-pixel groups of absolute differences.
+	isa.SISAD: {entryALUs: 4, units: 16, pixGroups: 10, extraALUs: 5},
+	// SATD: differences plus butterfly transform and accumulation.
+	isa.SISATD: {entryALUs: 18, units: 16, pixGroups: 12, extraALUs: 24},
+	// (I)DCT: multiply-accumulate butterflies plus rounding.
+	isa.SIDCT: {entryALUs: 17, units: 13, pixGroups: 2, mulGroups: 2, extraALUs: 2},
+	// (I)HT 2x2: small Hadamard butterfly.
+	isa.SIHT2x2: {entryALUs: 25, units: 10, pixGroups: 4, extraALUs: 4},
+	// (I)HT 4x4.
+	isa.SIHT4x4: {entryALUs: 28, units: 10, pixGroups: 6, extraALUs: 6},
+	// MC: 6-tap point filter — multiply-heavy.
+	isa.SIMC: {entryALUs: 30, units: 16, pixGroups: 6, mulGroups: 6, extraALUs: 6},
+	// IPred HDC.
+	isa.SIIPredHDC: {entryALUs: 26, units: 14, pixGroups: 5, extraALUs: 4},
+	// IPred VDC.
+	isa.SIIPredVDC: {entryALUs: 24, units: 14, pixGroups: 4, extraALUs: 3},
+	// LF_BS4: boundary-strength conditions and clipping.
+	isa.SILFBS4: {entryALUs: 19, units: 14, pixGroups: 7, extraALUs: 5},
+}
+
+// Kernel builds the base-instruction emulation routine of an H.264 SI —
+// the code the synchronous trap executes when the SI's Atoms are not (yet)
+// loaded.
+func Kernel(si isa.SIID) []Instr {
+	shape, ok := h264Kernels[si]
+	if !ok {
+		panic(fmt.Sprintf("pipeline: no emulation kernel for SI %d", si))
+	}
+	b := NewBuilder()
+	for i := 0; i < shape.entryALUs; i++ {
+		b.ALU(10+i%4, 2, 3) // operand unpacking, address setup
+	}
+	b.Loop(shape.units, func(b *Builder) {
+		for g := 0; g < shape.pixGroups; g++ {
+			b.Load(1, 20)  // pixel A
+			b.Load(2, 21)  // pixel B
+			b.ALU(3, 1, 2) // difference
+			b.ALU(4, 3, 3) // absolute value
+			b.ALU(5, 5, 4) // accumulate
+		}
+		for g := 0; g < shape.mulGroups; g++ {
+			b.Load(1, 22)  // sample
+			b.Mul(2, 1, 6) // filter tap / transform coefficient
+			b.ALU(5, 5, 2) // accumulate
+		}
+		for g := 0; g < shape.extraALUs; g++ {
+			b.ALU(11, 11, 7) // address increments, rounding, packing
+		}
+	})
+	return b.Build()
+}
+
+// EmulationCycles executes the SI's emulation kernel on the pipeline model
+// and returns its latency in cycles. For the shipped shapes this equals the
+// trap latency of the isa package (asserted by the calibration test).
+func EmulationCycles(si isa.SIID) int64 {
+	return Run(Kernel(si), nil)
+}
+
+// GlueShape is the per-SI-invocation glue code in the hot-spot loops
+// (operand address generation, loop control). Its pipeline cost is the
+// Burst.Gap of the workload model.
+func GlueShape() []Instr {
+	return NewBuilder().
+		ALU(10, 10, 1). // advance source address
+		ALU(11, 11, 1). // advance destination address
+		ALU(12, 12, 2). // loop index
+		Load(1, 10).    // fetch next operand descriptor
+		ALU(2, 1, 3).   // decode it (load-use stall)
+		Store(2, 11).   // spill the previous result
+		Branch(12, false).
+		Build()
+}
+
+// GlueCycles is the pipeline cost of GlueShape without the pipeline drain
+// (the glue runs between SI invocations inside a filled pipeline).
+func GlueCycles() int64 {
+	return Run(GlueShape(), nil) - drainCycles
+}

@@ -1,0 +1,257 @@
+// Package pipeline models the base processor of the RISPP prototype: a
+// simple in-order 5-stage RISC pipeline (the paper evaluates on DLX/MIPS
+// and Leon2/SPARC V8 cores). RISPP extends this pipeline with the Atom
+// Containers; a Special Instruction either dispatches to the reconfigurable
+// fabric or raises a synchronous trap into an emulation routine built from
+// base instructions.
+//
+// The package serves two purposes:
+//
+//   - it derives the software (trap) latencies and the per-invocation glue
+//     cycles that calibrate internal/isa and internal/workload, by actually
+//     executing emulation kernels on the pipeline model (see kernels.go and
+//     the calibration tests), and
+//   - it documents precisely what "cycles" means throughout the repo: cycles
+//     of this in-order pipeline at 100 MHz.
+package pipeline
+
+import (
+	"fmt"
+
+	"rispp/internal/isa"
+)
+
+// Op is the instruction class; the timing model only needs classes, not
+// full semantics.
+type Op int
+
+const (
+	// OpALU is a single-cycle register ALU operation (add, sub, logic,
+	// shift, abs, min/max, compare).
+	OpALU Op = iota
+	// OpLoad reads memory; result available after MEM (load-use hazard).
+	OpLoad
+	// OpStore writes memory.
+	OpStore
+	// OpBranch is a conditional branch; taken branches flush the two
+	// instructions fetched down the fall-through path.
+	OpBranch
+	// OpMul is a multi-cycle multiply occupying EX for 4 cycles.
+	OpMul
+	// OpSI is a Special Instruction: it occupies EX for the latency the
+	// run-time system reports (hardware Molecule) or traps into an
+	// emulation routine.
+	OpSI
+	// OpNop fills delay slots.
+	OpNop
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpALU:
+		return "alu"
+	case OpLoad:
+		return "load"
+	case OpStore:
+		return "store"
+	case OpBranch:
+		return "branch"
+	case OpMul:
+		return "mul"
+	case OpSI:
+		return "si"
+	case OpNop:
+		return "nop"
+	}
+	return fmt.Sprintf("Op(%d)", int(o))
+}
+
+// Instr is one instruction of a kernel. Registers are abstract small
+// integers; only def/use relationships matter for hazard timing.
+type Instr struct {
+	Op    Op
+	Dst   int // defined register (-1: none)
+	Src1  int // used registers (-1: none)
+	Src2  int
+	SI    int  // SI id for OpSI
+	Taken bool // branch outcome for OpBranch (static trace)
+}
+
+// timing constants of the pipeline model.
+const (
+	mulEXCycles        = 4 // EX occupancy of a multiply
+	takenBranchPenalty = 2 // flushed slots on a taken branch
+	loadUseStall       = 1 // bubble between a load and a dependent use
+	drainCycles        = 4 // pipeline drain after the last issue
+)
+
+// Run executes the instruction sequence and returns the cycle count,
+// modelling structural EX occupancy, load-use hazards and taken-branch
+// flushes. siLatency gives the EX occupancy of OpSI instructions (the
+// fastest available Molecule, or the trap entry cost when the routine is
+// inlined separately); it may be nil if the program contains no OpSI.
+func Run(prog []Instr, siLatency func(si int) int) int64 {
+	var cycle int64
+	lastLoadDst := -1
+	loadReadyAt := int64(-1)
+	for _, in := range prog {
+		issue := cycle
+		// Load-use hazard: a dependent instruction issues one cycle later.
+		if lastLoadDst >= 0 && issue < loadReadyAt &&
+			(in.Src1 == lastLoadDst || in.Src2 == lastLoadDst) {
+			issue = loadReadyAt
+		}
+		occupancy := int64(1)
+		switch in.Op {
+		case OpMul:
+			occupancy = mulEXCycles
+		case OpSI:
+			if siLatency == nil {
+				panic("pipeline: OpSI without siLatency")
+			}
+			lat := siLatency(in.SI)
+			if lat < 1 {
+				lat = 1
+			}
+			occupancy = int64(lat)
+		}
+		cycle = issue + occupancy
+		if in.Op == OpBranch && in.Taken {
+			cycle += takenBranchPenalty
+		}
+		if in.Op == OpLoad {
+			lastLoadDst = in.Dst
+			loadReadyAt = cycle + loadUseStall
+		} else if in.Dst >= 0 && in.Dst == lastLoadDst {
+			lastLoadDst = -1 // overwritten before use
+		}
+	}
+	return cycle + drainCycles
+}
+
+// Builder assembles kernels with a tiny embedded-assembler feel.
+type Builder struct {
+	prog []Instr
+}
+
+// NewBuilder returns an empty kernel builder.
+func NewBuilder() *Builder { return &Builder{} }
+
+// ALU appends a register ALU op dst = src1 ⊕ src2.
+func (b *Builder) ALU(dst, src1, src2 int) *Builder {
+	b.prog = append(b.prog, Instr{Op: OpALU, Dst: dst, Src1: src1, Src2: src2})
+	return b
+}
+
+// Load appends dst = mem[addr].
+func (b *Builder) Load(dst, addr int) *Builder {
+	b.prog = append(b.prog, Instr{Op: OpLoad, Dst: dst, Src1: addr, Src2: -1})
+	return b
+}
+
+// Store appends mem[addr] = src.
+func (b *Builder) Store(src, addr int) *Builder {
+	b.prog = append(b.prog, Instr{Op: OpStore, Dst: -1, Src1: src, Src2: addr})
+	return b
+}
+
+// Mul appends dst = src1 * src2 (multi-cycle).
+func (b *Builder) Mul(dst, src1, src2 int) *Builder {
+	b.prog = append(b.prog, Instr{Op: OpMul, Dst: dst, Src1: src1, Src2: src2})
+	return b
+}
+
+// Branch appends a conditional branch with a fixed outcome.
+func (b *Builder) Branch(src int, taken bool) *Builder {
+	b.prog = append(b.prog, Instr{Op: OpBranch, Dst: -1, Src1: src, Src2: -1, Taken: taken})
+	return b
+}
+
+// SI appends a Special Instruction invocation.
+func (b *Builder) SI(si int) *Builder {
+	b.prog = append(b.prog, Instr{Op: OpSI, Dst: -1, Src1: -1, Src2: -1, SI: si})
+	return b
+}
+
+// Nop appends a no-op.
+func (b *Builder) Nop() *Builder {
+	b.prog = append(b.prog, Instr{Op: OpNop, Dst: -1, Src1: -1, Src2: -1})
+	return b
+}
+
+// Loop unrolls body iterations times, appending the loop bookkeeping
+// (counter decrement + back-branch, taken on all but the last iteration).
+func (b *Builder) Loop(iterations int, body func(b *Builder)) *Builder {
+	for i := 0; i < iterations; i++ {
+		body(b)
+		b.ALU(30, 30, -1)              // decrement loop counter
+		b.Branch(30, i < iterations-1) // back edge
+	}
+	return b
+}
+
+// Build returns the assembled program.
+func (b *Builder) Build() []Instr {
+	return append([]Instr(nil), b.prog...)
+}
+
+// Len returns the current instruction count.
+func (b *Builder) Len() int { return len(b.prog) }
+
+// EventSource is the slice of the run-time system the co-simulation needs:
+// per-SI latencies that change as Atom loads complete (sim.Runtime
+// satisfies it).
+type EventSource interface {
+	Latency(si isa.SIID) int
+	NextEvent() (at int64, ok bool)
+	Advance(t int64)
+}
+
+// RunWithRuntime executes the program instruction by instruction against a
+// live run-time system: every OpSI queries the current fastest-Molecule
+// latency, and Atom-load completions apply at exact instruction
+// boundaries. This is the instruction-granular co-simulation of the
+// platform — slower than the burst-level simulator of internal/sim, but it
+// demonstrates (and tests) that an SI's latency can improve between two
+// adjacent invocations of the same loop iteration.
+func RunWithRuntime(prog []Instr, rt EventSource, start int64) int64 {
+	cycle := start
+	lastLoadDst := -1
+	loadReadyAt := int64(-1)
+	for _, in := range prog {
+		for {
+			at, ok := rt.NextEvent()
+			if !ok || at > cycle {
+				break
+			}
+			rt.Advance(at)
+		}
+		issue := cycle
+		if lastLoadDst >= 0 && issue < loadReadyAt &&
+			(in.Src1 == lastLoadDst || in.Src2 == lastLoadDst) {
+			issue = loadReadyAt
+		}
+		occupancy := int64(1)
+		switch in.Op {
+		case OpMul:
+			occupancy = mulEXCycles
+		case OpSI:
+			lat := rt.Latency(isa.SIID(in.SI))
+			if lat < 1 {
+				lat = 1
+			}
+			occupancy = int64(lat)
+		}
+		cycle = issue + occupancy
+		if in.Op == OpBranch && in.Taken {
+			cycle += takenBranchPenalty
+		}
+		if in.Op == OpLoad {
+			lastLoadDst = in.Dst
+			loadReadyAt = cycle + loadUseStall
+		} else if in.Dst >= 0 && in.Dst == lastLoadDst {
+			lastLoadDst = -1
+		}
+	}
+	return cycle + drainCycles
+}

@@ -1,0 +1,166 @@
+package pipeline
+
+import (
+	"testing"
+
+	"rispp/internal/isa"
+)
+
+func TestSingleALU(t *testing.T) {
+	prog := NewBuilder().ALU(1, 2, 3).Build()
+	// 1 issue cycle + 4 drain.
+	if got := Run(prog, nil); got != 5 {
+		t.Fatalf("Run = %d, want 5", got)
+	}
+}
+
+func TestLoadUseHazard(t *testing.T) {
+	dependent := NewBuilder().Load(1, 9).ALU(2, 1, 3).Build()
+	independent := NewBuilder().Load(1, 9).ALU(2, 4, 3).Build()
+	d := Run(dependent, nil)
+	i := Run(independent, nil)
+	if d != i+1 {
+		t.Fatalf("load-use stall: dependent %d, independent %d, want +1", d, i)
+	}
+}
+
+func TestLoadUseHazardOnlyNextUse(t *testing.T) {
+	// Moving an independent instruction between the load and its use hides
+	// the load latency: the reordered program is one cycle faster.
+	hidden := NewBuilder().Load(1, 9).ALU(5, 6, 7).ALU(2, 1, 3).Build()
+	exposed := NewBuilder().Load(1, 9).ALU(2, 1, 3).ALU(5, 6, 7).Build()
+	if Run(hidden, nil) != Run(exposed, nil)-1 {
+		t.Fatalf("hidden %d vs exposed %d: scheduling should hide exactly the stall",
+			Run(hidden, nil), Run(exposed, nil))
+	}
+}
+
+func TestTakenBranchPenalty(t *testing.T) {
+	taken := NewBuilder().Branch(1, true).Build()
+	notTaken := NewBuilder().Branch(1, false).Build()
+	if Run(taken, nil)-Run(notTaken, nil) != takenBranchPenalty {
+		t.Fatal("taken-branch penalty wrong")
+	}
+}
+
+func TestMulOccupancy(t *testing.T) {
+	mul := NewBuilder().Mul(1, 2, 3).Build()
+	alu := NewBuilder().ALU(1, 2, 3).Build()
+	if Run(mul, nil)-Run(alu, nil) != mulEXCycles-1 {
+		t.Fatal("multiply occupancy wrong")
+	}
+}
+
+func TestSIInstrUsesFabricLatency(t *testing.T) {
+	prog := NewBuilder().SI(3).Build()
+	fast := Run(prog, func(si int) int { return 10 })
+	slow := Run(prog, func(si int) int { return 100 })
+	if slow-fast != 90 {
+		t.Fatalf("SI latency not respected: fast=%d slow=%d", fast, slow)
+	}
+}
+
+func TestSIWithoutLatencyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("OpSI without siLatency did not panic")
+		}
+	}()
+	Run(NewBuilder().SI(0).Build(), nil)
+}
+
+func TestLoopStructure(t *testing.T) {
+	b := NewBuilder()
+	b.Loop(3, func(b *Builder) { b.ALU(1, 2, 3) })
+	prog := b.Build()
+	// 3 × (body + dec + branch).
+	if len(prog) != 9 {
+		t.Fatalf("loop emitted %d instructions, want 9", len(prog))
+	}
+	// The last back-branch must be not-taken, all earlier ones taken.
+	var branches []Instr
+	for _, in := range prog {
+		if in.Op == OpBranch {
+			branches = append(branches, in)
+		}
+	}
+	if len(branches) != 3 || !branches[0].Taken || !branches[1].Taken || branches[2].Taken {
+		t.Fatalf("branch outcomes wrong: %+v", branches)
+	}
+}
+
+func TestOpString(t *testing.T) {
+	for op, want := range map[Op]string{
+		OpALU: "alu", OpLoad: "load", OpStore: "store", OpBranch: "branch",
+		OpMul: "mul", OpSI: "si", OpNop: "nop", Op(99): "Op(99)",
+	} {
+		if op.String() != want {
+			t.Errorf("Op(%d).String() = %q, want %q", int(op), op.String(), want)
+		}
+	}
+}
+
+// TestKernelsReproduceTrapLatencies is the calibration link between the
+// pipeline substrate and the isa package: executing each SI's emulation
+// kernel on the pipeline model yields exactly the trap latency the dynamic
+// instruction set declares.
+func TestKernelsReproduceTrapLatencies(t *testing.T) {
+	is := isa.H264()
+	for i := range is.SIs {
+		si := &is.SIs[i]
+		got := EmulationCycles(si.ID)
+		want := int64(si.SWLatency)
+		if got != want {
+			t.Errorf("SI %q: emulation kernel takes %d cycles, trap latency is %d", si.Name, got, want)
+		}
+	}
+}
+
+// TestGlueCyclesMatchWorkloadGap ties the per-invocation glue code to the
+// workload calibration (Burst.Gap = 8 cycles).
+func TestGlueCyclesMatchWorkloadGap(t *testing.T) {
+	if got := GlueCycles(); got != 8 {
+		t.Fatalf("glue = %d cycles, workload calibration uses 8", got)
+	}
+}
+
+func TestKernelUnknownSIPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Kernel(99) did not panic")
+		}
+	}()
+	Kernel(isa.SIID(99))
+}
+
+func TestKernelsUseOnlyBaseInstructions(t *testing.T) {
+	for si := range h264Kernels {
+		for _, in := range Kernel(si) {
+			if in.Op == OpSI {
+				t.Fatalf("emulation kernel of SI %d contains an SI instruction", si)
+			}
+		}
+	}
+}
+
+// TestSIvsTrapSpeedup demonstrates the point of the whole platform at the
+// pipeline level: a hot loop invoking an SI 100 times runs far faster when
+// the SI dispatches to a composed Molecule than when every invocation traps.
+func TestSIvsTrapSpeedup(t *testing.T) {
+	is := isa.H264()
+	sad := is.SI(isa.SISAD)
+	b := NewBuilder()
+	b.Loop(100, func(b *Builder) {
+		for _, in := range GlueShape() {
+			b.prog = append(b.prog, in)
+		}
+		b.SI(int(isa.SISAD))
+	})
+	prog := b.Build()
+
+	hw := Run(prog, func(int) int { return sad.Fastest().Latency })
+	sw := Run(prog, func(int) int { return sad.SWLatency })
+	if speedup := float64(sw) / float64(hw); speedup < 10 {
+		t.Fatalf("hardware SI speedup only %.1fx at pipeline level", speedup)
+	}
+}

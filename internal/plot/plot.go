@@ -1,0 +1,200 @@
+// Package plot renders the repository's experiment data as standalone SVG
+// figures (standard library only). cmd/risppbench uses it to emit the
+// paper's plots — Figure 7's scheduler curves, Figure 2/8's execution-rate
+// histograms — as files a browser can open directly.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named curve.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Options style a chart.
+type Options struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Width  int  // default 720
+	Height int  // default 440
+	LogY   bool // logarithmic y axis (Figure 8's latency lines)
+}
+
+func (o *Options) setDefaults() {
+	if o.Width == 0 {
+		o.Width = 720
+	}
+	if o.Height == 0 {
+		o.Height = 440
+	}
+}
+
+// palette holds distinguishable series colors.
+var palette = []string{"#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b"}
+
+const (
+	marginL = 64
+	marginR = 16
+	marginT = 36
+	marginB = 48
+)
+
+// Line renders a multi-series line chart.
+func Line(series []Series, o Options) string {
+	o.setDefaults()
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for i := range s.X {
+			minX = math.Min(minX, s.X[i])
+			maxX = math.Max(maxX, s.X[i])
+			y := s.Y[i]
+			if o.LogY && y <= 0 {
+				y = 1
+			}
+			minY = math.Min(minY, y)
+			maxY = math.Max(maxY, y)
+		}
+	}
+	if math.IsInf(minX, 1) { // no data
+		minX, maxX, minY, maxY = 0, 1, 0, 1
+	}
+	if minY == maxY {
+		maxY = minY + 1
+	}
+	if minX == maxX {
+		maxX = minX + 1
+	}
+
+	ty := func(y float64) float64 {
+		if o.LogY {
+			if y <= 0 {
+				y = 1
+			}
+			return math.Log10(y)
+		}
+		return y
+	}
+	lo, hi := ty(minY), ty(maxY)
+	plotW := float64(o.Width - marginL - marginR)
+	plotH := float64(o.Height - marginT - marginB)
+	px := func(x float64) float64 { return float64(marginL) + (x-minX)/(maxX-minX)*plotW }
+	py := func(y float64) float64 { return float64(marginT) + (1-(ty(y)-lo)/(hi-lo))*plotH }
+
+	var b strings.Builder
+	header(&b, o)
+	axes(&b, o, minX, maxX, minY, maxY, px, py)
+
+	for i, s := range series {
+		color := palette[i%len(palette)]
+		var pts []string
+		for j := range s.X {
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", px(s.X[j]), py(s.Y[j])))
+		}
+		fmt.Fprintf(&b, `<polyline fill="none" stroke="%s" stroke-width="2" points="%s"/>`+"\n",
+			color, strings.Join(pts, " "))
+		// Legend entry.
+		lx := marginL + 12
+		lyy := marginT + 16 + 18*i
+		fmt.Fprintf(&b, `<rect x="%d" y="%d" width="12" height="3" fill="%s"/>`+"\n", lx, lyy-4, color)
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="12">%s</text>`+"\n", lx+18, lyy, esc(s.Name))
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+// Bars renders grouped bar series over shared integer x buckets (the
+// "executions per 100K cycles" histograms).
+func Bars(series []Series, o Options) string {
+	o.setDefaults()
+	buckets := 0
+	maxY := 0.0
+	for _, s := range series {
+		if len(s.Y) > buckets {
+			buckets = len(s.Y)
+		}
+		for _, y := range s.Y {
+			maxY = math.Max(maxY, y)
+		}
+	}
+	if buckets == 0 {
+		buckets = 1
+	}
+	if maxY == 0 {
+		maxY = 1
+	}
+	plotW := float64(o.Width - marginL - marginR)
+	plotH := float64(o.Height - marginT - marginB)
+	group := plotW / float64(buckets)
+	barW := group / float64(len(series)+1)
+
+	var b strings.Builder
+	header(&b, o)
+	axes(&b, o, 0, float64(buckets), 0, maxY,
+		func(x float64) float64 { return float64(marginL) + x/float64(buckets)*plotW },
+		func(y float64) float64 { return float64(marginT) + (1-y/maxY)*plotH })
+	for i, s := range series {
+		color := palette[i%len(palette)]
+		for j, y := range s.Y {
+			h := y / maxY * plotH
+			x := float64(marginL) + float64(j)*group + float64(i)*barW
+			fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s"/>`+"\n",
+				x, float64(marginT)+plotH-h, barW, h, color)
+		}
+		lx := marginL + 12
+		lyy := marginT + 16 + 18*i
+		fmt.Fprintf(&b, `<rect x="%d" y="%d" width="12" height="8" fill="%s"/>`+"\n", lx, lyy-8, color)
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="12">%s</text>`+"\n", lx+18, lyy, esc(s.Name))
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+func header(b *strings.Builder, o Options) {
+	fmt.Fprintf(b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif">`+"\n",
+		o.Width, o.Height)
+	fmt.Fprintf(b, `<rect width="%d" height="%d" fill="white"/>`+"\n", o.Width, o.Height)
+	fmt.Fprintf(b, `<text x="%d" y="20" font-size="14" font-weight="bold">%s</text>`+"\n",
+		marginL, esc(o.Title))
+}
+
+func axes(b *strings.Builder, o Options, minX, maxX, minY, maxY float64,
+	px, py func(float64) float64) {
+	x0, y0 := float64(marginL), float64(o.Height-marginB)
+	x1, y1 := float64(o.Width-marginR), float64(marginT)
+	fmt.Fprintf(b, `<line x1="%.0f" y1="%.0f" x2="%.0f" y2="%.0f" stroke="black"/>`+"\n", x0, y0, x1, y0)
+	fmt.Fprintf(b, `<line x1="%.0f" y1="%.0f" x2="%.0f" y2="%.0f" stroke="black"/>`+"\n", x0, y0, x0, y1)
+	// Min/max tick labels keep the implementation compact but readable.
+	fmt.Fprintf(b, `<text x="%.0f" y="%.0f" font-size="11">%s</text>`+"\n", x0, y0+16, fmtTick(minX))
+	fmt.Fprintf(b, `<text x="%.0f" y="%.0f" font-size="11" text-anchor="end">%s</text>`+"\n", x1, y0+16, fmtTick(maxX))
+	fmt.Fprintf(b, `<text x="%.0f" y="%.0f" font-size="11" text-anchor="end">%s</text>`+"\n", x0-6, y0, fmtTick(minY))
+	fmt.Fprintf(b, `<text x="%.0f" y="%.0f" font-size="11" text-anchor="end">%s</text>`+"\n", x0-6, y1+10, fmtTick(maxY))
+	fmt.Fprintf(b, `<text x="%.0f" y="%.0f" font-size="12" text-anchor="middle">%s</text>`+"\n",
+		(x0+x1)/2, float64(o.Height)-10, esc(o.XLabel))
+	fmt.Fprintf(b, `<text x="14" y="%.0f" font-size="12" transform="rotate(-90 14 %.0f)" text-anchor="middle">%s</text>`+"\n",
+		(y0+y1)/2, (y0+y1)/2, esc(o.YLabel))
+}
+
+func fmtTick(v float64) string {
+	switch {
+	case math.Abs(v) >= 1e6:
+		return fmt.Sprintf("%.0fM", v/1e6)
+	case math.Abs(v) >= 1e3:
+		return fmt.Sprintf("%.0fk", v/1e3)
+	case v == math.Trunc(v):
+		return fmt.Sprintf("%.0f", v)
+	}
+	return fmt.Sprintf("%.2f", v)
+}
+
+func esc(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+	return r.Replace(s)
+}

@@ -1,0 +1,114 @@
+package plot
+
+import (
+	"encoding/xml"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func wellFormed(t *testing.T, svg string) {
+	t.Helper()
+	dec := xml.NewDecoder(strings.NewReader(svg))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				return
+			}
+			t.Fatalf("SVG not well-formed XML: %v\n%s", err, svg)
+		}
+	}
+}
+
+func demoSeries() []Series {
+	return []Series{
+		{Name: "HEF", X: []float64{5, 10, 24}, Y: []float64{791, 395, 353}},
+		{Name: "FSFR", X: []float64{5, 10, 24}, Y: []float64{795, 460, 458}},
+	}
+}
+
+func TestLineChart(t *testing.T) {
+	svg := Line(demoSeries(), Options{Title: "Figure 7", XLabel: "#ACs", YLabel: "Mcycles"})
+	wellFormed(t, svg)
+	for _, want := range []string{"<svg", "polyline", "HEF", "FSFR", "Figure 7", "#ACs", "Mcycles"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	if got := strings.Count(svg, "<polyline"); got != 2 {
+		t.Errorf("polylines = %d, want 2", got)
+	}
+}
+
+func TestLineChartLogY(t *testing.T) {
+	s := []Series{{Name: "lat", X: []float64{0, 1, 2}, Y: []float64{1620, 72, 8}}}
+	svg := Line(s, Options{Title: "latency", LogY: true})
+	wellFormed(t, svg)
+	// On a log axis the visual distance 1620→72 must be smaller than on a
+	// linear one relative to 72→8; just assert well-formedness plus points.
+	if !strings.Contains(svg, "polyline") {
+		t.Fatal("no polyline")
+	}
+}
+
+func TestLineChartEmpty(t *testing.T) {
+	wellFormed(t, Line(nil, Options{Title: "empty"}))
+	wellFormed(t, Line([]Series{{Name: "x"}}, Options{}))
+}
+
+func TestBarsChart(t *testing.T) {
+	s := []Series{
+		{Name: "SAD", Y: []float64{10, 200, 2400, 2300}},
+		{Name: "SATD", Y: []float64{5, 60, 580, 590}},
+	}
+	svg := Bars(s, Options{Title: "Figure 2", XLabel: "100K-cycle bucket", YLabel: "executions"})
+	wellFormed(t, svg)
+	// 8 data bars + 2 legend swatches + 1 background.
+	if got := strings.Count(svg, "<rect"); got != 11 {
+		t.Errorf("rects = %d, want 11", got)
+	}
+}
+
+func TestBarsEmpty(t *testing.T) {
+	wellFormed(t, Bars(nil, Options{}))
+}
+
+func TestEscaping(t *testing.T) {
+	svg := Line(demoSeries(), Options{Title: "a < b & c"})
+	wellFormed(t, svg)
+	if strings.Contains(svg, "a < b & c") {
+		t.Fatal("title not escaped")
+	}
+	if !strings.Contains(svg, "a &lt; b &amp; c") {
+		t.Fatal("escaped title missing")
+	}
+}
+
+func TestYAxisOrientation(t *testing.T) {
+	// Larger y values must map to smaller pixel y (towards the top).
+	s := []Series{{Name: "v", X: []float64{0, 1}, Y: []float64{0, 100}}}
+	svg := Line(s, Options{Width: 200, Height: 200})
+	wellFormed(t, svg)
+	// Extract the polyline points attribute: "x0,y0 x1,y1".
+	i := strings.Index(svg, `points="`)
+	if i < 0 {
+		t.Fatal("no points")
+	}
+	rest := svg[i+len(`points="`):]
+	pts := strings.Fields(rest[:strings.Index(rest, `"`)])
+	if len(pts) != 2 {
+		t.Fatalf("points = %v", pts)
+	}
+	parseY := func(pt string) float64 {
+		parts := strings.Split(pt, ",")
+		v, err := strconv.ParseFloat(parts[1], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	if !(parseY(pts[1]) < parseY(pts[0])) {
+		t.Fatalf("y=100 (%s) not above y=0 (%s)", pts[1], pts[0])
+	}
+}

@@ -1,0 +1,195 @@
+package rtl
+
+import "fmt"
+
+// SAD16Atom builds the SAD16 Atom's data path as a netlist: sixteen 8-bit
+// absolute differences feeding a balanced adder tree, with a registered
+// output (one pipeline stage, matching the Atom's 1-cycle throughput).
+//
+// Inputs: a0..a15, b0..b15 (8 bit). Output: "sad" (registered, valid one
+// cycle after the operands).
+func SAD16Atom() (*Circuit, error) {
+	b := NewBuilder()
+	var diffs []Net
+	for i := 0; i < 16; i++ {
+		x := b.Input(fmt.Sprintf("a%d", i), 8)
+		y := b.Input(fmt.Sprintf("b%d", i), 8)
+		diffs = append(diffs, b.AbsDiff(x, y))
+	}
+	// Balanced reduction tree: 16 → 8 → 4 → 2 → 1.
+	level := diffs
+	for len(level) > 1 {
+		var next []Net
+		for i := 0; i+1 < len(level); i += 2 {
+			next = append(next, b.Add(level[i], level[i+1]))
+		}
+		level = next
+	}
+	b.Output("sad", b.Reg(level[0], 0))
+	return b.Build()
+}
+
+// BenefitComparator builds the HEF scheduler's division-free benefit
+// datapath (paper Section 5, Table 3): the comparison
+//
+//	(expected · Δlatency) · bestAtoms  >  bestProduct · candAtoms
+//
+// pipelined over three stages. The best side's product arrives
+// pre-computed (it is registered from the cycle its Molecule became the
+// best candidate), so the block needs exactly five MULT18X18 tiles: one
+// for the 16x12 candidate product and two each for the two 28x6 rescales.
+//
+// Inputs: expected (16 bit), dlat (12 bit), candAtoms (6 bit),
+// bestProd (28 bit), bestAtoms (6 bit).
+// Output: "greater" — 1 when the candidate's benefit exceeds the best —
+// valid three cycles after its operands entered the pipeline.
+func BenefitComparator() (*Circuit, error) {
+	b := NewBuilder()
+	expected := b.Input("expected", 16)
+	dlat := b.Input("dlat", 12)
+	candAtoms := b.Input("candAtoms", 6)
+	bestProd := b.Input("bestProd", 28)
+	bestAtoms := b.Input("bestAtoms", 6)
+
+	// Stage 1: candidate product expected·Δlatency; operands the later
+	// stages still need travel in pipeline registers alongside it.
+	candProd := b.Reg(b.Mul(expected, dlat), 0) // 28 bits, 1 MULT18X18
+	cand1 := b.Reg(candAtoms, 0)
+	bestP1 := b.Reg(bestProd, 0)
+	bestA1 := b.Reg(bestAtoms, 0)
+
+	// Stage 2: cross-multiplication — each 28x6 product spans two tiles.
+	candScaled := b.Reg(b.Mul(candProd, bestA1), 0)
+	bestScaled := b.Reg(b.Mul(bestP1, cand1), 0)
+
+	// Stage 3: the 34-bit comparison.
+	b.Output("greater", b.Reg(b.Gt(candScaled, bestScaled), 0))
+	return b.Build()
+}
+
+// BenefitComparatorLatency is the pipeline depth of BenefitComparator in
+// clock cycles.
+const BenefitComparatorLatency = 3
+
+// Hadamard4Atom builds one pass of the Transform Atom: the 4-point
+// Hadamard butterfly over 16-bit two's-complement lanes (negative
+// intermediate values wrap within the lane width, as real fixed-width
+// hardware does).
+//
+// Inputs: v0..v3 (16 bit). Outputs: h0..h3 (registered).
+func Hadamard4Atom() (*Circuit, error) {
+	b := NewBuilder()
+	var v [4]Net
+	for i := range v {
+		v[i] = b.Input(fmt.Sprintf("v%d", i), 16)
+	}
+	lane := func(n Net) Net { return b.Trunc(n, 16) }
+	a := lane(b.Add(v[0], v[2]))
+	d := lane(b.Sub(v[0], v[2]))
+	cc := lane(b.Add(v[1], v[3]))
+	e := lane(b.Sub(v[1], v[3]))
+	outs := [4]Net{
+		lane(b.Add(a, cc)),
+		lane(b.Add(d, e)),
+		lane(b.Sub(d, e)),
+		lane(b.Sub(a, cc)),
+	}
+	for i, o := range outs {
+		b.Output(fmt.Sprintf("h%d", i), b.Reg(o, 0))
+	}
+	return b.Build()
+}
+
+// PointFilterAtom builds the Figure 3 MC chain — the 6-tap half-pel filter
+// (1, −5, 20, 20, −5, 1) with rounding, shifting and clipping — without a
+// single multiplier: the ×5 and ×20 taps are shift-adds, the signed
+// arithmetic is handled by computing the positive and negative tap sums
+// separately.
+//
+// Inputs: w0..w5 (8 bit). Output: "pel" (registered, 8 bit).
+func PointFilterAtom() (*Circuit, error) {
+	b := NewBuilder()
+	var w [6]Net
+	for i := range w {
+		w[i] = b.Input(fmt.Sprintf("w%d", i), 8)
+	}
+	x5 := func(n Net) Net { return b.Add(b.Shl(n, 2), n) }            // ×5
+	x20 := func(n Net) Net { return b.Add(b.Shl(n, 4), b.Shl(n, 2)) } // ×20
+	pos := b.Add(b.Add(w[0], w[5]), b.Add(x20(w[2]), x20(w[3])))      // + taps
+	neg := b.Add(x5(w[1]), x5(w[4]))                                  // − taps
+	posR := b.Add(pos, b.Const(16, 5))                                // rounding
+	nonneg := b.Ge(posR, neg)
+	diff := b.Mux(nonneg, b.Sub(posR, neg), b.Const(0, 1))
+	shifted := b.Shr(diff, 5)
+	over := b.Gt(shifted, b.Const(255, 9))
+	b.Output("pel", b.Reg(b.Trunc(b.Mux(over, b.Const(255, 9), shifted), 8), 0))
+	return b.Build()
+}
+
+// SATD4x4Atoms builds the complete SATD data path of the SATD Special
+// Instruction as a netlist: the QSub stage (packed differences), two
+// Hadamard butterfly passes (rows, then the transposed columns — the
+// Transform Atoms), the signed absolute values and the accumulation tree
+// (the SAV Atom), and the final /2. All arithmetic runs on 16-bit
+// two's-complement lanes.
+//
+// Inputs: a0..a15, b0..b15 (8 bit, row-major 4x4 blocks).
+// Output: "satd" (registered).
+func SATD4x4Atoms() (*Circuit, error) {
+	b := NewBuilder()
+	lane := func(n Net) Net { return b.Trunc(n, 16) }
+	neg := func(n Net) Net { return lane(b.Sub(b.Const(0, 16), n)) }
+	sabs := func(n Net) Net { // |x| of a 16-bit two's-complement lane
+		isNeg := b.Ge(n, b.Const(1<<15, 16))
+		return b.Mux(isNeg, neg(n), n)
+	}
+	butterfly := func(v [4]Net) [4]Net {
+		s0 := lane(b.Add(v[0], v[2]))
+		d0 := lane(b.Sub(v[0], v[2]))
+		s1 := lane(b.Add(v[1], v[3]))
+		d1 := lane(b.Sub(v[1], v[3]))
+		return [4]Net{
+			lane(b.Add(s0, s1)),
+			lane(b.Add(d0, d1)),
+			lane(b.Sub(d0, d1)),
+			lane(b.Sub(s0, s1)),
+		}
+	}
+
+	// QSub stage: 16 packed differences on 16-bit lanes.
+	var d [16]Net
+	for i := 0; i < 16; i++ {
+		ai := b.Extend(b.Input(fmt.Sprintf("a%d", i), 8), 16)
+		bi := b.Extend(b.Input(fmt.Sprintf("b%d", i), 8), 16)
+		d[i] = lane(b.Sub(ai, bi))
+	}
+	// Transform stage 1: row butterflies.
+	var t [4][4]Net
+	for r := 0; r < 4; r++ {
+		t[r] = butterfly([4]Net{d[4*r], d[4*r+1], d[4*r+2], d[4*r+3]})
+	}
+	// Transform stage 2: column butterflies (transposition is wiring).
+	var u [4][4]Net
+	for c := 0; c < 4; c++ {
+		col := butterfly([4]Net{t[0][c], t[1][c], t[2][c], t[3][c]})
+		for r := 0; r < 4; r++ {
+			u[r][c] = col[r]
+		}
+	}
+	// SAV stage: absolute values into a balanced adder tree.
+	var level []Net
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 4; c++ {
+			level = append(level, sabs(u[r][c]))
+		}
+	}
+	for len(level) > 1 {
+		var next []Net
+		for i := 0; i+1 < len(level); i += 2 {
+			next = append(next, b.Add(level[i], level[i+1]))
+		}
+		level = next
+	}
+	b.Output("satd", b.Reg(b.Shr(level[0], 1), 0))
+	return b.Build()
+}

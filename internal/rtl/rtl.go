@@ -1,0 +1,584 @@
+// Package rtl is a small word-level register-transfer-level netlist
+// builder and cycle simulator. Where internal/hwmodel estimates costs from
+// component tables and internal/datapath pins down functionality in plain
+// Go, this package closes the remaining gap of the hardware story: the
+// key RISPP blocks — the SAD16 Atom's adder tree and the HEF scheduler's
+// pipelined division-free benefit comparator — are built as actual
+// netlists (see lib.go), simulated cycle by cycle, verified bit-identical
+// against the functional models, and costed from their structure.
+//
+// Circuits are built with Builder: combinational operators (add, sub, mul,
+// mux, comparisons, shifts) connect nets of explicit bit widths; Reg
+// inserts clocked registers. Build performs width checking, combinational
+// topological ordering and loop detection; Step advances one clock.
+package rtl
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Net identifies a signal in the circuit under construction.
+type Net int
+
+type opKind int
+
+const (
+	opInput opKind = iota
+	opConst
+	opAdd
+	opSub // saturating at 0? no — two's complement wraparound within width
+	opMul
+	opMux
+	opGt
+	opGe
+	opEq
+	opAnd
+	opOr
+	opNot
+	opShr
+	opShl
+	opExtend
+	opTrunc
+	opAbsDiff
+	opReg // placeholder node carrying a register's current output
+)
+
+func (k opKind) String() string {
+	switch k {
+	case opInput:
+		return "input"
+	case opConst:
+		return "const"
+	case opAdd:
+		return "add"
+	case opSub:
+		return "sub"
+	case opMul:
+		return "mul"
+	case opMux:
+		return "mux"
+	case opGt:
+		return "gt"
+	case opGe:
+		return "ge"
+	case opEq:
+		return "eq"
+	case opAnd:
+		return "and"
+	case opOr:
+		return "or"
+	case opNot:
+		return "not"
+	case opShr:
+		return "shr"
+	case opShl:
+		return "shl"
+	case opExtend:
+		return "extend"
+	case opTrunc:
+		return "trunc"
+	case opAbsDiff:
+		return "absdiff"
+	case opReg:
+		return "reg"
+	}
+	return "?"
+}
+
+type node struct {
+	kind  opKind
+	width int
+	args  []Net
+	cval  uint64 // opConst
+	shift int    // opShr
+	name  string // opInput / opReg
+}
+
+type register struct {
+	out  Net // the opReg node
+	d    Net // data input
+	init uint64
+}
+
+// Builder assembles a circuit.
+type Builder struct {
+	nodes   []node
+	regs    []register
+	outputs map[string]Net
+	err     error
+}
+
+// NewBuilder returns an empty circuit builder.
+func NewBuilder() *Builder {
+	return &Builder{outputs: make(map[string]Net)}
+}
+
+func (b *Builder) fail(format string, args ...any) Net {
+	if b.err == nil {
+		b.err = fmt.Errorf(format, args...)
+	}
+	return -1
+}
+
+func (b *Builder) add(n node) Net {
+	b.nodes = append(b.nodes, n)
+	return Net(len(b.nodes) - 1)
+}
+
+func (b *Builder) width(n Net) int {
+	if n < 0 || int(n) >= len(b.nodes) {
+		b.fail("rtl: invalid net %d", n)
+		return 1
+	}
+	return b.nodes[n].width
+}
+
+// Input declares a named primary input of the given width.
+func (b *Builder) Input(name string, width int) Net {
+	if width < 1 || width > 64 {
+		return b.fail("rtl: input %q width %d out of range", name, width)
+	}
+	return b.add(node{kind: opInput, width: width, name: name})
+}
+
+// Const introduces a constant.
+func (b *Builder) Const(v uint64, width int) Net {
+	if width < 1 || width > 64 {
+		return b.fail("rtl: const width %d out of range", width)
+	}
+	if width < 64 && v >= 1<<width {
+		return b.fail("rtl: const %d does not fit %d bits", v, width)
+	}
+	return b.add(node{kind: opConst, width: width, cval: v})
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func clampWidth(w int) int {
+	if w > 64 {
+		return 64
+	}
+	return w
+}
+
+// Add returns a+b with carry growth.
+func (b *Builder) Add(x, y Net) Net {
+	w := clampWidth(maxInt(b.width(x), b.width(y)) + 1)
+	return b.add(node{kind: opAdd, width: w, args: []Net{x, y}})
+}
+
+// Sub returns x−y modulo the result width (two's complement wrap).
+func (b *Builder) Sub(x, y Net) Net {
+	w := maxInt(b.width(x), b.width(y))
+	return b.add(node{kind: opSub, width: w, args: []Net{x, y}})
+}
+
+// Mul returns x·y with full-width growth.
+func (b *Builder) Mul(x, y Net) Net {
+	w := clampWidth(b.width(x) + b.width(y))
+	return b.add(node{kind: opMul, width: w, args: []Net{x, y}})
+}
+
+// Mux returns sel ? x : y. sel must be 1 bit wide.
+func (b *Builder) Mux(sel, x, y Net) Net {
+	if b.width(sel) != 1 {
+		return b.fail("rtl: mux select must be 1 bit, got %d", b.width(sel))
+	}
+	w := maxInt(b.width(x), b.width(y))
+	return b.add(node{kind: opMux, width: w, args: []Net{sel, x, y}})
+}
+
+// Gt returns the 1-bit unsigned comparison x > y.
+func (b *Builder) Gt(x, y Net) Net {
+	return b.add(node{kind: opGt, width: 1, args: []Net{x, y}})
+}
+
+// Ge returns x ≥ y.
+func (b *Builder) Ge(x, y Net) Net {
+	return b.add(node{kind: opGe, width: 1, args: []Net{x, y}})
+}
+
+// Eq returns x == y.
+func (b *Builder) Eq(x, y Net) Net {
+	return b.add(node{kind: opEq, width: 1, args: []Net{x, y}})
+}
+
+// And returns the bitwise AND.
+func (b *Builder) And(x, y Net) Net {
+	return b.add(node{kind: opAnd, width: maxInt(b.width(x), b.width(y)), args: []Net{x, y}})
+}
+
+// Or returns the bitwise OR.
+func (b *Builder) Or(x, y Net) Net {
+	return b.add(node{kind: opOr, width: maxInt(b.width(x), b.width(y)), args: []Net{x, y}})
+}
+
+// Not returns the 1-bit logical negation (x must be 1 bit).
+func (b *Builder) Not(x Net) Net {
+	if b.width(x) != 1 {
+		return b.fail("rtl: not expects a 1-bit net")
+	}
+	return b.add(node{kind: opNot, width: 1, args: []Net{x}})
+}
+
+// Shr returns x >> n (logical).
+func (b *Builder) Shr(x Net, n int) Net {
+	if n < 0 {
+		return b.fail("rtl: negative shift")
+	}
+	w := b.width(x) - n
+	if w < 1 {
+		w = 1
+	}
+	return b.add(node{kind: opShr, width: w, args: []Net{x}, shift: n})
+}
+
+// Shl returns x << n with width growth — constant multipliers (the point
+// filter's ×5 and ×20 taps) are built from shifts and adds, not MULT18X18
+// tiles.
+func (b *Builder) Shl(x Net, n int) Net {
+	if n < 0 {
+		return b.fail("rtl: negative shift")
+	}
+	return b.add(node{kind: opShl, width: clampWidth(b.width(x) + n), args: []Net{x}, shift: n})
+}
+
+// Extend zero-extends x to the given width (free in hardware — wiring).
+func (b *Builder) Extend(x Net, width int) Net {
+	if width < b.width(x) || width > 64 {
+		return b.fail("rtl: extend from %d to %d bits", b.width(x), width)
+	}
+	return b.add(node{kind: opExtend, width: width, args: []Net{x}})
+}
+
+// Trunc keeps the low `width` bits of x — the explicit width cast feedback
+// paths need (wrap-around counters, saturating accumulators are built from
+// Trunc plus Mux).
+func (b *Builder) Trunc(x Net, width int) Net {
+	if width < 1 || width > b.width(x) {
+		return b.fail("rtl: trunc to %d bits from %d", width, b.width(x))
+	}
+	return b.add(node{kind: opTrunc, width: width, args: []Net{x}})
+}
+
+// AbsDiff returns |x−y| — the absolute-difference primitive every SAD
+// datapath is made of.
+func (b *Builder) AbsDiff(x, y Net) Net {
+	w := maxInt(b.width(x), b.width(y))
+	return b.add(node{kind: opAbsDiff, width: w, args: []Net{x, y}})
+}
+
+// Reg inserts a clocked register with the given initial value; it returns
+// the register's output net. The register samples d at every Step.
+func (b *Builder) Reg(d Net, init uint64) Net {
+	out := b.add(node{kind: opReg, width: b.width(d), name: fmt.Sprintf("r%d", len(b.regs))})
+	b.regs = append(b.regs, register{out: out, d: d, init: init})
+	return out
+}
+
+// Feedback creates a register whose data input is wired later, enabling
+// feedback paths (counters, accumulators, the scheduler's best-benefit
+// register). It returns the register output and a drive function that must
+// be called exactly once with the data net; Build fails on undriven
+// feedback registers.
+func (b *Builder) Feedback(width int, init uint64) (out Net, drive func(d Net)) {
+	if width < 1 || width > 64 {
+		b.fail("rtl: feedback register width %d out of range", width)
+		return -1, func(Net) {}
+	}
+	out = b.add(node{kind: opReg, width: width, name: fmt.Sprintf("r%d", len(b.regs))})
+	idx := len(b.regs)
+	b.regs = append(b.regs, register{out: out, d: -1, init: init})
+	driven := false
+	return out, func(d Net) {
+		if driven {
+			b.fail("rtl: feedback register driven twice")
+			return
+		}
+		driven = true
+		if d < 0 || int(d) >= len(b.nodes) {
+			b.fail("rtl: feedback driven by invalid net")
+			return
+		}
+		if b.nodes[d].width > width {
+			b.fail("rtl: feedback data width %d exceeds register width %d", b.nodes[d].width, width)
+			return
+		}
+		b.regs[idx].d = d
+	}
+}
+
+// Output names a net as a primary output.
+func (b *Builder) Output(name string, n Net) {
+	if _, dup := b.outputs[name]; dup {
+		b.fail("rtl: duplicate output %q", name)
+		return
+	}
+	if n < 0 || int(n) >= len(b.nodes) {
+		b.fail("rtl: output %q wired to invalid net", name)
+		return
+	}
+	b.outputs[name] = n
+}
+
+// Circuit is a built netlist ready for cycle simulation.
+type Circuit struct {
+	nodes   []node
+	regs    []register
+	order   []Net // combinational evaluation order
+	outputs map[string]Net
+
+	vals []uint64
+	regv []uint64
+}
+
+// Build freezes the netlist: it verifies the graph, orders the
+// combinational nodes topologically and rejects combinational loops
+// (feedback must go through a Reg).
+func (b *Builder) Build() (*Circuit, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	n := len(b.nodes)
+	state := make([]int, n) // 0 unvisited, 1 visiting, 2 done
+	var order []Net
+	var visit func(Net) error
+	visit = func(id Net) error {
+		switch state[id] {
+		case 1:
+			return fmt.Errorf("rtl: combinational loop through %s net %d", b.nodes[id].kind, id)
+		case 2:
+			return nil
+		}
+		state[id] = 1
+		if b.nodes[id].kind != opReg { // registers break cycles
+			for _, a := range b.nodes[id].args {
+				if err := visit(a); err != nil {
+					return err
+				}
+			}
+		}
+		state[id] = 2
+		order = append(order, id)
+		return nil
+	}
+	for id := 0; id < n; id++ {
+		if err := visit(Net(id)); err != nil {
+			return nil, err
+		}
+	}
+	// Register data inputs must also be reachable/valid; undriven feedback
+	// registers are a wiring bug.
+	for _, r := range b.regs {
+		if r.d < 0 || int(r.d) >= n {
+			return nil, fmt.Errorf("rtl: register fed by invalid or undriven net")
+		}
+	}
+	c := &Circuit{
+		nodes:   b.nodes,
+		regs:    b.regs,
+		order:   order,
+		outputs: b.outputs,
+		vals:    make([]uint64, n),
+		regv:    make([]uint64, len(b.regs)),
+	}
+	c.Reset()
+	return c, nil
+}
+
+// Reset returns all registers to their initial values.
+func (c *Circuit) Reset() {
+	for i, r := range c.regs {
+		c.regv[i] = r.init
+	}
+}
+
+func mask(width int) uint64 {
+	if width >= 64 {
+		return ^uint64(0)
+	}
+	return (1 << width) - 1
+}
+
+// Step evaluates one clock cycle: combinational logic settles with the
+// current register values and inputs, outputs are sampled, then registers
+// capture their data inputs. Missing inputs read as 0.
+func (c *Circuit) Step(inputs map[string]uint64) map[string]uint64 {
+	for _, id := range c.order {
+		nd := &c.nodes[id]
+		var v uint64
+		switch nd.kind {
+		case opInput:
+			v = inputs[nd.name] & mask(nd.width)
+		case opConst:
+			v = nd.cval
+		case opAdd:
+			v = c.vals[nd.args[0]] + c.vals[nd.args[1]]
+		case opSub:
+			v = c.vals[nd.args[0]] - c.vals[nd.args[1]]
+		case opMul:
+			v = c.vals[nd.args[0]] * c.vals[nd.args[1]]
+		case opMux:
+			if c.vals[nd.args[0]] != 0 {
+				v = c.vals[nd.args[1]]
+			} else {
+				v = c.vals[nd.args[2]]
+			}
+		case opGt:
+			if c.vals[nd.args[0]] > c.vals[nd.args[1]] {
+				v = 1
+			}
+		case opGe:
+			if c.vals[nd.args[0]] >= c.vals[nd.args[1]] {
+				v = 1
+			}
+		case opEq:
+			if c.vals[nd.args[0]] == c.vals[nd.args[1]] {
+				v = 1
+			}
+		case opAnd:
+			v = c.vals[nd.args[0]] & c.vals[nd.args[1]]
+		case opOr:
+			v = c.vals[nd.args[0]] | c.vals[nd.args[1]]
+		case opNot:
+			if c.vals[nd.args[0]] == 0 {
+				v = 1
+			}
+		case opShr:
+			v = c.vals[nd.args[0]] >> nd.shift
+		case opShl:
+			v = c.vals[nd.args[0]] << nd.shift
+		case opExtend:
+			v = c.vals[nd.args[0]]
+		case opTrunc:
+			v = c.vals[nd.args[0]]
+		case opAbsDiff:
+			a, b := c.vals[nd.args[0]], c.vals[nd.args[1]]
+			if a >= b {
+				v = a - b
+			} else {
+				v = b - a
+			}
+		case opReg:
+			// Find this register's current value.
+			v = c.regValue(id)
+		}
+		c.vals[id] = v & mask(nd.width)
+	}
+	out := make(map[string]uint64, len(c.outputs))
+	for name, id := range c.outputs {
+		out[name] = c.vals[id]
+	}
+	// Clock edge: registers capture.
+	next := make([]uint64, len(c.regs))
+	for i, r := range c.regs {
+		next[i] = c.vals[r.d] & mask(c.nodes[r.out].width)
+	}
+	copy(c.regv, next)
+	return out
+}
+
+func (c *Circuit) regValue(out Net) uint64 {
+	for i, r := range c.regs {
+		if r.out == out {
+			return c.regv[i]
+		}
+	}
+	return 0
+}
+
+// Resources estimates the synthesis cost of the circuit from its structure:
+// LUTs per operator (≈1 LUT per result bit for add/sub/mux/logic, carry
+// chains included; comparators ≈ width/2), flip-flops per register bit, and
+// dedicated MULT18X18 blocks per 18x18 partial product.
+type Resources struct {
+	LUTs  int
+	FFs   int
+	Mults int
+	// Depth is the longest combinational operator chain (pipeline stage
+	// depth in operator levels).
+	Depth int
+}
+
+// Resources walks the netlist and accumulates structural costs.
+func (c *Circuit) Resources() Resources {
+	var r Resources
+	depth := make([]int, len(c.nodes))
+	for _, id := range c.order {
+		nd := &c.nodes[id]
+		d := 0
+		if nd.kind != opReg {
+			for _, a := range nd.args {
+				if depth[a] > d {
+					d = depth[a]
+				}
+			}
+		}
+		switch nd.kind {
+		case opAdd, opSub:
+			r.LUTs += nd.width
+			d++
+		case opAbsDiff:
+			r.LUTs += 2 * nd.width // subtract + conditional negate
+			d++
+		case opMux, opAnd, opOr:
+			r.LUTs += nd.width
+			d++
+		case opNot:
+			r.LUTs++
+			d++
+		case opGt, opGe, opEq:
+			r.LUTs += (maxWidthOf(c, nd.args) + 1) / 2
+			d++
+		case opMul:
+			// One MULT18X18 per 18x18 partial-product tile.
+			wa, wb := c.nodes[nd.args[0]].width, c.nodes[nd.args[1]].width
+			r.Mults += ((wa + 17) / 18) * ((wb + 17) / 18)
+			d++
+		}
+		depth[id] = d
+	}
+	for _, reg := range c.regs {
+		r.FFs += c.nodes[reg.out].width
+	}
+	for _, d := range depth {
+		if d > r.Depth {
+			r.Depth = d
+		}
+	}
+	return r
+}
+
+func maxWidthOf(c *Circuit, nets []Net) int {
+	w := 0
+	for _, n := range nets {
+		if c.nodes[n].width > w {
+			w = c.nodes[n].width
+		}
+	}
+	return w
+}
+
+// Stats summarizes the netlist for debugging.
+func (c *Circuit) Stats() string {
+	counts := map[string]int{}
+	for _, nd := range c.nodes {
+		counts[nd.kind.String()]++
+	}
+	keys := make([]string, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	s := fmt.Sprintf("%d nodes, %d registers:", len(c.nodes), len(c.regs))
+	for _, k := range keys {
+		s += fmt.Sprintf(" %s=%d", k, counts[k])
+	}
+	return s
+}

@@ -1,0 +1,32 @@
+package sched_test
+
+import (
+	"fmt"
+
+	"rispp/internal/isa"
+	"rispp/internal/molecule"
+	"rispp/internal/sched"
+)
+
+// Schedule the Motion Estimation hot spot of the H.264 ISA with the
+// paper's HEF scheduler: SAD is expected to execute far more often than
+// SATD, so its Atoms load first.
+func Example() {
+	is := isa.H264()
+	var reqs []sched.Request
+	for _, si := range is.HotSpotSIs(isa.HotSpotME) {
+		expected := int64(25641) // SAD forecast
+		if si.ID == isa.SISATD {
+			expected = 6336
+		}
+		reqs = append(reqs, sched.Request{SI: si, Selected: si.Fastest(), Expected: expected})
+	}
+
+	hef, _ := sched.New("HEF")
+	seq := hef.Schedule(reqs, molecule.New(is.Dim()))
+	fmt.Println("first Atom loaded:", is.Atom(seq[0]).Name)
+	fmt.Println("total Atom loads:", len(seq))
+	// Output:
+	// first Atom loaded: SAD16
+	// total Atom loads: 32
+}

@@ -1,0 +1,158 @@
+package sched
+
+import (
+	"fmt"
+
+	"rispp/internal/isa"
+	"rispp/internal/molecule"
+)
+
+// LoadCost returns the reconfiguration time of one Atom in cycles.
+type LoadCost func(isa.AtomID) int64
+
+// costModel is the clairvoyant-rate execution model used to define schedule
+// optimality: every requested SI executes continuously at a rate
+// proportional to its expected executions while Atoms load, so the cost of
+// a schedule is the time integral of the weighted SI latencies over the
+// composition window:
+//
+//	cost = Σ_steps loadTime(step) · Σ_si expected(si) · latency_si(state)
+//
+// The model is exactly what an optimal schedule needs "precise future
+// knowledge" for (Section 4.2); it upper-bounds the quality any realistic
+// scheduler can reach.
+type costModel struct {
+	reqs []Request
+	cost LoadCost
+}
+
+func (cm *costModel) rate(avail molecule.Vector) int64 {
+	var r int64
+	for i := range cm.reqs {
+		r += cm.reqs[i].Expected * int64(cm.reqs[i].SI.LatencyWith(avail))
+	}
+	return r
+}
+
+func (cm *costModel) loadTime(add molecule.Vector) int64 {
+	var t int64
+	for _, u := range add.Units() {
+		t += cm.cost(isa.AtomID(u))
+	}
+	return t
+}
+
+// EvalCost evaluates an Atom loading sequence under the clairvoyant-rate
+// cost model. It is used to compare schedulers against the exhaustive
+// optimum.
+func EvalCost(seq []isa.AtomID, reqs []Request, avail molecule.Vector, cost LoadCost) int64 {
+	cm := &costModel{reqs: reqs, cost: cost}
+	a := avail.Clone()
+	var total int64
+	for _, atom := range seq {
+		total += cost(atom) * cm.rate(a)
+		a = a.Add(molecule.Unit(int(atom), a.Len()))
+	}
+	return total
+}
+
+// Exhaustive finds a cost-optimal Atom loading sequence by depth-first
+// search with memoization over reachable availability states. It explores
+// Molecule upgrade steps (like the realistic schedulers) but with full
+// knowledge of the cost model, so it lower-bounds the achievable cost on
+// that model. MaxStates bounds the search; Schedule returns an error when
+// the instance is too large.
+type Exhaustive struct {
+	Cost      LoadCost
+	MaxStates int // 0 means DefaultMaxStates
+}
+
+// DefaultMaxStates bounds the memoization table of Exhaustive.
+const DefaultMaxStates = 1 << 18
+
+func (Exhaustive) Name() string { return "optimal" }
+
+type exhResult struct {
+	cost int64
+	step isa.Molecule // chosen Molecule; SI < 0 sentinel when terminal
+	stop bool
+}
+
+// Schedule returns the optimal loading sequence, its model cost, and an
+// error if the state space exceeded MaxStates.
+func (e Exhaustive) Schedule(reqs []Request, avail molecule.Vector) ([]isa.AtomID, int64, error) {
+	if e.Cost == nil {
+		return nil, 0, fmt.Errorf("sched: Exhaustive requires a LoadCost")
+	}
+	maxStates := e.MaxStates
+	if maxStates == 0 {
+		maxStates = DefaultMaxStates
+	}
+	cm := &costModel{reqs: reqs, cost: e.Cost}
+	cands := candidates(reqs)
+	memo := make(map[string]exhResult)
+
+	// The scheduling state is fully determined by the availability vector:
+	// the best latency of every SI is that of its fastest available
+	// Molecule. (This is slightly sharper than the committed-Molecule
+	// tracking of Figure 6 and makes memoization on avail exact.)
+	latFrom := func(avail molecule.Vector) map[isa.SIID]int {
+		lat := make(map[isa.SIID]int, len(reqs))
+		for i := range reqs {
+			lat[reqs[i].SI.ID] = reqs[i].SI.LatencyWith(avail)
+		}
+		return lat
+	}
+
+	var solve func(avail molecule.Vector) (exhResult, error)
+	solve = func(avail molecule.Vector) (exhResult, error) {
+		key := avail.String()
+		if r, ok := memo[key]; ok {
+			return r, nil
+		}
+		if len(memo) >= maxStates {
+			return exhResult{}, fmt.Errorf("sched: Exhaustive exceeded %d states", maxStates)
+		}
+		memo[key] = exhResult{stop: true} // cycle guard; overwritten below
+		st := &state{avail: avail, bestLat: latFrom(avail)}
+		live := clean(append([]isa.Molecule(nil), cands...), st)
+		best := exhResult{stop: true}
+		found := false
+		for _, o := range live {
+			add := avail.Sub(o.Atoms)
+			stepCost := cm.loadTime(add) * cm.rate(avail)
+			sub, err := solve(avail.Sup(o.Atoms))
+			if err != nil {
+				return exhResult{}, err
+			}
+			total := stepCost + sub.cost
+			if !found || total < best.cost {
+				best = exhResult{cost: total, step: o}
+				found = true
+			}
+		}
+		memo[key] = best
+		return best, nil
+	}
+
+	r, err := solve(avail.Clone())
+	if err != nil {
+		return nil, 0, err
+	}
+	totalCost := r.cost
+
+	// Reconstruct the sequence by replaying the memoized decisions.
+	a := avail.Clone()
+	var seq []isa.AtomID
+	for {
+		r, ok := memo[a.String()]
+		if !ok || r.stop {
+			break
+		}
+		for _, u := range a.Sub(r.step.Atoms).Units() {
+			seq = append(seq, isa.AtomID(u))
+		}
+		a = a.Sup(r.step.Atoms)
+	}
+	return seq, totalCost, nil
+}

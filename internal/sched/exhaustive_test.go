@@ -1,0 +1,139 @@
+package sched
+
+import (
+	"testing"
+
+	"rispp/internal/isa"
+	"rispp/internal/molecule"
+)
+
+func unitCost(isa.AtomID) int64 { return 87403 } // avg Atom reload, cycles
+
+func TestExhaustiveRequiresCost(t *testing.T) {
+	var e Exhaustive
+	if _, _, err := e.Schedule(nil, molecule.New(2)); err == nil {
+		t.Fatal("Exhaustive without LoadCost did not fail")
+	}
+}
+
+func TestExhaustiveIsLowerBound(t *testing.T) {
+	scenarios := []struct {
+		name string
+		is   *isa.ISA
+		exp  []int64
+	}{
+		{"fig4", fig4ISA(true), []int64{1000}},
+		{"fig5-balanced", twoSIISA(), []int64{1000, 1000}},
+		{"fig5-skewed", twoSIISA(), []int64{5000, 100}},
+		{"fig5-inverse", twoSIISA(), []int64{100, 5000}},
+	}
+	e := Exhaustive{Cost: unitCost}
+	for _, sc := range scenarios {
+		reqs := reqsFor(sc.is, sc.exp...)
+		avail := molecule.New(sc.is.Dim())
+		optSeq, optCost, err := e.Schedule(reqs, avail)
+		if err != nil {
+			t.Fatalf("%s: %v", sc.name, err)
+		}
+		if got := EvalCost(optSeq, reqs, avail, unitCost); got != optCost {
+			t.Errorf("%s: EvalCost(optimal) = %d, solver reported %d", sc.name, got, optCost)
+		}
+		for _, name := range Names {
+			s, _ := New(name)
+			seq := s.Schedule(reqs, avail)
+			cost := EvalCost(seq, reqs, avail, unitCost)
+			if cost < optCost {
+				t.Errorf("%s on %s: cost %d beats the 'optimal' %d", name, sc.name, cost, optCost)
+			}
+		}
+	}
+}
+
+// TestHEFNearOptimal quantifies the paper's implicit claim that HEF is a
+// good heuristic: on small instances its clairvoyant-rate cost is within
+// 10%% of the exhaustive optimum and no other scheduler beats it.
+func TestHEFNearOptimal(t *testing.T) {
+	scenarios := []struct {
+		name string
+		exp  []int64
+	}{
+		{"balanced", []int64{1000, 1000}},
+		{"skewed", []int64{5000, 100}},
+		{"inverse", []int64{100, 5000}},
+		{"mild", []int64{800, 500}},
+	}
+	is := twoSIISA()
+	e := Exhaustive{Cost: unitCost}
+	hefS, _ := New("HEF")
+	for _, sc := range scenarios {
+		reqs := reqsFor(is, sc.exp...)
+		avail := molecule.New(is.Dim())
+		_, optCost, err := e.Schedule(reqs, avail)
+		if err != nil {
+			t.Fatalf("%s: %v", sc.name, err)
+		}
+		hefCost := EvalCost(hefS.Schedule(reqs, avail), reqs, avail, unitCost)
+		if float64(hefCost) > 1.10*float64(optCost) {
+			t.Errorf("%s: HEF cost %d vs optimal %d (> 10%% gap)", sc.name, hefCost, optCost)
+		}
+		// On micro-instances another heuristic may edge HEF out by a hair
+		// (the paper's "never slower" claim is about full H.264 runs, see
+		// the Table 2 reproduction); assert no scheduler beats HEF by more
+		// than 1%.
+		for _, name := range []string{"FSFR", "ASF", "SJF"} {
+			s, _ := New(name)
+			cost := EvalCost(s.Schedule(reqs, avail), reqs, avail, unitCost)
+			if float64(cost) < 0.99*float64(hefCost) {
+				t.Errorf("%s: %s cost %d beats HEF %d by >1%%", sc.name, name, cost, hefCost)
+			}
+		}
+	}
+}
+
+func TestExhaustiveOnH264MEHotSpot(t *testing.T) {
+	// The ME hot spot (SAD + SATD) is small enough for the exact solver.
+	is := isa.H264()
+	var reqs []Request
+	for _, si := range is.HotSpotSIs(isa.HotSpotME) {
+		exp := int64(26000)
+		if si.ID == isa.SISATD {
+			exp = 6000
+		}
+		reqs = append(reqs, Request{SI: si, Selected: si.Fastest(), Expected: exp})
+	}
+	avail := molecule.New(is.Dim())
+	cost := func(a isa.AtomID) int64 {
+		return int64(is.Atom(a).BitstreamBytes) // proportional to reload time
+	}
+	e := Exhaustive{Cost: cost}
+	optSeq, optCost, err := e.Schedule(reqs, avail)
+	if err != nil {
+		t.Fatalf("exhaustive on ME: %v", err)
+	}
+	if err := Valid(optSeq, reqs, avail); err != nil {
+		t.Fatalf("optimal schedule invalid: %v", err)
+	}
+	hefS, _ := New("HEF")
+	hefCost := EvalCost(hefS.Schedule(reqs, avail), reqs, avail, cost)
+	if hefCost < optCost {
+		t.Fatalf("HEF %d beats optimal %d", hefCost, optCost)
+	}
+	if float64(hefCost) > 1.25*float64(optCost) {
+		t.Errorf("HEF optimality gap on ME too large: %d vs %d", hefCost, optCost)
+	}
+}
+
+func TestExhaustiveStateLimit(t *testing.T) {
+	is := twoSIISA()
+	reqs := reqsFor(is, 10, 10)
+	e := Exhaustive{Cost: unitCost, MaxStates: 1}
+	if _, _, err := e.Schedule(reqs, molecule.New(2)); err == nil {
+		t.Fatal("MaxStates=1 did not fail")
+	}
+}
+
+func TestEvalCostEmptySequence(t *testing.T) {
+	if got := EvalCost(nil, nil, molecule.New(2), unitCost); got != 0 {
+		t.Fatalf("EvalCost(nil) = %d", got)
+	}
+}

@@ -1,0 +1,71 @@
+package selection
+
+import (
+	"math/rand"
+	"testing"
+
+	"rispp/internal/isa/isatest"
+)
+
+// TestGreedyPropertiesOnRandomISAs: on random Molecule libraries the greedy
+// selection always respects the container budget, only selects for SIs with
+// positive forecasts, and never selects a Molecule slower than software.
+func TestGreedyPropertiesOnRandomISAs(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for i := 0; i < 300; i++ {
+		dim := 2 + rng.Intn(5)
+		is := isatest.RandomISA(rng, dim, 1+rng.Intn(5))
+		var cands []Candidate
+		for j := range is.SIs {
+			cands = append(cands, Candidate{SI: &is.SIs[j], Expected: int64(rng.Intn(2000))})
+		}
+		budget := rng.Intn(dim * 8)
+		reqs := Greedy(cands, budget, dim)
+		if na := Sup(reqs, dim).Determinant(); na > budget {
+			t.Fatalf("iteration %d: NA = %d > budget %d", i, na, budget)
+		}
+		for _, r := range reqs {
+			if r.Expected <= 0 {
+				t.Fatalf("iteration %d: selected SI %s with zero forecast", i, r.SI.Name)
+			}
+			if r.Selected.Latency >= r.SI.SWLatency {
+				t.Fatalf("iteration %d: selected Molecule slower than software", i)
+			}
+		}
+	}
+}
+
+// TestGreedyNearExhaustiveOnRandomISAs bounds the greedy selection's gap
+// against the exponential optimum on small random instances.
+func TestGreedyNearExhaustiveOnRandomISAs(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	worst := 1.0
+	for i := 0; i < 100; i++ {
+		dim := 2 + rng.Intn(3)
+		is := isatest.RandomISA(rng, dim, 1+rng.Intn(3))
+		var cands []Candidate
+		for j := range is.SIs {
+			cands = append(cands, Candidate{SI: &is.SIs[j], Expected: int64(1 + rng.Intn(2000))})
+		}
+		budget := 1 + rng.Intn(dim*4)
+		g := Gain(Greedy(cands, budget, dim))
+		e, err := Exhaustive(cands, budget, dim, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt := Gain(e)
+		if g > opt {
+			t.Fatalf("iteration %d: greedy gain %d exceeds optimal %d", i, g, opt)
+		}
+		if opt > 0 {
+			ratio := float64(g) / float64(opt)
+			if ratio < worst {
+				worst = ratio
+			}
+			if ratio < 0.6 {
+				t.Fatalf("iteration %d: greedy achieves only %.0f%% of optimal gain", i, 100*ratio)
+			}
+		}
+	}
+	t.Logf("worst greedy/optimal gain ratio over 100 random instances: %.3f", worst)
+}

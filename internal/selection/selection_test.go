@@ -1,0 +1,175 @@
+package selection
+
+import (
+	"testing"
+
+	"rispp/internal/isa"
+	"rispp/internal/molecule"
+	"rispp/internal/sched"
+)
+
+func meCandidates(is *isa.ISA) []Candidate {
+	return []Candidate{
+		{SI: is.SI(isa.SISAD), Expected: 26000},
+		{SI: is.SI(isa.SISATD), Expected: 6000},
+	}
+}
+
+func eeCandidates(is *isa.ISA) []Candidate {
+	var cands []Candidate
+	for _, si := range is.HotSpotSIs(isa.HotSpotEE) {
+		cands = append(cands, Candidate{SI: si, Expected: int64(500 * (int(si.ID) + 1))})
+	}
+	return cands
+}
+
+func TestGreedyRespectsContainerBudget(t *testing.T) {
+	is := isa.H264()
+	for _, numACs := range []int{0, 1, 2, 3, 5, 7, 10, 15, 20, 24, 40} {
+		for _, cands := range [][]Candidate{meCandidates(is), eeCandidates(is)} {
+			reqs := Greedy(cands, numACs, is.Dim())
+			if na := Sup(reqs, is.Dim()).Determinant(); na > numACs {
+				t.Errorf("ACs=%d: NA=%d exceeds budget", numACs, na)
+			}
+		}
+	}
+}
+
+func TestGreedyZeroACsSelectsNothing(t *testing.T) {
+	is := isa.H264()
+	if reqs := Greedy(meCandidates(is), 0, is.Dim()); len(reqs) != 0 {
+		t.Fatalf("0 ACs selected %v", reqs)
+	}
+}
+
+func TestGreedyZeroExpectedSelectsNothing(t *testing.T) {
+	is := isa.H264()
+	cands := []Candidate{{SI: is.SI(isa.SISAD), Expected: 0}}
+	if reqs := Greedy(cands, 24, is.Dim()); len(reqs) != 0 {
+		t.Fatalf("zero forecast selected %v", reqs)
+	}
+}
+
+func TestGreedySelectionGrowsWithACs(t *testing.T) {
+	// More Atom Containers must never lead to a worse (higher total
+	// latency·expected) selection — this monotonicity is what drives the
+	// paper's Figure 7 behaviour of bigger Molecules at higher AC counts.
+	is := isa.H264()
+	cands := meCandidates(is)
+	prevGain := int64(-1)
+	prevNA := -1
+	for numACs := 1; numACs <= 30; numACs++ {
+		reqs := Greedy(cands, numACs, is.Dim())
+		gain := Gain(reqs)
+		if gain < prevGain {
+			t.Errorf("ACs=%d: gain %d dropped below %d", numACs, gain, prevGain)
+		}
+		na := Sup(reqs, is.Dim()).Determinant()
+		if na < prevNA && gain == prevGain {
+			// Allowed: same gain with fewer Atoms is fine. Nothing to check.
+			_ = na
+		}
+		prevGain = gain
+		prevNA = na
+	}
+}
+
+func TestGreedySaturates(t *testing.T) {
+	// Once every SI runs its fastest Molecule, adding ACs changes nothing.
+	is := isa.H264()
+	cands := meCandidates(is)
+	full := Greedy(cands, 100, is.Dim())
+	for _, r := range full {
+		if r.Selected.Latency != r.SI.Fastest().Latency {
+			t.Errorf("SI %q not at fastest Molecule with 100 ACs", r.SI.Name)
+		}
+	}
+}
+
+func TestGreedyPrefersHotSI(t *testing.T) {
+	// With a tiny budget, the Molecule goes to the SI with the larger
+	// expected gain.
+	is := isa.H264()
+	cands := meCandidates(is) // SAD has 26k expected, SATD 6k
+	reqs := Greedy(cands, 1, is.Dim())
+	if len(reqs) != 1 || reqs[0].SI.ID != isa.SISAD {
+		t.Fatalf("1 AC selection = %+v, want SAD only", reqs)
+	}
+}
+
+func TestGreedyExploitsSharedAtoms(t *testing.T) {
+	// SATD and (I)DCT share the Transform Atom: selecting both must cost
+	// fewer containers than the sum of their individual needs.
+	is := isa.H264()
+	satd := []Candidate{{SI: is.SI(isa.SISATD), Expected: 5000}}
+	dct := []Candidate{{SI: is.SI(isa.SIDCT), Expected: 5000}}
+	both := []Candidate{satd[0], dct[0]}
+
+	na := func(reqs []sched.Request) int { return Sup(reqs, is.Dim()).Determinant() }
+	budget := 12
+	naSATD := na(Greedy(satd, budget, is.Dim()))
+	naDCT := na(Greedy(dct, budget, is.Dim()))
+	naBoth := na(Greedy(both, budget, is.Dim()))
+	if naBoth >= naSATD+naDCT {
+		t.Errorf("no Atom sharing: NA(both)=%d, NA(SATD)=%d + NA(DCT)=%d", naBoth, naSATD, naDCT)
+	}
+}
+
+func TestExhaustiveMatchesOrBeatsGreedy(t *testing.T) {
+	is := isa.H264()
+	for _, numACs := range []int{2, 4, 6, 8, 10} {
+		cands := meCandidates(is)
+		g := Greedy(cands, numACs, is.Dim())
+		e, err := Exhaustive(cands, numACs, is.Dim(), 0)
+		if err != nil {
+			t.Fatalf("ACs=%d: %v", numACs, err)
+		}
+		if na := Sup(e, is.Dim()).Determinant(); na > numACs {
+			t.Errorf("ACs=%d: exhaustive NA=%d over budget", numACs, na)
+		}
+		if Gain(e) < Gain(g) {
+			t.Errorf("ACs=%d: exhaustive gain %d < greedy %d", numACs, Gain(e), Gain(g))
+		}
+		// Greedy should be near the optimum on this small instance.
+		if float64(Gain(g)) < 0.9*float64(Gain(e)) {
+			t.Errorf("ACs=%d: greedy gain %d below 90%% of optimal %d", numACs, Gain(g), Gain(e))
+		}
+	}
+}
+
+func TestExhaustiveComboLimit(t *testing.T) {
+	is := isa.H264()
+	if _, err := Exhaustive(eeCandidates(is), 10, is.Dim(), 10); err == nil {
+		t.Fatal("combo limit not enforced")
+	}
+}
+
+func TestGainAndSupHelpers(t *testing.T) {
+	is := isa.H264()
+	si := is.SI(isa.SISAD)
+	reqs := []sched.Request{{SI: si, Selected: si.Fastest(), Expected: 10}}
+	wantGain := int64(10) * int64(si.SWLatency-si.Fastest().Latency)
+	if got := Gain(reqs); got != wantGain {
+		t.Fatalf("Gain = %d, want %d", got, wantGain)
+	}
+	if got := Sup(reqs, is.Dim()); !got.Equal(si.Fastest().Atoms) {
+		t.Fatalf("Sup = %v", got)
+	}
+	if got := Sup(nil, 3); !got.Equal(molecule.New(3)) {
+		t.Fatalf("Sup(nil) = %v", got)
+	}
+}
+
+func TestGreedyDeterministic(t *testing.T) {
+	is := isa.H264()
+	a := Greedy(eeCandidates(is), 14, is.Dim())
+	b := Greedy(eeCandidates(is), 14, is.Dim())
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic selection size")
+	}
+	for i := range a {
+		if a[i].SI.ID != b[i].SI.ID || !a[i].Selected.Atoms.Equal(b[i].Selected.Atoms) {
+			t.Fatal("nondeterministic selection")
+		}
+	}
+}

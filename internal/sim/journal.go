@@ -1,0 +1,95 @@
+package sim
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// ReadJournal parses a JSONL simulation journal back into events; it is
+// the counterpart of Options.Journal for offline analysis and the
+// risppreplay tool.
+func ReadJournal(r io.Reader) ([]JournalEvent, error) {
+	var out []JournalEvent
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	var prev int64 = -1
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var e JournalEvent
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			return nil, fmt.Errorf("sim: journal line %d: %w", line, err)
+		}
+		switch e.Event {
+		case "enter", "leave", "load", "latency":
+		default:
+			return nil, fmt.Errorf("sim: journal line %d: unknown event %q", line, e.Event)
+		}
+		if e.Cycle < prev {
+			return nil, fmt.Errorf("sim: journal line %d: time goes backwards (%d after %d)", line, e.Cycle, prev)
+		}
+		prev = e.Cycle
+		out = append(out, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("sim: journal: %w", err)
+	}
+	return out, nil
+}
+
+// JournalSummary aggregates a journal into per-phase statistics.
+type JournalSummary struct {
+	Phases []JournalPhase
+	Loads  int
+}
+
+// JournalPhase is one hot-spot execution reconstructed from the journal.
+type JournalPhase struct {
+	HotSpot      int
+	Start, End   int64
+	Loads        int
+	LatencySteps int
+}
+
+// Summarize reconstructs per-phase statistics from a journal.
+func Summarize(events []JournalEvent) (JournalSummary, error) {
+	var s JournalSummary
+	open := -1
+	for i, e := range events {
+		switch e.Event {
+		case "enter":
+			if open >= 0 {
+				return s, fmt.Errorf("sim: journal event %d: enter while phase open", i)
+			}
+			s.Phases = append(s.Phases, JournalPhase{HotSpot: e.HotSpot, Start: e.Cycle})
+			open = len(s.Phases) - 1
+		case "leave":
+			if open < 0 {
+				return s, fmt.Errorf("sim: journal event %d: leave without enter", i)
+			}
+			if s.Phases[open].HotSpot != e.HotSpot {
+				return s, fmt.Errorf("sim: journal event %d: leave hot spot %d, open is %d", i, e.HotSpot, s.Phases[open].HotSpot)
+			}
+			s.Phases[open].End = e.Cycle
+			open = -1
+		case "load":
+			s.Loads++
+			if open >= 0 {
+				s.Phases[open].Loads++
+			}
+		case "latency":
+			if open >= 0 {
+				s.Phases[open].LatencySteps++
+			}
+		}
+	}
+	if open >= 0 {
+		return s, fmt.Errorf("sim: journal ends inside a phase")
+	}
+	return s, nil
+}

@@ -1,0 +1,234 @@
+// Package sim is the cycle-level discrete-event simulator of the RISPP
+// evaluation platform: it executes a workload trace (hot-spot phases of SI
+// bursts) against a pluggable run-time system (the RISPP Run-Time Manager
+// of internal/core or the Molen-like baseline of internal/molen), modelling
+// the concurrency between SI execution and background reconfiguration.
+//
+// The simulator advances in closed form between latency-changing events
+// (Atom-load completions), so simulating billions of cycles costs time
+// proportional to the number of bursts and reconfigurations, not cycles.
+package sim
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"rispp/internal/isa"
+	"rispp/internal/stats"
+	"rispp/internal/workload"
+)
+
+// Runtime is the run-time system under simulation. The simulator calls
+// EnterHotSpot/LeaveHotSpot around every phase, asks Latency before bursts,
+// reports executions via Record, and processes latency-changing events
+// (Atom-load completions) via NextEvent/Advance.
+type Runtime interface {
+	Name() string
+	// Reset returns the runtime to its power-on state.
+	Reset()
+	// EnterHotSpot is invoked when the processor enters hot spot h at time
+	// now; the runtime typically forecasts, selects Molecules and schedules
+	// Atom loads here.
+	EnterHotSpot(h isa.HotSpotID, now int64)
+	// LeaveHotSpot is invoked when the phase ends.
+	LeaveHotSpot(now int64)
+	// Latency returns the current per-execution latency of si in cycles.
+	Latency(si isa.SIID) int
+	// Record reports n back-to-back executions of si ending at time now.
+	Record(si isa.SIID, n int64, now int64)
+	// NextEvent returns the time of the next latency-changing event, or
+	// ok = false when none is pending.
+	NextEvent() (at int64, ok bool)
+	// Advance processes the single event returned by NextEvent; t must
+	// equal that time.
+	Advance(t int64)
+}
+
+// Options control what a simulation run collects.
+type Options struct {
+	// HistogramBucket, when > 0, collects per-SI execution histograms with
+	// this bucket width in cycles (the paper uses 100,000).
+	HistogramBucket int64
+	// Timeline, when true, records SI latency steps (Figure 8 lines).
+	Timeline bool
+	// MaxCycles aborts the run when simulated time exceeds it (0 = no
+	// limit); a safety harness for tests.
+	MaxCycles int64
+	// Journal, when non-nil, receives one JSON object per line for every
+	// simulation event (phase entry/exit, Atom-load completions, SI latency
+	// changes) — a machine-readable replay log for external analysis.
+	Journal io.Writer
+}
+
+// JournalEvent is one line of the simulation journal.
+type JournalEvent struct {
+	Cycle   int64  `json:"t"`
+	Event   string `json:"ev"`      // "enter", "leave", "load", "latency"
+	HotSpot int    `json:"hotspot"` // enter/leave
+	SI      int    `json:"si"`      // latency
+	Latency int    `json:"lat"`     // latency
+}
+
+// PhaseStat records the boundaries of one executed hot-spot phase.
+type PhaseStat struct {
+	HotSpot isa.HotSpotID
+	Start   int64
+	End     int64
+}
+
+// Cycles returns the duration of the phase.
+func (p PhaseStat) Cycles() int64 { return p.End - p.Start }
+
+// Result aggregates the outcome of one simulation run.
+type Result struct {
+	Runtime     string
+	TotalCycles int64
+	Executions  map[isa.SIID]int64
+	// SWExecutions counts SI executions that ran via the base-ISA trap.
+	SWExecutions map[isa.SIID]int64
+	// HWExecutions counts SI executions on composed Molecules.
+	HWExecutions map[isa.SIID]int64
+	// StallCycles counts cycles spent in SI executions beyond what the
+	// fastest Molecule of each SI would have needed — the price of not yet
+	// (or never) being fully composed.
+	StallCycles int64
+	// Phases records the boundaries of every executed hot-spot phase.
+	Phases []PhaseStat
+
+	Histogram *stats.Histogram
+	Timeline  *stats.Timeline
+}
+
+// Run simulates the trace on the runtime and returns the result. The
+// runtime is Reset first, so a Runtime can be reused across runs.
+func Run(tr *workload.Trace, is *isa.ISA, rt Runtime, opts Options) (*Result, error) {
+	rt.Reset()
+	res := &Result{
+		Runtime:      rt.Name(),
+		Executions:   make(map[isa.SIID]int64),
+		SWExecutions: make(map[isa.SIID]int64),
+		HWExecutions: make(map[isa.SIID]int64),
+	}
+	if opts.HistogramBucket > 0 {
+		res.Histogram = stats.NewHistogram(opts.HistogramBucket)
+	}
+	if opts.Timeline {
+		res.Timeline = &stats.Timeline{}
+	}
+	var journalErr error
+	journal := func(e JournalEvent) {
+		if opts.Journal == nil || journalErr != nil {
+			return
+		}
+		b, err := json.Marshal(e)
+		if err == nil {
+			_, err = opts.Journal.Write(append(b, '\n'))
+		}
+		if err != nil {
+			journalErr = fmt.Errorf("sim: journal: %w", err)
+		}
+	}
+
+	now := int64(0)
+	// lastLat tracks per-SI latencies for journal change detection.
+	lastLat := make(map[isa.SIID]int)
+	recordLats := func(at int64, spot []isa.SIID) {
+		for _, si := range spot {
+			lat := rt.Latency(si)
+			if res.Timeline != nil {
+				res.Timeline.Record(at, int(si), lat)
+			}
+			if opts.Journal != nil && lastLat[si] != lat {
+				lastLat[si] = lat
+				journal(JournalEvent{Cycle: at, Event: "latency", SI: int(si), Latency: lat})
+			}
+		}
+	}
+	// drain processes all pending events up to and including time limit.
+	drain := func(limit int64, spot []isa.SIID) {
+		for {
+			at, ok := rt.NextEvent()
+			if !ok || at > limit {
+				return
+			}
+			rt.Advance(at)
+			journal(JournalEvent{Cycle: at, Event: "load"})
+			recordLats(at, spot)
+		}
+	}
+
+	res.Phases = make([]PhaseStat, 0, len(tr.Phases))
+	for pi := range tr.Phases {
+		p := &tr.Phases[pi]
+		phaseStart := now
+		spot := make([]isa.SIID, 0, 8)
+		for _, s := range is.HotSpotSIs(p.HotSpot) {
+			spot = append(spot, s.ID)
+		}
+		rt.EnterHotSpot(p.HotSpot, now)
+		journal(JournalEvent{Cycle: now, Event: "enter", HotSpot: int(p.HotSpot)})
+		recordLats(now, spot)
+		now += p.Setup
+		drain(now, spot)
+
+		for _, b := range p.Bursts {
+			remaining := int64(b.Count)
+			for remaining > 0 {
+				drain(now, spot)
+				lat := rt.Latency(b.SI)
+				per := int64(lat + b.Gap)
+				n := remaining
+				if next, ok := rt.NextEvent(); ok && next > now {
+					// Executions whose start time is before the event keep
+					// the current latency.
+					if k := (next - now + per - 1) / per; k < n {
+						n = k
+					}
+				}
+				if res.Histogram != nil {
+					res.Histogram.Add(int(b.SI), now, n, per)
+				}
+				res.Executions[b.SI] += n
+				sw := lat >= is.SI(b.SI).SWLatency
+				if sw {
+					res.SWExecutions[b.SI] += n
+				} else {
+					res.HWExecutions[b.SI] += n
+				}
+				res.StallCycles += n * int64(lat-is.SI(b.SI).Fastest().Latency)
+				now += n * per
+				remaining -= n
+				rt.Record(b.SI, n, now)
+				if opts.MaxCycles > 0 && now > opts.MaxCycles {
+					return nil, fmt.Errorf("sim: exceeded MaxCycles=%d at phase %d", opts.MaxCycles, pi)
+				}
+			}
+		}
+		drain(now, spot)
+		rt.LeaveHotSpot(now)
+		journal(JournalEvent{Cycle: now, Event: "leave", HotSpot: int(p.HotSpot)})
+		res.Phases = append(res.Phases, PhaseStat{HotSpot: p.HotSpot, Start: phaseStart, End: now})
+	}
+	res.TotalCycles = now
+	if journalErr != nil {
+		return nil, journalErr
+	}
+	return res, nil
+}
+
+// Software returns the trivial runtime with no reconfigurable hardware at
+// all: every SI always executes through the base-ISA trap. It models the
+// paper's 0-Atom-Container data point (7,403M cycles).
+func Software(is *isa.ISA) Runtime { return &swRuntime{is: is} }
+
+type swRuntime struct{ is *isa.ISA }
+
+func (r *swRuntime) Name() string                      { return "software" }
+func (r *swRuntime) Reset()                            {}
+func (r *swRuntime) EnterHotSpot(isa.HotSpotID, int64) {}
+func (r *swRuntime) LeaveHotSpot(int64)                {}
+func (r *swRuntime) Latency(si isa.SIID) int           { return r.is.SI(si).SWLatency }
+func (r *swRuntime) Record(isa.SIID, int64, int64)     {}
+func (r *swRuntime) NextEvent() (int64, bool)          { return 0, false }
+func (r *swRuntime) Advance(int64)                     { panic("sim: software runtime has no events") }

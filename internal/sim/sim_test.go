@@ -1,0 +1,370 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+
+	"rispp/internal/isa"
+	"rispp/internal/workload"
+)
+
+func smallTrace() *workload.Trace {
+	return workload.NewBuilder("small").
+		Phase(isa.HotSpotME, 100).
+		Burst(isa.SISAD, 10, 5).
+		Burst(isa.SISATD, 4, 5).
+		Phase(isa.HotSpotLF, 50).
+		Burst(isa.SILFBS4, 8, 2).
+		Build()
+}
+
+func TestSoftwareRuntimeCycleAccounting(t *testing.T) {
+	is := isa.H264()
+	tr := smallTrace()
+	res, err := Run(tr, is, Software(is), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalCycles != tr.SoftwareCycles(is) {
+		t.Fatalf("TotalCycles = %d, want %d (the closed-form software count)", res.TotalCycles, tr.SoftwareCycles(is))
+	}
+	if res.Executions[isa.SISAD] != 10 || res.Executions[isa.SISATD] != 4 || res.Executions[isa.SILFBS4] != 8 {
+		t.Fatalf("Executions = %v", res.Executions)
+	}
+	if res.SWExecutions[isa.SISAD] != 10 {
+		t.Fatalf("SWExecutions = %v", res.SWExecutions)
+	}
+	if len(res.HWExecutions) != 0 {
+		t.Fatalf("HWExecutions = %v on the software runtime", res.HWExecutions)
+	}
+	if res.Runtime != "software" {
+		t.Fatalf("Runtime = %q", res.Runtime)
+	}
+}
+
+func TestSoftwareMatchesPaperZeroACs(t *testing.T) {
+	// The 0-Atom-Container data point of Section 5: 7,403M cycles.
+	is := isa.H264()
+	tr := workload.H264(workload.H264Config{})
+	res, err := Run(tr, is, Software(is), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalCycles < 7_350_000_000 || res.TotalCycles > 7_450_000_000 {
+		t.Fatalf("software encode = %d cycles, want ≈7,403M", res.TotalCycles)
+	}
+}
+
+// eventRuntime is a scripted runtime: SI latency drops from slow to fast at
+// a fixed event time, mimicking one Atom-load completion.
+type eventRuntime struct {
+	is      *isa.ISA
+	eventAt int64
+	fired   bool
+	slow    int
+	fast    int
+
+	recorded int64
+}
+
+func (e *eventRuntime) Name() string                      { return "scripted" }
+func (e *eventRuntime) Reset()                            { e.fired = false; e.recorded = 0 }
+func (e *eventRuntime) EnterHotSpot(isa.HotSpotID, int64) {}
+func (e *eventRuntime) LeaveHotSpot(int64)                {}
+func (e *eventRuntime) Latency(isa.SIID) int {
+	if e.fired {
+		return e.fast
+	}
+	return e.slow
+}
+func (e *eventRuntime) Record(_ isa.SIID, n int64, _ int64) { e.recorded += n }
+func (e *eventRuntime) NextEvent() (int64, bool) {
+	if e.fired {
+		return 0, false
+	}
+	return e.eventAt, true
+}
+func (e *eventRuntime) Advance(t int64) {
+	if t != e.eventAt {
+		panic("advance at wrong time")
+	}
+	e.fired = true
+}
+
+func TestEventSplitsBurst(t *testing.T) {
+	// 10 executions, 100 cycles each (latency 95 + gap 5); the upgrade
+	// fires at cycle 250, so executions starting at 0, 100, 200 run slow
+	// (the one at 200 still starts before 250) and the remaining 7 run at
+	// 15 cycles each (10 + 5).
+	is := isa.H264()
+	tr := workload.NewBuilder("b").
+		Phase(isa.HotSpotME, 0).
+		Burst(isa.SISAD, 10, 5).
+		Build()
+	rt := &eventRuntime{is: is, eventAt: 250, slow: 95, fast: 10}
+	res, err := Run(tr, is, rt, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int64(3*100 + 7*15)
+	if res.TotalCycles != want {
+		t.Fatalf("TotalCycles = %d, want %d", res.TotalCycles, want)
+	}
+	if rt.recorded != 10 {
+		t.Fatalf("recorded %d executions", rt.recorded)
+	}
+}
+
+func TestEventDuringSetupApplies(t *testing.T) {
+	is := isa.H264()
+	tr := workload.NewBuilder("b").
+		Phase(isa.HotSpotME, 1000). // upgrade completes during setup
+		Burst(isa.SISAD, 5, 0).
+		Build()
+	rt := &eventRuntime{is: is, eventAt: 400, slow: 100, fast: 10}
+	res, err := Run(tr, is, rt, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int64(1000 + 5*10)
+	if res.TotalCycles != want {
+		t.Fatalf("TotalCycles = %d, want %d", res.TotalCycles, want)
+	}
+}
+
+func TestHistogramCollection(t *testing.T) {
+	is := isa.H264()
+	tr := workload.NewBuilder("b").
+		Phase(isa.HotSpotME, 0).
+		Burst(isa.SISAD, 100, 0).
+		Build()
+	rt := &eventRuntime{is: is, eventAt: 1 << 60, slow: 100, fast: 1}
+	res, err := Run(tr, is, rt, Options{HistogramBucket: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Histogram == nil {
+		t.Fatal("histogram not collected")
+	}
+	counts := res.Histogram.Counts(int(isa.SISAD))
+	if len(counts) != 10 {
+		t.Fatalf("buckets = %d, want 10", len(counts))
+	}
+	for i, c := range counts {
+		if c != 10 {
+			t.Fatalf("bucket %d = %d, want 10 (100-cycle executions, 1000-cycle buckets)", i, c)
+		}
+	}
+}
+
+func TestTimelineCollection(t *testing.T) {
+	is := isa.H264()
+	tr := workload.NewBuilder("b").
+		Phase(isa.HotSpotME, 0).
+		Burst(isa.SISAD, 10, 0).
+		Build()
+	rt := &eventRuntime{is: is, eventAt: 250, slow: 100, fast: 10}
+	res, err := Run(tr, is, rt, Options{Timeline: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Timeline == nil {
+		t.Fatal("timeline not collected")
+	}
+	if got := res.Timeline.LatencyAt(int(isa.SISAD), 0, -1); got != 100 {
+		t.Fatalf("latency at 0 = %d", got)
+	}
+	if got := res.Timeline.LatencyAt(int(isa.SISAD), 300, -1); got != 10 {
+		t.Fatalf("latency after event = %d", got)
+	}
+}
+
+func TestMaxCyclesAborts(t *testing.T) {
+	is := isa.H264()
+	tr := workload.H264(workload.H264Config{Frames: 1})
+	if _, err := Run(tr, is, Software(is), Options{MaxCycles: 1000}); err == nil {
+		t.Fatal("MaxCycles not enforced")
+	}
+}
+
+func TestStallCyclesAccounting(t *testing.T) {
+	is := isa.H264()
+	tr := workload.NewBuilder("b").
+		Phase(isa.HotSpotME, 0).
+		Burst(isa.SISAD, 3, 0).
+		Build()
+	res, err := Run(tr, is, Software(is), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fastest := is.SI(isa.SISAD).Fastest().Latency
+	want := 3 * int64(is.SI(isa.SISAD).SWLatency-fastest)
+	if res.StallCycles != want {
+		t.Fatalf("StallCycles = %d, want %d", res.StallCycles, want)
+	}
+}
+
+func TestRunResetsRuntime(t *testing.T) {
+	is := isa.H264()
+	tr := smallTrace()
+	rt := &eventRuntime{is: is, eventAt: 50, slow: 100, fast: 10}
+	a, err := Run(tr, is, rt, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(tr, is, rt, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TotalCycles != b.TotalCycles {
+		t.Fatalf("re-run differs: %d vs %d (Reset broken)", a.TotalCycles, b.TotalCycles)
+	}
+}
+
+func TestPhaseStats(t *testing.T) {
+	is := isa.H264()
+	tr := smallTrace()
+	res, err := Run(tr, is, Software(is), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Phases) != 2 {
+		t.Fatalf("phases = %d, want 2", len(res.Phases))
+	}
+	if res.Phases[0].Start != 0 || res.Phases[0].End != res.Phases[1].Start {
+		t.Fatalf("phase boundaries not contiguous: %+v", res.Phases)
+	}
+	if res.Phases[1].End != res.TotalCycles {
+		t.Fatalf("last phase ends at %d, total %d", res.Phases[1].End, res.TotalCycles)
+	}
+	var sum int64
+	for _, p := range res.Phases {
+		sum += p.Cycles()
+	}
+	if sum != res.TotalCycles {
+		t.Fatalf("phase cycles sum %d != total %d", sum, res.TotalCycles)
+	}
+	if res.Phases[0].HotSpot != isa.HotSpotME || res.Phases[1].HotSpot != isa.HotSpotLF {
+		t.Fatalf("phase hot spots wrong: %+v", res.Phases)
+	}
+}
+
+func TestJournal(t *testing.T) {
+	is := isa.H264()
+	tr := smallTrace()
+	var buf bytes.Buffer
+	rt := &eventRuntime{is: is, eventAt: 500, slow: 100, fast: 10}
+	if _, err := Run(tr, is, rt, Options{Journal: &buf}); err != nil {
+		t.Fatal(err)
+	}
+	var enters, leaves, loads, lats int
+	dec := json.NewDecoder(&buf)
+	var last int64 = -1
+	for dec.More() {
+		var e JournalEvent
+		if err := dec.Decode(&e); err != nil {
+			t.Fatal(err)
+		}
+		if e.Cycle < last {
+			t.Fatalf("journal time went backwards: %d after %d", e.Cycle, last)
+		}
+		last = e.Cycle
+		switch e.Event {
+		case "enter":
+			enters++
+		case "leave":
+			leaves++
+		case "load":
+			loads++
+		case "latency":
+			lats++
+		default:
+			t.Fatalf("unknown event %q", e.Event)
+		}
+	}
+	if enters != 2 || leaves != 2 {
+		t.Fatalf("enter/leave = %d/%d, want 2/2", enters, leaves)
+	}
+	if loads != 1 {
+		t.Fatalf("loads = %d, want 1 (the scripted event)", loads)
+	}
+	if lats == 0 {
+		t.Fatal("no latency events recorded")
+	}
+}
+
+type failingWriter struct{}
+
+func (failingWriter) Write([]byte) (int, error) { return 0, errors.New("disk full") }
+
+func TestJournalWriteErrorSurfaces(t *testing.T) {
+	is := isa.H264()
+	tr := smallTrace()
+	if _, err := Run(tr, is, Software(is), Options{Journal: failingWriter{}}); err == nil {
+		t.Fatal("journal write error swallowed")
+	}
+}
+
+func TestJournalRoundTrip(t *testing.T) {
+	is := isa.H264()
+	tr := workload.H264(workload.H264Config{Frames: 2})
+	var buf bytes.Buffer
+	rt := &eventRuntime{is: is, eventAt: 500_000, slow: 100, fast: 10}
+	res, err := Run(tr, is, rt, Options{Journal: &buf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, err := ReadJournal(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	summary, err := Summarize(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(summary.Phases) != len(res.Phases) {
+		t.Fatalf("journal reconstructs %d phases, sim ran %d", len(summary.Phases), len(res.Phases))
+	}
+	for i, p := range summary.Phases {
+		if p.Start != res.Phases[i].Start || p.End != res.Phases[i].End {
+			t.Fatalf("phase %d boundaries differ: journal [%d,%d], sim [%d,%d]",
+				i, p.Start, p.End, res.Phases[i].Start, res.Phases[i].End)
+		}
+		if int(res.Phases[i].HotSpot) != p.HotSpot {
+			t.Fatalf("phase %d hot spot differs", i)
+		}
+	}
+	if summary.Loads != 1 {
+		t.Fatalf("journal loads = %d, want 1", summary.Loads)
+	}
+}
+
+func TestReadJournalRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"{not json}\n",
+		`{"t":5,"ev":"explode"}` + "\n",
+		`{"t":10,"ev":"enter","hotspot":0}` + "\n" + `{"t":5,"ev":"leave","hotspot":0}` + "\n",
+	}
+	for i, c := range cases {
+		if _, err := ReadJournal(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestSummarizeRejectsMalformedSequences(t *testing.T) {
+	cases := [][]JournalEvent{
+		{{Event: "leave"}},
+		{{Event: "enter"}, {Event: "enter"}},
+		{{Event: "enter"}},
+		{{Event: "enter", HotSpot: 1}, {Event: "leave", HotSpot: 2}},
+	}
+	for i, evs := range cases {
+		if _, err := Summarize(evs); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}

@@ -1,0 +1,308 @@
+// Package stats collects and renders the measurement artifacts of the
+// paper's evaluation: per-period SI execution histograms (Figures 2 and 8),
+// SI latency timelines (Figure 8), speedup tables (Table 2) and simple
+// ASCII/CSV renderings for the command-line tools.
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Histogram counts SI executions per fixed-size cycle bucket — the paper
+// plots "# of SI executions per 100K cycles".
+type Histogram struct {
+	BucketCycles int64
+	counts       map[int][]int64 // SI → per-bucket counts
+	maxBucket    int
+}
+
+// NewHistogram creates a histogram with the given bucket width in cycles.
+func NewHistogram(bucketCycles int64) *Histogram {
+	if bucketCycles <= 0 {
+		panic("stats: bucket width must be positive")
+	}
+	return &Histogram{BucketCycles: bucketCycles, counts: make(map[int][]int64)}
+}
+
+// Add records count executions of SI si, the first at cycle start and each
+// subsequent one per cycles later. The executions are distributed over the
+// buckets they fall into without iterating each execution.
+func (h *Histogram) Add(si int, start int64, count int64, per int64) {
+	if count <= 0 {
+		return
+	}
+	if per <= 0 {
+		panic("stats: per-execution cycles must be positive")
+	}
+	row := h.counts[si]
+	first := int64(0)
+	for first < count {
+		t := start + first*per
+		b := int(t / h.BucketCycles)
+		// Last execution index (exclusive) still inside bucket b:
+		// start + k*per < (b+1)*BucketCycles.
+		end := ((int64(b)+1)*h.BucketCycles - start + per - 1) / per
+		if end > count {
+			end = count
+		}
+		for len(row) <= b {
+			row = append(row, 0)
+		}
+		row[b] += end - first
+		if b > h.maxBucket {
+			h.maxBucket = b
+		}
+		first = end
+	}
+	h.counts[si] = row
+}
+
+// Buckets returns the number of buckets covered so far.
+func (h *Histogram) Buckets() int {
+	if len(h.counts) == 0 {
+		return 0
+	}
+	return h.maxBucket + 1
+}
+
+// Counts returns the per-bucket execution counts of SI si, padded to
+// Buckets() length.
+func (h *Histogram) Counts(si int) []int64 {
+	row := append([]int64(nil), h.counts[si]...)
+	for len(row) < h.Buckets() {
+		row = append(row, 0)
+	}
+	return row
+}
+
+// Total returns all executions recorded for SI si.
+func (h *Histogram) Total(si int) int64 {
+	var n int64
+	for _, c := range h.counts[si] {
+		n += c
+	}
+	return n
+}
+
+// SIs returns the SI ids present in the histogram, sorted.
+func (h *Histogram) SIs() []int {
+	out := make([]int, 0, len(h.counts))
+	for si := range h.counts {
+		out = append(out, si)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// LatencyEvent is one step of an SI latency timeline: from Cycle on, the SI
+// executes with Latency cycles (an Atom load completed and upgraded a
+// Molecule, or a hot-spot switch evicted Atoms).
+type LatencyEvent struct {
+	Cycle   int64
+	SI      int
+	Latency int
+}
+
+// Timeline records SI latency steps over a simulation — the "lines" part of
+// Figure 8.
+type Timeline struct {
+	Events []LatencyEvent
+}
+
+// Record appends a latency step; consecutive duplicates are dropped.
+func (t *Timeline) Record(cycle int64, si, latency int) {
+	for i := len(t.Events) - 1; i >= 0; i-- {
+		if t.Events[i].SI == si {
+			if t.Events[i].Latency == latency {
+				return
+			}
+			break
+		}
+	}
+	t.Events = append(t.Events, LatencyEvent{Cycle: cycle, SI: si, Latency: latency})
+}
+
+// LatencyAt returns the latency of SI si at the given cycle, or def when no
+// event happened yet.
+func (t *Timeline) LatencyAt(si int, cycle int64, def int) int {
+	lat := def
+	for _, e := range t.Events {
+		if e.Cycle > cycle {
+			break
+		}
+		if e.SI == si {
+			lat = e.Latency
+		}
+	}
+	return lat
+}
+
+// PerSI returns the events of one SI in order.
+func (t *Timeline) PerSI(si int) []LatencyEvent {
+	var out []LatencyEvent
+	for _, e := range t.Events {
+		if e.SI == si {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Table is a simple column-aligned text table used by the bench harness to
+// print the paper's tables.
+type Table struct {
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends a row of cells.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// String renders the table with right-aligned columns.
+func (t *Table) String() string {
+	width := make([]int, len(t.Header))
+	for i, hd := range t.Header {
+		width[i] = len(hd)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(width) && len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%*s", width[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Header)
+	for i, w := range width {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		line(row)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values (cells are simple
+// numbers/identifiers in this repo, no quoting needed).
+func (t *Table) CSV() string {
+	var b strings.Builder
+	b.WriteString(strings.Join(t.Header, ","))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		b.WriteString(strings.Join(row, ","))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+var sparkRunes = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders a series as a unicode sparkline, scaled to the series
+// maximum.
+func Sparkline(series []int64) string {
+	var max int64
+	for _, v := range series {
+		if v > max {
+			max = v
+		}
+	}
+	var b strings.Builder
+	for _, v := range series {
+		if max == 0 {
+			b.WriteRune(sparkRunes[0])
+			continue
+		}
+		idx := int(v * int64(len(sparkRunes)-1) / max)
+		b.WriteRune(sparkRunes[idx])
+	}
+	return b.String()
+}
+
+// Chart renders several integer series as rows of labelled sparklines with
+// a shared scale annotation.
+func Chart(labels []string, series [][]int64) string {
+	width := 0
+	for _, l := range labels {
+		if len(l) > width {
+			width = len(l)
+		}
+	}
+	var b strings.Builder
+	for i, s := range series {
+		var max int64
+		for _, v := range s {
+			if v > max {
+				max = v
+			}
+		}
+		fmt.Fprintf(&b, "%-*s |%s| max=%d\n", width, labels[i], Sparkline(s), max)
+	}
+	return b.String()
+}
+
+// Speedup formats a speedup ratio the way the paper's Table 2 does (two
+// decimals).
+func Speedup(baseline, improved int64) string {
+	if improved == 0 {
+		return "inf"
+	}
+	return fmt.Sprintf("%.2f", float64(baseline)/float64(improved))
+}
+
+// SpeedupValue returns the numeric speedup baseline/improved.
+func SpeedupValue(baseline, improved int64) float64 {
+	if improved == 0 {
+		return 0
+	}
+	return float64(baseline) / float64(improved)
+}
+
+// CSV renders the histogram as comma-separated values: one row per bucket,
+// one column per SI. name maps SI ids to column headers.
+func (h *Histogram) CSV(name func(si int) string) string {
+	sis := h.SIs()
+	var b strings.Builder
+	b.WriteString("bucket")
+	for _, si := range sis {
+		b.WriteByte(',')
+		b.WriteString(name(si))
+	}
+	b.WriteByte('\n')
+	counts := make([][]int64, len(sis))
+	for i, si := range sis {
+		counts[i] = h.Counts(si)
+	}
+	for bucket := 0; bucket < h.Buckets(); bucket++ {
+		fmt.Fprintf(&b, "%d", bucket)
+		for i := range sis {
+			fmt.Fprintf(&b, ",%d", counts[i][bucket])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// CSV renders the timeline as comma-separated values: cycle, SI, latency.
+func (t *Timeline) CSV(name func(si int) string) string {
+	var b strings.Builder
+	b.WriteString("cycle,si,latency\n")
+	for _, e := range t.Events {
+		fmt.Fprintf(&b, "%d,%s,%d\n", e.Cycle, name(e.SI), e.Latency)
+	}
+	return b.String()
+}

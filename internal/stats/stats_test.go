@@ -1,0 +1,220 @@
+package stats
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramSingleBucket(t *testing.T) {
+	h := NewHistogram(100)
+	h.Add(0, 10, 5, 10) // executions at 10,20,30,40,50 — all in bucket 0
+	if got := h.Counts(0); len(got) != 1 || got[0] != 5 {
+		t.Fatalf("Counts = %v", got)
+	}
+}
+
+func TestHistogramSpansBuckets(t *testing.T) {
+	h := NewHistogram(100)
+	h.Add(0, 0, 10, 25) // at 0,25,...,225: buckets 0-3 get 4,4,2
+	got := h.Counts(0)
+	want := []int64{4, 4, 2}
+	if len(got) != 3 {
+		t.Fatalf("Counts = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Counts = %v, want %v", got, want)
+		}
+	}
+	if h.Total(0) != 10 {
+		t.Fatalf("Total = %d", h.Total(0))
+	}
+}
+
+func TestHistogramMatchesNaiveSpread(t *testing.T) {
+	// Property: the arithmetic bucket filling equals the per-execution loop.
+	err := quick.Check(func(startRaw, countRaw, perRaw uint16) bool {
+		start := int64(startRaw)
+		count := int64(countRaw%200) + 1
+		per := int64(perRaw%500) + 1
+		fast := NewHistogram(100)
+		fast.Add(0, start, count, per)
+		naive := map[int]int64{}
+		for k := int64(0); k < count; k++ {
+			naive[int((start+k*per)/100)]++
+		}
+		got := fast.Counts(0)
+		var total int64
+		for b, n := range naive {
+			if b >= len(got) || got[b] != n {
+				return false
+			}
+			total += n
+		}
+		return total == count
+	}, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(7))})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramMultipleSIs(t *testing.T) {
+	h := NewHistogram(100)
+	h.Add(3, 0, 2, 10)
+	h.Add(1, 150, 1, 10)
+	sis := h.SIs()
+	if len(sis) != 2 || sis[0] != 1 || sis[1] != 3 {
+		t.Fatalf("SIs = %v", sis)
+	}
+	if h.Buckets() != 2 {
+		t.Fatalf("Buckets = %d", h.Buckets())
+	}
+	// Padding to shared bucket count.
+	if got := h.Counts(3); len(got) != 2 || got[1] != 0 {
+		t.Fatalf("padded counts = %v", got)
+	}
+}
+
+func TestHistogramZeroCountIgnored(t *testing.T) {
+	h := NewHistogram(100)
+	h.Add(0, 0, 0, 10)
+	if h.Buckets() != 0 {
+		t.Fatal("zero count created buckets")
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewHistogram(0) },
+		func() { NewHistogram(10).Add(0, 0, 1, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestTimelineRecordAndQuery(t *testing.T) {
+	var tl Timeline
+	tl.Record(0, 1, 1090)
+	tl.Record(500, 1, 132)
+	tl.Record(500, 2, 700)
+	tl.Record(800, 1, 132) // duplicate latency, dropped
+	if len(tl.Events) != 3 {
+		t.Fatalf("events = %v", tl.Events)
+	}
+	if got := tl.LatencyAt(1, 499, -1); got != 1090 {
+		t.Fatalf("LatencyAt(1,499) = %d", got)
+	}
+	if got := tl.LatencyAt(1, 500, -1); got != 132 {
+		t.Fatalf("LatencyAt(1,500) = %d", got)
+	}
+	if got := tl.LatencyAt(7, 100, -1); got != -1 {
+		t.Fatalf("LatencyAt(unknown) = %d", got)
+	}
+	if got := tl.PerSI(1); len(got) != 2 {
+		t.Fatalf("PerSI = %v", got)
+	}
+}
+
+func TestTimelineDuplicateAfterOtherSI(t *testing.T) {
+	var tl Timeline
+	tl.Record(0, 1, 100)
+	tl.Record(10, 2, 200)
+	tl.Record(20, 1, 100) // still SI 1's latest latency — dropped
+	if len(tl.Events) != 2 {
+		t.Fatalf("events = %v", tl.Events)
+	}
+	tl.Record(30, 1, 50)
+	if len(tl.Events) != 3 {
+		t.Fatalf("events = %v", tl.Events)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := &Table{Header: []string{"#ACs", "HEF"}}
+	tb.AddRow("5", "1.09")
+	tb.AddRow("24", "2.38")
+	s := tb.String()
+	if !strings.Contains(s, "#ACs") || !strings.Contains(s, "2.38") {
+		t.Fatalf("table rendering broken:\n%s", s)
+	}
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table has %d lines, want 4", len(lines))
+	}
+	csv := tb.CSV()
+	if !strings.HasPrefix(csv, "#ACs,HEF\n") || !strings.Contains(csv, "24,2.38") {
+		t.Fatalf("CSV broken:\n%s", csv)
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	s := Sparkline([]int64{0, 4, 8})
+	if len([]rune(s)) != 3 {
+		t.Fatalf("sparkline = %q", s)
+	}
+	runes := []rune(s)
+	if runes[0] != '▁' || runes[2] != '█' {
+		t.Fatalf("sparkline scale wrong: %q", s)
+	}
+	if Sparkline([]int64{0, 0}) != "▁▁" {
+		t.Fatal("all-zero sparkline wrong")
+	}
+}
+
+func TestChart(t *testing.T) {
+	out := Chart([]string{"SAD", "SATD"}, [][]int64{{1, 2, 3}, {3, 2, 1}})
+	if !strings.Contains(out, "SAD") || !strings.Contains(out, "max=3") {
+		t.Fatalf("chart broken:\n%s", out)
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	if got := Speedup(238, 100); got != "2.38" {
+		t.Fatalf("Speedup = %q", got)
+	}
+	if got := Speedup(10, 0); got != "inf" {
+		t.Fatalf("Speedup/0 = %q", got)
+	}
+	if got := SpeedupValue(300, 200); got != 1.5 {
+		t.Fatalf("SpeedupValue = %v", got)
+	}
+	if got := SpeedupValue(1, 0); got != 0 {
+		t.Fatalf("SpeedupValue/0 = %v", got)
+	}
+}
+
+func TestHistogramCSV(t *testing.T) {
+	h := NewHistogram(100)
+	h.Add(0, 0, 5, 10)
+	h.Add(2, 150, 3, 10)
+	csv := h.CSV(func(si int) string { return map[int]string{0: "SAD", 2: "DCT"}[si] })
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if lines[0] != "bucket,SAD,DCT" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if len(lines) != 3 { // 2 buckets + header
+		t.Fatalf("lines = %v", lines)
+	}
+	if lines[1] != "0,5,0" || lines[2] != "1,0,3" {
+		t.Fatalf("rows = %v", lines[1:])
+	}
+}
+
+func TestTimelineCSV(t *testing.T) {
+	var tl Timeline
+	tl.Record(0, 1, 1110)
+	tl.Record(500, 1, 38)
+	csv := tl.CSV(func(si int) string { return "SAD" })
+	if !strings.Contains(csv, "cycle,si,latency\n0,SAD,1110\n500,SAD,38\n") {
+		t.Fatalf("timeline CSV:\n%s", csv)
+	}
+}

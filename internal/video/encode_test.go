@@ -1,0 +1,98 @@
+package video
+
+import (
+	"math"
+	"testing"
+)
+
+func encodePair(t *testing.T, qp int) (EncodeResult, *Frame, *Frame) {
+	t.Helper()
+	s := Scene{W: 128, H: 96, Seed: 12, Objects: 2, PanX: 1}
+	ref := s.Frame(3)
+	cur := s.Frame(4)
+	return EncodeFrame(ref, cur, qp, 4), ref, cur
+}
+
+func TestEncodeFrameReconstructionQuality(t *testing.T) {
+	res, _, _ := encodePair(t, 8)
+	if res.PSNR < 38 {
+		t.Fatalf("PSNR at QP 8 = %.1f dB, expected a high-quality reconstruction", res.PSNR)
+	}
+	if res.InterMBs == 0 {
+		t.Fatal("panning scene produced no inter macroblocks")
+	}
+}
+
+func TestPSNRDecreasesWithQP(t *testing.T) {
+	low, _, _ := encodePair(t, 6)
+	mid, _, _ := encodePair(t, 24)
+	high, _, _ := encodePair(t, 40)
+	if !(low.PSNR > mid.PSNR && mid.PSNR > high.PSNR) {
+		t.Fatalf("PSNR not monotone in QP: %.1f, %.1f, %.1f", low.PSNR, mid.PSNR, high.PSNR)
+	}
+}
+
+func TestLevelsDecreaseWithQP(t *testing.T) {
+	fine, _, _ := encodePair(t, 6)
+	coarse, _, _ := encodePair(t, 36)
+	if coarse.Levels >= fine.Levels {
+		t.Fatalf("coarser quantization should spend fewer levels: %d vs %d", coarse.Levels, fine.Levels)
+	}
+}
+
+func TestEncodeIdenticalFramesNearLossless(t *testing.T) {
+	s := Scene{W: 96, H: 96, Seed: 13}
+	f := s.Frame(2)
+	res := EncodeFrame(f, f, 8, 4)
+	// Identical reference: zero-motion prediction, near-zero residual.
+	if !math.IsInf(res.PSNR, 1) && res.PSNR < 50 {
+		t.Fatalf("identical-frame encode PSNR = %.1f dB", res.PSNR)
+	}
+	if res.Levels > len(f.Pix)/64 {
+		t.Fatalf("identical-frame encode spent %d levels", res.Levels)
+	}
+}
+
+func TestEncodeDeterministic(t *testing.T) {
+	a, _, _ := encodePair(t, 20)
+	b, _, _ := encodePair(t, 20)
+	if a.PSNR != b.PSNR || a.Levels != b.Levels {
+		t.Fatal("encode not deterministic")
+	}
+	for i := range a.Recon.Pix {
+		if a.Recon.Pix[i] != b.Recon.Pix[i] {
+			t.Fatal("reconstruction not deterministic")
+		}
+	}
+}
+
+func TestSceneChangeEncodesIntra(t *testing.T) {
+	s := Scene{W: 128, H: 96, Seed: 14, SceneChangeFrame: 4, Objects: 2}
+	ref := s.Frame(3)
+	cur := s.Frame(4) // across the cut
+	res := EncodeFrame(ref, cur, 20, 4)
+	if res.IntraMBs <= res.InterMBs/4 {
+		t.Fatalf("scene change should force many intra MBs: %d intra / %d inter",
+			res.IntraMBs, res.InterMBs)
+	}
+	// Despite the useless reference, intra coding keeps quality reasonable.
+	if res.PSNR < 25 {
+		t.Fatalf("scene-change PSNR = %.1f dB", res.PSNR)
+	}
+}
+
+func TestPSNRMismatchedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("PSNR of mismatched frames did not panic")
+		}
+	}()
+	PSNR(&Frame{W: 2, H: 2, Pix: make([]uint8, 4)}, &Frame{W: 4, H: 4, Pix: make([]uint8, 16)})
+}
+
+func TestPSNRIdentical(t *testing.T) {
+	f := (&Scene{W: 32, H: 32, Seed: 1}).Frame(0)
+	if !math.IsInf(PSNR(f, f), 1) {
+		t.Fatal("PSNR of identical frames should be +Inf")
+	}
+}

@@ -1,0 +1,95 @@
+package video
+
+import (
+	"strings"
+	"testing"
+
+	"rispp/internal/datapath"
+)
+
+func TestEncodeSequenceClosedLoop(t *testing.T) {
+	scene := Scene{W: 128, H: 96, Seed: 21, Objects: 2, PanX: 1}
+	res := EncodeSequence(scene, 5, 16, 4)
+	if len(res.Frames) != 5 {
+		t.Fatalf("frames = %d", len(res.Frames))
+	}
+	if res.AvgPSNR < 30 {
+		t.Fatalf("avg PSNR = %.1f dB, reconstruction chain is drifting", res.AvgPSNR)
+	}
+	// Quality must not collapse over the sequence (no drift between the
+	// encoder's reference chain and the reconstructions).
+	first, last := res.Frames[0].PSNR, res.Frames[len(res.Frames)-1].PSNR
+	if last < first-6 {
+		t.Fatalf("PSNR drifted from %.1f to %.1f dB", first, last)
+	}
+	if !strings.Contains(res.String(), "frames") {
+		t.Fatal("String broken")
+	}
+}
+
+func TestEncodeSequenceQPTradeoff(t *testing.T) {
+	scene := Scene{W: 96, H: 96, Seed: 22, Objects: 2, PanX: 0.8}
+	fine := EncodeSequence(scene, 3, 8, 4)
+	coarse := EncodeSequence(scene, 3, 32, 4)
+	if fine.AvgPSNR <= coarse.AvgPSNR {
+		t.Fatalf("fine QP not higher quality: %.1f vs %.1f dB", fine.AvgPSNR, coarse.AvgPSNR)
+	}
+	if fine.Levels <= coarse.Levels {
+		t.Fatalf("fine QP not more levels: %d vs %d", fine.Levels, coarse.Levels)
+	}
+}
+
+func TestDeblockSmoothsBlockEdges(t *testing.T) {
+	// Construct a frame with a hard step exactly at a macroblock boundary;
+	// the loop filter must soften it.
+	f := &Frame{W: 64, H: 32, Pix: make([]uint8, 64*32)}
+	for y := 0; y < f.H; y++ {
+		for x := 0; x < f.W; x++ {
+			v := uint8(70)
+			if x >= 16 {
+				v = 78 // mild blocking artifact, below the strong-filter threshold
+			}
+			f.Pix[y*f.W+x] = v
+		}
+	}
+	before := datapath.Abs(f.At(15, 8) - f.At(16, 8))
+	Deblock(f)
+	after := datapath.Abs(f.At(15, 8) - f.At(16, 8))
+	if after >= before {
+		t.Fatalf("edge step not reduced: %d -> %d", before, after)
+	}
+}
+
+func TestDeblockLeavesRealEdgesAlone(t *testing.T) {
+	// A strong content edge (gradient above α) must not be filtered.
+	f := &Frame{W: 64, H: 32, Pix: make([]uint8, 64*32)}
+	for y := 0; y < f.H; y++ {
+		for x := 0; x < f.W; x++ {
+			v := uint8(10)
+			if x >= 16 {
+				v = 240
+			}
+			f.Pix[y*f.W+x] = v
+		}
+	}
+	orig := append([]uint8(nil), f.Pix...)
+	Deblock(f)
+	for i := range orig {
+		if f.Pix[i] != orig[i] {
+			t.Fatal("deblocking altered a real edge")
+		}
+	}
+}
+
+func TestDeblockFlatFrameUnchanged(t *testing.T) {
+	f := &Frame{W: 48, H: 48, Pix: make([]uint8, 48*48)}
+	for i := range f.Pix {
+		f.Pix[i] = 123
+	}
+	Deblock(f)
+	for i := range f.Pix {
+		if f.Pix[i] != 123 {
+			t.Fatal("deblocking altered a flat frame")
+		}
+	}
+}

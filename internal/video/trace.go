@@ -1,0 +1,89 @@
+package video
+
+import (
+	"rispp/internal/isa"
+	"rispp/internal/workload"
+)
+
+// TraceConfig controls the derivation of a workload trace from a scene.
+type TraceConfig struct {
+	Scene       Scene
+	Frames      int // encoded P-frames (frame 0 is the unencoded reference)
+	SearchRange int // integer-pel search range (default 4)
+
+	// Glue/setup cycles; defaults match the calibrated workload generator.
+	Gap   int
+	Setup int64
+}
+
+func (c *TraceConfig) setDefaults() {
+	if c.Frames == 0 {
+		c.Frames = 10
+	}
+	if c.SearchRange == 0 {
+		c.SearchRange = 4
+	}
+	if c.Gap == 0 {
+		c.Gap = 8
+	}
+	if c.Setup == 0 {
+		c.Setup = 61_000
+	}
+}
+
+// Trace encodes the scene with the toy front end and emits the SI
+// invocations as a workload trace: the Motion Estimation counts come from
+// the actual motion search, the Encoding Engine counts from the per-MB
+// inter/intra decisions and residual costs, the Loop Filter counts from
+// the predicted block boundaries. High-motion content therefore genuinely
+// produces more SI work — the adaptivity driver of the paper.
+func Trace(cfg TraceConfig) *workload.Trace {
+	cfg.setDefaults()
+	t := &workload.Trace{Name: "video-derived"}
+	prev := cfg.Scene.Frame(0)
+	for f := 1; f <= cfg.Frames; f++ {
+		cur := cfg.Scene.Frame(f)
+		_, mbs := AnalyzeFrame(prev, cur, cfg.SearchRange)
+
+		me := workload.Phase{HotSpot: isa.HotSpotME, Setup: cfg.Setup}
+		ee := workload.Phase{HotSpot: isa.HotSpotEE, Setup: cfg.Setup}
+		lf := workload.Phase{HotSpot: isa.HotSpotLF, Setup: cfg.Setup}
+		for _, a := range mbs {
+			me.Bursts = append(me.Bursts,
+				workload.Burst{SI: isa.SISAD, Count: a.SADs, Gap: cfg.Gap},
+				workload.Burst{SI: isa.SISATD, Count: a.SATDs, Gap: cfg.Gap},
+			)
+			// Residual coding effort grows with the prediction error: 8
+			// always-coded blocks plus up to 16 cost-dependent ones.
+			dct := 8 + min(16, a.Cost/480)
+			if a.Intra {
+				ee.Bursts = append(ee.Bursts,
+					workload.Burst{SI: isa.SIIPredHDC, Count: 4, Gap: cfg.Gap},
+					workload.Burst{SI: isa.SIIPredVDC, Count: 4, Gap: cfg.Gap},
+					workload.Burst{SI: isa.SIDCT, Count: dct + 8, Gap: cfg.Gap},
+				)
+			} else {
+				ee.Bursts = append(ee.Bursts,
+					workload.Burst{SI: isa.SIMC, Count: 6, Gap: cfg.Gap},
+					workload.Burst{SI: isa.SIDCT, Count: dct, Gap: cfg.Gap},
+				)
+			}
+			ee.Bursts = append(ee.Bursts,
+				workload.Burst{SI: isa.SIHT4x4, Count: 2, Gap: cfg.Gap},
+				workload.Burst{SI: isa.SIHT2x2, Count: 1, Gap: cfg.Gap},
+			)
+			// Intra blocks and strong residuals raise the boundary
+			// strength: more BS4 edges to filter.
+			lfCount := 8
+			if a.Intra {
+				lfCount = 16
+			} else if a.Cost > 12*MBSize*MBSize/4 {
+				lfCount = 12
+			}
+			lf.Bursts = append(lf.Bursts, workload.Burst{SI: isa.SILFBS4, Count: lfCount, Gap: cfg.Gap})
+		}
+		t.Phases = append(t.Phases, me, ee, lf)
+		prev = cur
+	}
+	return t
+}

@@ -1,0 +1,262 @@
+// Package video provides a synthetic video source and a small H.264-style
+// encoder front end. Where internal/workload ships the paper-calibrated
+// trace, this package *derives* a trace from actual content: it renders
+// deterministic frames (panning background, moving objects, scene
+// changes), runs a real motion search with the datapath kernels, decides
+// inter/intra per macroblock, and emits the resulting Special Instruction
+// invocations as a workload trace.
+//
+// This closes the loop the paper motivates: "the encoding-type of a Macro
+// Block … only depends on the kind of motion in the input video sequence"
+// — with this package the SI execution counts genuinely depend on what the
+// virtual camera sees, and the run-time system has to adapt to it.
+package video
+
+import (
+	"math/rand"
+
+	"rispp/internal/datapath"
+)
+
+// Frame is a luma-only picture.
+type Frame struct {
+	W, H int
+	Pix  []uint8
+}
+
+// At returns the sample at (x, y) with clamped borders.
+func (f *Frame) At(x, y int) int {
+	if x < 0 {
+		x = 0
+	}
+	if x >= f.W {
+		x = f.W - 1
+	}
+	if y < 0 {
+		y = 0
+	}
+	if y >= f.H {
+		y = f.H - 1
+	}
+	return int(f.Pix[y*f.W+x])
+}
+
+// Scene describes a deterministic synthetic sequence.
+type Scene struct {
+	W, H int // pixels; default CIF 352x288
+
+	Seed    int64
+	Objects int     // moving foreground squares (default 4)
+	PanX    float64 // background pan, pixels/frame (default 0.8)
+	PanY    float64
+	// SceneChangeFrame, when > 0, swaps the layout and triples the object
+	// velocities from that frame on.
+	SceneChangeFrame int
+}
+
+func (s *Scene) setDefaults() {
+	if s.W == 0 {
+		s.W = 352
+	}
+	if s.H == 0 {
+		s.H = 288
+	}
+	if s.Objects == 0 {
+		s.Objects = 4
+	}
+	if s.PanX == 0 && s.PanY == 0 {
+		s.PanX = 0.8
+	}
+}
+
+type object struct {
+	x, y   float64
+	vx, vy float64
+	size   int
+	shade  uint8
+}
+
+func (s *Scene) objects() []object {
+	rng := rand.New(rand.NewSource(s.Seed*2654435761 + 1))
+	objs := make([]object, s.Objects)
+	for i := range objs {
+		objs[i] = object{
+			x:     rng.Float64() * float64(s.W),
+			y:     rng.Float64() * float64(s.H),
+			vx:    (rng.Float64()*2 - 1) * 3,
+			vy:    (rng.Float64()*2 - 1) * 2,
+			size:  24 + rng.Intn(40),
+			shade: uint8(64 + rng.Intn(160)),
+		}
+	}
+	return objs
+}
+
+// Frame renders frame idx of the scene. Rendering is deterministic in
+// (Scene, idx) — no state is carried between calls.
+func (s *Scene) Frame(idx int) *Frame {
+	sc := *s
+	sc.setDefaults()
+	f := &Frame{W: sc.W, H: sc.H, Pix: make([]uint8, sc.W*sc.H)}
+
+	speed := 1.0
+	phaseShift := 0
+	if sc.SceneChangeFrame > 0 && idx >= sc.SceneChangeFrame {
+		speed = 3.0
+		phaseShift = 97 // different background alignment after the cut
+	}
+	// Panning gradient background with a texture stripe pattern.
+	panX := int(sc.PanX * float64(idx) * speed)
+	panY := int(sc.PanY * float64(idx) * speed)
+	for y := 0; y < sc.H; y++ {
+		for x := 0; x < sc.W; x++ {
+			v := ((x+panX+phaseShift)>>2 + (y+panY)>>3) & 0x3F
+			f.Pix[y*sc.W+x] = uint8(64 + v*2)
+		}
+	}
+	// Moving objects.
+	for _, o := range sc.objects() {
+		ox := int(o.x + o.vx*float64(idx)*speed)
+		oy := int(o.y + o.vy*float64(idx)*speed)
+		ox = ((ox % sc.W) + sc.W) % sc.W
+		oy = ((oy % sc.H) + sc.H) % sc.H
+		for dy := 0; dy < o.size; dy++ {
+			yy := oy + dy
+			if yy >= sc.H {
+				break
+			}
+			for dx := 0; dx < o.size; dx++ {
+				xx := ox + dx
+				if xx >= sc.W {
+					break
+				}
+				f.Pix[yy*sc.W+xx] = o.shade
+			}
+		}
+	}
+	return f
+}
+
+// MBSize is the macroblock edge length.
+const MBSize = 16
+
+// Analysis summarizes the encoder front end's work on one macroblock: the
+// number of SI invocations the hot spots will issue, and the decisions.
+type Analysis struct {
+	SADs  int // SAD SI executions (one per 16x16 candidate evaluation)
+	SATDs int // SATD SI executions (one per 4x4 block refinement)
+	MVx   int
+	MVy   int
+	Cost  int  // best SAD cost
+	Intra bool // inter prediction failed; macroblock coded intra
+}
+
+// blockSAD evaluates one motion candidate: the 16x16 SAD computed row by
+// row with the datapath kernel (the work one SAD SI performs).
+func blockSAD(ref, cur *Frame, cx, cy, rx, ry, bail int) int {
+	total := 0
+	for row := 0; row < MBSize; row++ {
+		var a, b [16]int
+		for i := 0; i < MBSize; i++ {
+			a[i] = cur.At(cx+i, cy+row)
+			b[i] = ref.At(rx+i, ry+row)
+		}
+		total += datapath.SAD16(&a, &b)
+		if total >= bail {
+			return total // early termination, like real encoders
+		}
+	}
+	return total
+}
+
+// spiral is the candidate order of the integer-pel search: offsets sorted
+// by |dx|+|dy| within the search range.
+func spiral(searchRange int) [][2]int {
+	var out [][2]int
+	for d := 0; d <= 2*searchRange; d++ {
+		for dy := -searchRange; dy <= searchRange; dy++ {
+			for dx := -searchRange; dx <= searchRange; dx++ {
+				if datapath.Abs(dx)+datapath.Abs(dy) == d {
+					out = append(out, [2]int{dx, dy})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// AnalyzeMB runs the motion search for the macroblock at (mbx, mby):
+// integer-pel spiral search with early termination, then SATD refinement
+// of the winner's 4x4 blocks, then the inter/intra decision.
+func AnalyzeMB(ref, cur *Frame, mbx, mby, searchRange int, candidates [][2]int) Analysis {
+	cx, cy := mbx*MBSize, mby*MBSize
+	a := Analysis{Cost: 1 << 30}
+	stopAt := 24 * MBSize // "good enough" threshold: ~1.5/sample
+
+	for _, c := range candidates {
+		sad := blockSAD(ref, cur, cx, cy, cx+c[0], cy+c[1], a.Cost)
+		a.SADs++
+		if sad < a.Cost {
+			a.Cost, a.MVx, a.MVy = sad, c[0], c[1]
+		}
+		if a.Cost < stopAt {
+			break
+		}
+	}
+
+	// SATD refinement of the winning candidate: each of the 16 4x4 blocks
+	// is transformed once (fractional-pel cost model).
+	for by := 0; by < 4; by++ {
+		for bx := 0; bx < 4; bx++ {
+			var curB, refB datapath.Block4
+			for r := 0; r < 4; r++ {
+				for c := 0; c < 4; c++ {
+					curB[r][c] = cur.At(cx+bx*4+c, cy+by*4+r)
+					refB[r][c] = ref.At(cx+a.MVx+bx*4+c, cy+a.MVy+by*4+r)
+				}
+			}
+			_ = datapath.SATD4x4(curB, refB)
+			a.SATDs++
+		}
+	}
+
+	// Inter/intra decision: a residual this bad means prediction failed
+	// (occlusion, scene change) — code the macroblock intra.
+	a.Intra = a.Cost > 28*MBSize*MBSize/4
+	return a
+}
+
+// FrameStats aggregates the analysis of one frame.
+type FrameStats struct {
+	SADs, SATDs int
+	IntraMBs    int
+	InterMBs    int
+	AvgCost     int
+}
+
+// AnalyzeFrame runs the front end over all macroblocks of cur against ref.
+func AnalyzeFrame(ref, cur *Frame, searchRange int) (FrameStats, []Analysis) {
+	cands := spiral(searchRange)
+	mbw, mbh := cur.W/MBSize, cur.H/MBSize
+	out := make([]Analysis, 0, mbw*mbh)
+	var st FrameStats
+	total := 0
+	for mby := 0; mby < mbh; mby++ {
+		for mbx := 0; mbx < mbw; mbx++ {
+			a := AnalyzeMB(ref, cur, mbx, mby, searchRange, cands)
+			out = append(out, a)
+			st.SADs += a.SADs
+			st.SATDs += a.SATDs
+			if a.Intra {
+				st.IntraMBs++
+			} else {
+				st.InterMBs++
+			}
+			total += a.Cost
+		}
+	}
+	if n := len(out); n > 0 {
+		st.AvgCost = total / n
+	}
+	return st, out
+}

@@ -1,0 +1,179 @@
+package video
+
+import (
+	"testing"
+
+	"rispp/internal/isa"
+)
+
+func TestFrameRenderingDeterministic(t *testing.T) {
+	s := Scene{Seed: 3}
+	a := s.Frame(5)
+	b := s.Frame(5)
+	if a.W != 352 || a.H != 288 {
+		t.Fatalf("default geometry = %dx%d", a.W, a.H)
+	}
+	for i := range a.Pix {
+		if a.Pix[i] != b.Pix[i] {
+			t.Fatal("rendering not deterministic")
+		}
+	}
+	c := s.Frame(6)
+	same := true
+	for i := range a.Pix {
+		if a.Pix[i] != c.Pix[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("consecutive frames identical — no motion rendered")
+	}
+}
+
+func TestFrameAtClampsBorders(t *testing.T) {
+	s := Scene{W: 32, H: 32, Seed: 1}
+	f := s.Frame(0)
+	if f.At(-5, -5) != f.At(0, 0) {
+		t.Fatal("negative coordinates not clamped")
+	}
+	if f.At(1000, 1000) != f.At(31, 31) {
+		t.Fatal("overflow coordinates not clamped")
+	}
+}
+
+func TestSpiralOrder(t *testing.T) {
+	c := spiral(2)
+	if len(c) != 25 {
+		t.Fatalf("spiral(2) has %d candidates, want 25", len(c))
+	}
+	if c[0] != [2]int{0, 0} {
+		t.Fatalf("first candidate = %v, want origin", c[0])
+	}
+	// Distances must be non-decreasing.
+	prev := 0
+	for _, v := range c {
+		d := abs(v[0]) + abs(v[1])
+		if d < prev {
+			t.Fatalf("spiral order broken at %v", v)
+		}
+		prev = d
+	}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func TestStaticSceneFindsZeroMotion(t *testing.T) {
+	s := Scene{W: 64, H: 64, Seed: 2, PanX: -1} // PanX<0 with PanY 0: keep defaults off
+	s.PanX = 0.0001                             // effectively static background
+	s.Objects = 1
+	ref := s.Frame(0)
+	st, mbs := AnalyzeFrame(ref, ref, 4) // identical frames
+	for _, a := range mbs {
+		if a.MVx != 0 || a.MVy != 0 || a.Cost != 0 {
+			t.Fatalf("identical frames: MV=(%d,%d) cost=%d", a.MVx, a.MVy, a.Cost)
+		}
+		if a.Intra {
+			t.Fatal("identical frames coded intra")
+		}
+	}
+	// Early termination: one candidate each.
+	if st.SADs != len(mbs) {
+		t.Fatalf("static scene evaluated %d candidates for %d MBs", st.SADs, len(mbs))
+	}
+}
+
+func TestPanningSceneRecoversGlobalMotion(t *testing.T) {
+	s := Scene{W: 128, H: 128, Seed: 4, PanX: 2, PanY: 0, Objects: 0}
+	ref := s.Frame(10)
+	cur := s.Frame(11)
+	_, mbs := AnalyzeFrame(ref, cur, 4)
+	// The background pans by 2 px/frame; most macroblocks should find a
+	// low-cost vector pointing back at the reference position.
+	good := 0
+	for _, a := range mbs {
+		if a.Cost <= 24*MBSize {
+			good++
+		}
+	}
+	if good < len(mbs)/2 {
+		t.Fatalf("only %d/%d macroblocks matched the pan", good, len(mbs))
+	}
+}
+
+func TestHighMotionCostsMoreSearch(t *testing.T) {
+	calm := Scene{Seed: 5, PanX: 0.2, Objects: 1}
+	wild := Scene{Seed: 5, PanX: 3.5, PanY: 2.5, Objects: 8}
+	calmStats, _ := AnalyzeFrame(calm.Frame(4), calm.Frame(5), 4)
+	wildStats, _ := AnalyzeFrame(wild.Frame(4), wild.Frame(5), 4)
+	if wildStats.SADs <= calmStats.SADs {
+		t.Fatalf("high motion should need more SAD evaluations: calm %d, wild %d",
+			calmStats.SADs, wildStats.SADs)
+	}
+}
+
+func TestSceneChangeForcesIntra(t *testing.T) {
+	s := Scene{Seed: 6, SceneChangeFrame: 5, PanX: 0.5, Objects: 3}
+	// Across the cut the reference is useless: many intra macroblocks.
+	cutStats, _ := AnalyzeFrame(s.Frame(4), s.Frame(5), 4)
+	steady, _ := AnalyzeFrame(s.Frame(2), s.Frame(3), 4)
+	if cutStats.IntraMBs <= steady.IntraMBs {
+		t.Fatalf("scene change: %d intra MBs, steady state %d", cutStats.IntraMBs, steady.IntraMBs)
+	}
+	if cutStats.IntraMBs < 50 {
+		t.Fatalf("only %d intra MBs across a full scene change", cutStats.IntraMBs)
+	}
+}
+
+func TestTraceFromScene(t *testing.T) {
+	is := isa.H264()
+	tr := Trace(TraceConfig{Scene: Scene{Seed: 7}, Frames: 3})
+	if err := tr.Validate(is); err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Phases) != 9 {
+		t.Fatalf("phases = %d, want 9 (ME,EE,LF × 3)", len(tr.Phases))
+	}
+	ex := tr.Executions()
+	for _, si := range []isa.SIID{isa.SISAD, isa.SISATD, isa.SIDCT, isa.SILFBS4} {
+		if ex[si] == 0 {
+			t.Errorf("derived trace has no executions of SI %d", si)
+		}
+	}
+}
+
+func TestTraceReflectsMotion(t *testing.T) {
+	calm := Trace(TraceConfig{Scene: Scene{Seed: 8, PanX: 0.2, Objects: 1}, Frames: 3})
+	wild := Trace(TraceConfig{Scene: Scene{Seed: 8, PanX: 3.5, PanY: 2.5, Objects: 8}, Frames: 3})
+	if wild.Executions()[isa.SISAD] <= calm.Executions()[isa.SISAD] {
+		t.Fatal("high-motion trace does not execute more SAD SIs")
+	}
+	if wild.TotalExecutions() <= calm.TotalExecutions() {
+		t.Fatal("high-motion trace not heavier overall")
+	}
+}
+
+func TestTraceSceneChangeShiftsMix(t *testing.T) {
+	tr := Trace(TraceConfig{Scene: Scene{Seed: 9, SceneChangeFrame: 3, Objects: 3}, Frames: 4})
+	// Frames 1,2 are steady; frame 3 crosses the cut. Compare the IPred
+	// share of EE phases before and at the cut.
+	intraAt := func(phase int) int64 {
+		n := int64(0)
+		for _, b := range tr.Phases[phase].Bursts {
+			if b.SI == isa.SIIPredHDC || b.SI == isa.SIIPredVDC {
+				n += int64(b.Count)
+			}
+		}
+		return n
+	}
+	before := intraAt(1 + 0*3) // EE of frame 1
+	atCut := intraAt(1 + 2*3)  // EE of frame 3 (prev=frame 2 ... cut at 3)
+	if atCut <= before {
+		t.Fatalf("scene change did not raise intra prediction: %d vs %d", atCut, before)
+	}
+}

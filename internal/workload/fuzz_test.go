@@ -1,0 +1,34 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"rispp/internal/isa"
+)
+
+// FuzzReadJSON hardens the trace deserializer: arbitrary input must never
+// panic, and anything accepted must validate against the ISA.
+func FuzzReadJSON(f *testing.F) {
+	var good strings.Builder
+	if err := H264(H264Config{Frames: 1, WidthMB: 2, HeightMB: 2}).WriteJSON(&good); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good.String())
+	f.Add(`{"Name":"x","Phases":[]}`)
+	f.Add(`{`)
+	f.Add(`{"Name":"x","Phases":[{"HotSpot":0,"Setup":-1}]}`)
+	is := isa.H264()
+	f.Fuzz(func(t *testing.T, data string) {
+		tr, err := ReadJSON(strings.NewReader(data), is)
+		if err != nil {
+			return
+		}
+		if err := tr.Validate(is); err != nil {
+			t.Fatalf("ReadJSON accepted a trace that fails validation: %v", err)
+		}
+		// Accepted traces must run on the closed-form software model
+		// without panicking.
+		_ = tr.SoftwareCycles(is)
+	})
+}

@@ -1,0 +1,139 @@
+package workload
+
+import (
+	"math/rand"
+
+	"rispp/internal/isa"
+)
+
+// H264Config parameterizes the H.264 encoder workload of the paper's
+// evaluation: a CIF video sequence (352x288 → 22x18 macroblocks) of 140
+// frames, encoded with the Motion Estimation → Encoding Engine → Loop
+// Filter hot-spot rotation of Figure 1.
+type H264Config struct {
+	Frames   int // default 140
+	WidthMB  int // default 22 (CIF)
+	HeightMB int // default 18 (CIF)
+	Seed     int64
+
+	// MotionVariability scales per-frame variation of the motion-dependent
+	// SI counts (SATD refinements, MC partitions). 0 reproduces the
+	// paper-calibrated deterministic sequence; 0.3 models a lively scene.
+	MotionVariability float64
+
+	// SceneChangeFrame, when > 0, raises the motion level by 30% from that
+	// frame on — the "non-predictable application behaviour" the run-time
+	// system must adapt to.
+	SceneChangeFrame int
+}
+
+func (c *H264Config) setDefaults() {
+	if c.Frames == 0 {
+		c.Frames = 140
+	}
+	if c.WidthMB == 0 {
+		c.WidthMB = 22
+	}
+	if c.HeightMB == 0 {
+		c.HeightMB = 18
+	}
+}
+
+// Calibration of the per-macroblock SI execution pattern. With the default
+// CIF geometry (396 macroblocks) and zero variability this yields exactly
+// 31,977 SI executions in each Motion Estimation hot spot (25,641 SAD +
+// 6,336 SATD, Figure 2) and a pure-software execution time of ≈7,403M
+// cycles for 140 frames (paper Section 5).
+const (
+	sadPerMBHigh  = 65 // 3 of 4 macroblocks
+	sadPerMBLow   = 64 // every 4th macroblock
+	satdPerMB     = 16
+	dctPerMB      = 24 // 16 forward + 8 inverse 4x4 blocks
+	ht4PerMB      = 2
+	ht2PerMB      = 1
+	mcPerMB       = 6
+	iPredHDCPerMB = 2
+	iPredVDCPerMB = 2
+	lfPerMB       = 16
+
+	siGap      = 8      // base-processor glue cycles per SI execution
+	phaseSetup = 61_000 // frame-level control cycles per hot-spot entry
+)
+
+// H264 generates the encoder trace. Phases appear per frame in the order
+// ME, EE, LF.
+func H264(cfg H264Config) *Trace {
+	cfg.setDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	mbs := cfg.WidthMB * cfg.HeightMB
+	t := &Trace{Name: "h264-cif"}
+	t.Phases = make([]Phase, 0, cfg.Frames*3)
+
+	for f := 0; f < cfg.Frames; f++ {
+		motion := 1.0
+		if cfg.MotionVariability > 0 {
+			motion += cfg.MotionVariability * (rng.Float64()*2 - 1)
+		}
+		if cfg.SceneChangeFrame > 0 && f >= cfg.SceneChangeFrame {
+			motion *= 1.3
+		}
+		scale := func(base int) int {
+			n := int(float64(base)*motion + 0.5)
+			if n < 1 {
+				n = 1
+			}
+			return n
+		}
+
+		me := Phase{HotSpot: isa.HotSpotME, Setup: phaseSetup}
+		me.Bursts = make([]Burst, 0, 2*mbs)
+		for mb := 0; mb < mbs; mb++ {
+			sad := sadPerMBHigh
+			if mb%4 == 3 {
+				sad = sadPerMBLow
+			}
+			me.Bursts = append(me.Bursts,
+				Burst{SI: isa.SISAD, Count: sad, Gap: siGap},
+				Burst{SI: isa.SISATD, Count: scale(satdPerMB), Gap: siGap},
+			)
+		}
+
+		ee := Phase{HotSpot: isa.HotSpotEE, Setup: phaseSetup}
+		ee.Bursts = make([]Burst, 0, 6*mbs)
+		for mb := 0; mb < mbs; mb++ {
+			ee.Bursts = append(ee.Bursts,
+				Burst{SI: isa.SIMC, Count: scale(mcPerMB), Gap: siGap},
+				Burst{SI: isa.SIIPredHDC, Count: iPredHDCPerMB, Gap: siGap},
+				Burst{SI: isa.SIIPredVDC, Count: iPredVDCPerMB, Gap: siGap},
+				Burst{SI: isa.SIDCT, Count: dctPerMB, Gap: siGap},
+				Burst{SI: isa.SIHT4x4, Count: ht4PerMB, Gap: siGap},
+				Burst{SI: isa.SIHT2x2, Count: ht2PerMB, Gap: siGap},
+			)
+		}
+
+		lf := Phase{HotSpot: isa.HotSpotLF, Setup: phaseSetup}
+		lf.Bursts = make([]Burst, 0, mbs)
+		for mb := 0; mb < mbs; mb++ {
+			lf.Bursts = append(lf.Bursts, Burst{SI: isa.SILFBS4, Count: lfPerMB, Gap: siGap})
+		}
+
+		t.Phases = append(t.Phases, me, ee, lf)
+	}
+	return t
+}
+
+// Standard picture geometries in macroblocks.
+var (
+	// QCIF is 176x144 pixels (99 macroblocks).
+	QCIF = [2]int{11, 9}
+	// CIF is 352x288 pixels (396 macroblocks) — the paper's format.
+	CIF = [2]int{22, 18}
+	// FourCIF is 704x576 pixels (1584 macroblocks).
+	FourCIF = [2]int{44, 36}
+)
+
+// WithGeometry returns a config for a named geometry.
+func (c H264Config) WithGeometry(g [2]int) H264Config {
+	c.WidthMB, c.HeightMB = g[0], g[1]
+	return c
+}

@@ -1,0 +1,34 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"rispp/internal/isa"
+)
+
+// WriteJSON serializes the trace. The format is the plain structure of the
+// Trace type — stable, diff-friendly, and readable by external tooling.
+func (t *Trace) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(t); err != nil {
+		return fmt.Errorf("workload: encode trace: %w", err)
+	}
+	return nil
+}
+
+// ReadJSON deserializes a trace and validates it against the ISA.
+func ReadJSON(r io.Reader, is *isa.ISA) (*Trace, error) {
+	var t Trace
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&t); err != nil {
+		return nil, fmt.Errorf("workload: decode trace: %w", err)
+	}
+	if err := t.Validate(is); err != nil {
+		return nil, err
+	}
+	return &t, nil
+}

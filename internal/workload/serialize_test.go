@@ -1,0 +1,46 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"rispp/internal/isa"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	is := isa.H264()
+	orig := H264(H264Config{Frames: 2, MotionVariability: 0.2, Seed: 3})
+	var buf bytes.Buffer
+	if err := orig.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf, is)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != orig.Name || len(got.Phases) != len(orig.Phases) {
+		t.Fatalf("round trip lost structure: %q/%d vs %q/%d",
+			got.Name, len(got.Phases), orig.Name, len(orig.Phases))
+	}
+	if got.TotalExecutions() != orig.TotalExecutions() {
+		t.Fatal("round trip changed execution counts")
+	}
+	if got.SoftwareCycles(is) != orig.SoftwareCycles(is) {
+		t.Fatal("round trip changed cycle accounting")
+	}
+}
+
+func TestReadJSONValidates(t *testing.T) {
+	is := isa.H264()
+	bad := `{"Name":"x","Phases":[{"HotSpot":0,"Setup":0,"Bursts":[{"SI":99,"Count":1,"Gap":0}]}]}`
+	if _, err := ReadJSON(strings.NewReader(bad), is); err == nil {
+		t.Fatal("invalid trace accepted")
+	}
+	if _, err := ReadJSON(strings.NewReader("{nope"), is); err == nil {
+		t.Fatal("malformed JSON accepted")
+	}
+	if _, err := ReadJSON(strings.NewReader(`{"Surprise":1}`), is); err == nil {
+		t.Fatal("unknown fields accepted")
+	}
+}

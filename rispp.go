@@ -1,0 +1,185 @@
+// Package rispp is the public API of the RISPP run-time-system library: a
+// reproduction of "Run-time System for an Extensible Embedded Processor
+// with Dynamic Instruction Set" (Bauer, Shafique, Kreutz, Henkel — DATE
+// 2008).
+//
+// A RISPP processor executes Special Instructions (SIs) that are composed
+// at run time from reconfigurable data paths (Atoms) loaded into Atom
+// Containers. The library bundles the formal Molecule model, the H.264
+// dynamic instruction set of the paper's Table 1, the online monitor, the
+// Molecule selection, the Special Instruction Scheduler (FSFR, ASF, SJF and
+// the paper's HEF), a Molen-like baseline, and a cycle-level simulator.
+//
+// Quick start:
+//
+//	res, err := rispp.Run(rispp.Config{Scheduler: "HEF", NumACs: 10})
+//	if err != nil { ... }
+//	fmt.Println(res.TotalCycles)
+//
+// See examples/ for complete programs and bench_test.go for the harness
+// regenerating every table and figure of the paper.
+package rispp
+
+import (
+	"fmt"
+
+	"rispp/internal/bitstream"
+	"rispp/internal/core"
+	"rispp/internal/isa"
+	"rispp/internal/membus"
+	"rispp/internal/molen"
+	"rispp/internal/reconfig"
+	"rispp/internal/sched"
+	"rispp/internal/sim"
+	"rispp/internal/workload"
+)
+
+// Schedulers lists the SI-Scheduler names accepted by Config.Scheduler, in
+// the paper's order. Additionally, Config.Scheduler accepts "Molen" (the
+// baseline reconfigurable system) and "software" (plain base processor).
+var Schedulers = sched.Names
+
+// Config describes one simulated system + workload combination.
+type Config struct {
+	// ISA is the dynamic instruction set; nil selects the paper's H.264
+	// encoder ISA (Table 1).
+	ISA *isa.ISA
+	// Workload is the trace to execute; nil selects the paper's 140-frame
+	// CIF H.264 encode.
+	Workload *workload.Trace
+	// Scheduler selects the run-time system: one of Schedulers for RISPP
+	// ("HEF" if empty), "Molen" for the baseline, or "software".
+	Scheduler string
+	// NumACs is the number of Atom Containers (ignored for "software").
+	NumACs int
+
+	// SeedForecasts, when true, seeds the execution-count forecasts from
+	// the first occurrence of each hot spot in the trace — the design-time
+	// estimation of the paper's toolchain. Almost always desirable.
+	SeedForecasts bool
+	// Eviction selects the Atom Container eviction policy (RISPP only).
+	Eviction reconfig.EvictionPolicy
+	// MonitorShift sets the forecast smoothing α = 2^-shift.
+	MonitorShift uint
+	// Timing overrides the reconfiguration timing calibration (zero value:
+	// 100 MHz clock, avg Atom reload 874.03 µs).
+	Timing reconfig.Timing
+	// ExhaustiveSelection switches RISPP to the exponential reference
+	// Molecule selection (ablation; small SI sets per hot spot only).
+	ExhaustiveSelection bool
+	// Bitstreams optionally drives the reconfiguration port from generated
+	// partial-bitstream images (see internal/bitstream).
+	Bitstreams *bitstream.Repository
+	// Prefetch enables reconfiguration prefetching for the predicted next
+	// hot spot while the port would otherwise idle (extension, RISPP only).
+	Prefetch bool
+	// Bus, when non-nil, models contention on the shared memory bus: Atom
+	// reload times stretch by the DMA's squeezed share and the trace's glue
+	// cycles by the core's slowdown (see internal/membus).
+	Bus *membus.Config
+
+	// Collect controls measurement artifacts (histograms, timelines).
+	Collect sim.Options
+}
+
+func (c *Config) setDefaults() {
+	if c.ISA == nil {
+		c.ISA = isa.H264()
+	}
+	if c.Workload == nil {
+		c.Workload = workload.H264(workload.H264Config{})
+	}
+	if c.Scheduler == "" {
+		c.Scheduler = "HEF"
+	}
+	if c.Bus != nil {
+		if c.Timing == (reconfig.Timing{}) {
+			c.Timing = reconfig.DefaultTiming()
+		}
+		c.Timing = c.Bus.Timing(c.Timing)
+		c.Workload = c.Bus.ApplyToTrace(c.Workload)
+		c.Bus = nil // applied
+	}
+}
+
+// NewRuntime builds the runtime described by the config without running it;
+// useful for custom simulation loops.
+func NewRuntime(cfg Config) (sim.Runtime, error) {
+	cfg.setDefaults()
+	switch cfg.Scheduler {
+	case "software":
+		return sim.Software(cfg.ISA), nil
+	case "Molen", "molen":
+		rt := molen.New(molen.Config{
+			ISA:          cfg.ISA,
+			NumACs:       cfg.NumACs,
+			Timing:       cfg.Timing,
+			MonitorShift: cfg.MonitorShift,
+		})
+		if cfg.SeedForecasts {
+			rt.SeedFromTrace(cfg.Workload)
+		}
+		return rt, nil
+	default:
+		s, err := sched.New(cfg.Scheduler)
+		if err != nil {
+			return nil, fmt.Errorf("rispp: %w", err)
+		}
+		mgr := core.NewManager(core.Config{
+			ISA:                 cfg.ISA,
+			NumACs:              cfg.NumACs,
+			Scheduler:           s,
+			Timing:              cfg.Timing,
+			Eviction:            cfg.Eviction,
+			MonitorShift:        cfg.MonitorShift,
+			ExhaustiveSelection: cfg.ExhaustiveSelection,
+			Bitstreams:          cfg.Bitstreams,
+			Prefetch:            cfg.Prefetch,
+		})
+		if cfg.SeedForecasts {
+			mgr.SeedFromTrace(cfg.Workload)
+		}
+		return mgr, nil
+	}
+}
+
+// Run simulates the configured system on the configured workload.
+func Run(cfg Config) (*sim.Result, error) {
+	cfg.setDefaults()
+	if err := cfg.Workload.Validate(cfg.ISA); err != nil {
+		return nil, err
+	}
+	rt, err := NewRuntime(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return sim.Run(cfg.Workload, cfg.ISA, rt, cfg.Collect)
+}
+
+// SweepPoint is one cell of a scheduler × #ACs sweep.
+type SweepPoint struct {
+	Scheduler   string
+	NumACs      int
+	TotalCycles int64
+}
+
+// Sweep runs the given schedulers over a range of Atom Container counts
+// (the Figure 7 / Table 2 experiment) and returns results indexed
+// [scheduler][numACs].
+func Sweep(base Config, schedulers []string, acs []int) (map[string]map[int]int64, error) {
+	out := make(map[string]map[int]int64, len(schedulers))
+	for _, s := range schedulers {
+		out[s] = make(map[int]int64, len(acs))
+		for _, n := range acs {
+			cfg := base
+			cfg.Scheduler = s
+			cfg.NumACs = n
+			res, err := Run(cfg)
+			if err != nil {
+				return nil, fmt.Errorf("rispp: sweep %s/%d ACs: %w", s, n, err)
+			}
+			out[s][n] = res.TotalCycles
+		}
+	}
+	return out, nil
+}

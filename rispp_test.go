@@ -1,0 +1,151 @@
+package rispp
+
+import (
+	"testing"
+
+	"rispp/internal/isa"
+	"rispp/internal/membus"
+	"rispp/internal/workload"
+)
+
+func shortTrace(frames int) *workload.Trace {
+	return workload.H264(workload.H264Config{Frames: frames})
+}
+
+func TestRunDefaultsToHEF(t *testing.T) {
+	res, err := Run(Config{Workload: shortTrace(2), NumACs: 10, SeedForecasts: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Runtime != "RISPP/HEF" {
+		t.Fatalf("default runtime = %q", res.Runtime)
+	}
+	if res.TotalCycles <= 0 {
+		t.Fatal("no cycles simulated")
+	}
+}
+
+func TestRunUnknownScheduler(t *testing.T) {
+	if _, err := Run(Config{Scheduler: "bogus"}); err == nil {
+		t.Fatal("unknown scheduler accepted")
+	}
+}
+
+func TestRunRejectsMismatchedWorkload(t *testing.T) {
+	bad := &workload.Trace{Phases: []workload.Phase{{
+		HotSpot: isa.HotSpotME,
+		Bursts:  []workload.Burst{{SI: 99, Count: 1}},
+	}}}
+	if _, err := Run(Config{Workload: bad}); err == nil {
+		t.Fatal("invalid workload accepted")
+	}
+}
+
+func TestSoftwareConfig(t *testing.T) {
+	tr := shortTrace(1)
+	res, err := Run(Config{Scheduler: "software", Workload: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalCycles != tr.SoftwareCycles(isa.H264()) {
+		t.Fatalf("software run = %d cycles", res.TotalCycles)
+	}
+}
+
+func TestMolenConfig(t *testing.T) {
+	res, err := Run(Config{Scheduler: "Molen", NumACs: 10, Workload: shortTrace(2), SeedForecasts: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Runtime != "Molen" {
+		t.Fatalf("runtime = %q", res.Runtime)
+	}
+}
+
+func TestAllSchedulersBeatSoftware(t *testing.T) {
+	tr := shortTrace(3)
+	sw := tr.SoftwareCycles(isa.H264())
+	for _, s := range append([]string{"Molen"}, Schedulers...) {
+		res, err := Run(Config{Scheduler: s, NumACs: 12, Workload: tr, SeedForecasts: true})
+		if err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+		if res.TotalCycles >= sw {
+			t.Errorf("%s with 12 ACs (%d) not faster than software (%d)", s, res.TotalCycles, sw)
+		}
+	}
+}
+
+func TestRunsAreReproducible(t *testing.T) {
+	cfg := Config{Scheduler: "HEF", NumACs: 9, Workload: shortTrace(2), SeedForecasts: true}
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TotalCycles != b.TotalCycles {
+		t.Fatalf("non-deterministic: %d vs %d", a.TotalCycles, b.TotalCycles)
+	}
+}
+
+func TestSweep(t *testing.T) {
+	out, err := Sweep(Config{Workload: shortTrace(2), SeedForecasts: true},
+		[]string{"HEF", "Molen"}, []int{6, 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 || len(out["HEF"]) != 2 {
+		t.Fatalf("sweep shape = %v", out)
+	}
+	if out["HEF"][12] >= out["Molen"][12] {
+		t.Errorf("HEF (%d) not faster than Molen (%d) at 12 ACs", out["HEF"][12], out["Molen"][12])
+	}
+}
+
+func TestSweepPropagatesErrors(t *testing.T) {
+	if _, err := Sweep(Config{Workload: shortTrace(1)}, []string{"nope"}, []int{4}); err == nil {
+		t.Fatal("sweep swallowed scheduler error")
+	}
+}
+
+func TestCollectOptions(t *testing.T) {
+	cfg := Config{Scheduler: "HEF", NumACs: 10, Workload: shortTrace(1), SeedForecasts: true}
+	cfg.Collect.HistogramBucket = 100_000
+	cfg.Collect.Timeline = true
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Histogram == nil || res.Timeline == nil {
+		t.Fatal("collection options ignored")
+	}
+}
+
+func TestNewRuntimeExposesManager(t *testing.T) {
+	rt, err := NewRuntime(Config{Scheduler: "ASF", NumACs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.Name() != "RISPP/ASF" {
+		t.Fatalf("Name = %q", rt.Name())
+	}
+}
+
+func TestBusContentionConfig(t *testing.T) {
+	tr := shortTrace(2)
+	base, err := Run(Config{Scheduler: "HEF", NumACs: 10, Workload: tr, SeedForecasts: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Run(Config{Scheduler: "HEF", NumACs: 10, Workload: tr, SeedForecasts: true,
+		Bus: &membus.Config{Policy: membus.CPUPriority, CPULoad: 0.9}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.TotalCycles <= base.TotalCycles {
+		t.Fatalf("bus contention did not slow the system: %d vs %d", loaded.TotalCycles, base.TotalCycles)
+	}
+}
