@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test short bench figures verify clean
+.PHONY: all build test short race bench figures verify clean
 
 all: build test
 
@@ -16,6 +16,10 @@ test:
 # Skips the full 140-frame integration sweep.
 short:
 	$(GO) test -short ./...
+
+# Race-detector run (what CI runs).
+race:
+	$(GO) test -race -short ./...
 
 # Regenerate every paper table/figure as testing.B benchmarks.
 bench:

@@ -9,10 +9,13 @@
 package rispp
 
 import (
+	"context"
 	"fmt"
+	"runtime"
 	"testing"
 
 	"rispp/internal/experiments"
+	"rispp/internal/explore"
 	"rispp/internal/hwmodel"
 	"rispp/internal/isa"
 	"rispp/internal/membus"
@@ -416,4 +419,47 @@ func BenchmarkAblationBusContention(b *testing.B) {
 			b.ReportMetric(float64(molen)/float64(hef), "HEF-vs-Molen")
 		})
 	}
+}
+
+// BenchmarkExploreParallel runs the Figure-7 scheduler × ACs grid through
+// the design-space exploration engine sequentially (-j 1) and on the full
+// worker pool, measuring the wall-clock scaling of internal/explore. The
+// simulator is deterministic, so both variants compute identical results.
+func BenchmarkExploreParallel(b *testing.B) {
+	tr := workload.H264(workload.H264Config{Frames: 5})
+	spec := explore.Spec{Schedulers: sched.Names, ACs: paperACs(), Frames: []int{5}}
+	counts := []int{1}
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		counts = append(counts, n)
+	}
+	for _, workers := range counts {
+		b.Run(fmt.Sprintf("j=%d", workers), func(b *testing.B) {
+			var total int64
+			for i := 0; i < b.N; i++ {
+				eng := Explorer(Config{Workload: tr}, workers, nil)
+				res, err := eng.Execute(context.Background(), spec, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := res.FirstErr(); err != nil {
+					b.Fatal(err)
+				}
+				total = 0
+				for _, rec := range res.Records {
+					total += rec.TotalCycles
+				}
+			}
+			b.ReportMetric(float64(len(spec.Schedulers)*len(spec.ACs)), "points")
+			b.ReportMetric(float64(total)/1e9, "Gcycles-simulated")
+		})
+	}
+}
+
+// paperACs returns the paper's 5..24 Atom-Container range.
+func paperACs() []int {
+	var acs []int
+	for n := 5; n <= 24; n++ {
+		acs = append(acs, n)
+	}
+	return acs
 }

@@ -23,14 +23,16 @@ import (
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment: table1, fig2, fig4, fig7, table2, fig8, table3, sw, optimal or all")
-		frames = flag.Int("frames", 140, "frames for the Figure 7 / Table 2 sweeps")
-		csv    = flag.Bool("csv", false, "emit Figure 7 / Table 2 as CSV instead of tables")
-		svgDir = flag.String("svg", "", "also write SVG figures (fig2, fig7, table2, fig8) into this directory")
+		exp     = flag.String("exp", "all", "experiment: table1, fig2, fig4, fig7, table2, fig8, table3, sw, optimal or all")
+		frames  = flag.Int("frames", 140, "frames for the Figure 7 / Table 2 sweeps")
+		csv     = flag.Bool("csv", false, "emit Figure 7 / Table 2 as CSV instead of tables")
+		svgDir  = flag.String("svg", "", "also write SVG figures (fig2, fig7, table2, fig8) into this directory")
+		workers = flag.Int("j", 0, "parallel simulations for the sweeps (0 = GOMAXPROCS)")
+		cache   = flag.String("cache", "", "content-addressed sweep result cache directory (re-runs only simulate new points)")
 	)
 	flag.Parse()
 
-	p := experiments.Params{Frames: *frames}
+	p := experiments.Params{Frames: *frames, Workers: *workers, CacheDir: *cache}
 	run := func(name string, f func() string) {
 		if *exp != "all" && *exp != name {
 			return

@@ -1,0 +1,40 @@
+package rispp
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"rispp/internal/workload"
+)
+
+// TestRunContextCancellation checks the context is honoured between
+// simulation events: an already-canceled context must abort the run, and a
+// background context must reproduce Run exactly.
+func TestRunContextCancellation(t *testing.T) {
+	cfg := Config{
+		Scheduler:     "HEF",
+		NumACs:        10,
+		Workload:      workload.H264(workload.H264Config{Frames: 2}),
+		SeedForecasts: true,
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunContext(ctx, cfg); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+
+	want, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := RunContext(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TotalCycles != want.TotalCycles || got.StallCycles != want.StallCycles {
+		t.Fatalf("RunContext(Background) diverges from Run: %d/%d vs %d/%d",
+			got.TotalCycles, got.StallCycles, want.TotalCycles, want.StallCycles)
+	}
+}

@@ -5,10 +5,11 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
-	"sync"
 
+	"rispp/internal/explore"
 	"rispp/internal/isa"
 	"rispp/internal/molecule"
 	"rispp/internal/molen"
@@ -26,6 +27,13 @@ import (
 type Params struct {
 	Frames int   // default 140
 	ACs    []int // default 5..24
+
+	// Workers bounds the sweep worker pool (0 = GOMAXPROCS). The simulator
+	// is deterministic, so the worker count never changes results.
+	Workers int
+	// CacheDir, when set, reuses completed sweep points from (and stores
+	// new ones into) a content-addressed result cache.
+	CacheDir string
 }
 
 func (p *Params) setDefaults() {
@@ -72,39 +80,50 @@ func runPoint(is *isa.ISA, tr *workload.Trace, system string, acs int, opts sim.
 	return res
 }
 
-// sweep runs systems × ACs in parallel (ISA and trace are read-only during
-// simulation).
-func sweep(is *isa.ISA, tr *workload.Trace, systems []string, acs []int) map[string]map[int]int64 {
-	type cell struct {
-		system string
-		acs    int
-	}
-	var mu sync.Mutex
-	out := make(map[string]map[int]int64)
-	for _, s := range systems {
-		out[s] = make(map[int]int64)
-	}
-	jobs := make(chan cell)
-	var wg sync.WaitGroup
-	for w := 0; w < 8; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for c := range jobs {
-				total := runPoint(is, tr, c.system, c.acs, sim.Options{}).TotalCycles
-				mu.Lock()
-				out[c.system][c.acs] = total
-				mu.Unlock()
-			}
-		}()
-	}
-	for _, s := range systems {
-		for _, n := range acs {
-			jobs <- cell{s, n}
+// sweep runs systems × ACs through the exploration engine: parallel on a
+// bounded worker pool (ISA and trace are read-only during simulation), with
+// optional result caching keyed by the full design point.
+func sweep(is *isa.ISA, tr *workload.Trace, systems []string, acs []int, p Params) map[string]map[int]int64 {
+	var cache *explore.Cache
+	if p.CacheDir != "" {
+		c, err := explore.OpenCache(p.CacheDir)
+		if err != nil {
+			panic(fmt.Sprintf("experiments: %v", err))
 		}
+		cache = c
 	}
-	close(jobs)
-	wg.Wait()
+	eng := &explore.Engine{
+		Workers: p.Workers,
+		Cache:   cache,
+		Run: func(ctx context.Context, pt explore.Point) (explore.Metrics, error) {
+			res := runPoint(is, tr, pt.Scheduler, pt.NumACs, sim.Options{})
+			m := explore.Metrics{TotalCycles: res.TotalCycles, StallCycles: res.StallCycles}
+			for _, n := range res.SWExecutions {
+				m.SWExecutions += n
+			}
+			for _, n := range res.HWExecutions {
+				m.HWExecutions += n
+			}
+			return m, nil
+		},
+	}
+	// Frames is part of the point so that cached results from differently
+	// sized sweeps can never collide.
+	spec := explore.Spec{Schedulers: systems, ACs: acs, Frames: []int{p.Frames}}
+	r, err := eng.Execute(context.Background(), spec, nil)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: sweep: %v", err))
+	}
+	if err := r.FirstErr(); err != nil {
+		panic(fmt.Sprintf("experiments: sweep: %v", err))
+	}
+	out := make(map[string]map[int]int64)
+	for _, rec := range r.Records {
+		if out[rec.Point.Scheduler] == nil {
+			out[rec.Point.Scheduler] = make(map[int]int64)
+		}
+		out[rec.Point.Scheduler][rec.Point.NumACs] = rec.TotalCycles
+	}
 	return out
 }
 
@@ -288,7 +307,7 @@ func Fig7(p Params) *Fig7Result {
 	p.setDefaults()
 	is := isa.H264()
 	tr := workload.H264(workload.H264Config{Frames: p.Frames})
-	cycles := sweep(is, tr, sched.Names, p.ACs)
+	cycles := sweep(is, tr, sched.Names, p.ACs, p)
 
 	tb := &stats.Table{Header: append([]string{"#ACs"}, sched.Names...)}
 	for _, n := range p.ACs {
@@ -323,7 +342,7 @@ func Table2(p Params) *Table2Result {
 	p.setDefaults()
 	is := isa.H264()
 	tr := workload.H264(workload.H264Config{Frames: p.Frames})
-	cycles := sweep(is, tr, []string{"ASF", "HEF", "Molen"}, p.ACs)
+	cycles := sweep(is, tr, []string{"ASF", "HEF", "Molen"}, p.ACs, p)
 
 	r := &Table2Result{ACs: p.ACs}
 	tb := &stats.Table{Header: []string{"#ACs", "HEF vs ASF", "ASF vs Molen", "HEF vs Molen"}}

@@ -1,0 +1,102 @@
+package explore
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Cache is a content-addressed result store: one JSON file per design
+// point, named by the SHA-256 of the point's canonical key. Entries are
+// written atomically (temp file + rename), so a cache directory can be
+// shared by concurrent workers and re-used across processes — the -resume
+// mechanism of risppexplore.
+type Cache struct {
+	dir string
+
+	// WriteOnly disables Get: every point re-simulates and overwrites its
+	// entry — the risppexplore -resume=false mode.
+	WriteOnly bool
+}
+
+// OpenCache opens (creating if needed) a cache directory.
+func OpenCache(dir string) (*Cache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("explore: open cache: %w", err)
+	}
+	return &Cache{dir: dir}, nil
+}
+
+// Dir returns the cache directory.
+func (c *Cache) Dir() string { return c.dir }
+
+// cacheEntry is the on-disk format. The full canonical key is stored and
+// verified on read, so a corrupt or foreign file is treated as a miss
+// rather than returned as a wrong result.
+type cacheEntry struct {
+	Key string `json:"key"`
+	Metrics
+}
+
+func (c *Cache) path(p Point) string {
+	return filepath.Join(c.dir, p.Hash()+".json")
+}
+
+// Get returns the cached metrics of the point, if present and valid.
+func (c *Cache) Get(p Point) (Metrics, bool) {
+	if c.WriteOnly {
+		return Metrics{}, false
+	}
+	b, err := os.ReadFile(c.path(p))
+	if err != nil {
+		return Metrics{}, false
+	}
+	var e cacheEntry
+	if json.Unmarshal(b, &e) != nil || e.Key != p.Key() {
+		return Metrics{}, false
+	}
+	return e.Metrics, true
+}
+
+// Put stores the metrics of a completed simulation.
+func (c *Cache) Put(p Point, m Metrics) error {
+	b, err := json.Marshal(cacheEntry{Key: p.Key(), Metrics: m})
+	if err != nil {
+		return fmt.Errorf("explore: cache put: %w", err)
+	}
+	tmp, err := os.CreateTemp(c.dir, ".put-*")
+	if err != nil {
+		return fmt.Errorf("explore: cache put: %w", err)
+	}
+	if _, err := tmp.Write(append(b, '\n')); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("explore: cache put: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("explore: cache put: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), c.path(p)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("explore: cache put: %w", err)
+	}
+	return nil
+}
+
+// Len counts the stored entries.
+func (c *Cache) Len() int {
+	entries, err := os.ReadDir(c.dir)
+	if err != nil {
+		return 0
+	}
+	n := 0
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".json") {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,330 @@
+package explore
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"sync"
+
+	"rispp/internal/stats"
+)
+
+// Metrics is the measured outcome of one design point.
+type Metrics struct {
+	TotalCycles  int64 `json:"cycles"`
+	StallCycles  int64 `json:"stall_cycles"`
+	SWExecutions int64 `json:"sw_execs"`
+	HWExecutions int64 `json:"hw_execs"`
+}
+
+// Record pairs a design point with its outcome — one line of the JSONL
+// result stream. Cached is deliberately excluded from the serialization so
+// that cold and warm runs of the same spec produce identical bytes.
+type Record struct {
+	Point Point `json:"point"`
+	Metrics
+	Err string `json:"err,omitempty"`
+
+	Cached bool `json:"-"`
+}
+
+// OK reports whether the job produced a usable measurement.
+func (r Record) OK() bool { return r.Err == "" }
+
+// RunFunc simulates one design point. The engine calls it from multiple
+// goroutines; implementations must not share mutable state across calls.
+type RunFunc func(ctx context.Context, p Point) (Metrics, error)
+
+// Engine executes sweep specs on a bounded worker pool.
+type Engine struct {
+	// Run simulates one point (required).
+	Run RunFunc
+	// Workers bounds the pool; <= 0 selects runtime.GOMAXPROCS(0).
+	Workers int
+	// Cache, when non-nil, is consulted before and populated after every
+	// job, so re-running an enlarged sweep only simulates new points.
+	Cache *Cache
+}
+
+// Summary aggregates an executed sweep.
+type Summary struct {
+	// Total / Simulated / CacheHits / Failed count jobs; Simulated counts
+	// actual RunFunc invocations (a cached re-run reports 0).
+	Total, Simulated, CacheHits, Failed int
+	// BestPerACs holds, per distinct Atom-Container budget, the successful
+	// record with the fewest cycles (ties broken by canonical key), in
+	// ascending-AC order.
+	BestPerACs []Record
+	// Pareto is the front over {TotalCycles, NumACs}: no other successful
+	// record is at least as good in both dimensions and better in one.
+	Pareto []Record
+}
+
+// Result is the outcome of Engine.Execute: all records in job order plus
+// the aggregated summary.
+type Result struct {
+	Records []Record
+	Summary Summary
+}
+
+// FirstErr returns the error of the first failed record, or nil.
+func (r *Result) FirstErr() error {
+	for _, rec := range r.Records {
+		if !rec.OK() {
+			return fmt.Errorf("explore: %s: %s", rec.Point.Key(), rec.Err)
+		}
+	}
+	return nil
+}
+
+// Execute expands the spec and runs every job. Results stream to w (may be
+// nil) as one JSON object per line, strictly in job order regardless of
+// completion order, so output is byte-identical at any worker count. On
+// context cancellation the completed prefix is flushed, unfinished jobs are
+// marked failed, and ctx's error is returned alongside the partial result.
+func (e *Engine) Execute(ctx context.Context, spec Spec, w io.Writer) (*Result, error) {
+	if e.Run == nil {
+		return nil, errors.New("explore: Engine.Run is nil")
+	}
+	jobs, err := spec.Expand()
+	if err != nil {
+		return nil, err
+	}
+	workers := e.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+
+	res := &Result{Records: make([]Record, len(jobs))}
+	var (
+		mu       sync.Mutex
+		done     = make([]bool, len(jobs))
+		next     int // first job index not yet streamed
+		writeErr error
+		cacheErr error
+	)
+	// finish records job i and streams every contiguous completed record.
+	finish := func(i int, rec Record) {
+		mu.Lock()
+		defer mu.Unlock()
+		res.Records[i] = rec
+		done[i] = true
+		for next < len(jobs) && done[next] {
+			if w != nil && writeErr == nil {
+				b, err := json.Marshal(res.Records[next])
+				if err == nil {
+					_, err = w.Write(append(b, '\n'))
+				}
+				if err != nil {
+					writeErr = fmt.Errorf("explore: write result: %w", err)
+				}
+			}
+			next++
+		}
+	}
+
+	idx := make(chan int)
+	go func() {
+		defer close(idx)
+		for i := range jobs {
+			select {
+			case idx <- i:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for n := 0; n < workers; n++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				rec, putErr := e.runJob(ctx, jobs[i])
+				if putErr != nil {
+					mu.Lock()
+					if cacheErr == nil {
+						cacheErr = putErr
+					}
+					mu.Unlock()
+				}
+				finish(i, rec)
+			}
+		}()
+	}
+	wg.Wait()
+
+	if err := ctx.Err(); err != nil {
+		for i := range res.Records {
+			if !done[i] {
+				res.Records[i] = Record{Point: jobs[i], Err: "skipped: " + err.Error()}
+			}
+		}
+		res.summarize()
+		return res, err
+	}
+	res.summarize()
+	if writeErr != nil {
+		return res, writeErr
+	}
+	return res, cacheErr
+}
+
+// runJob measures one point: cache lookup, guarded simulation, cache fill.
+// A panicking RunFunc fails only its own job.
+func (e *Engine) runJob(ctx context.Context, p Point) (rec Record, cachePutErr error) {
+	rec.Point = p
+	if e.Cache != nil {
+		if m, ok := e.Cache.Get(p); ok {
+			rec.Metrics = m
+			rec.Cached = true
+			return rec, nil
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		rec.Err = "skipped: " + err.Error()
+		return rec, nil
+	}
+	m, err := e.safeRun(ctx, p)
+	if err != nil {
+		rec.Err = err.Error()
+		return rec, nil
+	}
+	rec.Metrics = m
+	if e.Cache != nil {
+		cachePutErr = e.Cache.Put(p, m)
+	}
+	return rec, nil
+}
+
+func (e *Engine) safeRun(ctx context.Context, p Point) (m Metrics, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("panic: %v", r)
+		}
+	}()
+	return e.Run(ctx, p)
+}
+
+// summarize fills Result.Summary from the records.
+func (r *Result) summarize() {
+	s := &r.Summary
+	s.Total = len(r.Records)
+	best := make(map[int]Record)
+	for _, rec := range r.Records {
+		switch {
+		case !rec.OK():
+			s.Failed++
+		case rec.Cached:
+			s.CacheHits++
+		default:
+			s.Simulated++
+		}
+		if !rec.OK() {
+			continue
+		}
+		if b, ok := best[rec.Point.NumACs]; !ok || rec.TotalCycles < b.TotalCycles ||
+			(rec.TotalCycles == b.TotalCycles && rec.Point.Key() < b.Point.Key()) {
+			best[rec.Point.NumACs] = rec
+		}
+	}
+	acs := make([]int, 0, len(best))
+	for n := range best {
+		acs = append(acs, n)
+	}
+	sort.Ints(acs)
+	for _, n := range acs {
+		s.BestPerACs = append(s.BestPerACs, best[n])
+	}
+	// The Pareto front over {cycles, ACs} is the strictly improving chain
+	// of the per-AC bests in ascending-AC order.
+	var minCycles int64
+	for i, rec := range s.BestPerACs {
+		if i == 0 || rec.TotalCycles < minCycles {
+			s.Pareto = append(s.Pareto, rec)
+			minCycles = rec.TotalCycles
+		}
+	}
+}
+
+// SpeedupRow is one line of a speedup-vs-baseline table: a design point and
+// how much faster it ran than the baseline scheduler at otherwise identical
+// knobs.
+type SpeedupRow struct {
+	Point   Point
+	Speedup float64
+}
+
+// SpeedupVsBaseline compares every successful record against the record
+// with the same knobs but the baseline scheduler. Rows are ordered by
+// canonical key; points without a baseline counterpart (and the baseline
+// itself) are omitted.
+func SpeedupVsBaseline(records []Record, baseline string) []SpeedupRow {
+	base := make(map[string]Record)
+	for _, rec := range records {
+		if rec.OK() && rec.Point.Scheduler == baseline {
+			p := rec.Point
+			p.Scheduler = ""
+			base[p.Key()] = rec
+		}
+	}
+	var rows []SpeedupRow
+	for _, rec := range records {
+		if !rec.OK() || rec.Point.Scheduler == baseline {
+			continue
+		}
+		p := rec.Point
+		p.Scheduler = ""
+		b, ok := base[p.Key()]
+		if !ok || rec.TotalCycles == 0 {
+			continue
+		}
+		rows = append(rows, SpeedupRow{Point: rec.Point, Speedup: stats.SpeedupValue(b.TotalCycles, rec.TotalCycles)})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Point.Key() < rows[j].Point.Key() })
+	return rows
+}
+
+// Format renders the sweep summary as text: job counts, the best-per-AC
+// table, the Pareto front and (when baseline names a scheduler present in
+// the sweep) the speedup table.
+func (r *Result) Format(baseline string) string {
+	out := fmt.Sprintf("%d jobs: %d simulated, %d cached, %d failed\n",
+		r.Summary.Total, r.Summary.Simulated, r.Summary.CacheHits, r.Summary.Failed)
+	if len(r.Summary.BestPerACs) > 0 {
+		tb := &stats.Table{Header: []string{"#ACs", "best scheduler", "cycles", "stall", "hw share"}}
+		for _, rec := range r.Summary.BestPerACs {
+			hwShare := 0.0
+			if t := rec.SWExecutions + rec.HWExecutions; t > 0 {
+				hwShare = 100 * float64(rec.HWExecutions) / float64(t)
+			}
+			tb.AddRow(fmt.Sprint(rec.Point.NumACs), rec.Point.Scheduler,
+				fmt.Sprint(rec.TotalCycles), fmt.Sprint(rec.StallCycles),
+				fmt.Sprintf("%.1f%%", hwShare))
+		}
+		out += "\nBest per Atom-Container budget:\n" + tb.String()
+	}
+	if len(r.Summary.Pareto) > 0 {
+		tb := &stats.Table{Header: []string{"#ACs", "scheduler", "cycles"}}
+		for _, rec := range r.Summary.Pareto {
+			tb.AddRow(fmt.Sprint(rec.Point.NumACs), rec.Point.Scheduler, fmt.Sprint(rec.TotalCycles))
+		}
+		out += "\nPareto front {cycles, ACs}:\n" + tb.String()
+	}
+	if rows := SpeedupVsBaseline(r.Records, baseline); len(rows) > 0 {
+		tb := &stats.Table{Header: []string{"scheduler", "#ACs", "frames", "speedup vs " + baseline}}
+		for _, row := range rows {
+			tb.AddRow(row.Point.Scheduler, fmt.Sprint(row.Point.NumACs),
+				fmt.Sprint(row.Point.Frames), fmt.Sprintf("%.2f", row.Speedup))
+		}
+		out += "\nSpeedups:\n" + tb.String()
+	}
+	return out
+}

@@ -1,0 +1,340 @@
+package explore
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeRun is a deterministic stand-in for the simulator: cycles depend only
+// on the point, with a per-call counter to observe cache behaviour.
+func fakeRun(calls *atomic.Int64) RunFunc {
+	return func(ctx context.Context, p Point) (Metrics, error) {
+		if calls != nil {
+			calls.Add(1)
+		}
+		cycles := int64(1_000_000 / (p.NumACs + 1))
+		if p.Scheduler == "HEF" {
+			cycles -= 1000
+		}
+		return Metrics{TotalCycles: cycles, StallCycles: cycles / 10,
+			SWExecutions: int64(p.NumACs), HWExecutions: int64(p.Frames)}, nil
+	}
+}
+
+func testSpec() Spec {
+	return Spec{
+		Schedulers: []string{"HEF", "ASF", "Molen"},
+		ACs:        []int{5, 10, 15, 20},
+		Frames:     []int{20},
+	}
+}
+
+func TestExpandGridOrderAndDefaults(t *testing.T) {
+	jobs, err := testSpec().Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 12 {
+		t.Fatalf("got %d jobs, want 12", len(jobs))
+	}
+	// Schedulers outermost, ACs next: first four jobs are HEF over the ACs.
+	for i, n := range []int{5, 10, 15, 20} {
+		if jobs[i].Scheduler != "HEF" || jobs[i].NumACs != n {
+			t.Errorf("job %d = %+v, want HEF/%d", i, jobs[i], n)
+		}
+		if !jobs[i].SeedForecasts {
+			t.Errorf("job %d: SeedForecasts should default to true", i)
+		}
+	}
+	// An empty grid with explicit points normalizes them.
+	jobs, err = Spec{Points: []Point{{NumACs: 7}}}.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 1 || jobs[0].Scheduler != "HEF" || jobs[0].Frames != 140 {
+		t.Fatalf("explicit point not normalized: %+v", jobs)
+	}
+}
+
+func TestExpandDedupes(t *testing.T) {
+	s := testSpec()
+	s.Points = append(s.Points,
+		Point{Scheduler: "HEF", NumACs: 5, Frames: 20, SeedForecasts: true}, // duplicate of grid job 0
+		Point{Scheduler: "SJF", NumACs: 9, Frames: 20, SeedForecasts: true}, // new
+	)
+	jobs, err := s.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 13 {
+		t.Fatalf("got %d jobs, want 13 (12 grid + 1 new explicit)", len(jobs))
+	}
+	if last := jobs[len(jobs)-1]; last.Scheduler != "SJF" || last.NumACs != 9 {
+		t.Fatalf("explicit point not appended: %+v", last)
+	}
+}
+
+func TestExpandRejectsBadPoints(t *testing.T) {
+	for _, s := range []Spec{
+		{ACs: []int{-1}},
+		{Frames: []int{-3}},
+		{Motion: []float64{1.5}},
+	} {
+		if _, err := s.Expand(); err == nil {
+			t.Errorf("spec %+v: expected error", s)
+		}
+	}
+}
+
+func TestKeyStableAndHashDistinct(t *testing.T) {
+	a := Point{Scheduler: "HEF", NumACs: 10, Frames: 20, SeedForecasts: true}
+	b := a
+	if a.Key() != b.Key() || a.Hash() != b.Hash() {
+		t.Fatal("identical points disagree")
+	}
+	b.NumACs = 11
+	if a.Hash() == b.Hash() {
+		t.Fatal("distinct points collide")
+	}
+	want := `{"scheduler":"HEF","acs":10,"frames":20,"seed":0,"motion":0,"scene_change":0,"seed_forecasts":true,"prefetch":false}`
+	if a.Key() != want {
+		t.Fatalf("canonical key changed:\n got %s\nwant %s", a.Key(), want)
+	}
+}
+
+// TestByteIdenticalAcrossWorkerCounts is the acceptance property: the JSONL
+// stream is identical at -j 1 and -j 8.
+func TestByteIdenticalAcrossWorkerCounts(t *testing.T) {
+	var outputs []string
+	for _, workers := range []int{1, 8} {
+		var buf bytes.Buffer
+		eng := &Engine{Run: fakeRun(nil), Workers: workers}
+		res, err := eng.Execute(context.Background(), testSpec(), &buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Summary.Failed != 0 || res.Summary.Total != 12 {
+			t.Fatalf("summary %+v", res.Summary)
+		}
+		outputs = append(outputs, buf.String())
+	}
+	if outputs[0] != outputs[1] {
+		t.Fatalf("JSONL differs between -j 1 and -j 8:\n%s\n---\n%s", outputs[0], outputs[1])
+	}
+	if n := strings.Count(outputs[0], "\n"); n != 12 {
+		t.Fatalf("got %d lines, want 12", n)
+	}
+}
+
+// TestCacheSkipsCompletedPoints is the second acceptance property: a cached
+// re-run of an already-completed sweep performs zero new simulations, and
+// an enlarged sweep only simulates the new points.
+func TestCacheSkipsCompletedPoints(t *testing.T) {
+	cache, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var calls atomic.Int64
+	eng := &Engine{Run: fakeRun(&calls), Cache: cache}
+
+	var cold bytes.Buffer
+	if _, err := eng.Execute(context.Background(), testSpec(), &cold); err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 12 {
+		t.Fatalf("cold run simulated %d points, want 12", calls.Load())
+	}
+
+	calls.Store(0)
+	var warm bytes.Buffer
+	res, err := eng.Execute(context.Background(), testSpec(), &warm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 0 {
+		t.Fatalf("warm run simulated %d points, want 0", calls.Load())
+	}
+	if res.Summary.CacheHits != 12 || res.Summary.Simulated != 0 {
+		t.Fatalf("warm summary %+v", res.Summary)
+	}
+	if cold.String() != warm.String() {
+		t.Fatal("cached run not byte-identical to cold run")
+	}
+
+	// Enlarging the sweep only simulates the new points.
+	grown := testSpec()
+	grown.ACs = append(grown.ACs, 25)
+	if _, err := eng.Execute(context.Background(), grown, nil); err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 3 {
+		t.Fatalf("enlarged run simulated %d points, want 3 (the new AC per scheduler)", calls.Load())
+	}
+}
+
+func TestCacheRejectsCorruptAndForeignEntries(t *testing.T) {
+	cache, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Point{Scheduler: "HEF", NumACs: 3, Frames: 1}
+	if err := cache.Put(p, Metrics{TotalCycles: 42}); err != nil {
+		t.Fatal(err)
+	}
+	if m, ok := cache.Get(p); !ok || m.TotalCycles != 42 {
+		t.Fatalf("round trip failed: %v %v", m, ok)
+	}
+	q := p
+	q.NumACs = 4
+	if _, ok := cache.Get(q); ok {
+		t.Fatal("hit for absent point")
+	}
+	cache.WriteOnly = true
+	if _, ok := cache.Get(p); ok {
+		t.Fatal("WriteOnly cache returned a hit")
+	}
+}
+
+func TestPanicRecoveryIsolatesJob(t *testing.T) {
+	eng := &Engine{
+		Workers: 4,
+		Run: func(ctx context.Context, p Point) (Metrics, error) {
+			if p.NumACs == 10 {
+				panic("boom")
+			}
+			return Metrics{TotalCycles: int64(p.NumACs)}, nil
+		},
+	}
+	res, err := eng.Execute(context.Background(), testSpec(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Summary.Failed != 3 {
+		t.Fatalf("failed = %d, want 3 (one panicking AC value × 3 schedulers)", res.Summary.Failed)
+	}
+	for _, rec := range res.Records {
+		if rec.Point.NumACs == 10 {
+			if !strings.Contains(rec.Err, "panic: boom") {
+				t.Fatalf("panic not captured: %q", rec.Err)
+			}
+		} else if !rec.OK() {
+			t.Fatalf("healthy job failed: %+v", rec)
+		}
+	}
+	if res.FirstErr() == nil {
+		t.Fatal("FirstErr lost the failure")
+	}
+}
+
+func TestCancellationStopsPromptly(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{}, 64)
+	eng := &Engine{
+		Workers: 2,
+		Run: func(ctx context.Context, p Point) (Metrics, error) {
+			started <- struct{}{}
+			<-ctx.Done()
+			return Metrics{}, ctx.Err()
+		},
+	}
+	go func() {
+		<-started
+		cancel()
+	}()
+	done := make(chan struct{})
+	var res *Result
+	var err error
+	go func() {
+		res, err = eng.Execute(ctx, testSpec(), nil)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Execute did not return after cancellation")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res == nil || len(res.Records) != 12 {
+		t.Fatalf("partial result missing: %+v", res)
+	}
+	for _, rec := range res.Records {
+		if rec.OK() {
+			t.Fatalf("job reported success after cancellation: %+v", rec)
+		}
+	}
+}
+
+func TestSummaryBestParetoSpeedups(t *testing.T) {
+	eng := &Engine{Run: fakeRun(nil), Workers: 3}
+	res, err := eng.Execute(context.Background(), testSpec(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Summary.BestPerACs) != 4 {
+		t.Fatalf("best-per-ACs has %d rows, want 4", len(res.Summary.BestPerACs))
+	}
+	for i, rec := range res.Summary.BestPerACs {
+		// HEF is always fastest in the fake model.
+		if rec.Point.Scheduler != "HEF" {
+			t.Errorf("best[%d] scheduler = %s, want HEF", i, rec.Point.Scheduler)
+		}
+		if i > 0 && rec.Point.NumACs <= res.Summary.BestPerACs[i-1].Point.NumACs {
+			t.Error("best-per-ACs not ascending")
+		}
+	}
+	// Cycles strictly decrease with ACs in the fake model, so the Pareto
+	// front is the whole best-per-ACs set.
+	if len(res.Summary.Pareto) != 4 {
+		t.Fatalf("pareto has %d rows, want 4", len(res.Summary.Pareto))
+	}
+	rows := SpeedupVsBaseline(res.Records, "Molen")
+	if len(rows) != 8 {
+		t.Fatalf("speedups has %d rows, want 8 (HEF+ASF × 4 ACs)", len(rows))
+	}
+	for _, row := range rows {
+		switch row.Point.Scheduler {
+		case "HEF":
+			if row.Speedup <= 1 {
+				t.Errorf("HEF speedup %f, want > 1", row.Speedup)
+			}
+		case "ASF":
+			if row.Speedup != 1 {
+				t.Errorf("ASF speedup %f, want 1", row.Speedup)
+			}
+		}
+	}
+	txt := res.Format("Molen")
+	for _, want := range []string{"12 jobs", "Best per Atom-Container budget", "Pareto front", "Speedups"} {
+		if !strings.Contains(txt, want) {
+			t.Errorf("Format output missing %q:\n%s", want, txt)
+		}
+	}
+}
+
+func TestParetoDropsDominatedPoints(t *testing.T) {
+	res := &Result{Records: []Record{
+		{Point: Point{Scheduler: "A", NumACs: 5}, Metrics: Metrics{TotalCycles: 100}},
+		{Point: Point{Scheduler: "A", NumACs: 10}, Metrics: Metrics{TotalCycles: 100}}, // dominated: more ACs, same cycles
+		{Point: Point{Scheduler: "A", NumACs: 15}, Metrics: Metrics{TotalCycles: 40}},
+	}}
+	res.summarize()
+	if len(res.Summary.Pareto) != 2 {
+		t.Fatalf("pareto = %+v, want the 5-AC and 15-AC points", res.Summary.Pareto)
+	}
+	if res.Summary.Pareto[0].Point.NumACs != 5 || res.Summary.Pareto[1].Point.NumACs != 15 {
+		t.Fatalf("pareto = %+v", res.Summary.Pareto)
+	}
+}
+
+func TestEngineRequiresRunFunc(t *testing.T) {
+	if _, err := (&Engine{}).Execute(context.Background(), testSpec(), nil); err == nil {
+		t.Fatal("nil RunFunc accepted")
+	}
+}

@@ -10,6 +10,7 @@
 package sim
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -103,6 +104,14 @@ type Result struct {
 // Run simulates the trace on the runtime and returns the result. The
 // runtime is Reset first, so a Runtime can be reused across runs.
 func Run(tr *workload.Trace, is *isa.ISA, rt Runtime, opts Options) (*Result, error) {
+	return RunContext(context.Background(), tr, is, rt, opts)
+}
+
+// RunContext is Run with cancellation: the context is checked between
+// simulation events (phase boundaries and Atom-load completions — not per
+// simulated cycle, which would defeat the closed-form advance). On
+// cancellation it returns an error wrapping ctx.Err().
+func RunContext(ctx context.Context, tr *workload.Trace, is *isa.ISA, rt Runtime, opts Options) (*Result, error) {
 	rt.Reset()
 	res := &Result{
 		Runtime:      rt.Name(),
@@ -131,6 +140,22 @@ func Run(tr *workload.Trace, is *isa.ISA, rt Runtime, opts Options) (*Result, er
 	}
 
 	now := int64(0)
+	// done is nil for context.Background(), making the per-event check free
+	// on the uncancellable path.
+	done := ctx.Done()
+	var cancelErr error
+	canceled := func() bool {
+		if done == nil || cancelErr != nil {
+			return cancelErr != nil
+		}
+		select {
+		case <-done:
+			cancelErr = fmt.Errorf("sim: canceled at cycle %d: %w", now, ctx.Err())
+			return true
+		default:
+			return false
+		}
+	}
 	// lastLat tracks per-SI latencies for journal change detection.
 	lastLat := make(map[isa.SIID]int)
 	recordLats := func(at int64, spot []isa.SIID) {
@@ -148,6 +173,9 @@ func Run(tr *workload.Trace, is *isa.ISA, rt Runtime, opts Options) (*Result, er
 	// drain processes all pending events up to and including time limit.
 	drain := func(limit int64, spot []isa.SIID) {
 		for {
+			if canceled() {
+				return
+			}
 			at, ok := rt.NextEvent()
 			if !ok || at > limit {
 				return
@@ -160,6 +188,9 @@ func Run(tr *workload.Trace, is *isa.ISA, rt Runtime, opts Options) (*Result, er
 
 	res.Phases = make([]PhaseStat, 0, len(tr.Phases))
 	for pi := range tr.Phases {
+		if canceled() {
+			return nil, cancelErr
+		}
 		p := &tr.Phases[pi]
 		phaseStart := now
 		spot := make([]isa.SIID, 0, 8)
@@ -176,6 +207,9 @@ func Run(tr *workload.Trace, is *isa.ISA, rt Runtime, opts Options) (*Result, er
 			remaining := int64(b.Count)
 			for remaining > 0 {
 				drain(now, spot)
+				if cancelErr != nil {
+					return nil, cancelErr
+				}
 				lat := rt.Latency(b.SI)
 				per := int64(lat + b.Gap)
 				n := remaining
@@ -206,6 +240,9 @@ func Run(tr *workload.Trace, is *isa.ISA, rt Runtime, opts Options) (*Result, er
 			}
 		}
 		drain(now, spot)
+		if cancelErr != nil {
+			return nil, cancelErr
+		}
 		rt.LeaveHotSpot(now)
 		journal(JournalEvent{Cycle: now, Event: "leave", HotSpot: int(p.HotSpot)})
 		res.Phases = append(res.Phases, PhaseStat{HotSpot: p.HotSpot, Start: phaseStart, End: now})

@@ -21,10 +21,12 @@
 package rispp
 
 import (
+	"context"
 	"fmt"
 
 	"rispp/internal/bitstream"
 	"rispp/internal/core"
+	"rispp/internal/explore"
 	"rispp/internal/isa"
 	"rispp/internal/membus"
 	"rispp/internal/molen"
@@ -145,6 +147,13 @@ func NewRuntime(cfg Config) (sim.Runtime, error) {
 
 // Run simulates the configured system on the configured workload.
 func Run(cfg Config) (*sim.Result, error) {
+	return RunContext(context.Background(), cfg)
+}
+
+// RunContext is Run with cancellation and deadline support: the simulator
+// checks the context between events (Atom-load completions and phase
+// boundaries), so even a billions-of-cycles run stops promptly.
+func RunContext(ctx context.Context, cfg Config) (*sim.Result, error) {
 	cfg.setDefaults()
 	if err := cfg.Workload.Validate(cfg.ISA); err != nil {
 		return nil, err
@@ -153,7 +162,7 @@ func Run(cfg Config) (*sim.Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return sim.Run(cfg.Workload, cfg.ISA, rt, cfg.Collect)
+	return sim.RunContext(ctx, cfg.Workload, cfg.ISA, rt, cfg.Collect)
 }
 
 // SweepPoint is one cell of a scheduler × #ACs sweep.
@@ -163,23 +172,78 @@ type SweepPoint struct {
 	TotalCycles int64
 }
 
+// Explorer wires the design-space exploration engine of internal/explore to
+// this library: every explore.Point is materialized as a Config and
+// simulated via RunContext on a bounded worker pool. When base.Workload is
+// nil, the point's workload knobs (frames, seed, motion variability, scene
+// change) build the H.264 trace; a non-nil base.Workload is used verbatim
+// for every point — in that case do not share a cache across different
+// traces, since the point key only describes the knobs.
+func Explorer(base Config, workers int, cache *explore.Cache) *explore.Engine {
+	return &explore.Engine{
+		Workers: workers,
+		Cache:   cache,
+		Run: func(ctx context.Context, p explore.Point) (explore.Metrics, error) {
+			cfg := base
+			cfg.Scheduler = p.Scheduler
+			cfg.NumACs = p.NumACs
+			cfg.SeedForecasts = p.SeedForecasts
+			cfg.Prefetch = p.Prefetch
+			if cfg.Workload == nil {
+				cfg.Workload = workload.H264(workload.H264Config{
+					Frames:            p.Frames,
+					Seed:              p.Seed,
+					MotionVariability: p.Motion,
+					SceneChangeFrame:  p.SceneChange,
+				})
+			}
+			res, err := RunContext(ctx, cfg)
+			if err != nil {
+				return explore.Metrics{}, err
+			}
+			return explore.Metrics{
+				TotalCycles:  res.TotalCycles,
+				StallCycles:  res.StallCycles,
+				SWExecutions: sumExecutions(res.SWExecutions),
+				HWExecutions: sumExecutions(res.HWExecutions),
+			}, nil
+		},
+	}
+}
+
+func sumExecutions(m map[isa.SIID]int64) int64 {
+	var n int64
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
 // Sweep runs the given schedulers over a range of Atom Container counts
 // (the Figure 7 / Table 2 experiment) and returns results indexed
-// [scheduler][numACs].
+// [scheduler][numACs]. The points run concurrently through the exploration
+// engine; the simulator is deterministic, so results are identical to a
+// sequential sweep.
 func Sweep(base Config, schedulers []string, acs []int) (map[string]map[int]int64, error) {
+	spec := explore.Spec{
+		Schedulers:    schedulers,
+		ACs:           acs,
+		SeedForecasts: []bool{base.SeedForecasts},
+		Prefetch:      []bool{base.Prefetch},
+	}
+	res, err := Explorer(base, 0, nil).Execute(context.Background(), spec, nil)
+	if err != nil {
+		return nil, fmt.Errorf("rispp: sweep: %w", err)
+	}
+	if err := res.FirstErr(); err != nil {
+		return nil, fmt.Errorf("rispp: sweep: %w", err)
+	}
 	out := make(map[string]map[int]int64, len(schedulers))
-	for _, s := range schedulers {
-		out[s] = make(map[int]int64, len(acs))
-		for _, n := range acs {
-			cfg := base
-			cfg.Scheduler = s
-			cfg.NumACs = n
-			res, err := Run(cfg)
-			if err != nil {
-				return nil, fmt.Errorf("rispp: sweep %s/%d ACs: %w", s, n, err)
-			}
-			out[s][n] = res.TotalCycles
+	for _, rec := range res.Records {
+		if out[rec.Point.Scheduler] == nil {
+			out[rec.Point.Scheduler] = make(map[int]int64, len(acs))
 		}
+		out[rec.Point.Scheduler][rec.Point.NumACs] = rec.TotalCycles
 	}
 	return out, nil
 }
