@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test short race bench figures verify clean
+.PHONY: all build test short race bench bench-paper figures verify clean
 
 all: build test
 
@@ -21,8 +21,13 @@ short:
 race:
 	$(GO) test -race -short ./...
 
-# Regenerate every paper table/figure as testing.B benchmarks.
+# Hot-path micro-benchmarks (simulator + exploration engine), 5 repeats
+# for benchstat; the numbers tracked in EXPERIMENTS.md come from here.
 bench:
+	$(GO) test -run '^$$' -bench . -benchmem -count=5 ./internal/sim ./internal/explore
+
+# Regenerate every paper table/figure as testing.B benchmarks.
+bench-paper:
 	$(GO) test -bench=. -benchmem ./...
 
 # Text + SVG renderings of all paper artifacts into ./figures.

@@ -7,6 +7,7 @@
 //	risppbench -exp fig2       # one experiment: table1, fig2, fig4, fig7,
 //	                           # table2, fig8, table3, sw
 //	risppbench -frames 20      # faster, qualitatively identical sweeps
+//	risppbench -cpuprofile cpu.pprof -exp table2   # profile the sweep
 package main
 
 import (
@@ -19,6 +20,7 @@ import (
 	"rispp/internal/experiments"
 	"rispp/internal/hwmodel"
 	"rispp/internal/isa"
+	"rispp/internal/profiling"
 )
 
 func main() {
@@ -29,18 +31,10 @@ func main() {
 		svgDir  = flag.String("svg", "", "also write SVG figures (fig2, fig7, table2, fig8) into this directory")
 		workers = flag.Int("j", 0, "parallel simulations for the sweeps (0 = GOMAXPROCS)")
 		cache   = flag.String("cache", "", "content-addressed sweep result cache directory (re-runs only simulate new points)")
+		prof    profiling.Config
 	)
+	prof.AddFlags(flag.CommandLine)
 	flag.Parse()
-
-	p := experiments.Params{Frames: *frames, Workers: *workers, CacheDir: *cache}
-	run := func(name string, f func() string) {
-		if *exp != "all" && *exp != name {
-			return
-		}
-		fmt.Println(strings.Repeat("=", 72))
-		fmt.Print(f())
-		fmt.Println()
-	}
 
 	known := map[string]bool{"all": true, "table1": true, "fig2": true, "fig4": true,
 		"fig7": true, "table2": true, "fig8": true, "table3": true, "sw": true, "optimal": true}
@@ -49,21 +43,51 @@ func main() {
 		os.Exit(2)
 	}
 
-	writeSVG := func(name, svg string) {
-		if *svgDir == "" {
+	stopProf, err := prof.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "risppbench:", err)
+		os.Exit(1)
+	}
+	err = runExperiments(*exp, *csv, *svgDir,
+		experiments.Params{Frames: *frames, Workers: *workers, CacheDir: *cache})
+	// Stop profiling before exiting so the profiles are complete even when
+	// an experiment failed.
+	if perr := stopProf(); err == nil {
+		err = perr
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "risppbench:", err)
+		os.Exit(1)
+	}
+}
+
+// runExperiments prints every selected experiment; it returns instead of
+// exiting so main can flush profiles first.
+func runExperiments(exp string, csv bool, svgDir string, p experiments.Params) error {
+	run := func(name string, f func() string) {
+		if exp != "all" && exp != name {
 			return
 		}
-		path := filepath.Join(*svgDir, name)
+		fmt.Println(strings.Repeat("=", 72))
+		fmt.Print(f())
+		fmt.Println()
+	}
+
+	var svgErr error
+	writeSVG := func(name, svg string) {
+		if svgDir == "" || svgErr != nil {
+			return
+		}
+		path := filepath.Join(svgDir, name)
 		if err := os.WriteFile(path, []byte(svg), 0o644); err != nil {
-			fmt.Fprintln(os.Stderr, "risppbench:", err)
-			os.Exit(1)
+			svgErr = err
+			return
 		}
 		fmt.Fprintln(os.Stderr, "wrote", path)
 	}
-	if *svgDir != "" {
-		if err := os.MkdirAll(*svgDir, 0o755); err != nil {
-			fmt.Fprintln(os.Stderr, "risppbench:", err)
-			os.Exit(1)
+	if svgDir != "" {
+		if err := os.MkdirAll(svgDir, 0o755); err != nil {
+			return err
 		}
 	}
 
@@ -77,7 +101,7 @@ func main() {
 	run("fig7", func() string {
 		r := experiments.Fig7(p)
 		writeSVG("fig7.svg", r.SVG())
-		if *csv {
+		if csv {
 			return r.CSV()
 		}
 		return r.Text
@@ -85,7 +109,7 @@ func main() {
 	run("table2", func() string {
 		r := experiments.Table2(p)
 		writeSVG("table2.svg", r.SVG())
-		if *csv {
+		if csv {
 			return r.CSV()
 		}
 		return r.Text
@@ -98,4 +122,5 @@ func main() {
 	run("table3", func() string { return "Table 3 — Hardware implementation results\n\n" + hwmodel.Table3(isa.H264()) })
 	run("sw", func() string { _, txt := experiments.SoftwareBaseline(p); return txt })
 	run("optimal", func() string { return experiments.OptimalGap().Text })
+	return svgErr
 }

@@ -30,10 +30,16 @@ import (
 
 	"rispp"
 	"rispp/internal/explore"
+	"rispp/internal/profiling"
 )
+
+// stopProfiles, once set, flushes active profiles; fatal calls it so that
+// -cpuprofile/-trace output survives error exits.
+var stopProfiles func() error
 
 func main() {
 	var (
+		prof profiling.Config
 		specFile  = flag.String("spec", "", "sweep spec file (JSON explore.Spec); dimension flags override its dimensions")
 		scheds    = flag.String("sched", "", "comma-separated schedulers (FSFR, ASF, SJF, HEF, Molen, software)")
 		acs       = flag.String("acs", "", "Atom-Container budgets: comma list and/or ranges, e.g. 5-24 or 4,8,16")
@@ -51,6 +57,7 @@ func main() {
 		summary   = flag.Bool("summary", true, "print the sweep summary to stderr")
 		baseline  = flag.String("baseline", "Molen", "baseline scheduler for the speedup table")
 	)
+	prof.AddFlags(flag.CommandLine)
 	flag.Parse()
 
 	var spec explore.Spec
@@ -123,6 +130,12 @@ func main() {
 		fatal(fmt.Errorf("empty sweep: give -spec or at least one dimension flag"))
 	}
 
+	stop, err := prof.Start()
+	if err != nil {
+		fatal(err)
+	}
+	stopProfiles = stop
+
 	var cache *explore.Cache
 	if *cacheDir != "" {
 		cache, err = explore.OpenCache(*cacheDir)
@@ -157,6 +170,10 @@ func main() {
 	if flushErr := bw.Flush(); err == nil {
 		err = flushErr
 	}
+	if perr := stop(); err == nil {
+		err = perr
+	}
+	stopProfiles = nil
 	if *summary && res != nil {
 		fmt.Fprintf(os.Stderr, "\n%s\nelapsed: %s\n", res.Format(*baseline), time.Since(start).Round(time.Millisecond))
 	}
@@ -251,6 +268,9 @@ func parseBools(s string) ([]bool, error) {
 }
 
 func fatal(err error) {
+	if stopProfiles != nil {
+		stopProfiles()
+	}
 	fmt.Fprintln(os.Stderr, "risppexplore:", err)
 	os.Exit(1)
 }

@@ -14,7 +14,6 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"sort"
 
 	"rispp"
 	"rispp/internal/core"
@@ -119,15 +118,14 @@ func main() {
 
 	tb := &stats.Table{Header: []string{"SI", "executions", "software", "hardware", "hw share"}}
 	var ids []int
-	for si := range res.Executions {
+	for _, si := range res.ExecutedSIs() {
 		ids = append(ids, int(si))
 	}
-	sort.Ints(ids)
 	for _, id := range ids {
 		si := isa.SIID(id)
-		total := res.Executions[si]
-		hw := res.HWExecutions[si]
-		tb.AddRow(is.SI(si).Name, fmt.Sprint(total), fmt.Sprint(res.SWExecutions[si]),
+		total := res.ExecutionsOf(si)
+		hw := res.HWExecutionsOf(si)
+		tb.AddRow(is.SI(si).Name, fmt.Sprint(total), fmt.Sprint(res.SWExecutionsOf(si)),
 			fmt.Sprint(hw), fmt.Sprintf("%.1f%%", 100*float64(hw)/float64(total)))
 	}
 	fmt.Println()

@@ -152,11 +152,11 @@ func main() {
 	fmt.Println("\nHEF hardware share per SI (6 ACs, traffic shift at batch 20):")
 	for i := range is.SIs {
 		id := isa.SIID(i)
-		total := res.Executions[id]
+		total := res.ExecutionsOf(id)
 		if total == 0 {
 			continue
 		}
 		fmt.Printf("  %-18s %6.1f%% of %d executions\n",
-			is.SI(id).Name, 100*float64(res.HWExecutions[id])/float64(total), total)
+			is.SI(id).Name, 100*float64(res.HWExecutionsOf(id))/float64(total), total)
 	}
 }

@@ -111,10 +111,10 @@ func TestColdManagerLearnsAcrossFrames(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.HWExecutions[isa.SISAD] == 0 {
+	if res.HWExecutionsOf(isa.SISAD) == 0 {
 		t.Fatal("manager never learned to accelerate SAD")
 	}
-	if res.SWExecutions[isa.SISAD] == 0 {
+	if res.SWExecutionsOf(isa.SISAD) == 0 {
 		t.Fatal("first cold frame should have run SAD in software")
 	}
 }
@@ -146,7 +146,7 @@ func TestZeroACsRunsInSoftware(t *testing.T) {
 	if res.TotalCycles != tr.SoftwareCycles(is) {
 		t.Fatalf("0 ACs = %d cycles, want pure software %d", res.TotalCycles, tr.SoftwareCycles(is))
 	}
-	if len(res.HWExecutions) != 0 {
+	if len(res.HWExecutions()) != 0 {
 		t.Fatal("hardware executions with zero containers")
 	}
 }

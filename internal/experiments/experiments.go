@@ -8,6 +8,7 @@ import (
 	"context"
 	"fmt"
 	"strings"
+	"sync"
 
 	"rispp/internal/explore"
 	"rispp/internal/isa"
@@ -82,7 +83,9 @@ func runPoint(is *isa.ISA, tr *workload.Trace, system string, acs int, opts sim.
 
 // sweep runs systems × ACs through the exploration engine: parallel on a
 // bounded worker pool (ISA and trace are read-only during simulation), with
-// optional result caching keyed by the full design point.
+// optional result caching keyed by the full design point. The trace is
+// compiled once for the whole sweep and Result buffers are pooled, so each
+// point only pays for runtime construction and simulation.
 func sweep(is *isa.ISA, tr *workload.Trace, systems []string, acs []int, p Params) map[string]map[int]int64 {
 	var cache *explore.Cache
 	if p.CacheDir != "" {
@@ -92,18 +95,36 @@ func sweep(is *isa.ISA, tr *workload.Trace, systems []string, acs []int, p Param
 		}
 		cache = c
 	}
+	ct, err := workload.Compile(tr, is)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: compile trace: %v", err))
+	}
+	var results sync.Pool
 	eng := &explore.Engine{
 		Workers: p.Workers,
 		Cache:   cache,
 		Run: func(ctx context.Context, pt explore.Point) (explore.Metrics, error) {
-			res := runPoint(is, tr, pt.Scheduler, pt.NumACs, sim.Options{})
-			m := explore.Metrics{TotalCycles: res.TotalCycles, StallCycles: res.StallCycles}
-			for _, n := range res.SWExecutions {
-				m.SWExecutions += n
+			var rt sim.Runtime
+			if pt.Scheduler == "Molen" {
+				rt = newMolen(is, tr, pt.NumACs)
+			} else {
+				rt = newRISPP(is, tr, pt.Scheduler, pt.NumACs)
 			}
-			for _, n := range res.HWExecutions {
-				m.HWExecutions += n
+			res, _ := results.Get().(*sim.Result)
+			if res == nil {
+				res = new(sim.Result)
 			}
+			if err := sim.RunCompiled(ctx, ct, rt, sim.Options{}, res); err != nil {
+				results.Put(res)
+				return explore.Metrics{}, err
+			}
+			m := explore.Metrics{
+				TotalCycles:  res.TotalCycles,
+				StallCycles:  res.StallCycles,
+				SWExecutions: res.TotalSWExecutions(),
+				HWExecutions: res.TotalHWExecutions(),
+			}
+			results.Put(res)
 			return m, nil
 		},
 	}

@@ -21,8 +21,8 @@ func TestFig2UpgradeFinishesEarlier(t *testing.T) {
 		name string
 		n    int64
 	}{
-		{"with", r.With.Executions[isa.SISAD] + r.With.Executions[isa.SISATD]},
-		{"without", r.Without.Executions[isa.SISAD] + r.Without.Executions[isa.SISATD]},
+		{"with", r.With.ExecutionsOf(isa.SISAD) + r.With.ExecutionsOf(isa.SISATD)},
+		{"without", r.Without.ExecutionsOf(isa.SISAD) + r.Without.ExecutionsOf(isa.SISATD)},
 	} {
 		if res.n != 31977 {
 			t.Errorf("%s upgrade: %d SI executions, want 31977", res.name, res.n)

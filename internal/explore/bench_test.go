@@ -1,0 +1,70 @@
+// Benchmarks of the exploration engine's orchestration overhead: job
+// expansion, worker-pool scheduling and ordered JSONL streaming, isolated
+// from simulation cost by a trivial RunFunc.
+//
+// Run with: go test -bench . -benchmem ./internal/explore
+package explore
+
+import (
+	"context"
+	"io"
+	"testing"
+)
+
+func benchSpec() Spec {
+	return Spec{
+		Schedulers: []string{"FSFR", "ASF", "SJF", "HEF"},
+		ACs:        []int{5, 10, 15, 20, 25},
+		Frames:     []int{20},
+	}
+}
+
+func noopRun(ctx context.Context, p Point) (Metrics, error) {
+	return Metrics{
+		TotalCycles:  int64(p.NumACs) * 1000,
+		StallCycles:  int64(p.NumACs) * 10,
+		SWExecutions: 1,
+		HWExecutions: 2,
+	}, nil
+}
+
+// BenchmarkEngineExecute measures the per-sweep engine overhead without
+// output streaming.
+func BenchmarkEngineExecute(b *testing.B) {
+	eng := &Engine{Run: noopRun, Workers: 4}
+	spec := benchSpec()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Execute(context.Background(), spec, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineExecuteJSONL adds the ordered JSONL result stream — the
+// path risppexplore runs; the encoder is shared across records so the
+// per-record cost must stay flat.
+func BenchmarkEngineExecuteJSONL(b *testing.B) {
+	eng := &Engine{Run: noopRun, Workers: 4}
+	spec := benchSpec()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Execute(context.Background(), spec, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSpecExpand measures grid expansion and dedup on their own.
+func BenchmarkSpecExpand(b *testing.B) {
+	spec := benchSpec()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := spec.Expand(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -109,7 +109,14 @@ func (e *Engine) Execute(ctx context.Context, spec Spec, w io.Writer) (*Result, 
 		next     int // first job index not yet streamed
 		writeErr error
 		cacheErr error
+		enc      *json.Encoder
 	)
+	if w != nil {
+		// One streaming encoder for the whole sweep: Encode(v) emits
+		// exactly Marshal(v) plus '\n' while reusing its internal buffer,
+		// so large sweeps don't allocate a fresh buffer per record.
+		enc = json.NewEncoder(w)
+	}
 	// finish records job i and streams every contiguous completed record.
 	finish := func(i int, rec Record) {
 		mu.Lock()
@@ -117,12 +124,8 @@ func (e *Engine) Execute(ctx context.Context, spec Spec, w io.Writer) (*Result, 
 		res.Records[i] = rec
 		done[i] = true
 		for next < len(jobs) && done[next] {
-			if w != nil && writeErr == nil {
-				b, err := json.Marshal(res.Records[next])
-				if err == nil {
-					_, err = w.Write(append(b, '\n'))
-				}
-				if err != nil {
+			if enc != nil && writeErr == nil {
+				if err := enc.Encode(&res.Records[next]); err != nil {
 					writeErr = fmt.Errorf("explore: write result: %w", err)
 				}
 			}

@@ -1,0 +1,111 @@
+// Package profiling wires the standard Go profilers into the repo's
+// command-line tools: a -cpuprofile/-memprofile/-trace flag triple and a
+// Start/stop pair that brackets the measured work, so hot-path regressions
+// (see EXPERIMENTS.md, "Hot-path optimisation") can be diagnosed with
+// `go tool pprof` / `go tool trace` against the real workloads instead of
+// micro-benchmarks only.
+package profiling
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
+)
+
+// Config holds the profiling destinations of one command. The zero value
+// profiles nothing.
+type Config struct {
+	CPUProfile string // pprof CPU profile
+	MemProfile string // pprof allocation profile, written at stop
+	Trace      string // runtime execution trace
+}
+
+// AddFlags registers the conventional flag triple on fs.
+func (c *Config) AddFlags(fs *flag.FlagSet) {
+	fs.StringVar(&c.CPUProfile, "cpuprofile", "", "write a CPU profile to `file`")
+	fs.StringVar(&c.MemProfile, "memprofile", "", "write an allocation profile to `file` on exit")
+	fs.StringVar(&c.Trace, "trace", "", "write a runtime execution trace to `file`")
+}
+
+// Start begins every requested profile and returns a stop function that
+// finishes them; the caller must invoke stop before exiting (and before
+// any os.Exit) or the profiles are truncated. Start is idempotent in the
+// zero-value case: no files are touched and stop is a no-op.
+func (c *Config) Start() (stop func() error, err error) {
+	var (
+		cpuFile   *os.File
+		traceFile *os.File
+	)
+	cleanup := func() {
+		if traceFile != nil {
+			trace.Stop()
+			traceFile.Close()
+		}
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+	}
+	if c.CPUProfile != "" {
+		cpuFile, err = os.Create(c.CPUProfile)
+		if err != nil {
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			cpuFile = nil
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+	}
+	if c.Trace != "" {
+		traceFile, err = os.Create(c.Trace)
+		if err != nil {
+			cleanup()
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+		if err := trace.Start(traceFile); err != nil {
+			traceFile.Close()
+			traceFile = nil
+			cleanup()
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+	}
+	memProfile := c.MemProfile
+	return func() error {
+		var firstErr error
+		if traceFile != nil {
+			trace.Stop()
+			if err := traceFile.Close(); err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("profiling: %w", err)
+			}
+		}
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("profiling: %w", err)
+			}
+		}
+		if memProfile != "" {
+			f, err := os.Create(memProfile)
+			if err != nil {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("profiling: %w", err)
+				}
+				return firstErr
+			}
+			// Materialize unreachable objects so the profile reflects
+			// steady-state live heap plus cumulative allocation counts.
+			runtime.GC()
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("profiling: %w", err)
+			}
+			if err := f.Close(); err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("profiling: %w", err)
+			}
+		}
+		return firstErr
+	}, nil
+}

@@ -1,0 +1,70 @@
+package profiling
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestZeroValueIsNoop(t *testing.T) {
+	var c Config
+	stop, err := c.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProfilesAreWritten(t *testing.T) {
+	dir := t.TempDir()
+	c := Config{
+		CPUProfile: filepath.Join(dir, "cpu.pprof"),
+		MemProfile: filepath.Join(dir, "mem.pprof"),
+		Trace:      filepath.Join(dir, "trace.out"),
+	}
+	stop, err := c.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Some allocation work so the profiles have content.
+	sink := make([][]byte, 0, 64)
+	for i := 0; i < 64; i++ {
+		sink = append(sink, make([]byte, 1024))
+	}
+	_ = sink
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{c.CPUProfile, c.MemProfile, c.Trace} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Errorf("%s: %v", p, err)
+			continue
+		}
+		if st.Size() == 0 {
+			t.Errorf("%s: empty profile", p)
+		}
+	}
+}
+
+func TestAddFlags(t *testing.T) {
+	var c Config
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	c.AddFlags(fs)
+	if err := fs.Parse([]string{"-cpuprofile", "a", "-memprofile", "b", "-trace", "c"}); err != nil {
+		t.Fatal(err)
+	}
+	if c.CPUProfile != "a" || c.MemProfile != "b" || c.Trace != "c" {
+		t.Errorf("parsed %+v", c)
+	}
+}
+
+func TestStartFailsOnBadPath(t *testing.T) {
+	c := Config{CPUProfile: filepath.Join(t.TempDir(), "no", "such", "dir", "cpu.pprof")}
+	if _, err := c.Start(); err == nil {
+		t.Error("Start succeeded with an uncreatable CPU profile path")
+	}
+}

@@ -1,0 +1,77 @@
+package sim
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"sync"
+)
+
+// The journal hot path encodes events by hand (strconv.Append* into a
+// reused buffer) instead of reflecting through encoding/json, and batches
+// writes through one buffered writer with a single latched-error flush.
+// The encoding is byte-identical to json.Marshal(JournalEvent) — a
+// property tests assert — so readers (sim.ReadJournal, external tooling)
+// see exactly the bytes they always did.
+
+// appendJournalEvent appends the compact JSON encoding of e, without a
+// trailing newline. The Event string must not require JSON escaping; the
+// simulator only emits the four fixed event names.
+func appendJournalEvent(b []byte, e JournalEvent) []byte {
+	b = append(b, `{"t":`...)
+	b = strconv.AppendInt(b, e.Cycle, 10)
+	b = append(b, `,"ev":"`...)
+	b = append(b, e.Event...)
+	b = append(b, `","hotspot":`...)
+	b = strconv.AppendInt(b, int64(e.HotSpot), 10)
+	b = append(b, `,"si":`...)
+	b = strconv.AppendInt(b, int64(e.SI), 10)
+	b = append(b, `,"lat":`...)
+	b = strconv.AppendInt(b, int64(e.Latency), 10)
+	return append(b, '}')
+}
+
+// journalState is the pooled per-run journal encoder: a scratch buffer for
+// one encoded event and a buffered writer over Options.Journal.
+type journalState struct {
+	bw  *bufio.Writer
+	buf []byte
+}
+
+var journalPool = sync.Pool{
+	New: func() any {
+		return &journalState{
+			bw:  bufio.NewWriterSize(io.Discard, 32*1024),
+			buf: make([]byte, 0, 96),
+		}
+	},
+}
+
+func newJournalState(w io.Writer) *journalState {
+	js := journalPool.Get().(*journalState)
+	js.bw.Reset(w)
+	return js
+}
+
+// emit encodes and buffers one event. Write errors are latched inside the
+// bufio.Writer (subsequent writes are no-ops) and surface once in close —
+// the same stop-journaling-but-finish-the-run semantics the per-event
+// writes had.
+func (js *journalState) emit(e JournalEvent) {
+	js.buf = appendJournalEvent(js.buf[:0], e)
+	js.buf = append(js.buf, '\n')
+	js.bw.Write(js.buf)
+}
+
+// close flushes the buffer, returns the state to the pool and reports the
+// first write error of the run, if any.
+func (js *journalState) close() error {
+	err := js.bw.Flush()
+	js.bw.Reset(io.Discard)
+	journalPool.Put(js)
+	if err != nil {
+		return fmt.Errorf("sim: journal: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,34 @@
+package sim
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestAppendJournalEventMatchesMarshal pins the hand-rolled encoder to
+// encoding/json: every event shape the simulator emits must encode to
+// exactly the bytes json.Marshal would produce.
+func TestAppendJournalEventMatchesMarshal(t *testing.T) {
+	events := []JournalEvent{
+		{},
+		{Cycle: 0, Event: "enter", HotSpot: 0},
+		{Cycle: 123456789, Event: "enter", HotSpot: 2},
+		{Cycle: 1, Event: "leave", HotSpot: 1},
+		{Cycle: 42, Event: "load"},
+		{Cycle: 99, Event: "latency", SI: 3, Latency: 128},
+		{Cycle: 1 << 40, Event: "latency", SI: 0, Latency: 1},
+		{Cycle: -7, Event: "load", HotSpot: -1, SI: -2, Latency: -3},
+		{Cycle: 9223372036854775807, Event: "latency", SI: 2147483647, Latency: -2147483648},
+	}
+	var buf []byte
+	for _, e := range events {
+		want, err := json.Marshal(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf = appendJournalEvent(buf[:0], e)
+		if string(buf) != string(want) {
+			t.Errorf("appendJournalEvent(%+v) = %s, want %s", e, buf, want)
+		}
+	}
+}

@@ -7,11 +7,16 @@
 // The simulator advances in closed form between latency-changing events
 // (Atom-load completions), so simulating billions of cycles costs time
 // proportional to the number of bursts and reconfigurations, not cycles.
+//
+// The hot path is allocation-free in the steady state: traces are lowered
+// by workload.Compile into flat burst arrays with pre-resolved SI metadata,
+// per-SI accounting lives in dense slices indexed by SIID, and RunCompiled
+// reuses a caller-owned Result across runs. Run/RunContext wrap this
+// pipeline for one-shot use.
 package sim
 
 import (
 	"context"
-	"encoding/json"
 	"fmt"
 	"io"
 
@@ -35,6 +40,8 @@ type Runtime interface {
 	// LeaveHotSpot is invoked when the phase ends.
 	LeaveHotSpot(now int64)
 	// Latency returns the current per-execution latency of si in cycles.
+	// It must be a pure query: the simulator polls it at different rates
+	// depending on which measurement artifacts are collected.
 	Latency(si isa.SIID) int
 	// Record reports n back-to-back executions of si ending at time now.
 	Record(si isa.SIID, n int64, now int64)
@@ -59,6 +66,9 @@ type Options struct {
 	// Journal, when non-nil, receives one JSON object per line for every
 	// simulation event (phase entry/exit, Atom-load completions, SI latency
 	// changes) — a machine-readable replay log for external analysis.
+	// Events are encoded without encoding/json and buffered internally;
+	// the buffer is flushed (with a single latched error) before the run
+	// returns, so the writer needs no extra buffering of its own.
 	Journal io.Writer
 }
 
@@ -81,15 +91,13 @@ type PhaseStat struct {
 // Cycles returns the duration of the phase.
 func (p PhaseStat) Cycles() int64 { return p.End - p.Start }
 
-// Result aggregates the outcome of one simulation run.
+// Result aggregates the outcome of one simulation run. Per-SI accounting
+// is stored densely (slices indexed by SIID); the map accessors build the
+// classic map form on demand at the API boundary. A Result can be reused
+// across RunCompiled calls to eliminate steady-state allocations.
 type Result struct {
 	Runtime     string
 	TotalCycles int64
-	Executions  map[isa.SIID]int64
-	// SWExecutions counts SI executions that ran via the base-ISA trap.
-	SWExecutions map[isa.SIID]int64
-	// HWExecutions counts SI executions on composed Molecules.
-	HWExecutions map[isa.SIID]int64
 	// StallCycles counts cycles spent in SI executions beyond what the
 	// fastest Molecule of each SI would have needed — the price of not yet
 	// (or never) being fully composed.
@@ -99,6 +107,134 @@ type Result struct {
 
 	Histogram *stats.Histogram
 	Timeline  *stats.Timeline
+
+	// Dense per-SI accounting, indexed by SIID (length: number of SIs of
+	// the ISA the trace was compiled against).
+	execs   []int64
+	swExecs []int64
+	hwExecs []int64
+	// lastLat is per-run journal scratch (latency change detection).
+	lastLat []int
+}
+
+// Executions returns the per-SI execution counts as a map with one entry
+// per executed SI — the classic map form of the accounting.
+func (r *Result) Executions() map[isa.SIID]int64 { return denseToMap(r.execs) }
+
+// SWExecutions returns, per SI, the executions that ran via the base-ISA
+// trap (one map entry per SI with at least one software execution).
+func (r *Result) SWExecutions() map[isa.SIID]int64 { return denseToMap(r.swExecs) }
+
+// HWExecutions returns, per SI, the executions that ran on composed
+// Molecules (one map entry per SI with at least one hardware execution).
+func (r *Result) HWExecutions() map[isa.SIID]int64 { return denseToMap(r.hwExecs) }
+
+// ExecutionsOf returns the execution count of one SI without building a map.
+func (r *Result) ExecutionsOf(si isa.SIID) int64 { return denseAt(r.execs, si) }
+
+// SWExecutionsOf returns the software (trap) execution count of one SI.
+func (r *Result) SWExecutionsOf(si isa.SIID) int64 { return denseAt(r.swExecs, si) }
+
+// HWExecutionsOf returns the hardware (Molecule) execution count of one SI.
+func (r *Result) HWExecutionsOf(si isa.SIID) int64 { return denseAt(r.hwExecs, si) }
+
+// TotalExecutions returns the total SI executions of the run.
+func (r *Result) TotalExecutions() int64 { return denseSum(r.execs) }
+
+// TotalSWExecutions returns the total software (trap) SI executions.
+func (r *Result) TotalSWExecutions() int64 { return denseSum(r.swExecs) }
+
+// TotalHWExecutions returns the total hardware (Molecule) SI executions.
+func (r *Result) TotalHWExecutions() int64 { return denseSum(r.hwExecs) }
+
+// ExecutedSIs returns the SIs with at least one execution, in ascending
+// SIID order.
+func (r *Result) ExecutedSIs() []isa.SIID {
+	var out []isa.SIID
+	for si, n := range r.execs {
+		if n != 0 {
+			out = append(out, isa.SIID(si))
+		}
+	}
+	return out
+}
+
+func denseAt(d []int64, si isa.SIID) int64 {
+	if int(si) < 0 || int(si) >= len(d) {
+		return 0
+	}
+	return d[si]
+}
+
+func denseSum(d []int64) int64 {
+	var n int64
+	for _, v := range d {
+		n += v
+	}
+	return n
+}
+
+func denseToMap(d []int64) map[isa.SIID]int64 {
+	m := make(map[isa.SIID]int64)
+	for si, n := range d {
+		if n != 0 {
+			m[isa.SIID(si)] = n
+		}
+	}
+	return m
+}
+
+// reset prepares the Result for a run over nSIs SIs and up to nPhases
+// phases, reusing previous allocations where possible.
+func (r *Result) reset(runtime string, nSIs, nPhases int, opts Options) {
+	r.Runtime = runtime
+	r.TotalCycles = 0
+	r.StallCycles = 0
+	r.execs = denseReset(r.execs, nSIs)
+	r.swExecs = denseReset(r.swExecs, nSIs)
+	r.hwExecs = denseReset(r.hwExecs, nSIs)
+	if cap(r.lastLat) < nSIs {
+		r.lastLat = make([]int, nSIs)
+	} else {
+		r.lastLat = r.lastLat[:nSIs]
+		for i := range r.lastLat {
+			r.lastLat[i] = 0
+		}
+	}
+	if cap(r.Phases) < nPhases {
+		r.Phases = make([]PhaseStat, 0, nPhases)
+	} else {
+		r.Phases = r.Phases[:0]
+	}
+	if opts.HistogramBucket > 0 {
+		if r.Histogram != nil && r.Histogram.BucketCycles == opts.HistogramBucket {
+			r.Histogram.Reset()
+		} else {
+			r.Histogram = stats.NewHistogram(opts.HistogramBucket)
+		}
+	} else {
+		r.Histogram = nil
+	}
+	if opts.Timeline {
+		if r.Timeline != nil {
+			r.Timeline.Reset()
+		} else {
+			r.Timeline = &stats.Timeline{}
+		}
+	} else {
+		r.Timeline = nil
+	}
+}
+
+func denseReset(d []int64, n int) []int64 {
+	if cap(d) < n {
+		return make([]int64, n)
+	}
+	d = d[:n]
+	for i := range d {
+		d[i] = 0
+	}
+	return d
 }
 
 // Run simulates the trace on the runtime and returns the result. The
@@ -111,147 +247,178 @@ func Run(tr *workload.Trace, is *isa.ISA, rt Runtime, opts Options) (*Result, er
 // simulation events (phase boundaries and Atom-load completions — not per
 // simulated cycle, which would defeat the closed-form advance). On
 // cancellation it returns an error wrapping ctx.Err().
+//
+// RunContext compiles the trace on every call; callers running the same
+// trace repeatedly should Compile once and use RunCompiled.
 func RunContext(ctx context.Context, tr *workload.Trace, is *isa.ISA, rt Runtime, opts Options) (*Result, error) {
+	ct, err := workload.Compile(tr, is)
+	if err != nil {
+		return nil, err
+	}
+	res := new(Result)
+	if err := RunCompiled(ctx, ct, rt, opts, res); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// RunCompiled simulates a pre-compiled trace into a caller-owned Result,
+// reusing the Result's internal buffers: repeated runs into the same Result
+// allocate nothing in the steady state (without journal or histogram
+// collection). The runtime is Reset first. On error the Result holds the
+// partial state of the aborted run and must not be interpreted.
+func RunCompiled(ctx context.Context, ct *workload.Compiled, rt Runtime, opts Options, res *Result) error {
 	rt.Reset()
-	res := &Result{
-		Runtime:      rt.Name(),
-		Executions:   make(map[isa.SIID]int64),
-		SWExecutions: make(map[isa.SIID]int64),
-		HWExecutions: make(map[isa.SIID]int64),
+	res.reset(rt.Name(), ct.NumSIs, len(ct.Phases), opts)
+	var js *journalState
+	if opts.Journal != nil {
+		js = newJournalState(opts.Journal)
 	}
-	if opts.HistogramBucket > 0 {
-		res.Histogram = stats.NewHistogram(opts.HistogramBucket)
+	r := runner{
+		ctx:       ctx,
+		done:      ctx.Done(), // nil for context.Background(): free check
+		rt:        rt,
+		res:       res,
+		js:        js,
+		maxCycles: opts.MaxCycles,
 	}
-	if opts.Timeline {
-		res.Timeline = &stats.Timeline{}
+	err := r.run(ct)
+	if js != nil {
+		if jerr := js.close(); err == nil {
+			err = jerr
+		}
 	}
-	var journalErr error
-	journal := func(e JournalEvent) {
-		if opts.Journal == nil || journalErr != nil {
+	return err
+}
+
+// runner is the per-run simulator state; it lives on the stack of
+// RunCompiled so the steady-state run path allocates nothing.
+type runner struct {
+	ctx       context.Context
+	done      <-chan struct{}
+	rt        Runtime
+	res       *Result
+	js        *journalState
+	now       int64
+	maxCycles int64
+	cancelErr error
+}
+
+func (r *runner) canceled() bool {
+	if r.done == nil || r.cancelErr != nil {
+		return r.cancelErr != nil
+	}
+	select {
+	case <-r.done:
+		r.cancelErr = fmt.Errorf("sim: canceled at cycle %d: %w", r.now, r.ctx.Err())
+		return true
+	default:
+		return false
+	}
+}
+
+// recordLats polls the runtime's current SI latencies for the timeline and
+// the journal's latency-change events. Without either artifact it is a
+// no-op: Latency is a pure query, so skipping the poll cannot change the
+// simulation.
+func (r *runner) recordLats(at int64, spot []isa.SIID) {
+	if r.js == nil && r.res.Timeline == nil {
+		return
+	}
+	for _, si := range spot {
+		lat := r.rt.Latency(si)
+		if r.res.Timeline != nil {
+			r.res.Timeline.Record(at, int(si), lat)
+		}
+		if r.js != nil && r.res.lastLat[si] != lat {
+			r.res.lastLat[si] = lat
+			r.js.emit(JournalEvent{Cycle: at, Event: "latency", SI: int(si), Latency: lat})
+		}
+	}
+}
+
+// drain processes all pending events up to and including time limit.
+func (r *runner) drain(limit int64, spot []isa.SIID) {
+	for {
+		if r.canceled() {
 			return
 		}
-		b, err := json.Marshal(e)
-		if err == nil {
-			_, err = opts.Journal.Write(append(b, '\n'))
+		at, ok := r.rt.NextEvent()
+		if !ok || at > limit {
+			return
 		}
-		if err != nil {
-			journalErr = fmt.Errorf("sim: journal: %w", err)
+		r.rt.Advance(at)
+		if r.js != nil {
+			r.js.emit(JournalEvent{Cycle: at, Event: "load"})
 		}
+		r.recordLats(at, spot)
 	}
+}
 
-	now := int64(0)
-	// done is nil for context.Background(), making the per-event check free
-	// on the uncancellable path.
-	done := ctx.Done()
-	var cancelErr error
-	canceled := func() bool {
-		if done == nil || cancelErr != nil {
-			return cancelErr != nil
+func (r *runner) run(ct *workload.Compiled) error {
+	rt, res := r.rt, r.res
+	for pi := range ct.Phases {
+		if r.canceled() {
+			return r.cancelErr
 		}
-		select {
-		case <-done:
-			cancelErr = fmt.Errorf("sim: canceled at cycle %d: %w", now, ctx.Err())
-			return true
-		default:
-			return false
+		p := &ct.Phases[pi]
+		phaseStart := r.now
+		rt.EnterHotSpot(p.HotSpot, r.now)
+		if r.js != nil {
+			r.js.emit(JournalEvent{Cycle: r.now, Event: "enter", HotSpot: int(p.HotSpot)})
 		}
-	}
-	// lastLat tracks per-SI latencies for journal change detection.
-	lastLat := make(map[isa.SIID]int)
-	recordLats := func(at int64, spot []isa.SIID) {
-		for _, si := range spot {
-			lat := rt.Latency(si)
-			if res.Timeline != nil {
-				res.Timeline.Record(at, int(si), lat)
-			}
-			if opts.Journal != nil && lastLat[si] != lat {
-				lastLat[si] = lat
-				journal(JournalEvent{Cycle: at, Event: "latency", SI: int(si), Latency: lat})
-			}
-		}
-	}
-	// drain processes all pending events up to and including time limit.
-	drain := func(limit int64, spot []isa.SIID) {
-		for {
-			if canceled() {
-				return
-			}
-			at, ok := rt.NextEvent()
-			if !ok || at > limit {
-				return
-			}
-			rt.Advance(at)
-			journal(JournalEvent{Cycle: at, Event: "load"})
-			recordLats(at, spot)
-		}
-	}
+		r.recordLats(r.now, p.Spot)
+		r.now += p.Setup
+		r.drain(r.now, p.Spot)
 
-	res.Phases = make([]PhaseStat, 0, len(tr.Phases))
-	for pi := range tr.Phases {
-		if canceled() {
-			return nil, cancelErr
-		}
-		p := &tr.Phases[pi]
-		phaseStart := now
-		spot := make([]isa.SIID, 0, 8)
-		for _, s := range is.HotSpotSIs(p.HotSpot) {
-			spot = append(spot, s.ID)
-		}
-		rt.EnterHotSpot(p.HotSpot, now)
-		journal(JournalEvent{Cycle: now, Event: "enter", HotSpot: int(p.HotSpot)})
-		recordLats(now, spot)
-		now += p.Setup
-		drain(now, spot)
-
-		for _, b := range p.Bursts {
-			remaining := int64(b.Count)
+		for bi := range p.Bursts {
+			b := &p.Bursts[bi]
+			remaining := b.Count
 			for remaining > 0 {
-				drain(now, spot)
-				if cancelErr != nil {
-					return nil, cancelErr
+				r.drain(r.now, p.Spot)
+				if r.cancelErr != nil {
+					return r.cancelErr
 				}
 				lat := rt.Latency(b.SI)
-				per := int64(lat + b.Gap)
+				per := int64(lat) + b.Gap
 				n := remaining
-				if next, ok := rt.NextEvent(); ok && next > now {
+				if next, ok := rt.NextEvent(); ok && next > r.now {
 					// Executions whose start time is before the event keep
 					// the current latency.
-					if k := (next - now + per - 1) / per; k < n {
+					if k := (next - r.now + per - 1) / per; k < n {
 						n = k
 					}
 				}
 				if res.Histogram != nil {
-					res.Histogram.Add(int(b.SI), now, n, per)
+					res.Histogram.Add(int(b.SI), r.now, n, per)
 				}
-				res.Executions[b.SI] += n
-				sw := lat >= is.SI(b.SI).SWLatency
-				if sw {
-					res.SWExecutions[b.SI] += n
+				res.execs[b.SI] += n
+				if lat >= b.SWLatency {
+					res.swExecs[b.SI] += n
 				} else {
-					res.HWExecutions[b.SI] += n
+					res.hwExecs[b.SI] += n
 				}
-				res.StallCycles += n * int64(lat-is.SI(b.SI).Fastest().Latency)
-				now += n * per
+				res.StallCycles += n * int64(lat-b.FastestLatency)
+				r.now += n * per
 				remaining -= n
-				rt.Record(b.SI, n, now)
-				if opts.MaxCycles > 0 && now > opts.MaxCycles {
-					return nil, fmt.Errorf("sim: exceeded MaxCycles=%d at phase %d", opts.MaxCycles, pi)
+				rt.Record(b.SI, n, r.now)
+				if r.maxCycles > 0 && r.now > r.maxCycles {
+					return fmt.Errorf("sim: exceeded MaxCycles=%d at phase %d", r.maxCycles, pi)
 				}
 			}
 		}
-		drain(now, spot)
-		if cancelErr != nil {
-			return nil, cancelErr
+		r.drain(r.now, p.Spot)
+		if r.cancelErr != nil {
+			return r.cancelErr
 		}
-		rt.LeaveHotSpot(now)
-		journal(JournalEvent{Cycle: now, Event: "leave", HotSpot: int(p.HotSpot)})
-		res.Phases = append(res.Phases, PhaseStat{HotSpot: p.HotSpot, Start: phaseStart, End: now})
+		rt.LeaveHotSpot(r.now)
+		if r.js != nil {
+			r.js.emit(JournalEvent{Cycle: r.now, Event: "leave", HotSpot: int(p.HotSpot)})
+		}
+		res.Phases = append(res.Phases, PhaseStat{HotSpot: p.HotSpot, Start: phaseStart, End: r.now})
 	}
-	res.TotalCycles = now
-	if journalErr != nil {
-		return nil, journalErr
-	}
-	return res, nil
+	res.TotalCycles = r.now
+	return nil
 }
 
 // Software returns the trivial runtime with no reconfigurable hardware at

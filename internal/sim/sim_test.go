@@ -31,14 +31,14 @@ func TestSoftwareRuntimeCycleAccounting(t *testing.T) {
 	if res.TotalCycles != tr.SoftwareCycles(is) {
 		t.Fatalf("TotalCycles = %d, want %d (the closed-form software count)", res.TotalCycles, tr.SoftwareCycles(is))
 	}
-	if res.Executions[isa.SISAD] != 10 || res.Executions[isa.SISATD] != 4 || res.Executions[isa.SILFBS4] != 8 {
-		t.Fatalf("Executions = %v", res.Executions)
+	if res.ExecutionsOf(isa.SISAD) != 10 || res.ExecutionsOf(isa.SISATD) != 4 || res.ExecutionsOf(isa.SILFBS4) != 8 {
+		t.Fatalf("Executions = %v", res.Executions())
 	}
-	if res.SWExecutions[isa.SISAD] != 10 {
-		t.Fatalf("SWExecutions = %v", res.SWExecutions)
+	if res.SWExecutions()[isa.SISAD] != 10 {
+		t.Fatalf("SWExecutions = %v", res.SWExecutions())
 	}
-	if len(res.HWExecutions) != 0 {
-		t.Fatalf("HWExecutions = %v on the software runtime", res.HWExecutions)
+	if len(res.HWExecutions()) != 0 {
+		t.Fatalf("HWExecutions = %v on the software runtime", res.HWExecutions())
 	}
 	if res.Runtime != "software" {
 		t.Fatalf("Runtime = %q", res.Runtime)

@@ -59,6 +59,15 @@ func (h *Histogram) Add(si int, start int64, count int64, per int64) {
 	h.counts[si] = row
 }
 
+// Reset empties the histogram, keeping the bucket width; the simulator
+// reuses histograms across runs into the same Result.
+func (h *Histogram) Reset() {
+	for si := range h.counts {
+		delete(h.counts, si)
+	}
+	h.maxBucket = 0
+}
+
 // Buckets returns the number of buckets covered so far.
 func (h *Histogram) Buckets() int {
 	if len(h.counts) == 0 {
@@ -110,6 +119,9 @@ type LatencyEvent struct {
 type Timeline struct {
 	Events []LatencyEvent
 }
+
+// Reset empties the timeline, keeping its capacity for reuse.
+func (t *Timeline) Reset() { t.Events = t.Events[:0] }
 
 // Record appends a latency step; consecutive duplicates are dropped.
 func (t *Timeline) Record(cycle int64, si, latency int) {

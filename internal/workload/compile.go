@@ -1,0 +1,94 @@
+package workload
+
+import (
+	"rispp/internal/isa"
+)
+
+// CompiledBurst is one burst of a compiled trace with the SI metadata the
+// simulator's inner loop needs pre-resolved, so executing it costs no map
+// lookups, no ISA indirection and no interface calls beyond the Runtime
+// itself.
+type CompiledBurst struct {
+	SI    isa.SIID
+	Count int64
+	Gap   int64
+	// SWLatency is is.SI(SI).SWLatency: the trap latency that separates
+	// software from hardware executions.
+	SWLatency int
+	// FastestLatency is is.SI(SI).Fastest().Latency: the floor against
+	// which stall cycles are accounted.
+	FastestLatency int
+}
+
+// CompiledPhase is one hot-spot phase of a compiled trace.
+type CompiledPhase struct {
+	HotSpot isa.HotSpotID
+	Setup   int64
+	// Bursts is a view into the trace-wide flat burst array.
+	Bursts []CompiledBurst
+	// Spot lists the SIs of the phase's hot spot; phases of the same hot
+	// spot share one slice.
+	Spot []isa.SIID
+}
+
+// Compiled is a trace lowered into flat arrays for the simulator hot path:
+// all bursts live in one contiguous backing array, per-burst SI metadata is
+// pre-resolved, and the hot-spot SI sets are computed once per hot spot
+// instead of once per phase. A Compiled trace is immutable and safe for
+// concurrent simulation runs.
+type Compiled struct {
+	// Trace is the source trace (for its name and phase structure).
+	Trace *Trace
+	// NumSIs is len(is.SIs) of the ISA the trace was compiled against; it
+	// sizes the simulator's dense per-SI accounting.
+	NumSIs int
+	Phases []CompiledPhase
+}
+
+// Compile validates the trace against the ISA and lowers it into the flat
+// representation the simulator executes. Compile once and reuse the result
+// across runs: the compiled form is read-only.
+func Compile(tr *Trace, is *isa.ISA) (*Compiled, error) {
+	if err := tr.Validate(is); err != nil {
+		return nil, err
+	}
+	total := 0
+	for i := range tr.Phases {
+		total += len(tr.Phases[i].Bursts)
+	}
+	flat := make([]CompiledBurst, 0, total)
+	spots := make(map[isa.HotSpotID][]isa.SIID)
+	ct := &Compiled{
+		Trace:  tr,
+		NumSIs: len(is.SIs),
+		Phases: make([]CompiledPhase, 0, len(tr.Phases)),
+	}
+	for i := range tr.Phases {
+		p := &tr.Phases[i]
+		spot, ok := spots[p.HotSpot]
+		if !ok {
+			for _, s := range is.HotSpotSIs(p.HotSpot) {
+				spot = append(spot, s.ID)
+			}
+			spots[p.HotSpot] = spot
+		}
+		start := len(flat)
+		for _, b := range p.Bursts {
+			si := is.SI(b.SI)
+			flat = append(flat, CompiledBurst{
+				SI:             b.SI,
+				Count:          int64(b.Count),
+				Gap:            int64(b.Gap),
+				SWLatency:      si.SWLatency,
+				FastestLatency: si.Fastest().Latency,
+			})
+		}
+		ct.Phases = append(ct.Phases, CompiledPhase{
+			HotSpot: p.HotSpot,
+			Setup:   p.Setup,
+			Bursts:  flat[start:len(flat):len(flat)],
+			Spot:    spot,
+		})
+	}
+	return ct, nil
+}

@@ -1,0 +1,94 @@
+package workload
+
+import (
+	"testing"
+
+	"rispp/internal/isa"
+)
+
+// TestCompileH264 checks the lowering of the paper's benchmark trace:
+// phase structure preserved, per-burst SI metadata pre-resolved, and the
+// flat burst array exactly covering the source bursts.
+func TestCompileH264(t *testing.T) {
+	is := isa.H264()
+	tr := H264(H264Config{Frames: 1})
+	ct, err := Compile(tr, is)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct.Trace != tr {
+		t.Errorf("Compiled.Trace = %p, want the source trace %p", ct.Trace, tr)
+	}
+	if ct.NumSIs != len(is.SIs) {
+		t.Errorf("NumSIs = %d, want %d", ct.NumSIs, len(is.SIs))
+	}
+	if len(ct.Phases) != len(tr.Phases) {
+		t.Fatalf("compiled %d phases, want %d", len(ct.Phases), len(tr.Phases))
+	}
+	var total int64
+	for i := range ct.Phases {
+		cp, p := &ct.Phases[i], &tr.Phases[i]
+		if cp.HotSpot != p.HotSpot || cp.Setup != p.Setup {
+			t.Errorf("phase %d: hot spot/setup %d/%d, want %d/%d",
+				i, cp.HotSpot, cp.Setup, p.HotSpot, p.Setup)
+		}
+		if len(cp.Bursts) != len(p.Bursts) {
+			t.Fatalf("phase %d: %d bursts, want %d", i, len(cp.Bursts), len(p.Bursts))
+		}
+		for j, cb := range cp.Bursts {
+			b := p.Bursts[j]
+			si := is.SI(b.SI)
+			if cb.SI != b.SI || cb.Count != int64(b.Count) || cb.Gap != int64(b.Gap) {
+				t.Errorf("phase %d burst %d: %+v does not match source %+v", i, j, cb, b)
+			}
+			if cb.SWLatency != si.SWLatency {
+				t.Errorf("phase %d burst %d: SWLatency = %d, want %d", i, j, cb.SWLatency, si.SWLatency)
+			}
+			if cb.FastestLatency != si.Fastest().Latency {
+				t.Errorf("phase %d burst %d: FastestLatency = %d, want %d",
+					i, j, cb.FastestLatency, si.Fastest().Latency)
+			}
+			total += cb.Count
+		}
+	}
+	if total != tr.TotalExecutions() {
+		t.Errorf("compiled executions = %d, want %d", total, tr.TotalExecutions())
+	}
+}
+
+// TestCompileSharesSpotSlices verifies that phases of the same hot spot
+// share one Spot slice instead of allocating one per phase.
+func TestCompileSharesSpotSlices(t *testing.T) {
+	is := isa.H264()
+	tr := H264(H264Config{Frames: 2})
+	ct, err := Compile(tr, is)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := make(map[isa.HotSpotID][]isa.SIID)
+	for i := range ct.Phases {
+		p := &ct.Phases[i]
+		if len(p.Spot) == 0 {
+			t.Fatalf("phase %d: empty Spot", i)
+		}
+		if prev, ok := first[p.HotSpot]; ok {
+			if &prev[0] != &p.Spot[0] {
+				t.Errorf("phase %d: hot spot %d Spot slice not shared", i, p.HotSpot)
+			}
+		} else {
+			first[p.HotSpot] = p.Spot
+		}
+	}
+}
+
+// TestCompileValidates checks that Compile rejects traces that fail
+// Trace.Validate instead of lowering garbage.
+func TestCompileValidates(t *testing.T) {
+	is := isa.H264()
+	bad := &Trace{Name: "bad", Phases: []Phase{
+		{HotSpot: 0, Bursts: []Burst{{SI: isa.SIID(len(is.SIs)), Count: 1}}},
+	}}
+	if _, err := Compile(bad, is); err == nil {
+		t.Error("Compile accepted a trace referencing an unknown SI")
+	}
+}

@@ -60,8 +60,10 @@ func (t *Trace) Executions() map[isa.SIID]int64 {
 // TotalExecutions returns the total number of SI executions in the trace.
 func (t *Trace) TotalExecutions() int64 {
 	var n int64
-	for _, per := range t.Executions() {
-		n += per
+	for i := range t.Phases {
+		for _, b := range t.Phases[i].Bursts {
+			n += int64(b.Count)
+		}
 	}
 	return n
 }

@@ -23,6 +23,7 @@ package rispp
 import (
 	"context"
 	"fmt"
+	"sync"
 
 	"rispp/internal/bitstream"
 	"rispp/internal/core"
@@ -155,13 +156,11 @@ func Run(cfg Config) (*sim.Result, error) {
 // boundaries), so even a billions-of-cycles run stops promptly.
 func RunContext(ctx context.Context, cfg Config) (*sim.Result, error) {
 	cfg.setDefaults()
-	if err := cfg.Workload.Validate(cfg.ISA); err != nil {
-		return nil, err
-	}
 	rt, err := NewRuntime(cfg)
 	if err != nil {
 		return nil, err
 	}
+	// sim.RunContext compiles the trace, which validates it against the ISA.
 	return sim.RunContext(ctx, cfg.Workload, cfg.ISA, rt, cfg.Collect)
 }
 
@@ -174,12 +173,43 @@ type SweepPoint struct {
 
 // Explorer wires the design-space exploration engine of internal/explore to
 // this library: every explore.Point is materialized as a Config and
-// simulated via RunContext on a bounded worker pool. When base.Workload is
-// nil, the point's workload knobs (frames, seed, motion variability, scene
-// change) build the H.264 trace; a non-nil base.Workload is used verbatim
-// for every point — in that case do not share a cache across different
-// traces, since the point key only describes the knobs.
+// simulated on a bounded worker pool. When base.Workload is nil, the
+// point's workload knobs (frames, seed, motion variability, scene change)
+// build the H.264 trace; a non-nil base.Workload is used verbatim for every
+// point — in that case do not share a cache across different traces, since
+// the point key only describes the knobs.
+//
+// The engine's jobs share per-run scratch: traces are compiled once per
+// distinct knob combination (the compiled form is immutable and raced-free
+// to share) and sim.Result buffers are recycled through a sync.Pool, so a
+// large sweep's steady state re-pays neither trace lowering nor result
+// allocation per point.
 func Explorer(base Config, workers int, cache *explore.Cache) *explore.Engine {
+	var (
+		results  sync.Pool // *sim.Result, reused across jobs
+		compiled sync.Map  // workload.H264Config → *workload.Compiled
+	)
+	// compile lowers cfg's workload, memoizing per knob combination. The
+	// memo is only sound when every point with equal knobs yields an equal
+	// trace, which holds unless a Bus transform rewrites the trace after
+	// the knobs are applied — there we compile per job.
+	compile := func(cfg *Config, key workload.H264Config, memo bool) (*workload.Compiled, error) {
+		if memo {
+			if v, ok := compiled.Load(key); ok {
+				return v.(*workload.Compiled), nil
+			}
+		}
+		ct, err := workload.Compile(cfg.Workload, cfg.ISA)
+		if err != nil {
+			return nil, err
+		}
+		if memo {
+			if v, loaded := compiled.LoadOrStore(key, ct); loaded {
+				ct = v.(*workload.Compiled)
+			}
+		}
+		return ct, nil
+	}
 	return &explore.Engine{
 		Workers: workers,
 		Cache:   cache,
@@ -189,34 +219,45 @@ func Explorer(base Config, workers int, cache *explore.Cache) *explore.Engine {
 			cfg.NumACs = p.NumACs
 			cfg.SeedForecasts = p.SeedForecasts
 			cfg.Prefetch = p.Prefetch
-			if cfg.Workload == nil {
-				cfg.Workload = workload.H264(workload.H264Config{
-					Frames:            p.Frames,
-					Seed:              p.Seed,
-					MotionVariability: p.Motion,
-					SceneChangeFrame:  p.SceneChange,
-				})
+			key := workload.H264Config{
+				Frames:            p.Frames,
+				Seed:              p.Seed,
+				MotionVariability: p.Motion,
+				SceneChangeFrame:  p.SceneChange,
 			}
-			res, err := RunContext(ctx, cfg)
+			if cfg.Workload == nil {
+				cfg.Workload = workload.H264(key)
+			} else {
+				key = workload.H264Config{} // single shared trace, one memo slot
+			}
+			cfg.setDefaults() // may apply a Bus transform to the trace
+			ct, err := compile(&cfg, key, base.Bus == nil)
 			if err != nil {
 				return explore.Metrics{}, err
 			}
-			return explore.Metrics{
+			rt, err := NewRuntime(cfg)
+			if err != nil {
+				return explore.Metrics{}, err
+			}
+			res, _ := results.Get().(*sim.Result)
+			if res == nil {
+				res = new(sim.Result)
+			}
+			err = sim.RunCompiled(ctx, ct, rt, cfg.Collect, res)
+			if err != nil {
+				results.Put(res)
+				return explore.Metrics{}, err
+			}
+			m := explore.Metrics{
 				TotalCycles:  res.TotalCycles,
 				StallCycles:  res.StallCycles,
-				SWExecutions: sumExecutions(res.SWExecutions),
-				HWExecutions: sumExecutions(res.HWExecutions),
-			}, nil
+				SWExecutions: res.TotalSWExecutions(),
+				HWExecutions: res.TotalHWExecutions(),
+			}
+			results.Put(res)
+			return m, nil
 		},
 	}
-}
-
-func sumExecutions(m map[isa.SIID]int64) int64 {
-	var n int64
-	for _, v := range m {
-		n += v
-	}
-	return n
 }
 
 // Sweep runs the given schedulers over a range of Atom Container counts
