@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test short race bench bench-paper figures verify clean
+.PHONY: all build test short race bench bench-paper bench-check bench-baseline cover-check lint serve figures verify clean
 
 all: build test
 
@@ -30,6 +30,31 @@ bench:
 bench-paper:
 	$(GO) test -bench=. -benchmem ./...
 
+# Bench-regression gate (what the bench-regression CI job runs): minimum
+# of 5 repeats vs the committed baseline; fails on >25% ns/op regression
+# or any allocs/op increase. BENCH_TOLERANCE overrides the 25%.
+bench-check:
+	$(GO) test -run '^$$' -bench BenchmarkRun -benchtime 100x -benchmem -count 5 ./internal/sim > bench_check.txt
+	$(GO) run ./scripts/benchcheck -baseline BENCH_baseline.json < bench_check.txt
+
+# Re-measure the bench baseline on this machine (commit the result).
+bench-baseline:
+	$(GO) test -run '^$$' -bench BenchmarkRun -benchtime 100x -benchmem -count 5 ./internal/sim | \
+		$(GO) run ./scripts/benchcheck -update -baseline BENCH_baseline.json
+
+# Coverage floor gate (what the coverage CI job runs).
+cover-check:
+	$(GO) test -short -coverprofile=cover.out ./...
+	$(GO) run ./scripts/covercheck -profile cover.out -floor 60
+
+# Lint gate; needs golangci-lint on PATH (CI installs it via the action).
+lint:
+	golangci-lint run
+
+# Run the simulation service on :8264.
+serve:
+	$(GO) run ./cmd/risppserve
+
 # Text + SVG renderings of all paper artifacts into ./figures.
 figures:
 	$(GO) run ./cmd/risppbench -svg figures | tee figures/report.txt
@@ -40,4 +65,4 @@ verify:
 	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
 
 clean:
-	rm -rf figures test_output.txt bench_output.txt
+	rm -rf figures test_output.txt bench_output.txt bench_check.txt cover.out

@@ -39,7 +39,7 @@ var stopProfiles func() error
 
 func main() {
 	var (
-		prof profiling.Config
+		prof      profiling.Config
 		specFile  = flag.String("spec", "", "sweep spec file (JSON explore.Spec); dimension flags override its dimensions")
 		scheds    = flag.String("sched", "", "comma-separated schedulers (FSFR, ASF, SJF, HEF, Molen, software)")
 		acs       = flag.String("acs", "", "Atom-Container budgets: comma list and/or ranges, e.g. 5-24 or 4,8,16")

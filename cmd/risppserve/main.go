@@ -1,0 +1,91 @@
+// Command risppserve runs the RISPP simulation service: an HTTP/JSON
+// daemon answering design-point simulations and design-space sweeps over
+// the compiled simulator hot path.
+//
+//	risppserve -addr :8264 -workers 8
+//	risppserve -cache .explore-cache          # sweeps reuse cached points
+//
+//	curl -s localhost:8264/v1/simulate -d '{"scheduler":"HEF","acs":10,"frames":140,"seed_forecasts":true}'
+//	curl -s localhost:8264/v1/explore  -d '{"spec":{"schedulers":["HEF","Molen"],"acs":[5,10,15],"frames":[20]}}'
+//	curl -s localhost:8264/v1/healthz
+//	curl -s localhost:8264/metrics
+//
+// SIGINT/SIGTERM drain the server: in-flight simulations finish (bounded
+// by -grace), new requests are answered 503.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"rispp"
+	"rispp/internal/explore"
+	"rispp/internal/serve"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8264", "listen address")
+		workers    = flag.Int("workers", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+		exploreJ   = flag.Int("explore-j", 0, "per-sweep exploration parallelism (0 = workers)")
+		timeout    = flag.Duration("timeout", 30*time.Second, "default per-request simulation deadline")
+		maxTimeout = flag.Duration("max-timeout", 2*time.Minute, "upper bound on requested deadlines")
+		maxFrames  = flag.Int("max-frames", 10000, "largest workload a request may ask for")
+		maxPoints  = flag.Int("max-points", 4096, "largest expanded sweep a request may post")
+		cacheDir   = flag.String("cache", "", "content-addressed explore result cache directory (empty = off)")
+		respCache  = flag.Int("resp-cache", 4096, "in-memory /v1/simulate response cache entries (-1 = off)")
+		grace      = flag.Duration("grace", 30*time.Second, "shutdown drain deadline")
+	)
+	flag.Parse()
+
+	cfg := serve.Config{
+		Addr:           *addr,
+		Workers:        *workers,
+		ExploreWorkers: *exploreJ,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+		MaxFrames:      *maxFrames,
+		MaxPoints:      *maxPoints,
+		CacheEntries:   *respCache,
+	}
+	srv := serve.New(cfg, rispp.Config{})
+	if *cacheDir != "" {
+		cache, err := explore.OpenCache(*cacheDir)
+		if err != nil {
+			fatal(err)
+		}
+		srv.SetExploreCache(cache)
+	}
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		fatal(err)
+	case sig := <-sigc:
+		fmt.Fprintf(os.Stderr, "risppserve: %v: draining (grace %s)\n", sig, *grace)
+		ctx, cancel := context.WithTimeout(context.Background(), *grace)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			fatal(fmt.Errorf("shutdown: %w", err))
+		}
+		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fatal(err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "risppserve:", err)
+	os.Exit(1)
+}

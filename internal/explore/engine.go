@@ -48,6 +48,14 @@ type Engine struct {
 	// Cache, when non-nil, is consulted before and populated after every
 	// job, so re-running an enlarged sweep only simulates new points.
 	Cache *Cache
+	// OnRecord, when non-nil, is invoked for every record exactly when it
+	// is streamed: strictly in job order, immediately after the record is
+	// encoded to Execute's writer (or where it would have been, when no
+	// writer is given). Serving layers use it to flush chunked responses
+	// per line and to observe cache hits (Record.Cached is not serialized).
+	// The callback runs under the engine's internal lock — it must return
+	// promptly and must not call back into the engine.
+	OnRecord func(Record)
 }
 
 // Summary aggregates an executed sweep.
@@ -128,6 +136,9 @@ func (e *Engine) Execute(ctx context.Context, spec Spec, w io.Writer) (*Result, 
 				if err := enc.Encode(&res.Records[next]); err != nil {
 					writeErr = fmt.Errorf("explore: write result: %w", err)
 				}
+			}
+			if e.OnRecord != nil {
+				e.OnRecord(res.Records[next])
 			}
 			next++
 		}

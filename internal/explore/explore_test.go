@@ -338,3 +338,74 @@ func TestEngineRequiresRunFunc(t *testing.T) {
 		t.Fatal("nil RunFunc accepted")
 	}
 }
+
+// TestOnRecordStreamOrder: the streaming hook must fire once per record,
+// strictly in job order, at any worker count, and see cache-hit marks.
+func TestOnRecordStreamOrder(t *testing.T) {
+	spec := testSpec()
+	jobs, err := spec.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4, 16} {
+		var seen []Point
+		var cached int
+		eng := &Engine{
+			Run:     fakeRun(nil),
+			Workers: workers,
+			OnRecord: func(rec Record) {
+				seen = append(seen, rec.Point)
+				if rec.Cached {
+					cached++
+				}
+			},
+		}
+		var buf bytes.Buffer
+		if _, err := eng.Execute(context.Background(), spec, &buf); err != nil {
+			t.Fatal(err)
+		}
+		if len(seen) != len(jobs) {
+			t.Fatalf("workers=%d: hook fired %d times, want %d", workers, len(seen), len(jobs))
+		}
+		for i := range jobs {
+			if seen[i] != jobs[i] {
+				t.Fatalf("workers=%d: record %d is %v, want %v (out of order)", workers, i, seen[i], jobs[i])
+			}
+		}
+		if cached != 0 {
+			t.Errorf("workers=%d: %d cache hits without a cache", workers, cached)
+		}
+		// The hook fires where the stream is written: the number of JSONL
+		// lines must match the number of hook invocations.
+		if lines := bytes.Count(buf.Bytes(), []byte("\n")); lines != len(seen) {
+			t.Errorf("workers=%d: %d lines vs %d hook calls", workers, lines, len(seen))
+		}
+	}
+}
+
+// TestOnRecordSeesCacheHits: records answered by the cache are marked
+// Cached when they reach the hook.
+func TestOnRecordSeesCacheHits(t *testing.T) {
+	cache, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := testSpec()
+	eng := &Engine{Run: fakeRun(nil), Cache: cache}
+	if _, err := eng.Execute(context.Background(), spec, nil); err != nil {
+		t.Fatal(err)
+	}
+	var cached int
+	eng.OnRecord = func(rec Record) {
+		if rec.Cached {
+			cached++
+		}
+	}
+	if _, err := eng.Execute(context.Background(), spec, nil); err != nil {
+		t.Fatal(err)
+	}
+	jobs, _ := spec.Expand()
+	if cached != len(jobs) {
+		t.Errorf("hook saw %d cache hits on a warm re-run, want %d", cached, len(jobs))
+	}
+}

@@ -44,9 +44,12 @@ type Point struct {
 	Prefetch bool `json:"prefetch"`
 }
 
-// normalize fills the paper defaults so that equivalent points share one
-// canonical form (and therefore one cache entry).
-func (p Point) normalize() Point {
+// Normalized fills the paper defaults so that equivalent points share one
+// canonical form — and therefore one cache entry and one serving-layer
+// dedup key. Spec.Expand normalizes every point; callers keying caches on
+// points built by hand (e.g. a single-point HTTP request) must normalize
+// first, or equal design points would hash differently.
+func (p Point) Normalized() Point {
 	if p.Scheduler == "" {
 		p.Scheduler = "HEF"
 	}
@@ -165,7 +168,7 @@ func (s Spec) Expand() ([]Point, error) {
 	seen := make(map[string]bool, len(all))
 	out := make([]Point, 0, len(all))
 	for _, p := range all {
-		p = p.normalize()
+		p = p.Normalized()
 		if p.NumACs < 0 {
 			return nil, fmt.Errorf("explore: negative AC count %d", p.NumACs)
 		}

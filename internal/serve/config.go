@@ -1,0 +1,91 @@
+// Package serve is the HTTP serving layer of the RISPP evaluation
+// platform: a long-lived simulation-as-a-service daemon over the compiled
+// hot path of internal/sim and the design-space exploration engine of
+// internal/explore.
+//
+//	POST /v1/simulate   one design point → full JSON result
+//	POST /v1/explore    a sweep spec → JSONL record stream (risppexplore bytes)
+//	GET  /v1/healthz    liveness + drain state
+//	GET  /metrics       Prometheus text exposition (stdlib only)
+//
+// Requests are validated up front, deduplicated by the exploration
+// engine's canonical point key, and executed on a bounded simulation
+// limiter that reuses pooled sim.Results and memoized compiled traces
+// (rispp.Runner), so steady-state request handling stays near zero
+// allocations. Production behavior is first-class: per-request deadlines
+// propagate into the simulator's event loop, saturation answers 429 with
+// Retry-After, shutdown drains in-flight runs, and a per-request panic
+// becomes a 500 instead of killing the daemon.
+package serve
+
+import (
+	"runtime"
+	"time"
+)
+
+// Config tunes the server. The zero value serves paper defaults on
+// :8264 with GOMAXPROCS concurrent simulations.
+type Config struct {
+	// Addr is the listen address (":8264" if empty).
+	Addr string
+	// Workers bounds concurrently running simulations across all requests;
+	// <= 0 selects runtime.GOMAXPROCS(0). /v1/simulate answers 429 when no
+	// slot is free; /v1/explore jobs queue for slots instead.
+	Workers int
+	// ExploreWorkers bounds the per-request exploration pool; <= 0 selects
+	// Workers. Each exploration job still takes a limiter slot to run.
+	ExploreWorkers int
+	// DefaultTimeout is the simulation deadline applied when a request
+	// names none (0: MaxTimeout).
+	DefaultTimeout time.Duration
+	// MaxTimeout caps the per-request deadline (0: 2 minutes).
+	MaxTimeout time.Duration
+	// MaxBodyBytes caps request bodies (0: 1 MiB).
+	MaxBodyBytes int64
+	// MaxFrames caps the workload size a request may ask for (0: 10000).
+	MaxFrames int
+	// MaxPoints caps the expanded job count of one /v1/explore spec
+	// (0: 4096).
+	MaxPoints int
+	// CacheEntries sizes the in-memory response cache for /v1/simulate,
+	// keyed by canonical point key + collect options (0: 4096; < 0
+	// disables caching).
+	CacheEntries int
+	// RetryAfter is the Retry-After hint answered on saturation
+	// (0: 1 second).
+	RetryAfter time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Addr == "" {
+		c.Addr = ":8264"
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.ExploreWorkers <= 0 || c.ExploreWorkers > c.Workers {
+		c.ExploreWorkers = c.Workers
+	}
+	if c.MaxTimeout == 0 {
+		c.MaxTimeout = 2 * time.Minute
+	}
+	if c.DefaultTimeout <= 0 || c.DefaultTimeout > c.MaxTimeout {
+		c.DefaultTimeout = c.MaxTimeout
+	}
+	if c.MaxBodyBytes == 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	if c.MaxFrames == 0 {
+		c.MaxFrames = 10000
+	}
+	if c.MaxPoints == 0 {
+		c.MaxPoints = 4096
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 4096
+	}
+	if c.RetryAfter == 0 {
+		c.RetryAfter = time.Second
+	}
+	return c
+}

@@ -1,0 +1,404 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"rispp/internal/explore"
+	"rispp/internal/sched"
+	"rispp/internal/sim"
+)
+
+// CollectSpec selects the measurement artifacts of a simulate request.
+type CollectSpec struct {
+	// HistogramBucket, when > 0, collects per-SI execution histograms with
+	// this bucket width in cycles (the paper uses 100000).
+	HistogramBucket int64 `json:"histogram_bucket,omitempty"`
+	// Timeline records SI latency steps (Figure 8 lines).
+	Timeline bool `json:"timeline,omitempty"`
+}
+
+func (c CollectSpec) options() sim.Options {
+	return sim.Options{HistogramBucket: c.HistogramBucket, Timeline: c.Timeline}
+}
+
+// cacheKey extends a canonical point key so that runs collecting different
+// artifacts never share a response body.
+func (c CollectSpec) cacheKey(pointKey string) string {
+	return pointKey + "|h" + strconv.FormatInt(c.HistogramBucket, 10) + ",t" + strconv.FormatBool(c.Timeline)
+}
+
+// SimulateRequest is the body of POST /v1/simulate: the design-point knobs
+// of explore.Point flattened at the top level, plus collection options and
+// an optional deadline.
+type SimulateRequest struct {
+	explore.Point
+	Collect CollectSpec `json:"collect,omitempty"`
+	// TimeoutMS bounds the simulation wall time; 0 selects the server
+	// default. The request fails with 504 when the deadline expires.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// SIStat is the per-SI accounting of a simulate response, one entry per
+// executed SI in ascending SI-id order.
+type SIStat struct {
+	SI           int    `json:"si"`
+	Name         string `json:"name"`
+	Executions   int64  `json:"execs"`
+	SWExecutions int64  `json:"sw_execs"`
+	HWExecutions int64  `json:"hw_execs"`
+}
+
+// SIHistogram is one SI's execution histogram (when requested).
+type SIHistogram struct {
+	SI     int     `json:"si"`
+	Name   string  `json:"name"`
+	Counts []int64 `json:"counts"`
+}
+
+// TimelineStep is one SI latency step (when a timeline is requested).
+type TimelineStep struct {
+	SI      int   `json:"si"`
+	Cycle   int64 `json:"t"`
+	Latency int   `json:"lat"`
+}
+
+// SimulateResponse is the body of a successful POST /v1/simulate. It is a
+// pure function of the normalized request, so responses are cacheable and
+// byte-stable across runs and server instances.
+type SimulateResponse struct {
+	// Point is the normalized design point that was simulated (defaults
+	// filled in), so clients see the canonical form of what they asked for.
+	Point   explore.Point `json:"point"`
+	Runtime string        `json:"runtime"`
+
+	TotalCycles  int64 `json:"cycles"`
+	StallCycles  int64 `json:"stall_cycles"`
+	SWExecutions int64 `json:"sw_execs"`
+	HWExecutions int64 `json:"hw_execs"`
+	Phases       int   `json:"phases"`
+
+	SIs []SIStat `json:"sis"`
+
+	// HistogramBucket and Histograms are present when the request collected
+	// histograms; Timeline when it collected latency steps.
+	HistogramBucket int64          `json:"histogram_bucket,omitempty"`
+	Histograms      []SIHistogram  `json:"histograms,omitempty"`
+	Timeline        []TimelineStep `json:"timeline,omitempty"`
+}
+
+// ExploreRequest is the body of POST /v1/explore: a sweep spec — the JSON
+// form of explore.Spec, flat, so a risppexplore -spec file posts verbatim —
+// plus an optional deadline. The response streams one explore.Record per
+// line, in job order, byte-identical to risppexplore's JSONL output for
+// the same spec.
+type ExploreRequest struct {
+	explore.Spec
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// apiError is the JSON error body of every non-2xx response.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(apiError{Error: fmt.Sprintf(format, args...)}) //nolint:errcheck // headers sent; nothing left to do
+}
+
+// decodeJSON reads a request body strictly: size-capped, unknown fields
+// rejected, trailing garbage rejected.
+func (s *Server) decodeJSON(w http.ResponseWriter, r *http.Request, v any) error {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	if dec.More() {
+		return errors.New("trailing data after JSON body")
+	}
+	return nil
+}
+
+// validatePoint applies the serving layer's checks on top of the canonical
+// ones of explore.Spec.Expand: scheduler must name a known run-time system
+// and the workload must stay within the configured size cap.
+func (s *Server) validatePoint(p explore.Point) error {
+	switch p.Scheduler {
+	case "Molen", "molen", "software":
+	default:
+		if _, err := sched.New(p.Scheduler); err != nil {
+			return fmt.Errorf("unknown scheduler %q", p.Scheduler)
+		}
+	}
+	if p.Frames > s.cfg.MaxFrames {
+		return fmt.Errorf("frames %d exceeds server limit %d", p.Frames, s.cfg.MaxFrames)
+	}
+	if p.NumACs > maxACs {
+		return fmt.Errorf("acs %d exceeds server limit %d", p.NumACs, maxACs)
+	}
+	return nil
+}
+
+// maxACs caps the Atom-Container budget a request may ask for; the paper
+// evaluates 5..24 and the selection cost grows with the budget.
+const maxACs = 128
+
+// timeout clamps a requested deadline to the server's bounds.
+func (s *Server) timeout(ms int64) time.Duration {
+	d := time.Duration(ms) * time.Millisecond
+	if d <= 0 || d > s.cfg.MaxTimeout {
+		if d > s.cfg.MaxTimeout {
+			return s.cfg.MaxTimeout
+		}
+		return s.cfg.DefaultTimeout
+	}
+	return d
+}
+
+// handleSimulate answers POST /v1/simulate.
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	var req SimulateRequest
+	if err := s.decodeJSON(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if req.TimeoutMS < 0 {
+		writeError(w, http.StatusBadRequest, "negative timeout_ms")
+		return
+	}
+	// Expand a single-point spec: this normalizes the point to its
+	// canonical form and applies the engine's own validation.
+	jobs, err := explore.Spec{Points: []explore.Point{req.Point}}.Expand()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "invalid point: %v", err)
+		return
+	}
+	p := jobs[0]
+	if err := s.validatePoint(p); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid point: %v", err)
+		return
+	}
+
+	key := req.Collect.cacheKey(p.Key())
+	body, hit, err := s.cache.do(r.Context(), key, func() ([]byte, error) {
+		return s.simulate(r.Context(), p, req.Collect, s.timeout(req.TimeoutMS))
+	})
+	if hit {
+		s.met.cacheHits.Add(1)
+	} else {
+		s.met.cacheMiss.Add(1)
+	}
+	if err != nil {
+		s.writeSimulateError(w, r, err)
+		return
+	}
+	h := w.Header()
+	h.Set("Content-Type", "application/json")
+	h.Set("X-Cache", cacheHeader(hit))
+	h.Set("X-Point-Hash", p.Hash())
+	w.Write(body) //nolint:errcheck // client disconnects are not actionable
+}
+
+func cacheHeader(hit bool) string {
+	if hit {
+		return "hit"
+	}
+	return "miss"
+}
+
+func (s *Server) writeSimulateError(w http.ResponseWriter, r *http.Request, err error) {
+	switch {
+	case errors.Is(err, errSaturated):
+		w.Header().Set("Retry-After", strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
+		writeError(w, http.StatusTooManyRequests, "saturated: %d simulations in flight", s.cfg.Workers)
+	case errors.Is(err, context.DeadlineExceeded):
+		writeError(w, http.StatusGatewayTimeout, "simulation deadline exceeded: %v", err)
+	case r.Context().Err() != nil:
+		// The client went away; the status is never seen, but finish the
+		// exchange coherently.
+		writeError(w, http.StatusServiceUnavailable, "client canceled: %v", err)
+	default:
+		writeError(w, http.StatusInternalServerError, "simulation failed: %v", err)
+	}
+}
+
+// simulate runs one admission-controlled simulation and renders the
+// response body. It is the single-flight leader's path: concurrent
+// identical requests wait on its outcome instead of taking slots.
+func (s *Server) simulate(ctx context.Context, p explore.Point, collect CollectSpec, d time.Duration) ([]byte, error) {
+	if !s.lim.tryAcquire() {
+		return nil, errSaturated
+	}
+	defer s.lim.release()
+	s.met.inflight.Add(1)
+	defer s.met.inflight.Add(-1)
+
+	ctx, cancel := context.WithTimeout(ctx, d)
+	defer cancel()
+
+	res := s.runner.GetResult()
+	defer s.runner.PutResult(res)
+	if err := s.runPoint(ctx, p, collect.options(), res); err != nil {
+		return nil, err
+	}
+	return s.renderSimulate(p, res)
+}
+
+// renderSimulate converts a Result into the deterministic response body.
+// Data is copied out of res (which returns to the pool) — slices in the
+// response never alias pooled buffers.
+func (s *Server) renderSimulate(p explore.Point, res *sim.Result) ([]byte, error) {
+	resp := SimulateResponse{
+		Point:        p,
+		Runtime:      res.Runtime,
+		TotalCycles:  res.TotalCycles,
+		StallCycles:  res.StallCycles,
+		SWExecutions: res.TotalSWExecutions(),
+		HWExecutions: res.TotalHWExecutions(),
+		Phases:       len(res.Phases),
+	}
+	executed := res.ExecutedSIs()
+	resp.SIs = make([]SIStat, 0, len(executed))
+	for _, si := range executed {
+		resp.SIs = append(resp.SIs, SIStat{
+			SI:           int(si),
+			Name:         s.isa.SI(si).Name,
+			Executions:   res.ExecutionsOf(si),
+			SWExecutions: res.SWExecutionsOf(si),
+			HWExecutions: res.HWExecutionsOf(si),
+		})
+	}
+	if res.Histogram != nil {
+		resp.HistogramBucket = res.Histogram.BucketCycles
+		for _, si := range executed {
+			counts := res.Histogram.Counts(int(si))
+			resp.Histograms = append(resp.Histograms, SIHistogram{
+				SI:     int(si),
+				Name:   s.isa.SI(si).Name,
+				Counts: append([]int64(nil), counts...),
+			})
+		}
+	}
+	if res.Timeline != nil {
+		for _, ev := range res.Timeline.Events {
+			resp.Timeline = append(resp.Timeline, TimelineStep{SI: ev.SI, Cycle: ev.Cycle, Latency: ev.Latency})
+		}
+	}
+	return json.Marshal(&resp)
+}
+
+// handleExplore answers POST /v1/explore with a JSONL record stream.
+func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	var req ExploreRequest
+	if err := s.decodeJSON(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if req.TimeoutMS < 0 {
+		writeError(w, http.StatusBadRequest, "negative timeout_ms")
+		return
+	}
+	jobs, err := req.Spec.Expand()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "invalid spec: %v", err)
+		return
+	}
+	if len(jobs) == 0 {
+		writeError(w, http.StatusBadRequest, "empty sweep: spec expands to no points")
+		return
+	}
+	if len(jobs) > s.cfg.MaxPoints {
+		writeError(w, http.StatusBadRequest, "sweep of %d points exceeds server limit %d", len(jobs), s.cfg.MaxPoints)
+		return
+	}
+	for _, p := range jobs {
+		if err := s.validatePoint(p); err != nil {
+			writeError(w, http.StatusBadRequest, "invalid point %s: %v", p.Key(), err)
+			return
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.timeout(req.TimeoutMS))
+	defer cancel()
+
+	flusher, _ := w.(http.Flusher)
+	eng := &explore.Engine{
+		Workers: s.cfg.ExploreWorkers,
+		Cache:   s.exploreCache,
+		OnRecord: func(rec explore.Record) {
+			if rec.Cached {
+				s.met.engineHits.Add(1)
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		},
+		// Exploration jobs queue for limiter slots rather than shedding:
+		// the spec was admitted as a whole, and job order (not latency)
+		// is the contract.
+		Run: func(ctx context.Context, p explore.Point) (explore.Metrics, error) {
+			if err := s.lim.acquire(ctx); err != nil {
+				return explore.Metrics{}, err
+			}
+			defer s.lim.release()
+			s.met.inflight.Add(1)
+			defer s.met.inflight.Add(-1)
+			res := s.runner.GetResult()
+			defer s.runner.PutResult(res)
+			if err := s.runPoint(ctx, p, sim.Options{}, res); err != nil {
+				return explore.Metrics{}, err
+			}
+			return explore.Metrics{
+				TotalCycles:  res.TotalCycles,
+				StallCycles:  res.StallCycles,
+				SWExecutions: res.TotalSWExecutions(),
+				HWExecutions: res.TotalHWExecutions(),
+			}, nil
+		},
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Points", strconv.Itoa(len(jobs)))
+	// From the first streamed byte on, errors can no longer change the
+	// status code; per-record errors travel in the records themselves and
+	// a deadline truncates the stream (clients compare against X-Points).
+	eng.Execute(ctx, req.Spec, w) //nolint:errcheck // see above: reported in-band
+}
+
+// handleHealthz answers GET /v1/healthz.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	status, code := "ok", http.StatusOK
+	if s.closing.Load() {
+		status, code = "draining", http.StatusServiceUnavailable
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(struct { //nolint:errcheck // headers sent; nothing left to do
+		Status   string `json:"status"`
+		InFlight int64  `json:"inflight"`
+		Workers  int    `json:"workers"`
+	}{status, s.met.inflight.Load(), s.cfg.Workers})
+}

@@ -1,0 +1,132 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// latencyBuckets are the upper bounds (seconds) of the request-duration
+// histogram. One-frame simulations land in the sub-millisecond buckets,
+// full 140-frame paper runs in the tens-of-milliseconds range, and large
+// exploration sweeps at the top.
+var latencyBuckets = [numLatencyBuckets]float64{0.001, 0.005, 0.025, 0.1, 0.5, 2.5, 10, 60}
+
+const numLatencyBuckets = 8
+
+// metrics is the server's instrumentation: a handful of counters, one
+// latency histogram and an in-flight gauge, exposed in Prometheus text
+// exposition format with nothing but the standard library. All methods are
+// safe for concurrent use.
+type metrics struct {
+	mu       sync.Mutex
+	requests map[string]int64 // "route\x00code" → count
+
+	inflight   atomic.Int64 // simulations currently holding a limiter slot
+	cacheHits  atomic.Int64 // /v1/simulate response-cache hits
+	cacheMiss  atomic.Int64 // /v1/simulate response-cache misses
+	engineHits atomic.Int64 // /v1/explore records answered by the result cache
+	panics     atomic.Int64 // recovered handler panics
+
+	latCount  atomic.Int64
+	latSumNS  atomic.Int64
+	latBucket [numLatencyBuckets]atomic.Int64 // rendered cumulatively
+}
+
+func newMetrics() *metrics {
+	return &metrics{requests: make(map[string]int64)}
+}
+
+// request records one completed request: its route, status code and wall
+// time.
+func (m *metrics) request(route string, code int, d time.Duration) {
+	m.mu.Lock()
+	m.requests[route+"\x00"+strconv.Itoa(code)]++
+	m.mu.Unlock()
+	m.latCount.Add(1)
+	m.latSumNS.Add(int64(d))
+	s := d.Seconds()
+	for i, ub := range latencyBuckets {
+		if s <= ub {
+			m.latBucket[i].Add(1)
+			break
+		}
+	}
+}
+
+// write renders the Prometheus text exposition. Series are emitted in a
+// deterministic order so scrapes (and tests) are stable.
+func (m *metrics) write(w io.Writer) {
+	m.mu.Lock()
+	keys := make([]string, 0, len(m.requests))
+	for k := range m.requests {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	counts := make([]int64, len(keys))
+	for i, k := range keys {
+		counts[i] = m.requests[k]
+	}
+	m.mu.Unlock()
+
+	fmt.Fprintf(w, "# HELP rispp_requests_total Completed HTTP requests by route and status code.\n")
+	fmt.Fprintf(w, "# TYPE rispp_requests_total counter\n")
+	for i, k := range keys {
+		route, code, _ := cutByte(k)
+		fmt.Fprintf(w, "rispp_requests_total{route=%q,code=%q} %d\n", route, code, counts[i])
+	}
+
+	fmt.Fprintf(w, "# HELP rispp_request_duration_seconds Request wall time.\n")
+	fmt.Fprintf(w, "# TYPE rispp_request_duration_seconds histogram\n")
+	var cum int64
+	for i, ub := range latencyBuckets {
+		cum += m.latBucket[i].Load()
+		fmt.Fprintf(w, "rispp_request_duration_seconds_bucket{le=%q} %d\n", formatBound(ub), cum)
+	}
+	count := m.latCount.Load()
+	fmt.Fprintf(w, "rispp_request_duration_seconds_bucket{le=\"+Inf\"} %d\n", count)
+	fmt.Fprintf(w, "rispp_request_duration_seconds_sum %g\n", float64(m.latSumNS.Load())/1e9)
+	fmt.Fprintf(w, "rispp_request_duration_seconds_count %d\n", count)
+
+	fmt.Fprintf(w, "# HELP rispp_inflight_simulations Simulations currently holding a limiter slot.\n")
+	fmt.Fprintf(w, "# TYPE rispp_inflight_simulations gauge\n")
+	fmt.Fprintf(w, "rispp_inflight_simulations %d\n", m.inflight.Load())
+
+	fmt.Fprintf(w, "# HELP rispp_simulate_cache_total /v1/simulate response-cache lookups by outcome.\n")
+	fmt.Fprintf(w, "# TYPE rispp_simulate_cache_total counter\n")
+	fmt.Fprintf(w, "rispp_simulate_cache_total{outcome=\"hit\"} %d\n", m.cacheHits.Load())
+	fmt.Fprintf(w, "rispp_simulate_cache_total{outcome=\"miss\"} %d\n", m.cacheMiss.Load())
+
+	fmt.Fprintf(w, "# HELP rispp_explore_cache_hits_total /v1/explore records answered from the result cache.\n")
+	fmt.Fprintf(w, "# TYPE rispp_explore_cache_hits_total counter\n")
+	fmt.Fprintf(w, "rispp_explore_cache_hits_total %d\n", m.engineHits.Load())
+
+	fmt.Fprintf(w, "# HELP rispp_panics_total Recovered handler panics.\n")
+	fmt.Fprintf(w, "# TYPE rispp_panics_total counter\n")
+	fmt.Fprintf(w, "rispp_panics_total %d\n", m.panics.Load())
+}
+
+func (m *metrics) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	m.write(w)
+}
+
+func cutByte(k string) (route, code string, ok bool) {
+	for i := 0; i < len(k); i++ {
+		if k[i] == 0 {
+			return k[:i], k[i+1:], true
+		}
+	}
+	return k, "", false
+}
+
+// formatBound renders a bucket bound the way Prometheus clients do:
+// shortest decimal form, no exponent for these magnitudes.
+func formatBound(ub float64) string {
+	return strconv.FormatFloat(ub, 'g', -1, 64)
+}

@@ -1,0 +1,129 @@
+package serve
+
+import (
+	"container/list"
+	"context"
+	"errors"
+	"sync"
+)
+
+// errSaturated is returned by request execution when no limiter slot is
+// free; the handler maps it to 429 + Retry-After.
+var errSaturated = errors.New("serve: all simulation slots busy")
+
+// limiter bounds concurrently running simulations across all requests.
+// Interactive requests (/v1/simulate) use tryAcquire and shed load on
+// saturation; batch exploration jobs use acquire and queue for a slot.
+type limiter chan struct{}
+
+func newLimiter(n int) limiter { return make(limiter, n) }
+
+// tryAcquire takes a slot without blocking.
+func (l limiter) tryAcquire() bool {
+	select {
+	case l <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+// acquire blocks for a slot until the context is done.
+func (l limiter) acquire(ctx context.Context) error {
+	select {
+	case l <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (l limiter) release() { <-l }
+
+// respCache is an LRU of rendered /v1/simulate response bodies keyed by the
+// canonical design-point key (plus collect options), with single-flight
+// request coalescing: concurrent identical requests run one simulation and
+// share its bytes. The simulator is deterministic, so a cached body is
+// indistinguishable from a fresh run — this is what makes the cache sound.
+type respCache struct {
+	mu      sync.Mutex
+	cap     int // <= 0: coalesce only, store nothing
+	entries map[string]*list.Element
+	order   *list.List // front = most recently used
+	flight  map[string]*flightCall
+}
+
+type cacheEntry struct {
+	key  string
+	body []byte
+}
+
+type flightCall struct {
+	done chan struct{} // closed when the leader finished
+	body []byte        // valid if err == nil
+	err  error
+}
+
+func newRespCache(capacity int) *respCache {
+	return &respCache{
+		cap:     capacity,
+		entries: make(map[string]*list.Element),
+		order:   list.New(),
+		flight:  make(map[string]*flightCall),
+	}
+}
+
+// do returns the response body for key, computing it with fn at most once
+// across concurrent callers. hit reports whether the body came from the
+// cache or a coalesced leader rather than this caller's own fn run. A
+// leader's error is not shared: followers retry (and typically surface the
+// same condition themselves, e.g. saturation). Only successful bodies are
+// stored.
+func (c *respCache) do(ctx context.Context, key string, fn func() ([]byte, error)) (body []byte, hit bool, err error) {
+	for {
+		c.mu.Lock()
+		if el, ok := c.entries[key]; ok {
+			c.order.MoveToFront(el)
+			body = el.Value.(*cacheEntry).body
+			c.mu.Unlock()
+			return body, true, nil
+		}
+		if call, ok := c.flight[key]; ok {
+			c.mu.Unlock()
+			select {
+			case <-call.done:
+			case <-ctx.Done():
+				return nil, false, ctx.Err()
+			}
+			if call.err == nil {
+				return call.body, true, nil
+			}
+			continue // leader failed; retry as leader
+		}
+		call := &flightCall{done: make(chan struct{})}
+		c.flight[key] = call
+		c.mu.Unlock()
+
+		call.body, call.err = fn()
+		c.mu.Lock()
+		delete(c.flight, key)
+		if call.err == nil && c.cap > 0 {
+			c.entries[key] = c.order.PushFront(&cacheEntry{key: key, body: call.body})
+			for c.order.Len() > c.cap {
+				last := c.order.Back()
+				c.order.Remove(last)
+				delete(c.entries, last.Value.(*cacheEntry).key)
+			}
+		}
+		c.mu.Unlock()
+		close(call.done)
+		return call.body, false, call.err
+	}
+}
+
+// len reports the number of stored bodies (test helper).
+func (c *respCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

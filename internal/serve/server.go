@@ -1,0 +1,206 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rispp"
+	"rispp/internal/explore"
+	"rispp/internal/isa"
+	"rispp/internal/sim"
+)
+
+// Server is the simulation service. Create one with New, expose it via
+// Handler (tests, custom listeners) or ListenAndServe, and stop it with
+// Shutdown — which drains in-flight simulations before returning.
+type Server struct {
+	cfg    Config
+	isa    *isa.ISA
+	runner *rispp.Runner
+	lim    limiter
+	cache  *respCache
+	met    *metrics
+	mux    *http.ServeMux
+
+	// exploreCache optionally backs /v1/explore with the engine's
+	// content-addressed disk cache (SetExploreCache).
+	exploreCache *explore.Cache
+
+	// runPoint is the simulation entry point; tests replace it to model
+	// slow or failing runs deterministically.
+	runPoint func(ctx context.Context, p explore.Point, collect sim.Options, res *sim.Result) error
+
+	closing  atomic.Bool
+	inflight sync.WaitGroup // in-flight HTTP requests (drain barrier)
+	httpSrv  *http.Server
+
+	// Logf receives operational log lines (startup, shutdown, panics);
+	// nil selects log.Printf.
+	Logf func(format string, args ...any)
+}
+
+// New builds a Server over the paper-default rispp.Config. The base config
+// customizes the platform under simulation (ISA, workload, bus model);
+// request knobs override its Scheduler/NumACs/workload-knob fields per
+// point, exactly as in rispp.Explorer.
+func New(cfg Config, base rispp.Config) *Server {
+	cfg = cfg.withDefaults()
+	runner := rispp.NewRunner(base)
+	is := base.ISA
+	if is == nil {
+		is = isa.H264()
+	}
+	s := &Server{
+		cfg:    cfg,
+		isa:    is,
+		runner: runner,
+		lim:    newLimiter(cfg.Workers),
+		cache:  newRespCache(cfg.CacheEntries),
+		met:    newMetrics(),
+		mux:    http.NewServeMux(),
+	}
+	s.runPoint = runner.RunPoint
+	s.mux.HandleFunc("/v1/simulate", s.wrap("/v1/simulate", s.handleSimulate))
+	s.mux.HandleFunc("/v1/explore", s.wrap("/v1/explore", s.handleExplore))
+	s.mux.HandleFunc("/v1/healthz", s.wrap("/v1/healthz", s.handleHealthz))
+	s.mux.Handle("/metrics", s.met)
+	s.mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		writeError(w, http.StatusNotFound, "no route %s; see /v1/simulate, /v1/explore, /v1/healthz, /metrics", r.URL.Path)
+	})
+	return s
+}
+
+// SetExploreCache backs /v1/explore sweeps with a content-addressed disk
+// cache (see explore.Cache): re-posted specs only simulate new points.
+// Must be called before the server starts handling requests.
+func (s *Server) SetExploreCache(c *explore.Cache) { s.exploreCache = c }
+
+// Handler returns the root handler — the full service including metrics,
+// drain behavior and panic recovery — for tests and custom servers.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Metrics returns the Prometheus exposition as a string (CLI convenience).
+func (s *Server) Metrics() string {
+	var b []byte
+	w := &byteWriter{&b}
+	s.met.write(w)
+	return string(b)
+}
+
+type byteWriter struct{ b *[]byte }
+
+func (w *byteWriter) Write(p []byte) (int, error) { *w.b = append(*w.b, p...); return len(p), nil }
+
+// statusRecorder captures the status code a handler wrote.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.code = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(p []byte) (int, error) {
+	if r.code == 0 {
+		r.code = http.StatusOK
+	}
+	return r.ResponseWriter.Write(p)
+}
+
+// Flush forwards http.Flusher so chunked JSONL streaming works through the
+// recorder.
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// wrap is the per-route middleware: drain gate, in-flight accounting,
+// panic-to-500 recovery and request metrics.
+func (s *Server) wrap(route string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w}
+		s.inflight.Add(1)
+		defer func() {
+			if p := recover(); p != nil {
+				s.met.panics.Add(1)
+				s.logf("serve: panic in %s: %v", route, p)
+				if rec.code == 0 {
+					writeError(rec, http.StatusInternalServerError, "internal error")
+				}
+			}
+			s.met.request(route, rec.code, time.Since(start))
+			s.inflight.Done()
+		}()
+		// The health endpoint stays up while draining (it reports the
+		// drain); everything else sheds immediately.
+		if s.closing.Load() && route != "/v1/healthz" {
+			writeError(rec, http.StatusServiceUnavailable, "server draining")
+			return
+		}
+		h(rec, r)
+	}
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.Logf != nil {
+		s.Logf(format, args...)
+		return
+	}
+	log.Printf(format, args...)
+}
+
+// ListenAndServe serves on cfg.Addr until Shutdown (which returns
+// http.ErrServerClosed here) or a listener error.
+func (s *Server) ListenAndServe() error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	return s.Serve(ln)
+}
+
+// Serve serves on an existing listener.
+func (s *Server) Serve(ln net.Listener) error {
+	srv := &http.Server{
+		Handler:           s.mux,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	s.httpSrv = srv
+	s.logf("serve: listening on %s (%d simulation slots)", ln.Addr(), s.cfg.Workers)
+	return srv.Serve(ln)
+}
+
+// Shutdown drains the server: new requests are answered 503 immediately,
+// in-flight requests (and their simulations) run to completion, then the
+// HTTP listener closes. The context bounds the drain; on expiry the
+// remaining requests are abandoned and ctx's error returned.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.closing.Store(true)
+	done := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		if s.httpSrv != nil {
+			s.httpSrv.Close() //nolint:errcheck // already returning ctx error
+		}
+		return ctx.Err()
+	}
+	if s.httpSrv != nil {
+		return s.httpSrv.Shutdown(ctx)
+	}
+	return nil
+}

@@ -171,92 +171,130 @@ type SweepPoint struct {
 	TotalCycles int64
 }
 
+// Runner materializes explore.Points as full simulation runs over a base
+// Config, sharing per-run scratch across calls: traces are compiled once
+// per distinct workload-knob combination (the compiled form is immutable
+// and race-free to share) and sim.Result buffers are recycled through a
+// sync.Pool, so a steady stream of points re-pays neither trace lowering
+// nor result allocation per run. A Runner is safe for concurrent use; both
+// the exploration engine (Explorer) and the HTTP serving layer
+// (internal/serve) run their points through one.
+//
+// When base.Workload is nil, the point's workload knobs (frames, seed,
+// motion variability, scene change) build the H.264 trace; a non-nil
+// base.Workload is used verbatim for every point — in that case do not
+// share an explore.Cache across different traces, since the point key only
+// describes the knobs.
+type Runner struct {
+	base     Config
+	memo     bool      // compiled-trace memoization is sound (no Bus rewrite)
+	results  sync.Pool // *sim.Result, reused across runs
+	compiled sync.Map  // workload.H264Config → *workload.Compiled
+}
+
+// NewRunner builds a Runner over the base config. Trace memoization is
+// disabled when base.Bus is set, because the Bus transform rewrites the
+// trace after the workload knobs are applied — equal knobs would no longer
+// imply an equal compiled trace per config.
+func NewRunner(base Config) *Runner {
+	return &Runner{base: base, memo: base.Bus == nil}
+}
+
+// GetResult returns a pooled Result for RunPoint; return it with PutResult
+// once its values have been read, so later runs reuse its buffers.
+func (r *Runner) GetResult() *sim.Result {
+	if res, ok := r.results.Get().(*sim.Result); ok {
+		return res
+	}
+	return new(sim.Result)
+}
+
+// PutResult recycles a Result obtained from GetResult. The caller must not
+// retain any reference into it afterwards.
+func (r *Runner) PutResult(res *sim.Result) { r.results.Put(res) }
+
+// compile lowers cfg's workload, memoizing per knob combination when sound.
+func (r *Runner) compile(cfg *Config, key workload.H264Config) (*workload.Compiled, error) {
+	if r.memo {
+		if v, ok := r.compiled.Load(key); ok {
+			return v.(*workload.Compiled), nil
+		}
+	}
+	ct, err := workload.Compile(cfg.Workload, cfg.ISA)
+	if err != nil {
+		return nil, err
+	}
+	if r.memo {
+		if v, loaded := r.compiled.LoadOrStore(key, ct); loaded {
+			ct = v.(*workload.Compiled)
+		}
+	}
+	return ct, nil
+}
+
+// RunPoint simulates design point p into the caller-owned res (typically
+// from GetResult), collecting the artifacts selected by collect. The
+// runtime is built fresh per call; the compiled trace comes from the memo
+// when possible. On error res holds partial state and must not be
+// interpreted (it is still safe to PutResult).
+func (r *Runner) RunPoint(ctx context.Context, p explore.Point, collect sim.Options, res *sim.Result) error {
+	cfg := r.base
+	cfg.Scheduler = p.Scheduler
+	cfg.NumACs = p.NumACs
+	cfg.SeedForecasts = p.SeedForecasts
+	cfg.Prefetch = p.Prefetch
+	cfg.Collect = collect
+	key := workload.H264Config{
+		Frames:            p.Frames,
+		Seed:              p.Seed,
+		MotionVariability: p.Motion,
+		SceneChangeFrame:  p.SceneChange,
+	}
+	if cfg.Workload == nil {
+		cfg.Workload = workload.H264(key)
+	} else {
+		key = workload.H264Config{} // single shared trace, one memo slot
+	}
+	cfg.setDefaults() // may apply a Bus transform to the trace
+	ct, err := r.compile(&cfg, key)
+	if err != nil {
+		return err
+	}
+	rt, err := NewRuntime(cfg)
+	if err != nil {
+		return err
+	}
+	return sim.RunCompiled(ctx, ct, rt, cfg.Collect, res)
+}
+
 // Explorer wires the design-space exploration engine of internal/explore to
 // this library: every explore.Point is materialized as a Config and
-// simulated on a bounded worker pool. When base.Workload is nil, the
-// point's workload knobs (frames, seed, motion variability, scene change)
-// build the H.264 trace; a non-nil base.Workload is used verbatim for every
-// point — in that case do not share a cache across different traces, since
-// the point key only describes the knobs.
-//
-// The engine's jobs share per-run scratch: traces are compiled once per
-// distinct knob combination (the compiled form is immutable and raced-free
-// to share) and sim.Result buffers are recycled through a sync.Pool, so a
-// large sweep's steady state re-pays neither trace lowering nor result
-// allocation per point.
+// simulated on a bounded worker pool, through a shared Runner (see Runner
+// for the workload semantics and the scratch-sharing guarantees).
 func Explorer(base Config, workers int, cache *explore.Cache) *explore.Engine {
-	var (
-		results  sync.Pool // *sim.Result, reused across jobs
-		compiled sync.Map  // workload.H264Config → *workload.Compiled
-	)
-	// compile lowers cfg's workload, memoizing per knob combination. The
-	// memo is only sound when every point with equal knobs yields an equal
-	// trace, which holds unless a Bus transform rewrites the trace after
-	// the knobs are applied — there we compile per job.
-	compile := func(cfg *Config, key workload.H264Config, memo bool) (*workload.Compiled, error) {
-		if memo {
-			if v, ok := compiled.Load(key); ok {
-				return v.(*workload.Compiled), nil
-			}
-		}
-		ct, err := workload.Compile(cfg.Workload, cfg.ISA)
-		if err != nil {
-			return nil, err
-		}
-		if memo {
-			if v, loaded := compiled.LoadOrStore(key, ct); loaded {
-				ct = v.(*workload.Compiled)
-			}
-		}
-		return ct, nil
-	}
 	return &explore.Engine{
 		Workers: workers,
 		Cache:   cache,
-		Run: func(ctx context.Context, p explore.Point) (explore.Metrics, error) {
-			cfg := base
-			cfg.Scheduler = p.Scheduler
-			cfg.NumACs = p.NumACs
-			cfg.SeedForecasts = p.SeedForecasts
-			cfg.Prefetch = p.Prefetch
-			key := workload.H264Config{
-				Frames:            p.Frames,
-				Seed:              p.Seed,
-				MotionVariability: p.Motion,
-				SceneChangeFrame:  p.SceneChange,
-			}
-			if cfg.Workload == nil {
-				cfg.Workload = workload.H264(key)
-			} else {
-				key = workload.H264Config{} // single shared trace, one memo slot
-			}
-			cfg.setDefaults() // may apply a Bus transform to the trace
-			ct, err := compile(&cfg, key, base.Bus == nil)
-			if err != nil {
-				return explore.Metrics{}, err
-			}
-			rt, err := NewRuntime(cfg)
-			if err != nil {
-				return explore.Metrics{}, err
-			}
-			res, _ := results.Get().(*sim.Result)
-			if res == nil {
-				res = new(sim.Result)
-			}
-			err = sim.RunCompiled(ctx, ct, rt, cfg.Collect, res)
-			if err != nil {
-				results.Put(res)
-				return explore.Metrics{}, err
-			}
-			m := explore.Metrics{
-				TotalCycles:  res.TotalCycles,
-				StallCycles:  res.StallCycles,
-				SWExecutions: res.TotalSWExecutions(),
-				HWExecutions: res.TotalHWExecutions(),
-			}
-			results.Put(res)
-			return m, nil
-		},
+		Run:     NewRunner(base).EngineRun(),
+	}
+}
+
+// EngineRun adapts the Runner to the exploration engine's job signature:
+// each call runs the point into a pooled Result and condenses it to
+// explore.Metrics.
+func (r *Runner) EngineRun() explore.RunFunc {
+	return func(ctx context.Context, p explore.Point) (explore.Metrics, error) {
+		res := r.GetResult()
+		defer r.PutResult(res)
+		if err := r.RunPoint(ctx, p, r.base.Collect, res); err != nil {
+			return explore.Metrics{}, err
+		}
+		return explore.Metrics{
+			TotalCycles:  res.TotalCycles,
+			StallCycles:  res.StallCycles,
+			SWExecutions: res.TotalSWExecutions(),
+			HWExecutions: res.TotalHWExecutions(),
+		}, nil
 	}
 }
 

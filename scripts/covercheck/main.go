@@ -1,0 +1,139 @@
+// Command covercheck enforces the repository's coverage floor: it parses a
+// `go test -coverprofile` file, prints a per-package summary plus a
+// badge-friendly total line, and exits non-zero when total statement
+// coverage falls below the floor.
+//
+//	go test -short -coverprofile=cover.out ./...
+//	go run ./scripts/covercheck -profile cover.out -floor 60
+//
+// Blocks recorded more than once (e.g. code exercised from several test
+// binaries) are merged by maximum hit count, matching `go tool cover
+// -func` totals.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+type block struct {
+	stmts int
+	hit   bool
+}
+
+func main() {
+	var (
+		profile = flag.String("profile", "cover.out", "coverage profile from go test -coverprofile")
+		floor   = flag.Float64("floor", 60, "minimum total statement coverage in percent")
+	)
+	flag.Parse()
+
+	blocks, err := parseProfile(*profile)
+	if err != nil {
+		fatal(err)
+	}
+	if len(blocks) == 0 {
+		fatal(fmt.Errorf("%s: no coverage blocks", *profile))
+	}
+
+	type agg struct{ total, covered int }
+	perPkg := make(map[string]*agg)
+	var total, covered int
+	for id, b := range blocks {
+		pkg := id[:strings.LastIndex(id[:strings.Index(id, ":")], "/")]
+		a := perPkg[pkg]
+		if a == nil {
+			a = &agg{}
+			perPkg[pkg] = a
+		}
+		a.total += b.stmts
+		total += b.stmts
+		if b.hit {
+			a.covered += b.stmts
+			covered += b.stmts
+		}
+	}
+
+	pkgs := make([]string, 0, len(perPkg))
+	for pkg := range perPkg {
+		pkgs = append(pkgs, pkg)
+	}
+	sort.Strings(pkgs)
+	for _, pkg := range pkgs {
+		a := perPkg[pkg]
+		fmt.Printf("%6.1f%%  %s (%d/%d statements)\n", pct(a.covered, a.total), pkg, a.covered, a.total)
+	}
+
+	totalPct := pct(covered, total)
+	fmt.Printf("\ncoverage: %.1f%% of statements (floor %.0f%%)\n", totalPct, *floor)
+	if totalPct < *floor {
+		fmt.Printf("covercheck: FAIL — total coverage %.1f%% is below the %.0f%% floor\n", totalPct, *floor)
+		os.Exit(1)
+	}
+	fmt.Println("covercheck: ok")
+}
+
+func pct(covered, total int) float64 {
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(covered) / float64(total)
+}
+
+// parseProfile reads profile lines of the form
+// "pkg/file.go:start.col,end.col numStmts count", merging duplicate blocks.
+func parseProfile(path string) (map[string]block, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	blocks := make(map[string]block)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	first := true
+	for sc.Scan() {
+		line := sc.Text()
+		if first {
+			first = false
+			if strings.HasPrefix(line, "mode:") {
+				continue
+			}
+		}
+		if line == "" {
+			continue
+		}
+		// id is "pkg/file.go:start,end"; the remaining two fields are the
+		// statement count and the hit count.
+		lastSpace := strings.LastIndexByte(line, ' ')
+		if lastSpace < 0 {
+			return nil, fmt.Errorf("%s: bad line %q", path, line)
+		}
+		midSpace := strings.LastIndexByte(line[:lastSpace], ' ')
+		if midSpace < 0 {
+			return nil, fmt.Errorf("%s: bad line %q", path, line)
+		}
+		stmts, err1 := strconv.Atoi(line[midSpace+1 : lastSpace])
+		count, err2 := strconv.Atoi(line[lastSpace+1:])
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("%s: bad counts in %q", path, line)
+		}
+		id := line[:midSpace]
+		b := blocks[id]
+		b.stmts = stmts
+		b.hit = b.hit || count > 0
+		blocks[id] = b
+	}
+	return blocks, sc.Err()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "covercheck:", err)
+	os.Exit(1)
+}
