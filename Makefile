@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test short race bench bench-paper bench-check bench-baseline cover-check lint serve figures verify clean
+.PHONY: all build test short race bench bench-paper bench-check bench-baseline cover-check verify-oracle fuzz lint serve figures verify clean
 
 all: build test
 
@@ -45,7 +45,21 @@ bench-baseline:
 # Coverage floor gate (what the coverage CI job runs).
 cover-check:
 	$(GO) test -short -coverprofile=cover.out ./...
-	$(GO) run ./scripts/covercheck -profile cover.out -floor 60
+	$(GO) run ./scripts/covercheck -profile cover.out -floor 70
+
+# Cross-check the compiled simulator against the reference interpreter:
+# 1,500 generated (hardware, workload, system, ACs) triples plus the full
+# 140-frame H.264 trace under all six run-time systems. A divergence
+# fails with a minimal shrunk reproducer (see EXPERIMENTS.md).
+verify-oracle:
+	$(GO) test -run 'TestCrossCheck' -v ./internal/oracle
+
+# Native fuzzing beyond the committed seed corpora (testdata/fuzz/).
+# FUZZTIME overrides the per-target budget.
+FUZZTIME ?= 30s
+fuzz:
+	$(GO) test -run '^$$' -fuzz '^FuzzRunCompiled$$' -fuzztime $(FUZZTIME) ./internal/oracle
+	$(GO) test -run '^$$' -fuzz '^FuzzServeSimulate$$' -fuzztime $(FUZZTIME) ./internal/serve
 
 # Lint gate; needs golangci-lint on PATH (CI installs it via the action).
 lint:

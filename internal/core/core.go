@@ -74,6 +74,10 @@ type Manager struct {
 	Requests   []sched.Request
 	// Prefetches counts prefetch schedules issued for upcoming hot spots.
 	Prefetches int
+	// StaleLoads counts completed reconfigurations that were discarded
+	// because a hot-spot switch superseded their schedule and the new
+	// selection had already claimed every Atom Container.
+	StaleLoads int
 }
 
 // NewManager builds a Run-Time Manager from the config. It panics on an
@@ -147,6 +151,7 @@ func (m *Manager) Reset() {
 	m.Selections = 0
 	m.Requests = nil
 	m.Prefetches = 0
+	m.StaleLoads = 0
 }
 
 // SetBudget constrains how many Atom Containers the Molecule selection may
@@ -232,13 +237,23 @@ func (m *Manager) NextEvent() (int64, bool) {
 	return m.port.NextCompletion()
 }
 
-// Advance installs the Atom that finished loading at time t. With
-// prefetching enabled, the moment the current hot spot's loads drain, the
-// predicted next hot spot's Atoms are scheduled to keep the port busy.
+// Advance installs the Atom that finished loading at time t. The port
+// cannot abort an in-flight bitstream, so a hot-spot switch can complete an
+// Atom that the new selection has no room for: every container already
+// claimed by the new sup. Such a stale Atom is discarded rather than
+// evicting a protected one — it is provably redundant, because if the
+// selection still lacked instances of its type, at least one container
+// would be evictable (|sup| ≤ #ACs). With prefetching enabled, the moment
+// the current hot spot's loads drain, the predicted next hot spot's Atoms
+// are scheduled to keep the port busy.
 func (m *Manager) Advance(t int64) {
 	atom, at := m.port.Complete()
 	m.now = at
-	m.array.Install(atom, m.needed, at)
+	if m.array.CanInstall(m.needed) {
+		m.array.Install(atom, m.needed, at)
+	} else {
+		m.StaleLoads++
+	}
 	if m.cfg.Prefetch && !m.prefetched && !m.port.Busy() {
 		m.schedulePrefetch(at)
 	}

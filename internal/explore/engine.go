@@ -22,14 +22,19 @@ type Metrics struct {
 }
 
 // Record pairs a design point with its outcome — one line of the JSONL
-// result stream. Cached is deliberately excluded from the serialization so
-// that cold and warm runs of the same spec produce identical bytes.
+// result stream. Cached and CacheWarn are deliberately excluded from the
+// serialization so that cold and warm runs of the same spec produce
+// identical bytes.
 type Record struct {
 	Point Point `json:"point"`
 	Metrics
 	Err string `json:"err,omitempty"`
 
 	Cached bool `json:"-"`
+	// CacheWarn carries a non-fatal warning: the point simulated fine but
+	// its result could not be written to the cache (a re-run will simulate
+	// it again). It never affects OK().
+	CacheWarn string `json:"-"`
 }
 
 // OK reports whether the job produced a usable measurement.
@@ -63,6 +68,10 @@ type Summary struct {
 	// Total / Simulated / CacheHits / Failed count jobs; Simulated counts
 	// actual RunFunc invocations (a cached re-run reports 0).
 	Total, Simulated, CacheHits, Failed int
+	// CacheWriteFailures counts successfully simulated points whose cache
+	// write failed (see Record.CacheWarn). The measurements themselves are
+	// complete; only the warm-start cache is incomplete.
+	CacheWriteFailures int
 	// BestPerACs holds, per distinct Atom-Container budget, the successful
 	// record with the fewest cycles (ties broken by canonical key), in
 	// ascending-AC order.
@@ -116,7 +125,6 @@ func (e *Engine) Execute(ctx context.Context, spec Spec, w io.Writer) (*Result, 
 		done     = make([]bool, len(jobs))
 		next     int // first job index not yet streamed
 		writeErr error
-		cacheErr error
 		enc      *json.Encoder
 	)
 	if w != nil {
@@ -161,15 +169,7 @@ func (e *Engine) Execute(ctx context.Context, spec Spec, w io.Writer) (*Result, 
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				rec, putErr := e.runJob(ctx, jobs[i])
-				if putErr != nil {
-					mu.Lock()
-					if cacheErr == nil {
-						cacheErr = putErr
-					}
-					mu.Unlock()
-				}
-				finish(i, rec)
+				finish(i, e.runJob(ctx, jobs[i]))
 			}
 		}()
 	}
@@ -185,37 +185,39 @@ func (e *Engine) Execute(ctx context.Context, spec Spec, w io.Writer) (*Result, 
 		return res, err
 	}
 	res.summarize()
-	if writeErr != nil {
-		return res, writeErr
-	}
-	return res, cacheErr
+	return res, writeErr
 }
 
 // runJob measures one point: cache lookup, guarded simulation, cache fill.
-// A panicking RunFunc fails only its own job.
-func (e *Engine) runJob(ctx context.Context, p Point) (rec Record, cachePutErr error) {
+// A panicking RunFunc fails only its own job. A failing cache write does not
+// fail the job either — the measurement is sound and is surfaced exactly
+// once, as a warning on the record, rather than aborting or re-running the
+// point mid-sweep.
+func (e *Engine) runJob(ctx context.Context, p Point) (rec Record) {
 	rec.Point = p
 	if e.Cache != nil {
 		if m, ok := e.Cache.Get(p); ok {
 			rec.Metrics = m
 			rec.Cached = true
-			return rec, nil
+			return rec
 		}
 	}
 	if err := ctx.Err(); err != nil {
 		rec.Err = "skipped: " + err.Error()
-		return rec, nil
+		return rec
 	}
 	m, err := e.safeRun(ctx, p)
 	if err != nil {
 		rec.Err = err.Error()
-		return rec, nil
+		return rec
 	}
 	rec.Metrics = m
 	if e.Cache != nil {
-		cachePutErr = e.Cache.Put(p, m)
+		if err := e.Cache.Put(p, m); err != nil {
+			rec.CacheWarn = err.Error()
+		}
 	}
-	return rec, nil
+	return rec
 }
 
 func (e *Engine) safeRun(ctx context.Context, p Point) (m Metrics, err error) {
@@ -240,6 +242,9 @@ func (r *Result) summarize() {
 			s.CacheHits++
 		default:
 			s.Simulated++
+		}
+		if rec.CacheWarn != "" {
+			s.CacheWriteFailures++
 		}
 		if !rec.OK() {
 			continue
@@ -312,6 +317,9 @@ func SpeedupVsBaseline(records []Record, baseline string) []SpeedupRow {
 func (r *Result) Format(baseline string) string {
 	out := fmt.Sprintf("%d jobs: %d simulated, %d cached, %d failed\n",
 		r.Summary.Total, r.Summary.Simulated, r.Summary.CacheHits, r.Summary.Failed)
+	if n := r.Summary.CacheWriteFailures; n > 0 {
+		out += fmt.Sprintf("warning: %d cache writes failed; those points will re-simulate on resume\n", n)
+	}
 	if len(r.Summary.BestPerACs) > 0 {
 		tb := &stats.Table{Header: []string{"#ACs", "best scheduler", "cycles", "stall", "hw share"}}
 		for _, rec := range r.Summary.BestPerACs {

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"errors"
+	"os"
 	"strings"
 	"sync/atomic"
 	"testing"
@@ -407,5 +408,58 @@ func TestOnRecordSeesCacheHits(t *testing.T) {
 	jobs, _ := spec.Expand()
 	if cached != len(jobs) {
 		t.Errorf("hook saw %d cache hits on a warm re-run, want %d", cached, len(jobs))
+	}
+}
+
+// TestCacheWriteFailureWarnsOnce: a sweep whose cache directory breaks
+// mid-flight must complete normally — every point simulated exactly once,
+// no sweep-level error — and surface the failure as a per-record warning
+// plus a summary count, not by aborting or re-running points.
+func TestCacheWriteFailureWarnsOnce(t *testing.T) {
+	dir := t.TempDir() + "/cache"
+	cache, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Replace the cache directory with a regular file: every Put now fails
+	// at CreateTemp, even when the test runs as root.
+	if err := os.RemoveAll(dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(dir, []byte("not a directory"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var calls atomic.Int64
+	eng := &Engine{Run: fakeRun(&calls), Cache: cache}
+	var buf bytes.Buffer
+	res, err := eng.Execute(context.Background(), testSpec(), &buf)
+	if err != nil {
+		t.Fatalf("cache write failure escalated to a sweep error: %v", err)
+	}
+	if calls.Load() != 12 {
+		t.Fatalf("simulated %d points, want 12 (each exactly once)", calls.Load())
+	}
+	if res.Summary.Failed != 0 || res.Summary.Simulated != 12 {
+		t.Fatalf("summary %+v", res.Summary)
+	}
+	if res.Summary.CacheWriteFailures != 12 {
+		t.Fatalf("CacheWriteFailures = %d, want 12", res.Summary.CacheWriteFailures)
+	}
+	for i, rec := range res.Records {
+		if !rec.OK() {
+			t.Fatalf("record %d failed: %s", i, rec.Err)
+		}
+		if rec.CacheWarn == "" {
+			t.Fatalf("record %d carries no cache warning", i)
+		}
+	}
+	// The warning stays out of the JSONL stream (cold/warm byte-identity)
+	// but shows up in the human-readable summary.
+	if strings.Contains(buf.String(), "cache") {
+		t.Fatal("cache warning leaked into the JSONL stream")
+	}
+	if !strings.Contains(res.Format(""), "12 cache writes failed") {
+		t.Fatalf("Format does not surface the cache warning:\n%s", res.Format(""))
 	}
 }

@@ -1,0 +1,130 @@
+package oracle
+
+import (
+	"fmt"
+
+	"rispp/internal/isa"
+	"rispp/internal/sim"
+	"rispp/internal/workload"
+)
+
+// BestCaseCycles returns the cycle count of the trace if every SI execution
+// ran at its fastest Molecule from the first cycle on: the unreachable
+// floor against which stall cycles are accounted.
+func BestCaseCycles(tr *workload.Trace, is *isa.ISA) int64 {
+	var c int64
+	for i := range tr.Phases {
+		p := &tr.Phases[i]
+		c += p.Setup
+		for _, b := range p.Bursts {
+			c += int64(b.Count) * int64(is.SI(b.SI).Fastest().Latency+b.Gap)
+		}
+	}
+	return c
+}
+
+// Check validates a simulation result against the structural properties of
+// the paper's run-time-system model that must hold for every scheduler and
+// every workload:
+//
+//   - conservation: per-SI executions equal the trace's totals, and
+//     software + hardware executions partition them;
+//   - phase structure: one stat per trace phase, matching hot spots,
+//     starting at cycle 0, contiguous, ending at TotalCycles;
+//   - the exact cycle identity TotalCycles = BestCaseCycles + StallCycles
+//     (every cycle beyond the fastest-Molecule floor is a stall cycle);
+//   - bounds: stalls are non-negative and pure software — the never-
+//     upgrading 0-AC system — is an upper bound on cycles;
+//   - timeline sanity (when collected): cycle-monotone, every latency
+//     within [fastest Molecule, software trap], no null steps;
+//   - histogram conservation (when collected): per-SI bucket totals equal
+//     the per-SI execution counts.
+func Check(tr *workload.Trace, is *isa.ISA, res *sim.Result) error {
+	// Conservation.
+	traceExecs := tr.Executions()
+	gotExecs := res.Executions()
+	for si, want := range traceExecs {
+		if got := gotExecs[si]; got != want {
+			return fmt.Errorf("oracle: SI %d executed %d times, trace has %d", si, got, want)
+		}
+	}
+	for si, got := range gotExecs {
+		if traceExecs[si] != got {
+			return fmt.Errorf("oracle: SI %d executed %d times, trace has %d", si, got, traceExecs[si])
+		}
+		if sw, hw := res.SWExecutionsOf(si), res.HWExecutionsOf(si); sw+hw != got {
+			return fmt.Errorf("oracle: SI %d: SW %d + HW %d executions do not partition total %d", si, sw, hw, got)
+		}
+	}
+
+	// Phase structure.
+	if len(res.Phases) != len(tr.Phases) {
+		return fmt.Errorf("oracle: %d phase stats for %d trace phases", len(res.Phases), len(tr.Phases))
+	}
+	prevEnd := int64(0)
+	for i, p := range res.Phases {
+		if p.HotSpot != tr.Phases[i].HotSpot {
+			return fmt.Errorf("oracle: phase %d ran hot spot %d, trace has %d", i, p.HotSpot, tr.Phases[i].HotSpot)
+		}
+		if p.Start != prevEnd {
+			return fmt.Errorf("oracle: phase %d starts at %d, previous ended at %d", i, p.Start, prevEnd)
+		}
+		if p.End < p.Start {
+			return fmt.Errorf("oracle: phase %d ends at %d before its start %d", i, p.End, p.Start)
+		}
+		prevEnd = p.End
+	}
+	if prevEnd != res.TotalCycles {
+		return fmt.Errorf("oracle: last phase ends at %d, TotalCycles is %d", prevEnd, res.TotalCycles)
+	}
+
+	// Cycle identity and bounds.
+	if res.StallCycles < 0 {
+		return fmt.Errorf("oracle: negative stall cycles %d", res.StallCycles)
+	}
+	if best := BestCaseCycles(tr, is); res.TotalCycles != best+res.StallCycles {
+		return fmt.Errorf("oracle: TotalCycles %d != best case %d + stalls %d", res.TotalCycles, best, res.StallCycles)
+	}
+	if sw := tr.SoftwareCycles(is); res.TotalCycles > sw {
+		return fmt.Errorf("oracle: TotalCycles %d exceeds the pure-software bound %d", res.TotalCycles, sw)
+	}
+	if res.Runtime == "software" {
+		if hw := res.TotalHWExecutions(); hw != 0 {
+			return fmt.Errorf("oracle: software runtime reports %d hardware executions", hw)
+		}
+		if sw := tr.SoftwareCycles(is); res.TotalCycles != sw {
+			return fmt.Errorf("oracle: software runtime took %d cycles, closed form says %d", res.TotalCycles, sw)
+		}
+	}
+
+	// Timeline sanity.
+	if res.Timeline != nil {
+		lastCycle := int64(0)
+		lastLat := make(map[int]int)
+		for i, e := range res.Timeline.Events {
+			if e.Cycle < lastCycle {
+				return fmt.Errorf("oracle: timeline event %d at cycle %d after cycle %d", i, e.Cycle, lastCycle)
+			}
+			lastCycle = e.Cycle
+			s := is.SI(isa.SIID(e.SI))
+			if e.Latency < s.Fastest().Latency || e.Latency > s.SWLatency {
+				return fmt.Errorf("oracle: timeline event %d: SI %d latency %d outside [%d, %d]",
+					i, e.SI, e.Latency, s.Fastest().Latency, s.SWLatency)
+			}
+			if prev, ok := lastLat[e.SI]; ok && prev == e.Latency {
+				return fmt.Errorf("oracle: timeline event %d: SI %d repeats latency %d", i, e.SI, e.Latency)
+			}
+			lastLat[e.SI] = e.Latency
+		}
+	}
+
+	// Histogram conservation.
+	if res.Histogram != nil {
+		for _, si := range res.Histogram.SIs() {
+			if got, want := res.Histogram.Total(si), gotExecs[isa.SIID(si)]; got != want {
+				return fmt.Errorf("oracle: histogram holds %d executions of SI %d, result has %d", got, si, want)
+			}
+		}
+	}
+	return nil
+}

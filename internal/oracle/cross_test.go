@@ -1,0 +1,145 @@
+package oracle_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"testing"
+
+	"rispp"
+	"rispp/internal/isa"
+	"rispp/internal/oracle"
+	"rispp/internal/sim"
+	"rispp/internal/workload"
+)
+
+// runSim runs the optimized simulator on the same configuration the oracle
+// interprets: the rispp.NewRuntime construction with design-time forecast
+// seeding, mirroring oracle.NewSystem.
+func runSim(t *testing.T, name string, is *isa.ISA, acs int, tr *workload.Trace, opts sim.Options) *sim.Result {
+	t.Helper()
+	rt, err := rispp.NewRuntime(rispp.Config{ISA: is, Workload: tr, Scheduler: name, NumACs: acs, SeedForecasts: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(tr, is, rt, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// diverges reports whether the oracle and the simulator disagree (or either
+// crashes) on one (hardware, trace, system, ACs) configuration — the
+// predicate ShrinkTrace minimizes over.
+func diverges(is *isa.ISA, tr *workload.Trace, sys string, acs int) (failed bool) {
+	defer func() {
+		if recover() != nil {
+			failed = true
+		}
+	}()
+	ort, err := oracle.NewSystem(sys, is, acs, tr)
+	if err != nil {
+		return true
+	}
+	want, err := oracle.Run(tr, is, ort, oracle.Options{HistogramBucket: 50_000, Timeline: true})
+	if err != nil {
+		return true
+	}
+	rt, err := rispp.NewRuntime(rispp.Config{ISA: is, Workload: tr, Scheduler: sys, NumACs: acs, SeedForecasts: true})
+	if err != nil {
+		return true
+	}
+	got, err := sim.Run(tr, is, rt, sim.Options{HistogramBucket: 50_000, Timeline: true})
+	if err != nil {
+		return true
+	}
+	return oracle.Diff(want, got) != nil || oracle.Check(tr, is, got) != nil
+}
+
+// reportShrunk minimizes a diverging trace and logs the reproducer, so a CI
+// failure carries the smallest input that still exhibits it.
+func reportShrunk(t *testing.T, is *isa.ISA, tr *workload.Trace, sys string, acs int) {
+	t.Helper()
+	small := oracle.ShrinkTrace(tr, func(c *workload.Trace) bool { return diverges(is, c, sys, acs) })
+	js, _ := json.Marshal(small)
+	t.Logf("minimal reproducer (system %s, %d ACs, ISA %q): %s", sys, acs, is.Name, js)
+}
+
+// TestCrossCheckGeneratedCorpus is the acceptance gate of the oracle: 250
+// seeded (hardware, workload, AC-count) configurations, each run through all
+// six run-time systems — 1,500 triples — comparing the naive per-execution
+// interpreter against the compiled hot path field by field (cycles, stalls,
+// per-SI SW/HW splits, phases, latency timelines, histograms and the JSONL
+// journal), and validating every simulator result against the paper
+// invariants. A divergence fails the test with a shrunk minimal reproducer.
+func TestCrossCheckGeneratedCorpus(t *testing.T) {
+	failures := 0
+	for seed := int64(0); seed < 250; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		is := oracle.GenHardware(r)
+		tr := oracle.GenWorkload(r, is)
+		acs := oracle.GenNumACs(r)
+		for _, sys := range oracle.Systems {
+			ort, err := oracle.NewSystem(sys, is, acs, tr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := oracle.Run(tr, is, ort, oracle.Options{HistogramBucket: 50_000, Timeline: true, Journal: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var journal bytes.Buffer
+			got := runSim(t, sys, is, acs, tr, sim.Options{HistogramBucket: 50_000, Timeline: true, Journal: &journal})
+
+			err = oracle.Diff(want, got)
+			if err == nil {
+				err = oracle.DiffJournal(want.Journal, &journal)
+			}
+			if err == nil {
+				err = oracle.Check(tr, is, got)
+			}
+			if err != nil {
+				t.Errorf("seed %d, system %s, %d ACs: %v", seed, sys, acs, err)
+				reportShrunk(t, is, tr, sys, acs)
+				if failures++; failures >= 5 {
+					t.Fatal("stopping after 5 divergences")
+				}
+			}
+		}
+	}
+}
+
+// TestCrossCheckH264 cross-checks the oracle against the simulator on the
+// paper's calibrated H.264 encoder workload for all six run-time systems,
+// with every measurement artifact enabled. Short mode runs a 4-frame
+// excerpt; the full 140-frame trace (7.4M SI executions) runs otherwise.
+func TestCrossCheckH264(t *testing.T) {
+	cfg := workload.H264Config{}
+	if testing.Short() {
+		cfg.Frames = 4
+	}
+	is := isa.H264()
+	tr := workload.H264(cfg)
+	for _, sys := range oracle.Systems {
+		ort, err := oracle.NewSystem(sys, is, 10, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := oracle.Run(tr, is, ort, oracle.Options{HistogramBucket: 100_000, Timeline: true, Journal: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var journal bytes.Buffer
+		got := runSim(t, sys, is, 10, tr, sim.Options{HistogramBucket: 100_000, Timeline: true, Journal: &journal})
+		if err := oracle.Diff(want, got); err != nil {
+			t.Errorf("system %s: %v", sys, err)
+		}
+		if err := oracle.DiffJournal(want.Journal, &journal); err != nil {
+			t.Errorf("system %s: %v", sys, err)
+		}
+		if err := oracle.Check(tr, is, got); err != nil {
+			t.Errorf("system %s: %v", sys, err)
+		}
+	}
+}

@@ -1,0 +1,124 @@
+package oracle
+
+import (
+	"fmt"
+	"math/rand"
+
+	"rispp/internal/isa"
+	"rispp/internal/workload"
+)
+
+// GenHardware derives a random — but always structurally valid — dynamic
+// instruction set from the PRNG: 2..5 Atom types, 1..3 hot spots (each
+// guaranteed at least one SI), and 1..7 SIs whose Molecule sets come from
+// the same mixed-execution latency model as the paper's library
+// (isa.MoleculeSpec), so ≤-monotonicity and hardware-beats-software hold by
+// construction. The stream of draws is fixed for a given seed: the same
+// rand.Rand state always yields the same ISA, which is what makes failures
+// reproducible and shrinkable.
+func GenHardware(r *rand.Rand) *isa.ISA {
+	dim := 2 + r.Intn(4)
+	atoms := make([]isa.AtomType, dim)
+	for i := range atoms {
+		atoms[i] = isa.AtomType{
+			ID:             isa.AtomID(i),
+			Name:           fmt.Sprintf("GA%d", i),
+			BitstreamBytes: 4_000 + r.Intn(76_000),
+			Slices:         50 + r.Intn(400),
+			LUTs:           100 + r.Intn(800),
+			FFs:            100 + r.Intn(800),
+		}
+	}
+
+	nHot := 1 + r.Intn(3)
+	nSIs := nHot + r.Intn(5)
+	sis := make([]isa.SI, 0, nSIs)
+	hotSIs := make([][]isa.SIID, nHot)
+	for i := 0; i < nSIs; i++ {
+		// The first nHot SIs cover every hot spot, so no hot spot is empty.
+		hot := i
+		if i >= nHot {
+			hot = r.Intn(nHot)
+		}
+		k := 1 + r.Intn(min(3, dim))
+		local := r.Perm(dim)[:k]
+		spec := isa.MoleculeSpec{
+			Atoms:    make([]isa.AtomID, k),
+			Occ:      make([]int, k),
+			HWCyc:    make([]int, k),
+			SWCyc:    make([]int, k),
+			Steps:    make([][]int, k),
+			Overhead: r.Intn(16),
+		}
+		gridSize := 1
+		for j := 0; j < k; j++ {
+			spec.Atoms[j] = isa.AtomID(local[j])
+			spec.Occ[j] = 1 + r.Intn(8)
+			spec.HWCyc[j] = 1 + r.Intn(6)
+			spec.SWCyc[j] = spec.HWCyc[j] + 1 + r.Intn(24)
+			steps := []int{0, 1}
+			if r.Intn(2) == 0 {
+				steps = append(steps, 2+r.Intn(2))
+			}
+			spec.Steps[j] = steps
+			gridSize *= len(steps)
+		}
+		spec.Count = 1 + r.Intn(min(gridSize-1, 5)) // grid minus the zero vector
+		id := isa.SIID(len(sis))
+		sis = append(sis, isa.SI{
+			ID:        id,
+			Name:      fmt.Sprintf("GSI%d", id),
+			HotSpot:   isa.HotSpotID(hot),
+			SWLatency: spec.SWLatency(),
+			Molecules: spec.Generate(id, dim),
+		})
+		hotSIs[hot] = append(hotSIs[hot], id)
+	}
+
+	hs := make([]isa.HotSpot, nHot)
+	for h := range hs {
+		hs[h] = isa.HotSpot{ID: isa.HotSpotID(h), Name: fmt.Sprintf("GHS%d", h), SIs: hotSIs[h]}
+	}
+	is := &isa.ISA{Name: "generated", Atoms: atoms, SIs: sis, HotSpots: hs}
+	if err := is.Validate(); err != nil {
+		panic(fmt.Sprintf("oracle: generated an invalid ISA: %v", err))
+	}
+	return is
+}
+
+// GenWorkload derives a random trace valid for the ISA: 1..8 hot-spot
+// phases with 0..5 SI bursts each (empty phases and zero-count bursts are
+// deliberately reachable — they are exactly the edge cases a calibrated
+// benchmark never produces).
+func GenWorkload(r *rand.Rand, is *isa.ISA) *workload.Trace {
+	tr := &workload.Trace{Name: "generated"}
+	nPhases := 1 + r.Intn(8)
+	for p := 0; p < nPhases; p++ {
+		hot := r.Intn(len(is.HotSpots))
+		phase := workload.Phase{
+			HotSpot: isa.HotSpotID(hot),
+			Setup:   int64(r.Intn(5_000)),
+		}
+		sis := is.HotSpots[hot].SIs
+		for b := r.Intn(6); b > 0; b-- {
+			phase.Bursts = append(phase.Bursts, workload.Burst{
+				SI:    sis[r.Intn(len(sis))],
+				Count: r.Intn(600),
+				Gap:   r.Intn(12),
+			})
+		}
+		tr.Phases = append(tr.Phases, phase)
+	}
+	return tr
+}
+
+// GenNumACs draws an Atom-Container budget, including the degenerate 0-AC
+// fabric on which every system must degrade to pure software.
+func GenNumACs(r *rand.Rand) int { return r.Intn(13) }
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,99 @@
+package oracle
+
+import (
+	"rispp/internal/workload"
+)
+
+// ShrinkTrace greedily minimizes a failing trace: as long as the predicate
+// keeps failing, it drops whole phases, then individual bursts, then
+// shrinks burst counts, setups and gaps toward zero. The returned trace
+// still fails the predicate and is locally minimal (no single remaining
+// reduction preserves the failure), which turns a divergence on a large
+// generated input into a reproducer small enough to read. The predicate is
+// invoked a bounded number of times, so shrinking terminates even on noisy
+// predicates.
+func ShrinkTrace(tr *workload.Trace, fails func(*workload.Trace) bool) *workload.Trace {
+	cur := cloneTrace(tr)
+	if !fails(cur) {
+		return cloneTrace(tr) // not a failing input; nothing to shrink
+	}
+	budget := 4_000
+	try := func(cand *workload.Trace) bool {
+		if budget <= 0 {
+			return false
+		}
+		budget--
+		return fails(cand)
+	}
+	for improved := true; improved && budget > 0; {
+		improved = false
+
+		// Drop whole phases.
+		for i := 0; i < len(cur.Phases); {
+			cand := cloneTrace(cur)
+			cand.Phases = append(cand.Phases[:i], cand.Phases[i+1:]...)
+			if try(cand) {
+				cur, improved = cand, true
+			} else {
+				i++
+			}
+		}
+
+		// Drop individual bursts.
+		for pi := 0; pi < len(cur.Phases); pi++ {
+			for bi := 0; bi < len(cur.Phases[pi].Bursts); {
+				cand := cloneTrace(cur)
+				p := &cand.Phases[pi]
+				p.Bursts = append(p.Bursts[:bi], p.Bursts[bi+1:]...)
+				if try(cand) {
+					cur, improved = cand, true
+				} else {
+					bi++
+				}
+			}
+		}
+
+		// Shrink scalars: halve counts (towards 1), zero setups and gaps.
+		for pi := range cur.Phases {
+			if cur.Phases[pi].Setup > 0 {
+				cand := cloneTrace(cur)
+				cand.Phases[pi].Setup = 0
+				if try(cand) {
+					cur, improved = cand, true
+				}
+			}
+			for bi := range cur.Phases[pi].Bursts {
+				for {
+					b := cur.Phases[pi].Bursts[bi]
+					if b.Count <= 1 {
+						break
+					}
+					cand := cloneTrace(cur)
+					cand.Phases[pi].Bursts[bi].Count = b.Count / 2
+					if !try(cand) {
+						break
+					}
+					cur, improved = cand, true
+				}
+				if cur.Phases[pi].Bursts[bi].Gap > 0 {
+					cand := cloneTrace(cur)
+					cand.Phases[pi].Bursts[bi].Gap = 0
+					if try(cand) {
+						cur, improved = cand, true
+					}
+				}
+			}
+		}
+	}
+	return cur
+}
+
+func cloneTrace(tr *workload.Trace) *workload.Trace {
+	out := &workload.Trace{Name: tr.Name, Phases: make([]workload.Phase, len(tr.Phases))}
+	for i := range tr.Phases {
+		p := tr.Phases[i]
+		p.Bursts = append([]workload.Burst(nil), p.Bursts...)
+		out.Phases[i] = p
+	}
+	return out
+}

@@ -1,0 +1,84 @@
+package oracle_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"rispp/internal/oracle"
+	"rispp/internal/workload"
+)
+
+// TestShrinkTraceMinimizes: a predicate that only needs one execution of one
+// SI must shrink any large trace down to a single one-execution burst with
+// zeroed setups and gaps.
+func TestShrinkTraceMinimizes(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	is := oracle.GenHardware(r)
+	tr := oracle.GenWorkload(r, is)
+	var target workload.Burst
+	found := false
+	for _, p := range tr.Phases {
+		for _, b := range p.Bursts {
+			if b.Count > 0 {
+				target, found = b, true
+			}
+		}
+	}
+	if !found {
+		t.Skip("seed produced a trace with no executions")
+	}
+	executesTarget := func(c *workload.Trace) bool {
+		for _, p := range c.Phases {
+			for _, b := range p.Bursts {
+				if b.SI == target.SI && b.Count > 0 {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	small := oracle.ShrinkTrace(tr, executesTarget)
+	if !executesTarget(small) {
+		t.Fatal("shrunk trace no longer fails the predicate")
+	}
+	if len(small.Phases) != 1 {
+		t.Fatalf("shrunk to %d phases, want 1", len(small.Phases))
+	}
+	p := small.Phases[0]
+	if p.Setup != 0 {
+		t.Fatalf("shrunk setup = %d, want 0", p.Setup)
+	}
+	if len(p.Bursts) != 1 {
+		t.Fatalf("shrunk to %d bursts, want 1", len(p.Bursts))
+	}
+	if b := p.Bursts[0]; b.SI != target.SI || b.Count != 1 || b.Gap != 0 {
+		t.Fatalf("shrunk burst = %+v, want {SI: %d, Count: 1, Gap: 0}", b, target.SI)
+	}
+}
+
+// TestShrinkTracePreservesInput: the input trace is never mutated, and a
+// passing input comes back unshrunk.
+func TestShrinkTracePreservesInput(t *testing.T) {
+	r := rand.New(rand.NewSource(12))
+	is := oracle.GenHardware(r)
+	tr := oracle.GenWorkload(r, is)
+	phases := len(tr.Phases)
+	var bursts int
+	for _, p := range tr.Phases {
+		bursts += len(p.Bursts)
+	}
+	out := oracle.ShrinkTrace(tr, func(*workload.Trace) bool { return false })
+	if len(out.Phases) != phases {
+		t.Fatalf("passing input shrunk from %d to %d phases", phases, len(out.Phases))
+	}
+	if len(tr.Phases) != phases {
+		t.Fatal("ShrinkTrace mutated its input's phase list")
+	}
+	var after int
+	for _, p := range tr.Phases {
+		after += len(p.Bursts)
+	}
+	if after != bursts {
+		t.Fatal("ShrinkTrace mutated its input's bursts")
+	}
+}

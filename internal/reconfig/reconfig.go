@@ -141,11 +141,27 @@ func (a *Array) Touch(atoms molecule.Vector, now Cycle) {
 	}
 }
 
+// CanInstall reports whether Install can place one more Atom: a free
+// container exists, or some occupied container holds a spare instance not
+// protected by needed. It returns false when every container is claimed by
+// needed — a state only a superseded load schedule can run into, since the
+// Molecule selection keeps |sup(needed)| ≤ #ACs. Callers with potentially
+// stale loads (the reconfiguration port cannot abort an in-flight bitstream)
+// must check CanInstall and discard the Atom instead of calling Install.
+func (a *Array) CanInstall(needed molecule.Vector) bool {
+	for _, s := range a.slots {
+		if !s.occupied || a.loaded[int(s.atom)] > needed[int(s.atom)] {
+			return true
+		}
+	}
+	return false
+}
+
 // Install places a freshly reconfigured Atom into the array at time now. If
 // every container is occupied, a victim is evicted first; Atoms whose type
 // count is still required by needed are protected from eviction. Install
-// panics if no victim exists — callers must guarantee |sup(needed)| ≤ #ACs,
-// which the Molecule selection establishes.
+// panics if no victim exists — callers must guarantee |sup(needed)| ≤ #ACs
+// (which the Molecule selection establishes) or guard with CanInstall.
 func (a *Array) Install(atom isa.AtomID, needed molecule.Vector, now Cycle) {
 	idx := -1
 	for i := range a.slots {

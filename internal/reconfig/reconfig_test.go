@@ -115,6 +115,21 @@ func TestArrayEvictRandomStaysEvictable(t *testing.T) {
 	}
 }
 
+func TestArrayCanInstall(t *testing.T) {
+	a := NewArray(2, 2, EvictLRU, 1)
+	if !a.CanInstall(molecule.Of(1, 1)) {
+		t.Fatal("empty array not installable")
+	}
+	a.Install(0, molecule.New(2), 1)
+	a.Install(1, molecule.New(2), 2)
+	if !a.CanInstall(molecule.Of(1, 0)) {
+		t.Fatal("full array with a spare Atom not installable")
+	}
+	if a.CanInstall(molecule.Of(1, 1)) {
+		t.Fatal("fully protected array reported installable")
+	}
+}
+
 func TestArrayPanicsWhenOvercommitted(t *testing.T) {
 	defer func() {
 		if recover() == nil {

@@ -1,0 +1,69 @@
+package serve_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"rispp"
+	"rispp/internal/serve"
+	"rispp/internal/workload"
+)
+
+// FuzzServeSimulate throws arbitrary bytes at the strict JSON decoder and
+// validation stack behind POST /v1/simulate. The server's panic recovery
+// converts handler panics into 500s, so the oracle here is simple: no
+// request body may ever produce a 5xx, and every 200 must carry a
+// structurally sane SimulateResponse. The workload is pinned to a 2x2-MB
+// single-frame trace so accepted requests simulate in microseconds
+// regardless of what the frames knob asks for.
+func FuzzServeSimulate(f *testing.F) {
+	base := rispp.Config{Workload: workload.H264(workload.H264Config{Frames: 1, WidthMB: 2, HeightMB: 2})}
+	srv := serve.New(serve.Config{}, base)
+	srv.Logf = func(string, ...any) {} // keep fuzzing output clean of panic logs
+	h := srv.Handler()
+
+	f.Add([]byte(`{"scheduler":"HEF","acs":5}`))
+	f.Add([]byte(`{"scheduler":"software"}`))
+	f.Add([]byte(`{"scheduler":"Molen","acs":128,"frames":140,"seed_forecasts":true}`))
+	f.Add([]byte(`{"scheduler":"HEF","acs":5,"collect":{"histogram_bucket":100000,"timeline":true}}`))
+	f.Add([]byte(`{"scheduler":"HEF","timeout_ms":-1}`))
+	f.Add([]byte(`{"scheduler":"HEF"} trailing`))
+	f.Add([]byte(`{"unknown_field":1}`))
+	f.Add([]byte(`{"scheduler":"nope"}`))
+	f.Add([]byte(`{"acs":-1}`))
+	f.Add([]byte(`not json at all`))
+	f.Add([]byte(``))
+	f.Add([]byte(`{"scheduler":"HEF","motion":1e308,"scene_change":-2147483648}`))
+	f.Fuzz(func(t *testing.T, body []byte) {
+		req := httptest.NewRequest(http.MethodPost, "/v1/simulate", bytes.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+
+		if rec.Code >= 500 {
+			t.Fatalf("body %q produced status %d: %s", body, rec.Code, rec.Body.String())
+		}
+		if rec.Code == http.StatusOK {
+			var resp serve.SimulateResponse
+			if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+				t.Fatalf("200 response does not parse: %v", err)
+			}
+			if resp.TotalCycles <= 0 {
+				t.Fatalf("accepted point simulated to %d cycles", resp.TotalCycles)
+			}
+			if resp.SWExecutions < 0 || resp.HWExecutions < 0 {
+				t.Fatalf("negative execution counts: sw=%d hw=%d", resp.SWExecutions, resp.HWExecutions)
+			}
+		} else {
+			var apiErr struct {
+				Error string `json:"error"`
+			}
+			if err := json.Unmarshal(rec.Body.Bytes(), &apiErr); err != nil || apiErr.Error == "" {
+				t.Fatalf("status %d without a JSON error body: %q", rec.Code, rec.Body.String())
+			}
+		}
+	})
+}

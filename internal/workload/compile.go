@@ -1,6 +1,8 @@
 package workload
 
 import (
+	"fmt"
+
 	"rispp/internal/isa"
 )
 
@@ -49,6 +51,19 @@ type Compiled struct {
 // representation the simulator executes. Compile once and reuse the result
 // across runs: the compiled form is read-only.
 func Compile(tr *Trace, is *isa.ISA) (*Compiled, error) {
+	// Trace.Validate only checks burst references; the compiled form also
+	// bakes in per-SI metadata (Fastest()), so malformed ISAs must be
+	// rejected here with errors rather than surfacing as index panics in
+	// the hot path. The checks mirror internal/oracle's input validation.
+	for i := range is.SIs {
+		s := &is.SIs[i]
+		if int(s.ID) != i {
+			return nil, fmt.Errorf("workload: SI %q has id %d at index %d (duplicate or misnumbered ids)", s.Name, s.ID, i)
+		}
+		if len(s.Molecules) == 0 {
+			return nil, fmt.Errorf("workload: SI %q has no hardware Molecule", s.Name)
+		}
+	}
 	if err := tr.Validate(is); err != nil {
 		return nil, err
 	}

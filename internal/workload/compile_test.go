@@ -1,9 +1,11 @@
 package workload
 
 import (
+	"strings"
 	"testing"
 
 	"rispp/internal/isa"
+	"rispp/internal/molecule"
 )
 
 // TestCompileH264 checks the lowering of the paper's benchmark trace:
@@ -90,5 +92,81 @@ func TestCompileValidates(t *testing.T) {
 	}}
 	if _, err := Compile(bad, is); err == nil {
 		t.Error("Compile accepted a trace referencing an unknown SI")
+	}
+}
+
+// tinyISA builds a minimal two-SI ISA that corrupt can then damage; the
+// shapes mirror internal/oracle's validation tests so Compile and the
+// oracle reject the same malformed inputs.
+func tinyISA(corrupt func(*isa.ISA)) *isa.ISA {
+	is := &isa.ISA{
+		Name: "tiny",
+		Atoms: []isa.AtomType{
+			{ID: 0, Name: "A", BitstreamBytes: 4_000, Slices: 1, LUTs: 1, FFs: 1},
+			{ID: 1, Name: "B", BitstreamBytes: 4_000, Slices: 1, LUTs: 1, FFs: 1},
+		},
+		SIs: []isa.SI{
+			{ID: 0, Name: "S0", HotSpot: 0, SWLatency: 50,
+				Molecules: []isa.Molecule{{SI: 0, Atoms: molecule.Of(1, 0), Latency: 5}}},
+			{ID: 1, Name: "S1", HotSpot: 0, SWLatency: 50,
+				Molecules: []isa.Molecule{{SI: 1, Atoms: molecule.Of(0, 1), Latency: 5}}},
+		},
+		HotSpots: []isa.HotSpot{{ID: 0, Name: "H0", SIs: []isa.SIID{0, 1}}},
+	}
+	if corrupt != nil {
+		corrupt(is)
+	}
+	return is
+}
+
+// TestCompileEdgeCases drives Compile through degenerate-but-valid traces
+// and malformed ISAs: valid inputs lower cleanly, malformed ones come back
+// as errors — never as panics out of the pre-resolution of SI metadata.
+func TestCompileEdgeCases(t *testing.T) {
+	cases := []struct {
+		name    string
+		is      *isa.ISA
+		tr      *Trace
+		wantErr string // empty: must compile
+	}{
+		{"empty trace", tinyISA(nil), &Trace{Name: "empty"}, ""},
+		{"single-burst hot spot", tinyISA(nil), &Trace{Name: "one", Phases: []Phase{
+			{HotSpot: 0, Setup: 7, Bursts: []Burst{{SI: 0, Count: 3, Gap: 2}}},
+		}}, ""},
+		{"SI with no hardware Molecule", tinyISA(func(is *isa.ISA) { is.SIs[1].Molecules = nil }),
+			&Trace{Phases: []Phase{{HotSpot: 0, Bursts: []Burst{{SI: 0, Count: 1}}}}},
+			"no hardware Molecule"},
+		{"duplicate SI ids", tinyISA(func(is *isa.ISA) { is.SIs[1].ID = 0 }),
+			&Trace{Phases: []Phase{{HotSpot: 0, Bursts: []Burst{{SI: 0, Count: 1}}}}},
+			"misnumbered"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			ct, err := Compile(c.tr, c.is)
+			if c.wantErr == "" {
+				if err != nil {
+					t.Fatalf("Compile failed: %v", err)
+				}
+				if len(ct.Phases) != len(c.tr.Phases) {
+					t.Fatalf("compiled %d phases, want %d", len(ct.Phases), len(c.tr.Phases))
+				}
+				var total int64
+				for _, p := range ct.Phases {
+					for _, b := range p.Bursts {
+						total += b.Count
+					}
+				}
+				if want := c.tr.TotalExecutions(); total != want {
+					t.Fatalf("compiled executions = %d, want %d", total, want)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("Compile accepted the input, want error mentioning %q", c.wantErr)
+			}
+			if !strings.Contains(err.Error(), c.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, c.wantErr)
+			}
+		})
 	}
 }
