@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test short race bench bench-paper bench-check bench-baseline cover-check verify-oracle fuzz lint serve figures verify clean
+.PHONY: all build test short race bench bench-paper bench-check bench-baseline bench-json cover-check verify-oracle fuzz lint serve figures verify clean
 
 all: build test
 
@@ -31,16 +31,29 @@ bench-paper:
 	$(GO) test -bench=. -benchmem ./...
 
 # Bench-regression gate (what the bench-regression CI job runs): minimum
-# of 5 repeats vs the committed baseline; fails on >25% ns/op regression
-# or any allocs/op increase. BENCH_TOLERANCE overrides the 25%.
+# of 5 repeats vs the committed baseline; fails on >25% ns/op regression,
+# any allocs/op increase, or a baselined benchmark missing from the run.
+# BENCH_TOLERANCE overrides the 25%.
 bench-check:
 	$(GO) test -run '^$$' -bench BenchmarkRun -benchtime 100x -benchmem -count 5 ./internal/sim > bench_check.txt
+	$(GO) test -run '^$$' -bench 'BenchmarkSweep$$' -benchtime 20x -benchmem -count 5 . >> bench_check.txt
 	$(GO) run ./scripts/benchcheck -baseline BENCH_baseline.json < bench_check.txt
 
 # Re-measure the bench baseline on this machine (commit the result).
 bench-baseline:
-	$(GO) test -run '^$$' -bench BenchmarkRun -benchtime 100x -benchmem -count 5 ./internal/sim | \
-		$(GO) run ./scripts/benchcheck -update -baseline BENCH_baseline.json
+	$(GO) test -run '^$$' -bench BenchmarkRun -benchtime 100x -benchmem -count 5 ./internal/sim > bench_baseline.txt
+	$(GO) test -run '^$$' -bench 'BenchmarkSweep$$' -benchtime 20x -benchmem -count 5 . >> bench_baseline.txt
+	$(GO) run ./scripts/benchcheck -update -baseline BENCH_baseline.json < bench_baseline.txt
+	rm -f bench_baseline.txt
+
+# Snapshot the current hot-path numbers — including the per-point sweep
+# reference BenchmarkSweepPerPoint — into BENCH_pr5.json, same format and
+# reduction (min of 5) as BENCH_baseline.json, for before/after tables.
+bench-json:
+	$(GO) test -run '^$$' -bench BenchmarkRun -benchtime 100x -benchmem -count 5 ./internal/sim > bench_json.txt
+	$(GO) test -run '^$$' -bench BenchmarkSweep -benchtime 20x -benchmem -count 5 . >> bench_json.txt
+	$(GO) run ./scripts/benchcheck -update -baseline BENCH_pr5.json < bench_json.txt
+	rm -f bench_json.txt
 
 # Coverage floor gate (what the coverage CI job runs).
 cover-check:
@@ -79,4 +92,4 @@ verify:
 	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
 
 clean:
-	rm -rf figures test_output.txt bench_output.txt bench_check.txt cover.out
+	rm -rf figures test_output.txt bench_output.txt bench_check.txt bench_baseline.txt bench_json.txt cover.out cpu.pprof

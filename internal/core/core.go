@@ -53,14 +53,23 @@ type Config struct {
 // Manager is the RISPP Run-Time Manager. It is not safe for concurrent use;
 // run independent simulations with independent Managers.
 type Manager struct {
-	cfg Config
-	mon *monitor.Monitor
+	cfg  Config
+	name string // "RISPP/<scheduler>", precomputed so Name is alloc-free
+	mon  *monitor.Monitor
 
 	array  *reconfig.Array
 	port   *reconfig.Port
 	needed molecule.Vector // sup of the current selection, protected from eviction
 
 	seeds map[isa.SIID]int64 // initial forecasts, reapplied on Reset
+
+	// Reusable arenas: the per-hot-spot selection/scheduling pipeline runs
+	// entirely in this storage, so steady-state operation (and Reset, which
+	// keeps it all) performs no allocations.
+	selScratch   *selection.Scratch
+	schedScratch *sched.Scratch
+	cands        []selection.Candidate
+	spotSIs      map[isa.HotSpotID][]*isa.SI // per-Manager cache of ISA.HotSpotSIs
 
 	lastSpot   isa.HotSpotID
 	started    bool
@@ -95,14 +104,14 @@ func NewManager(cfg Config) *Manager {
 	if cfg.Timing == (reconfig.Timing{}) {
 		cfg.Timing = reconfig.DefaultTiming()
 	}
-	m := &Manager{cfg: cfg, seeds: make(map[isa.SIID]int64)}
+	m := &Manager{cfg: cfg, name: "RISPP/" + cfg.Scheduler.Name(), seeds: make(map[isa.SIID]int64)}
 	m.Reset()
 	return m
 }
 
 // Name identifies the runtime as RISPP with its scheduler, e.g.
 // "RISPP/HEF".
-func (m *Manager) Name() string { return "RISPP/" + m.cfg.Scheduler.Name() }
+func (m *Manager) Name() string { return m.name }
 
 // Seed installs an initial execution-count forecast for an SI (e.g. from a
 // design-time profiling run). Seeds survive Reset.
@@ -132,26 +141,51 @@ func (m *Manager) SeedFromTrace(tr *workload.Trace) {
 }
 
 // Reset returns the system to its power-on state: empty Atom Containers,
-// idle reconfiguration port, forecasts reset to the seeds.
+// idle reconfiguration port, forecasts reset to the seeds. All backing
+// storage (monitor tables, container array, port queue, selection and
+// scheduling arenas) is kept and recycled, so Reset followed by a run
+// allocates nothing in the steady state.
 func (m *Manager) Reset() {
 	is := m.cfg.ISA
-	m.mon = monitor.New(is, m.cfg.MonitorShift)
+	if m.mon == nil {
+		m.mon = monitor.New(is, m.cfg.MonitorShift)
+		m.array = reconfig.NewArray(m.cfg.NumACs, is.Dim(), m.cfg.Eviction, m.cfg.Seed)
+		m.port = reconfig.NewPort(is, m.cfg.Timing)
+		if repo := m.cfg.Bitstreams; repo != nil {
+			m.port.SetSizeSource(func(a isa.AtomID) int { return len(repo.Image(a)) })
+		}
+		m.needed = molecule.New(is.Dim())
+		m.selScratch = selection.NewScratch()
+		m.schedScratch = sched.NewScratch()
+		m.spotSIs = make(map[isa.HotSpotID][]*isa.SI)
+	} else {
+		m.mon.Reset()
+		m.array.Reset(m.cfg.Seed)
+		m.port.Reset()
+		m.needed.Zero()
+	}
 	for si, n := range m.seeds {
 		m.mon.Seed(si, n)
 	}
-	m.array = reconfig.NewArray(m.cfg.NumACs, is.Dim(), m.cfg.Eviction, m.cfg.Seed)
-	m.port = reconfig.NewPort(is, m.cfg.Timing)
-	if repo := m.cfg.Bitstreams; repo != nil {
-		m.port.SetSizeSource(func(a isa.AtomID) int { return len(repo.Image(a)) })
-	}
-	m.needed = molecule.New(is.Dim())
 	m.started = false
 	m.prefetched = false
 	m.budget = m.cfg.NumACs
 	m.Selections = 0
-	m.Requests = nil
+	m.Requests = m.Requests[:0]
 	m.Prefetches = 0
 	m.StaleLoads = 0
+}
+
+// hotSpotSIs returns the SIs of hot spot h, cached per Manager: the ISA is
+// immutable but shared across goroutines, so the cache lives here. The
+// cache survives Reset — it is derived purely from the ISA.
+func (m *Manager) hotSpotSIs(h isa.HotSpotID) []*isa.SI {
+	sis, ok := m.spotSIs[h]
+	if !ok {
+		sis = m.cfg.ISA.HotSpotSIs(h)
+		m.spotSIs[h] = sis
+	}
+	return sis
 }
 
 // SetBudget constrains how many Atom Containers the Molecule selection may
@@ -184,10 +218,11 @@ func (m *Manager) EnterHotSpot(h isa.HotSpotID, now int64) {
 	m.started = true
 	m.prefetched = false
 	m.now = now
-	var cands []selection.Candidate
-	for _, si := range is.HotSpotSIs(h) {
+	cands := m.cands[:0]
+	for _, si := range m.hotSpotSIs(h) {
 		cands = append(cands, selection.Candidate{SI: si, Expected: m.mon.Expected(h, si.ID)})
 	}
+	m.cands = cands
 	m.mon.EnterHotSpot(h)
 
 	var reqs []sched.Request
@@ -198,14 +233,14 @@ func (m *Manager) EnterHotSpot(h isa.HotSpotID, now int64) {
 			panic(fmt.Sprintf("core: exhaustive selection: %v", err))
 		}
 	} else {
-		reqs = selection.Greedy(cands, m.budget, is.Dim())
+		reqs = selection.GreedyInto(cands, m.budget, is.Dim(), m.selScratch)
 	}
 	m.Requests = reqs
 	if len(reqs) > 0 {
 		m.Selections++
 	}
-	m.needed = selection.Sup(reqs, is.Dim())
-	seq := m.cfg.Scheduler.Schedule(reqs, m.array.Loaded())
+	selection.SupInto(reqs, m.needed)
+	seq := sched.ScheduleInto(m.cfg.Scheduler, m.schedScratch, reqs, m.array.Loaded())
 	m.port.Schedule(now, seq)
 }
 
@@ -269,8 +304,10 @@ func (m *Manager) schedulePrefetch(now int64) {
 		return
 	}
 	is := m.cfg.ISA
+	// The prefetch path allocates (it is an off-by-default extension beyond
+	// the paper); the arenas above stay dedicated to the hot path.
 	var cands []selection.Candidate
-	for _, si := range is.HotSpotSIs(next) {
+	for _, si := range m.hotSpotSIs(next) {
 		cands = append(cands, selection.Candidate{SI: si, Expected: m.mon.Expected(next, si.ID)})
 	}
 	reqs := selection.Greedy(cands, m.budget, is.Dim())

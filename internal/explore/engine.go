@@ -44,10 +44,23 @@ func (r Record) OK() bool { return r.Err == "" }
 // goroutines; implementations must not share mutable state across calls.
 type RunFunc func(ctx context.Context, p Point) (Metrics, error)
 
+// RunSetFunc simulates a batch of design points that share one workload and
+// differ only in their run-time system (scheduler), returning one Metrics
+// per point in input order. The engine calls it from multiple goroutines.
+type RunSetFunc func(ctx context.Context, ps []Point) ([]Metrics, error)
+
 // Engine executes sweep specs on a bounded worker pool.
 type Engine struct {
 	// Run simulates one point (required).
 	Run RunFunc
+	// RunSet, when non-nil, batches the points of each scheduler group —
+	// points identical except for Point.Scheduler — into one call, letting
+	// the backend walk the shared compiled trace once for all systems of a
+	// grid point (sim.RunCompiledSet). Workers then operate on groups
+	// instead of single points; records, their order, and the cache
+	// behavior are unchanged. Cached points are excluded from the batch; a
+	// RunSet error fails every uncached point of its group.
+	RunSet RunSetFunc
 	// Workers bounds the pool; <= 0 selects runtime.GOMAXPROCS(0).
 	Workers int
 	// Cache, when non-nil, is consulted before and populated after every
@@ -152,12 +165,39 @@ func (e *Engine) Execute(ctx context.Context, spec Spec, w io.Writer) (*Result, 
 		}
 	}
 
+	// The unit of worker dispatch is a group of job indices. Without RunSet
+	// every job is its own group; with RunSet, jobs that differ only in
+	// their scheduler form one group and are simulated in a single pass
+	// over the shared compiled trace.
+	groups := make([][]int, 0, len(jobs))
+	if e.RunSet == nil {
+		for i := range jobs {
+			groups = append(groups, []int{i})
+		}
+	} else {
+		byKey := make(map[string]int, len(jobs))
+		for i, p := range jobs {
+			p.Scheduler = ""
+			k := p.Key()
+			gi, ok := byKey[k]
+			if !ok {
+				gi = len(groups)
+				byKey[k] = gi
+				groups = append(groups, nil)
+			}
+			groups[gi] = append(groups[gi], i)
+		}
+	}
+	if workers > len(groups) {
+		workers = len(groups)
+	}
+
 	idx := make(chan int)
 	go func() {
 		defer close(idx)
-		for i := range jobs {
+		for gi := range groups {
 			select {
-			case idx <- i:
+			case idx <- gi:
 			case <-ctx.Done():
 				return
 			}
@@ -168,8 +208,14 @@ func (e *Engine) Execute(ctx context.Context, spec Spec, w io.Writer) (*Result, 
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for i := range idx {
-				finish(i, e.runJob(ctx, jobs[i]))
+			for gi := range idx {
+				if g := groups[gi]; len(g) == 1 || e.RunSet == nil {
+					for _, i := range g {
+						finish(i, e.runJob(ctx, jobs[i]))
+					}
+				} else {
+					e.runGroup(ctx, jobs, g, finish)
+				}
 			}
 		}()
 	}
@@ -218,6 +264,65 @@ func (e *Engine) runJob(ctx context.Context, p Point) (rec Record) {
 		}
 	}
 	return rec
+}
+
+// runGroup measures a scheduler group in one RunSet call. Cache lookups,
+// cancellation, and cache fills match runJob point-for-point; only the
+// simulation itself is batched. An error (or panic) in RunSet fails every
+// point that was in the batch.
+func (e *Engine) runGroup(ctx context.Context, jobs []Point, group []int, finish func(int, Record)) {
+	pending := make([]int, 0, len(group))
+	for _, i := range group {
+		p := jobs[i]
+		if e.Cache != nil {
+			if m, ok := e.Cache.Get(p); ok {
+				finish(i, Record{Point: p, Metrics: m, Cached: true})
+				continue
+			}
+		}
+		pending = append(pending, i)
+	}
+	if len(pending) == 0 {
+		return
+	}
+	if err := ctx.Err(); err != nil {
+		for _, i := range pending {
+			finish(i, Record{Point: jobs[i], Err: "skipped: " + err.Error()})
+		}
+		return
+	}
+	ps := make([]Point, len(pending))
+	for k, i := range pending {
+		ps[k] = jobs[i]
+	}
+	ms, err := e.safeRunSet(ctx, ps)
+	if err == nil && len(ms) != len(ps) {
+		err = fmt.Errorf("explore: RunSet returned %d metrics for %d points", len(ms), len(ps))
+	}
+	if err != nil {
+		for _, i := range pending {
+			finish(i, Record{Point: jobs[i], Err: err.Error()})
+		}
+		return
+	}
+	for k, i := range pending {
+		rec := Record{Point: ps[k], Metrics: ms[k]}
+		if e.Cache != nil {
+			if err := e.Cache.Put(ps[k], ms[k]); err != nil {
+				rec.CacheWarn = err.Error()
+			}
+		}
+		finish(i, rec)
+	}
+}
+
+func (e *Engine) safeRunSet(ctx context.Context, ps []Point) (ms []Metrics, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("panic: %v", r)
+		}
+	}()
+	return e.RunSet(ctx, ps)
 }
 
 func (e *Engine) safeRun(ctx context.Context, p Point) (m Metrics, err error) {

@@ -168,6 +168,56 @@ func (m Vector) Add(o Vector) Vector {
 	return p
 }
 
+// Zero sets every count to 0 in place, recycling the backing storage — the
+// arena-reuse counterpart of New.
+func (m Vector) Zero() {
+	for i := range m {
+		m[i] = 0
+	}
+}
+
+// CopyFrom overwrites m with o in place. Both vectors must have the same
+// dimension.
+func (m Vector) CopyFrom(o Vector) {
+	checkDim(m, o, "copy")
+	copy(m, o)
+}
+
+// SupInPlace sets m = m ∪ o without allocating.
+func (m Vector) SupInPlace(o Vector) {
+	checkDim(m, o, "sup")
+	for i := range m {
+		if o[i] > m[i] {
+			m[i] = o[i]
+		}
+	}
+}
+
+// SupDet returns |m ∪ o| without materializing the supremum — the container
+// cost check of the Molecule selection, allocation-free.
+func (m Vector) SupDet(o Vector) int {
+	checkDim(m, o, "sup")
+	s := 0
+	for i := range m {
+		s += max(m[i], o[i])
+	}
+	return s
+}
+
+// SubDet returns |m ⊖ o| (with the receiver as the already available Atoms,
+// mirroring Sub): the number of Atoms additionally required to implement o,
+// without materializing the monus.
+func (m Vector) SubDet(o Vector) int {
+	checkDim(m, o, "sub")
+	s := 0
+	for i := range m {
+		if d := o[i] - m[i]; d > 0 {
+			s += d
+		}
+	}
+	return s
+}
+
 // SupSet returns sup(M) = ∪_{m ∈ M} m, the Meta-Molecule declaring all Atoms
 // needed to implement any Molecule in set. dim is required so the supremum
 // of the empty set is the neutral element (0, …, 0).

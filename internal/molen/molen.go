@@ -38,11 +38,12 @@ type Config struct {
 }
 
 // unit is one monolithic SI implementation resident in (or loading into)
-// the reconfigurable fabric.
+// the reconfigurable fabric. The zero unit means "not resident".
 type unit struct {
 	mol      isa.Molecule
 	size     int // containers occupied (reserved at load start)
 	loaded   int // atoms of the bitstream already configured
+	active   bool
 	complete bool
 	lastUse  int64
 }
@@ -52,8 +53,9 @@ type Runtime struct {
 	cfg Config
 	mon *monitor.Monitor
 
-	units map[isa.SIID]*unit // resident or loading units
-	queue []isa.SIID         // SIs waiting for the port, program order
+	units []unit     // indexed by SIID; active marks resident/loading units
+	queue []isa.SIID // SIs waiting for the port, program order
+	qhead int        // consumed prefix of queue (keeps the backing array)
 
 	inflight   isa.SIID
 	hasInflite bool
@@ -66,6 +68,15 @@ type Runtime struct {
 	AtomLoads int
 
 	seeds map[isa.SIID]int64
+
+	// Reusable arenas for the per-hot-spot selection, recycled across calls
+	// and Resets so steady-state operation performs no allocations.
+	cands     []selection.Candidate
+	protected []bool // indexed by SIID: member of the current selection
+	selChosen []*isa.Molecule
+	selCurLat []int
+	selReqs   []sched.Request
+	spotSIs   map[isa.HotSpotID][]*isa.SI // per-Runtime cache of ISA.HotSpotSIs
 }
 
 // New builds the baseline runtime.
@@ -110,25 +121,52 @@ func (r *Runtime) SeedFromTrace(tr *workload.Trace) {
 	}
 }
 
-// Reset returns the fabric to power-on state.
+// Reset returns the fabric to power-on state. All backing storage (monitor
+// tables, unit table, queue, selection arenas) is kept and recycled, so
+// Reset followed by a run allocates nothing in the steady state.
 func (r *Runtime) Reset() {
-	r.mon = monitor.New(r.cfg.ISA, r.cfg.MonitorShift)
+	if r.mon == nil {
+		r.mon = monitor.New(r.cfg.ISA, r.cfg.MonitorShift)
+		r.units = make([]unit, len(r.cfg.ISA.SIs))
+		r.protected = make([]bool, len(r.cfg.ISA.SIs))
+		r.spotSIs = make(map[isa.HotSpotID][]*isa.SI)
+	} else {
+		r.mon.Reset()
+		for i := range r.units {
+			r.units[i] = unit{}
+		}
+	}
 	for si, n := range r.seeds {
 		r.mon.Seed(si, n)
 	}
-	r.units = make(map[isa.SIID]*unit)
-	r.queue = nil
+	r.queue = r.queue[:0]
+	r.qhead = 0
 	r.hasInflite = false
+	r.completeAt = 0
 	r.portFree = 0
 	r.Loads = 0
 	r.AtomLoads = 0
 }
 
+// hotSpotSIs returns the SIs of hot spot h, cached per Runtime: the ISA is
+// immutable but shared across goroutines, so the cache lives here. It
+// survives Reset — it is derived purely from the ISA.
+func (r *Runtime) hotSpotSIs(h isa.HotSpotID) []*isa.SI {
+	sis, ok := r.spotSIs[h]
+	if !ok {
+		sis = r.cfg.ISA.HotSpotSIs(h)
+		r.spotSIs[h] = sis
+	}
+	return sis
+}
+
 // resident returns the containers currently occupied (reserved).
 func (r *Runtime) resident() int {
 	n := 0
-	for _, u := range r.units {
-		n += u.size
+	for i := range r.units {
+		if r.units[i].active {
+			n += r.units[i].size
+		}
 	}
 	return n
 }
@@ -138,13 +176,13 @@ func (r *Runtime) resident() int {
 // load sequence. Units of other hot spots are evicted LRU as capacity
 // demands.
 func (r *Runtime) EnterHotSpot(h isa.HotSpotID, now int64) {
-	is := r.cfg.ISA
-	var cands []selection.Candidate
-	for _, si := range is.HotSpotSIs(h) {
+	cands := r.cands[:0]
+	for _, si := range r.hotSpotSIs(h) {
 		cands = append(cands, selection.Candidate{SI: si, Expected: r.mon.Expected(h, si.ID)})
 	}
+	r.cands = cands
 	r.mon.EnterHotSpot(h)
-	reqs := selectAdditive(cands, r.cfg.NumACs)
+	reqs := r.selectAdditive(cands, r.cfg.NumACs)
 
 	// The hot-spot switch replaces the predetermined load sequence. An
 	// in-flight bitstream chunk cannot be aborted: the port stays busy
@@ -155,9 +193,10 @@ func (r *Runtime) EnterHotSpot(h isa.HotSpotID, now int64) {
 		r.hasInflite = false
 	}
 	r.queue = r.queue[:0]
-	for si, u := range r.units {
-		if !u.complete {
-			delete(r.units, si)
+	r.qhead = 0
+	for si := range r.units {
+		if u := &r.units[si]; u.active && !u.complete {
+			*u = unit{}
 		}
 	}
 
@@ -165,44 +204,50 @@ func (r *Runtime) EnterHotSpot(h isa.HotSpotID, now int64) {
 	// needed but absent is (re)loaded in fixed program order (ascending SI
 	// id — the order the compiler emitted the set instructions). Units of
 	// the current selection are protected from eviction.
-	protected := make(map[isa.SIID]bool, len(reqs))
-	for _, q := range reqs {
-		protected[q.SI.ID] = true
+	for i := range r.protected {
+		r.protected[i] = false
 	}
 	for _, q := range reqs {
-		if u, ok := r.units[q.SI.ID]; ok {
+		r.protected[q.SI.ID] = true
+	}
+	for _, q := range reqs {
+		if u := &r.units[q.SI.ID]; u.active {
 			if u.mol.Atoms.Equal(q.Selected.Atoms) {
 				u.lastUse = now
 				continue
 			}
-			delete(r.units, q.SI.ID) // different implementation selected
+			*u = unit{} // different implementation selected
 		}
-		r.enqueue(q.SI.ID, q.Selected, now, protected)
+		r.enqueue(q.SI.ID, q.Selected, now)
 	}
 }
 
 // enqueue reserves capacity (evicting LRU units of other hot spots) and
-// queues the unit for the port. Units of the current selection are never
-// victims. If capacity cannot be freed the SI stays in software.
-func (r *Runtime) enqueue(si isa.SIID, mol isa.Molecule, now int64, protected map[isa.SIID]bool) {
+// queues the unit for the port. Units of the current selection (r.protected)
+// are never victims. If capacity cannot be freed the SI stays in software.
+func (r *Runtime) enqueue(si isa.SIID, mol isa.Molecule, now int64) {
 	size := mol.Determinant()
 	for r.resident()+size > r.cfg.NumACs {
-		victim := isa.SIID(-1)
+		victim := -1
 		var oldest int64
-		for vsi, u := range r.units {
-			if protected[vsi] {
+		// Ascending scan with strict <: among the least recently used units
+		// the smallest SIID wins, matching the previous map iteration with
+		// its explicit tie-break.
+		for vsi := range r.units {
+			u := &r.units[vsi]
+			if !u.active || r.protected[vsi] {
 				continue
 			}
-			if victim < 0 || u.lastUse < oldest || (u.lastUse == oldest && vsi < victim) {
+			if victim < 0 || u.lastUse < oldest {
 				victim, oldest = vsi, u.lastUse
 			}
 		}
 		if victim < 0 {
 			return // nothing evictable; SI remains in software
 		}
-		delete(r.units, victim)
+		r.units[victim] = unit{}
 	}
-	r.units[si] = &unit{mol: mol, size: size, lastUse: now}
+	r.units[si] = unit{mol: mol, size: size, active: true, lastUse: now}
 	r.queue = append(r.queue, si)
 	if now > r.portFree {
 		r.portFree = now
@@ -215,7 +260,7 @@ func (r *Runtime) LeaveHotSpot(now int64) { r.mon.LeaveHotSpot() }
 // Latency: the selected implementation if fully reconfigured, software
 // otherwise — Molen systems "cannot upgrade during run time".
 func (r *Runtime) Latency(si isa.SIID) int {
-	if u, ok := r.units[si]; ok && u.complete {
+	if u := &r.units[si]; u.active && u.complete {
 		return u.mol.Latency
 	}
 	return r.cfg.ISA.SI(si).SWLatency
@@ -224,20 +269,20 @@ func (r *Runtime) Latency(si isa.SIID) int {
 // Record feeds the monitor.
 func (r *Runtime) Record(si isa.SIID, n int64, now int64) {
 	r.mon.Record(si, n)
-	if u, ok := r.units[si]; ok {
+	if u := &r.units[si]; u.active {
 		u.lastUse = now
 	}
 }
 
 func (r *Runtime) start() {
 	for !r.hasInflite {
-		if len(r.queue) == 0 {
+		if r.qhead >= len(r.queue) {
 			return
 		}
-		si := r.queue[0]
-		u, ok := r.units[si]
-		if !ok || u.complete {
-			r.queue = r.queue[1:]
+		si := r.queue[r.qhead]
+		u := &r.units[si]
+		if !u.active || u.complete {
+			r.qhead++
 			continue
 		}
 		// Load the next atom-sized bitstream chunk of the unit. A
@@ -284,7 +329,7 @@ func (r *Runtime) Advance(t int64) {
 	r.hasInflite = false
 	r.AtomLoads++
 	si := r.inflight
-	if u, ok := r.units[si]; ok && !u.complete {
+	if u := &r.units[si]; u.active && !u.complete {
 		u.loaded++
 		if u.loaded == u.size {
 			u.complete = true
@@ -294,10 +339,20 @@ func (r *Runtime) Advance(t int64) {
 }
 
 // selectAdditive is the greedy selection with additive container cost: no
-// Atom sharing between monolithic units.
-func selectAdditive(cands []selection.Candidate, numACs int) []sched.Request {
-	chosen := make([]*isa.Molecule, len(cands))
-	curLat := make([]int, len(cands))
+// Atom sharing between monolithic units. It runs in the Runtime's arenas;
+// the returned requests are only valid until the next call.
+func (r *Runtime) selectAdditive(cands []selection.Candidate, numACs int) []sched.Request {
+	if cap(r.selChosen) < len(cands) {
+		r.selChosen = make([]*isa.Molecule, len(cands))
+		r.selCurLat = make([]int, len(cands))
+	} else {
+		r.selChosen = r.selChosen[:len(cands)]
+		r.selCurLat = r.selCurLat[:len(cands)]
+		for i := range r.selChosen {
+			r.selChosen[i] = nil
+		}
+	}
+	chosen, curLat := r.selChosen, r.selCurLat
 	used := 0
 	for i, c := range cands {
 		curLat[i] = c.SI.SWLatency
@@ -342,11 +397,12 @@ func selectAdditive(cands []selection.Candidate, numACs int) []sched.Request {
 		curLat[bestI] = chosen[bestI].Latency
 		used += chosen[bestI].Determinant() - prev
 	}
-	var reqs []sched.Request
+	reqs := r.selReqs[:0]
 	for i, c := range cands {
 		if chosen[i] != nil {
 			reqs = append(reqs, sched.Request{SI: c.SI, Selected: *chosen[i], Expected: c.Expected})
 		}
 	}
+	r.selReqs = reqs
 	return reqs
 }

@@ -149,10 +149,7 @@ func TestSelectAdditiveRespectsBudget(t *testing.T) {
 		tr := workload.H264(workload.H264Config{Frames: 1})
 		rt.SeedFromTrace(tr)
 		rt.EnterHotSpot(isa.HotSpotEE, 0)
-		total := 0
-		for _, u := range rt.units {
-			total += u.size
-		}
+		total := rt.resident()
 		if total > acs {
 			t.Fatalf("ACs=%d: selection reserved %d containers", acs, total)
 		}
@@ -167,7 +164,7 @@ func TestResetRestoresSeedsAndState(t *testing.T) {
 		t.Fatal(err)
 	}
 	rt.Reset()
-	if rt.Loads != 0 || rt.AtomLoads != 0 || len(rt.units) != 0 {
+	if rt.Loads != 0 || rt.AtomLoads != 0 || rt.resident() != 0 {
 		t.Fatal("Reset incomplete")
 	}
 	if rt.mon.Expected(isa.HotSpotME, isa.SISAD) == 0 {

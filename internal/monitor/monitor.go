@@ -56,6 +56,30 @@ func New(is *isa.ISA, shift uint) *Monitor {
 	}
 }
 
+// Reset returns the monitor to its power-on state — no expectations, no
+// observed hot spots, no learned rotation — without freeing any backing
+// storage: expectation vectors are zeroed in place and maps are cleared, so
+// a steady-state Reset+relearn cycle over the same hot spots allocates
+// nothing. Behaviorally identical to a freshly constructed Monitor.
+func (m *Monitor) Reset() {
+	for _, e := range m.expected {
+		for i := range e {
+			e[i] = 0
+		}
+	}
+	for i := range m.counts {
+		m.counts[i] = 0
+	}
+	m.current = 0
+	m.inSpot = false
+	for _, row := range m.successors {
+		clear(row)
+	}
+	clear(m.ObservedSpots)
+	m.AbsError = 0
+	m.Samples = 0
+}
+
 // Seed initializes the expectation of an SI before its hot spot was ever
 // observed, e.g. from an offline profiling run. Without seeding, the first
 // execution of a hot spot runs with zero expectations (every SI equally

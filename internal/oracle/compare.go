@@ -128,3 +128,77 @@ func DiffJournal(want []Event, gotJournal io.Reader) error {
 	}
 	return nil
 }
+
+// DiffResults cross-checks two simulator Results field by field — the
+// sim-vs-sim counterpart of Diff, used to prove runtime reuse (Reset +
+// rerun, pooled runtimes, batched RunCompiledSet walks) behaviorally
+// invisible: a reused runtime's Result must match a fresh construction's
+// exactly. It returns nil when the results agree, or an error naming the
+// first divergence.
+func DiffResults(want, got *sim.Result) error {
+	if want.Runtime != got.Runtime {
+		return fmt.Errorf("oracle: runtime %q, reused run has %q", want.Runtime, got.Runtime)
+	}
+	if want.TotalCycles != got.TotalCycles {
+		return fmt.Errorf("oracle: TotalCycles %d, reused run has %d", want.TotalCycles, got.TotalCycles)
+	}
+	if want.StallCycles != got.StallCycles {
+		return fmt.Errorf("oracle: StallCycles %d, reused run has %d", want.StallCycles, got.StallCycles)
+	}
+	if err := diffCounts("Executions", want.Executions(), got.Executions()); err != nil {
+		return err
+	}
+	if err := diffCounts("SWExecutions", want.SWExecutions(), got.SWExecutions()); err != nil {
+		return err
+	}
+	if err := diffCounts("HWExecutions", want.HWExecutions(), got.HWExecutions()); err != nil {
+		return err
+	}
+	if len(want.Phases) != len(got.Phases) {
+		return fmt.Errorf("oracle: %d phases, reused run has %d", len(want.Phases), len(got.Phases))
+	}
+	for i, w := range want.Phases {
+		if g := got.Phases[i]; g != w {
+			return fmt.Errorf("oracle: phase %d is %+v, reused run has %+v", i, w, g)
+		}
+	}
+	if (want.Timeline == nil) != (got.Timeline == nil) {
+		return fmt.Errorf("oracle: timeline presence differs (%t vs %t)", want.Timeline != nil, got.Timeline != nil)
+	}
+	if want.Timeline != nil {
+		if len(want.Timeline.Events) != len(got.Timeline.Events) {
+			return fmt.Errorf("oracle: %d timeline events, reused run has %d",
+				len(want.Timeline.Events), len(got.Timeline.Events))
+		}
+		for i, w := range want.Timeline.Events {
+			if g := got.Timeline.Events[i]; g != w {
+				return fmt.Errorf("oracle: timeline event %d is %+v, reused run has %+v", i, w, g)
+			}
+		}
+	}
+	if (want.Histogram == nil) != (got.Histogram == nil) {
+		return fmt.Errorf("oracle: histogram presence differs (%t vs %t)", want.Histogram != nil, got.Histogram != nil)
+	}
+	if want.Histogram != nil {
+		sis := map[int]bool{}
+		for _, si := range want.Histogram.SIs() {
+			sis[si] = true
+		}
+		for _, si := range got.Histogram.SIs() {
+			sis[si] = true
+		}
+		for si := range sis {
+			w := trimZeros(want.Histogram.Counts(si))
+			g := trimZeros(got.Histogram.Counts(si))
+			if len(w) != len(g) {
+				return fmt.Errorf("oracle: SI %d histogram spans %d buckets, reused run has %d", si, len(w), len(g))
+			}
+			for b := range w {
+				if w[b] != g[b] {
+					return fmt.Errorf("oracle: SI %d histogram bucket %d is %d, reused run has %d", si, b, w[b], g[b])
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -111,6 +111,18 @@ func NewArray(n, dim int, policy EvictionPolicy, seed int64) *Array {
 	}
 }
 
+// Reset empties every container and restarts the eviction RNG from seed,
+// reusing the backing storage — behaviorally identical to NewArray with the
+// same parameters, but allocation-free in the steady state.
+func (a *Array) Reset(seed int64) {
+	for i := range a.slots {
+		a.slots[i] = slot{}
+	}
+	a.loaded.Zero()
+	a.rng.Seed(seed)
+	a.Evictions = 0
+}
+
 // Size returns the number of Atom Containers.
 func (a *Array) Size() int { return len(a.slots) }
 
@@ -234,6 +246,7 @@ type Port struct {
 	hasInflite bool
 	completeAt Cycle
 	pending    []isa.AtomID
+	phead      int   // consumed prefix of pending (keeps the backing array)
 	readyAt    Cycle // time the port becomes free to start the next load
 
 	// Loads counts completed Atom reconfigurations.
@@ -251,6 +264,19 @@ func NewPort(is *isa.ISA, timing Timing) *Port {
 	}}
 }
 
+// Reset returns the port to idle with nothing queued, reusing the pending
+// buffer and keeping the size source — behaviorally identical to a freshly
+// constructed Port with the same ISA and timing.
+func (p *Port) Reset() {
+	p.hasInflite = false
+	p.completeAt = 0
+	p.pending = p.pending[:0]
+	p.phead = 0
+	p.readyAt = 0
+	p.Loads = 0
+	p.BusyCycles = 0
+}
+
 // SetSizeSource overrides where the port reads partial-bitstream sizes
 // from, e.g. a bitstream.Repository holding the generated images.
 func (p *Port) SetSizeSource(sizeOf func(isa.AtomID) int) {
@@ -264,23 +290,24 @@ func (p *Port) SetSizeSource(sizeOf func(isa.AtomID) int) {
 // load, if any, still completes first.
 func (p *Port) Schedule(now Cycle, atoms []isa.AtomID) {
 	p.pending = append(p.pending[:0], atoms...)
+	p.phead = 0
 	if now > p.readyAt {
 		p.readyAt = now
 	}
 }
 
 // Pending returns the Atoms scheduled but not yet started.
-func (p *Port) Pending() []isa.AtomID { return p.pending }
+func (p *Port) Pending() []isa.AtomID { return p.pending[p.phead:] }
 
 // Busy reports whether a reconfiguration is in flight or queued.
-func (p *Port) Busy() bool { return p.hasInflite || len(p.pending) > 0 }
+func (p *Port) Busy() bool { return p.hasInflite || len(p.pending) > p.phead }
 
 func (p *Port) start() {
-	if p.hasInflite || len(p.pending) == 0 {
+	if p.hasInflite || len(p.pending) <= p.phead {
 		return
 	}
-	atom := p.pending[0]
-	p.pending = p.pending[1:]
+	atom := p.pending[p.phead]
+	p.phead++
 	dur := p.timing.LoadCycles(p.sizeOf(atom))
 	p.inflight = atom
 	p.hasInflite = true

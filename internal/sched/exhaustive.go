@@ -89,20 +89,8 @@ func (e Exhaustive) Schedule(reqs []Request, avail molecule.Vector) ([]isa.AtomI
 		maxStates = DefaultMaxStates
 	}
 	cm := &costModel{reqs: reqs, cost: e.Cost}
-	cands := candidates(reqs)
+	cands := append([]isa.Molecule(nil), newState(NewScratch(), reqs, avail).candidates()...)
 	memo := make(map[string]exhResult)
-
-	// The scheduling state is fully determined by the availability vector:
-	// the best latency of every SI is that of its fastest available
-	// Molecule. (This is slightly sharper than the committed-Molecule
-	// tracking of Figure 6 and makes memoization on avail exact.)
-	latFrom := func(avail molecule.Vector) map[isa.SIID]int {
-		lat := make(map[isa.SIID]int, len(reqs))
-		for i := range reqs {
-			lat[reqs[i].SI.ID] = reqs[i].SI.LatencyWith(avail)
-		}
-		return lat
-	}
 
 	var solve func(avail molecule.Vector) (exhResult, error)
 	solve = func(avail molecule.Vector) (exhResult, error) {
@@ -114,7 +102,11 @@ func (e Exhaustive) Schedule(reqs []Request, avail molecule.Vector) ([]isa.AtomI
 			return exhResult{}, fmt.Errorf("sched: Exhaustive exceeded %d states", maxStates)
 		}
 		memo[key] = exhResult{stop: true} // cycle guard; overwritten below
-		st := &state{avail: avail, bestLat: latFrom(avail)}
+		// The scheduling state is fully determined by the availability
+		// vector: newState recomputes every SI's best latency as that of its
+		// fastest available Molecule, which makes memoization on avail exact
+		// (slightly sharper than the committed-Molecule tracking of Figure 6).
+		st := newState(NewScratch(), reqs, avail)
 		live := clean(append([]isa.Molecule(nil), cands...), st)
 		best := exhResult{stop: true}
 		found := false

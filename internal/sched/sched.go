@@ -12,7 +12,6 @@ package sched
 
 import (
 	"fmt"
-	"sort"
 
 	"rispp/internal/isa"
 	"rispp/internal/molecule"
@@ -62,39 +61,88 @@ func New(name string) (Scheduler, error) {
 	return nil, fmt.Errorf("sched: unknown scheduler %q (want one of %v)", name, Names)
 }
 
-// state is the shared scheduling engine state mirroring Figure 6: the Atoms
-// already available or scheduled (a), and per SI the latency of the fastest
-// available/scheduled Molecule (bestLatency).
-type state struct {
+// Scratch is the reusable arena of the scheduling engine: every slice the
+// scheduling loop of Figure 6 needs, grown on demand and recycled across
+// calls. A run-time system that owns a Scratch and schedules through
+// ScheduleInto performs no allocations in the steady state. A Scratch is
+// not safe for concurrent use; the schedulers themselves stay stateless.
+type Scratch struct {
 	avail   molecule.Vector
-	bestLat map[isa.SIID]int
-	byID    map[isa.SIID]*Request
+	bestLat []int   // indexed by SIID
+	reqIdx  []int32 // indexed by SIID; -1 = SI not requested
 	out     []isa.AtomID
+	cands   []isa.Molecule
+	ids     []isa.SIID
+	reqs    []Request // the request set of the current call (borrowed)
 }
 
-func newState(reqs []Request, avail molecule.Vector) *state {
-	st := &state{
-		avail:   avail.Clone(),
-		bestLat: make(map[isa.SIID]int, len(reqs)),
-		byID:    make(map[isa.SIID]*Request, len(reqs)),
+// NewScratch returns an empty Scratch; it sizes itself from the first
+// ScheduleInto call and grows as needed.
+func NewScratch() *Scratch { return &Scratch{} }
+
+// prepare sizes the arena for one scheduling call and seeds the per-SI
+// state from the requests.
+func (sc *Scratch) prepare(reqs []Request, avail molecule.Vector) {
+	if cap(sc.avail) < avail.Len() {
+		sc.avail = avail.Clone()
+	} else {
+		sc.avail = sc.avail[:avail.Len()]
+		sc.avail.CopyFrom(avail)
+	}
+	nSIs := 0
+	for i := range reqs {
+		if n := int(reqs[i].SI.ID) + 1; n > nSIs {
+			nSIs = n
+		}
+	}
+	if cap(sc.bestLat) < nSIs {
+		sc.bestLat = make([]int, nSIs)
+		sc.reqIdx = make([]int32, nSIs)
+	} else {
+		sc.bestLat = sc.bestLat[:nSIs]
+		sc.reqIdx = sc.reqIdx[:nSIs]
+	}
+	for i := range sc.reqIdx {
+		sc.reqIdx[i] = -1
 	}
 	for i := range reqs {
 		r := &reqs[i]
-		st.byID[r.SI.ID] = r
-		st.bestLat[r.SI.ID] = r.SI.LatencyWith(avail)
+		sc.reqIdx[r.SI.ID] = int32(i)
+		sc.bestLat[r.SI.ID] = r.SI.LatencyWith(avail)
 	}
-	return st
+	sc.out = sc.out[:0]
+	sc.cands = sc.cands[:0]
+	sc.ids = sc.ids[:0]
 }
+
+// state is the shared scheduling engine state mirroring Figure 6: the Atoms
+// already available or scheduled (a), and per SI the latency of the fastest
+// available/scheduled Molecule (bestLatency). It is the Scratch itself —
+// returning the same pointer keeps newState allocation-free.
+type state = Scratch
+
+func newState(sc *Scratch, reqs []Request, avail molecule.Vector) *state {
+	sc.prepare(reqs, avail)
+	sc.reqs = reqs
+	return sc
+}
+
+func (st *state) byID(si isa.SIID) *Request { return &st.reqs[st.reqIdx[si]] }
+func (st *state) bestLatOf(si isa.SIID) int { return st.bestLat[si] }
 
 // commit schedules Molecule m: its additionally required Atoms a ⊖ m are
 // appended to the loading sequence (in ascending Atom-type order) and the
-// state is advanced (line 26–28 of Figure 6).
+// state is advanced (line 26–28 of Figure 6) — all in place.
 func (st *state) commit(m isa.Molecule) {
-	add := st.avail.Sub(m.Atoms)
-	for _, u := range add.Units() {
-		st.out = append(st.out, isa.AtomID(u))
+	a := st.avail
+	for i, c := range m.Atoms {
+		for d := c - a[i]; d > 0; d-- {
+			st.out = append(st.out, isa.AtomID(i))
+		}
+		if c > a[i] {
+			a[i] = c
+		}
 	}
-	st.avail = st.avail.Sup(m.Atoms)
 	if m.Latency < st.bestLat[m.SI] {
 		st.bestLat[m.SI] = m.Latency
 	}
@@ -102,23 +150,32 @@ func (st *state) commit(m isa.Molecule) {
 
 // candidates computes M′ of equation (3): for every request, all Molecules
 // of the same SI that are ≤ the selected Molecule. The result is in a
-// deterministic canonical order (by SI, then slowest first).
-func candidates(reqs []Request) []isa.Molecule {
-	var out []isa.Molecule
-	for _, r := range reqs {
+// deterministic canonical order (by SI, then slowest first), assembled in
+// the scratch arena; the stable insertion sort (candidate sets are small)
+// yields exactly the order sort.SliceStable produced.
+func (st *state) candidates() []isa.Molecule {
+	out := st.cands[:0]
+	for _, r := range st.reqs {
 		for _, o := range r.SI.Molecules {
 			if o.Atoms.Leq(r.Selected.Atoms) {
 				out = append(out, o)
 			}
 		}
 	}
-	sort.SliceStable(out, func(i, j int) bool {
-		if out[i].SI != out[j].SI {
-			return out[i].SI < out[j].SI
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && candLess(&out[j], &out[j-1]); j-- {
+			out[j], out[j-1] = out[j-1], out[j]
 		}
-		return out[i].Latency > out[j].Latency
-	})
+	}
+	st.cands = out
 	return out
+}
+
+func candLess(a, b *isa.Molecule) bool {
+	if a.SI != b.SI {
+		return a.SI < b.SI
+	}
+	return a.Latency > b.Latency
 }
 
 // clean applies equation (4): drop candidates that are already available
@@ -127,10 +184,10 @@ func candidates(reqs []Request) []isa.Molecule {
 func clean(cands []isa.Molecule, st *state) []isa.Molecule {
 	out := cands[:0]
 	for _, o := range cands {
-		if st.avail.Sub(o.Atoms).IsZero() {
+		if o.Atoms.Leq(st.avail) {
 			continue // o ≤ a: no additional Atoms required
 		}
-		if o.Latency >= st.bestLat[o.SI] {
+		if o.Latency >= st.bestLatOf(o.SI) {
 			continue // no latency improvement
 		}
 		out = append(out, o)
@@ -142,7 +199,7 @@ func clean(cands []isa.Molecule, st *state) []isa.Molecule {
 // the potential improvement the selected Molecule offers over the current
 // state.
 func importance(r *Request, st *state) int64 {
-	improve := int64(st.bestLat[r.SI.ID] - r.Selected.Latency)
+	improve := int64(st.bestLatOf(r.SI.ID) - r.Selected.Latency)
 	if improve < 0 {
 		improve = 0
 	}
@@ -150,19 +207,26 @@ func importance(r *Request, st *state) int64 {
 }
 
 // orderSIs returns the request SIs most-important-first (deterministic:
-// ties broken by SI ID).
+// ties broken by SI ID, so the order is unique and the in-place insertion
+// sort reproduces the previous sort.SliceStable exactly).
 func orderSIs(reqs []Request, st *state) []isa.SIID {
-	ids := make([]isa.SIID, 0, len(reqs))
+	ids := st.ids[:0]
 	for i := range reqs {
 		ids = append(ids, reqs[i].SI.ID)
 	}
-	sort.SliceStable(ids, func(i, j int) bool {
-		a, b := importance(st.byID[ids[i]], st), importance(st.byID[ids[j]], st)
-		if a != b {
-			return a > b
+	less := func(a, b isa.SIID) bool {
+		ia, ib := importance(st.byID(a), st), importance(st.byID(b), st)
+		if ia != ib {
+			return ia > ib
 		}
-		return ids[i] < ids[j]
-	})
+		return a < b
+	}
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && less(ids[j], ids[j-1]); j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+	st.ids = ids
 	return ids
 }
 
@@ -177,8 +241,8 @@ func smallestStep(cands []isa.Molecule, st *state, si isa.SIID) int {
 		if si >= 0 && o.SI != si {
 			continue
 		}
-		add := st.avail.Sub(o.Atoms).Determinant()
-		improve := st.bestLat[o.SI] - o.Latency
+		add := st.avail.SubDet(o.Atoms)
+		improve := st.bestLatOf(o.SI) - o.Latency
 		if best < 0 || add < bestAdd || (add == bestAdd && improve > bestImprove) {
 			best, bestAdd, bestImprove = i, add, improve
 		}
@@ -189,9 +253,9 @@ func smallestStep(cands []isa.Molecule, st *state, si isa.SIID) int {
 // run drives the generic scheduling loop of Figure 6 with a pluggable
 // choice function. choose returns the index of the next Molecule to
 // schedule, or -1 to stop.
-func run(reqs []Request, avail molecule.Vector, choose func(cands []isa.Molecule, st *state) int) []isa.AtomID {
-	st := newState(reqs, avail)
-	cands := candidates(reqs)
+func run(sc *Scratch, reqs []Request, avail molecule.Vector, choose func(cands []isa.Molecule, st *state) int) []isa.AtomID {
+	st := newState(sc, reqs, avail)
+	cands := st.candidates()
 	for {
 		cands = clean(cands, st)
 		if len(cands) == 0 {
@@ -206,6 +270,25 @@ func run(reqs []Request, avail molecule.Vector, choose func(cands []isa.Molecule
 	return st.out
 }
 
+// ScheduleInto runs scheduler s with a caller-owned Scratch, so run-time
+// systems that schedule at every hot-spot entry can do so allocation-free.
+// The returned sequence aliases the Scratch and is only valid until its
+// next use — callers must copy it (reconfig.Port.Schedule does). Schedulers
+// that do not support scratch execution (e.g. the exhaustive reference)
+// fall back to their plain Schedule.
+func ScheduleInto(s Scheduler, sc *Scratch, reqs []Request, avail molecule.Vector) []isa.AtomID {
+	if ss, ok := s.(scratchScheduler); ok {
+		return ss.schedule(sc, reqs, avail)
+	}
+	return s.Schedule(reqs, avail)
+}
+
+// scratchScheduler is implemented by the built-in strategies: scheduling
+// into caller-owned scratch with results identical to Schedule.
+type scratchScheduler interface {
+	schedule(sc *Scratch, reqs []Request, avail molecule.Vector) []isa.AtomID
+}
+
 // --- FSFR: First Select First Reconfigure -------------------------------
 
 // fsfr reconfigures the most important SI's selected Molecule completely
@@ -217,10 +300,14 @@ type fsfr struct{}
 
 func (fsfr) Name() string { return "FSFR" }
 
-func (fsfr) Schedule(reqs []Request, avail molecule.Vector) []isa.AtomID {
-	st := newState(reqs, avail)
+func (s fsfr) Schedule(reqs []Request, avail molecule.Vector) []isa.AtomID {
+	return s.schedule(NewScratch(), reqs, avail)
+}
+
+func (fsfr) schedule(sc *Scratch, reqs []Request, avail molecule.Vector) []isa.AtomID {
+	st := newState(sc, reqs, avail)
 	for _, si := range orderSIs(reqs, st) {
-		st.commit(st.byID[si].Selected)
+		st.commit(st.byID(si).Selected)
 	}
 	return st.out
 }
@@ -233,9 +320,13 @@ type asf struct{}
 
 func (asf) Name() string { return "ASF" }
 
-func (asf) Schedule(reqs []Request, avail molecule.Vector) []isa.AtomID {
-	st := newState(reqs, avail)
-	cands := candidates(reqs)
+func (s asf) Schedule(reqs []Request, avail molecule.Vector) []isa.AtomID {
+	return s.schedule(NewScratch(), reqs, avail)
+}
+
+func (asf) schedule(sc *Scratch, reqs []Request, avail molecule.Vector) []isa.AtomID {
+	st := newState(sc, reqs, avail)
+	cands := st.candidates()
 	order := orderSIs(reqs, st)
 	// Phase 1: one accelerating Molecule per SI — the nearest upgrade step
 	// (fewest additional Atoms) — in plain program order, so no SI stays at
@@ -251,7 +342,7 @@ func (asf) Schedule(reqs []Request, avail molecule.Vector) []isa.AtomID {
 	}
 	// Phase 2: follow the FSFR path for the remaining upgrades.
 	for _, si := range order {
-		st.commit(st.byID[si].Selected)
+		st.commit(st.byID(si).Selected)
 	}
 	return st.out
 }
@@ -265,11 +356,15 @@ type sjf struct{}
 
 func (sjf) Name() string { return "SJF" }
 
-func (sjf) Schedule(reqs []Request, avail molecule.Vector) []isa.AtomID {
-	st := newState(reqs, avail)
-	cands := candidates(reqs)
+func (s sjf) Schedule(reqs []Request, avail molecule.Vector) []isa.AtomID {
+	return s.schedule(NewScratch(), reqs, avail)
+}
+
+func (sjf) schedule(sc *Scratch, reqs []Request, avail molecule.Vector) []isa.AtomID {
+	st := newState(sc, reqs, avail)
+	cands := st.candidates()
 	for _, si := range orderSIs(reqs, st) {
-		if _, ok := st.byID[si].SI.FastestAvailable(st.avail); ok {
+		if _, ok := st.byID(si).SI.FastestAvailable(st.avail); ok {
 			continue
 		}
 		cands = clean(cands, st)
@@ -314,15 +409,19 @@ func (s hef) Name() string {
 }
 
 func (s hef) Schedule(reqs []Request, avail molecule.Vector) []isa.AtomID {
-	return run(reqs, avail, func(cands []isa.Molecule, st *state) int {
+	return s.schedule(NewScratch(), reqs, avail)
+}
+
+func (s hef) schedule(sc *Scratch, reqs []Request, avail molecule.Vector) []isa.AtomID {
+	return run(sc, reqs, avail, func(cands []isa.Molecule, st *state) int {
 		best := -1
 		var bestNum, bestDen int64 // benefit as fraction bestNum/bestDen
 		for i, o := range cands {
-			r := st.byID[o.SI]
-			num := r.Expected * int64(st.bestLat[o.SI]-o.Latency)
+			r := st.byID(o.SI)
+			num := r.Expected * int64(st.bestLatOf(o.SI)-o.Latency)
 			den := int64(1)
 			if s.normalize {
-				den = int64(st.avail.Sub(o.Atoms).Determinant())
+				den = int64(st.avail.SubDet(o.Atoms))
 			}
 			// Division-free comparison num/den > bestNum/bestDen, valid
 			// because the number of additionally required Atoms is always

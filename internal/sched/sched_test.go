@@ -400,7 +400,7 @@ func TestDivisionFreeBenefitEquivalence(t *testing.T) {
 func TestCandidatesEquation3(t *testing.T) {
 	is := fig4ISA(true)
 	reqs := reqsFor(is, 100)
-	c := candidates(reqs)
+	c := newState(NewScratch(), reqs, molecule.New(2)).candidates()
 	if len(c) != 4 { // m1, m4, m2, m3 all ≤ selected (3,3)
 		t.Fatalf("candidates = %d, want 4", len(c))
 	}
@@ -409,7 +409,7 @@ func TestCandidatesEquation3(t *testing.T) {
 	if !reqs[0].Selected.Atoms.Equal(molecule.Of(2, 2)) {
 		t.Fatalf("unexpected Molecule ordering: %v", reqs[0].Selected.Atoms)
 	}
-	c = candidates(reqs)
+	c = newState(NewScratch(), reqs, molecule.New(2)).candidates()
 	for _, m := range c {
 		if m.Atoms.Equal(molecule.Of(1, 3)) {
 			t.Error("m4 not filtered by equation (3)")
@@ -426,8 +426,8 @@ func TestCandidatesEquation3(t *testing.T) {
 func TestCleanEquation4(t *testing.T) {
 	is := fig4ISA(true)
 	reqs := reqsFor(is, 100)
-	st := newState(reqs, molecule.Of(2, 2)) // m2 available: bestLat 60
-	c := clean(candidates(reqs), st)
+	st := newState(NewScratch(), reqs, molecule.Of(2, 2)) // m2 available: bestLat 60
+	c := clean(st.candidates(), st)
 	// m1 (≤ avail), m4 (slower than 60) and m2 (≤ avail) must be gone.
 	if len(c) != 1 || !c[0].Atoms.Equal(molecule.Of(3, 3)) {
 		t.Fatalf("cleaned candidates = %v, want only m3", c)

@@ -26,6 +26,19 @@ type Candidate struct {
 	Expected int64
 }
 
+// Scratch is the reusable arena of the greedy selection: every slice
+// GreedyInto needs, grown on demand and recycled across calls. Not safe for
+// concurrent use.
+type Scratch struct {
+	chosen []*isa.Molecule
+	curLat []int
+	sup    molecule.Vector
+	reqs   []sched.Request
+}
+
+// NewScratch returns an empty Scratch; it sizes itself on first use.
+func NewScratch() *Scratch { return &Scratch{} }
+
 // Greedy selects Molecules by repeatedly committing the upgrade with the
 // best profit = expected · latency-improvement per additionally required
 // Atom (Atoms shared with already committed Molecules are free), while the
@@ -33,18 +46,40 @@ type Candidate struct {
 // not fit (or whose forecast is zero) remain in software and yield no
 // request.
 func Greedy(cands []Candidate, numACs, dim int) []sched.Request {
-	chosen := make([]*isa.Molecule, len(cands)) // nil = software
-	curLat := make([]int, len(cands))
+	return GreedyInto(cands, numACs, dim, NewScratch())
+}
+
+// GreedyInto is Greedy with a caller-owned Scratch: allocation-free in the
+// steady state. The returned requests alias the Scratch and are only valid
+// until its next use.
+func GreedyInto(cands []Candidate, numACs, dim int, sc *Scratch) []sched.Request {
+	if cap(sc.chosen) < len(cands) {
+		sc.chosen = make([]*isa.Molecule, len(cands))
+		sc.curLat = make([]int, len(cands))
+	} else {
+		sc.chosen = sc.chosen[:len(cands)]
+		sc.curLat = sc.curLat[:len(cands)]
+		for i := range sc.chosen {
+			sc.chosen[i] = nil
+		}
+	}
+	chosen, curLat := sc.chosen, sc.curLat // nil chosen = software
 	for i, c := range cands {
 		curLat[i] = c.SI.SWLatency
 	}
-	sup := molecule.New(dim)
+	if cap(sc.sup) < dim {
+		sc.sup = molecule.New(dim)
+	} else {
+		sc.sup = sc.sup[:dim]
+		sc.sup.Zero()
+	}
+	sup := sc.sup
+	supDet := 0
 
 	for {
 		bestI, bestJ := -1, -1
 		bestFree := false
 		var bestNum, bestDen int64 // profit gain/cost as a fraction
-		var bestSup molecule.Vector
 		for i, c := range cands {
 			if c.Expected <= 0 {
 				continue
@@ -54,12 +89,12 @@ func Greedy(cands []Candidate, numACs, dim int) []sched.Request {
 				if m.Latency >= curLat[i] {
 					continue
 				}
-				newSup := sup.Sup(m.Atoms)
-				if newSup.Determinant() > numACs {
+				newSupDet := sup.SupDet(m.Atoms)
+				if newSupDet > numACs {
 					continue
 				}
 				gain := c.Expected * int64(curLat[i]-m.Latency)
-				cost := int64(newSup.Determinant() - sup.Determinant())
+				cost := int64(newSupDet - supDet)
 				free := cost == 0 // upgrade entirely through shared Atoms
 				better := false
 				switch {
@@ -74,7 +109,7 @@ func Greedy(cands []Candidate, numACs, dim int) []sched.Request {
 					better = gain*bestDen > bestNum*cost
 				}
 				if better {
-					bestI, bestJ, bestFree, bestSup = i, j, free, newSup
+					bestI, bestJ, bestFree = i, j, free
 					bestNum, bestDen = gain, cost
 				}
 			}
@@ -84,15 +119,17 @@ func Greedy(cands []Candidate, numACs, dim int) []sched.Request {
 		}
 		chosen[bestI] = &cands[bestI].SI.Molecules[bestJ]
 		curLat[bestI] = chosen[bestI].Latency
-		sup = bestSup
+		sup.SupInPlace(chosen[bestI].Atoms)
+		supDet = sup.Determinant()
 	}
 
-	var reqs []sched.Request
+	reqs := sc.reqs[:0]
 	for i, c := range cands {
 		if chosen[i] != nil {
 			reqs = append(reqs, sched.Request{SI: c.SI, Selected: *chosen[i], Expected: c.Expected})
 		}
 	}
+	sc.reqs = reqs
 	return reqs
 }
 
@@ -170,8 +207,15 @@ func Gain(reqs []sched.Request) int64 {
 // the NA of the paper (must be ≤ #ACs).
 func Sup(reqs []sched.Request, dim int) molecule.Vector {
 	s := molecule.New(dim)
-	for _, r := range reqs {
-		s = s.Sup(r.Selected.Atoms)
-	}
+	SupInto(reqs, s)
 	return s
+}
+
+// SupInto computes the joint Meta-Molecule of a selection into dst
+// (overwritten), allocation-free.
+func SupInto(reqs []sched.Request, dst molecule.Vector) {
+	dst.Zero()
+	for _, r := range reqs {
+		dst.SupInPlace(r.Selected.Atoms)
+	}
 }

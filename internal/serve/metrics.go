@@ -36,6 +36,10 @@ type metrics struct {
 	latCount  atomic.Int64
 	latSumNS  atomic.Int64
 	latBucket [numLatencyBuckets]atomic.Int64 // rendered cumulatively
+
+	// poolStats, when non-nil, reads the runner's runtime-pool hit/miss
+	// counters at scrape time (the pool lives in rispp.Runner, not here).
+	poolStats func() (hits, misses int64)
 }
 
 func newMetrics() *metrics {
@@ -105,6 +109,14 @@ func (m *metrics) write(w io.Writer) {
 	fmt.Fprintf(w, "# HELP rispp_explore_cache_hits_total /v1/explore records answered from the result cache.\n")
 	fmt.Fprintf(w, "# TYPE rispp_explore_cache_hits_total counter\n")
 	fmt.Fprintf(w, "rispp_explore_cache_hits_total %d\n", m.engineHits.Load())
+
+	if m.poolStats != nil {
+		hits, misses := m.poolStats()
+		fmt.Fprintf(w, "# HELP rispp_runtime_pool_total Runtime-pool requests by outcome (hit = reused arena, miss = fresh build).\n")
+		fmt.Fprintf(w, "# TYPE rispp_runtime_pool_total counter\n")
+		fmt.Fprintf(w, "rispp_runtime_pool_total{outcome=\"hit\"} %d\n", hits)
+		fmt.Fprintf(w, "rispp_runtime_pool_total{outcome=\"miss\"} %d\n", misses)
+	}
 
 	fmt.Fprintf(w, "# HELP rispp_panics_total Recovered handler panics.\n")
 	fmt.Fprintf(w, "# TYPE rispp_panics_total counter\n")

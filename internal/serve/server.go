@@ -66,6 +66,7 @@ func New(cfg Config, base rispp.Config) *Server {
 		mux:    http.NewServeMux(),
 	}
 	s.runPoint = runner.RunPoint
+	s.met.poolStats = runner.RuntimePoolStats
 	s.mux.HandleFunc("/v1/simulate", s.wrap("/v1/simulate", s.handleSimulate))
 	s.mux.HandleFunc("/v1/explore", s.wrap("/v1/explore", s.handleExplore))
 	s.mux.HandleFunc("/v1/healthz", s.wrap("/v1/healthz", s.handleHealthz))

@@ -12,6 +12,7 @@ import (
 
 	"rispp/internal/core"
 	"rispp/internal/isa"
+	"rispp/internal/molen"
 	"rispp/internal/sched"
 	"rispp/internal/sim"
 	"rispp/internal/workload"
@@ -110,6 +111,77 @@ func BenchmarkCompile(b *testing.B) {
 		if _, err := workload.Compile(tr, is); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// namedRuntime pairs a run-time system with its paper name for the
+// reuse gates; the list covers all six systems of the paper comparison.
+type namedRuntime struct {
+	name string
+	rt   sim.Runtime
+}
+
+func allRuntimes(tb testing.TB, is *isa.ISA, ct *workload.Compiled) []namedRuntime {
+	tb.Helper()
+	var out []namedRuntime
+	for _, name := range sched.Names {
+		s, err := sched.New(name)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		m := core.NewManager(core.Config{ISA: is, NumACs: 10, Scheduler: s})
+		m.SeedFromTrace(ct.Trace)
+		out = append(out, namedRuntime{name, m})
+	}
+	mo := molen.New(molen.Config{ISA: is, NumACs: 10})
+	mo.SeedFromTrace(ct.Trace)
+	out = append(out, namedRuntime{"Molen", mo})
+	out = append(out, namedRuntime{"software", sim.Software(is)})
+	return out
+}
+
+// BenchmarkRunReused measures the reused one-shot path the sweep stack
+// pays per point with runtime pooling: construct each run-time system once,
+// then Reset+run per iteration (RunCompiled resets the runtime itself).
+// Steady state must be 0 allocs/op for all six systems.
+func BenchmarkRunReused(b *testing.B) {
+	is, ct := compiledFrame(b, 1)
+	for _, nr := range allRuntimes(b, is, ct) {
+		b.Run(nr.name, func(b *testing.B) {
+			var res sim.Result
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := sim.RunCompiled(context.Background(), ct, nr.rt, sim.Options{}, &res); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// TestRunReusedZeroAllocs is the allocation regression gate for the reused
+// one-shot path: after a warm-up run sizes every arena, Reset+run of each
+// of the six run-time systems must not allocate at all.
+func TestRunReusedZeroAllocs(t *testing.T) {
+	is, ct := compiledFrame(t, 1)
+	for _, nr := range allRuntimes(t, is, ct) {
+		t.Run(nr.name, func(t *testing.T) {
+			var res sim.Result
+			for i := 0; i < 2; i++ { // warm up arenas and Result
+				if err := sim.RunCompiled(context.Background(), ct, nr.rt, sim.Options{}, &res); err != nil {
+					t.Fatal(err)
+				}
+			}
+			avg := testing.AllocsPerRun(20, func() {
+				if err := sim.RunCompiled(context.Background(), ct, nr.rt, sim.Options{}, &res); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if avg != 0 {
+				t.Errorf("steady-state Reset+run of %s allocates %.1f times per run, want 0", nr.name, avg)
+			}
+		})
 	}
 }
 

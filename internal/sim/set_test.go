@@ -1,0 +1,127 @@
+// Tests of the single-pass multi-system mode: RunCompiledSet must be
+// behaviorally invisible — every result field-exact identical to a
+// sequential RunCompiled of the same system.
+package sim_test
+
+import (
+	"context"
+	"io"
+	"reflect"
+	"testing"
+
+	"rispp/internal/sim"
+)
+
+func TestRunCompiledSetMatchesSequential(t *testing.T) {
+	is, ct := compiledFrame(t, 2)
+	for _, opts := range []sim.Options{
+		{},
+		{HistogramBucket: 100_000, Timeline: true},
+	} {
+		nrs := allRuntimes(t, is, ct)
+		// Sequential reference runs (fresh results; RunCompiled resets the
+		// runtimes, so the same instances can be reused for the set run).
+		want := make([]*sim.Result, len(nrs))
+		for i, nr := range nrs {
+			want[i] = new(sim.Result)
+			if err := sim.RunCompiled(context.Background(), ct, nr.rt, opts, want[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		rts := make([]sim.Runtime, len(nrs))
+		got := make([]*sim.Result, len(nrs))
+		for i, nr := range nrs {
+			rts[i] = nr.rt
+			got[i] = new(sim.Result)
+		}
+		if err := sim.RunCompiledSet(context.Background(), ct, rts, opts, got); err != nil {
+			t.Fatal(err)
+		}
+		for i, nr := range nrs {
+			w, g := want[i], got[i]
+			if w.Runtime != g.Runtime || w.TotalCycles != g.TotalCycles || w.StallCycles != g.StallCycles {
+				t.Errorf("%s: headline mismatch: want (%s, %d, %d), got (%s, %d, %d)",
+					nr.name, w.Runtime, w.TotalCycles, w.StallCycles, g.Runtime, g.TotalCycles, g.StallCycles)
+			}
+			if !reflect.DeepEqual(w.Phases, g.Phases) {
+				t.Errorf("%s: phase boundaries differ", nr.name)
+			}
+			if !reflect.DeepEqual(w.Executions(), g.Executions()) ||
+				!reflect.DeepEqual(w.SWExecutions(), g.SWExecutions()) ||
+				!reflect.DeepEqual(w.HWExecutions(), g.HWExecutions()) {
+				t.Errorf("%s: per-SI accounting differs", nr.name)
+			}
+			if !reflect.DeepEqual(w.Histogram, g.Histogram) {
+				t.Errorf("%s: histogram differs", nr.name)
+			}
+			if !reflect.DeepEqual(w.Timeline, g.Timeline) {
+				t.Errorf("%s: timeline differs", nr.name)
+			}
+		}
+	}
+}
+
+func TestRunCompiledSetRejectsJournal(t *testing.T) {
+	is, ct := compiledFrame(t, 1)
+	rts := []sim.Runtime{sim.Software(is)}
+	res := []*sim.Result{new(sim.Result)}
+	err := sim.RunCompiledSet(context.Background(), ct, rts, sim.Options{Journal: io.Discard}, res)
+	if err == nil {
+		t.Fatal("RunCompiledSet accepted a journal")
+	}
+}
+
+func TestRunCompiledSetLengthMismatch(t *testing.T) {
+	is, ct := compiledFrame(t, 1)
+	rts := []sim.Runtime{sim.Software(is)}
+	err := sim.RunCompiledSet(context.Background(), ct, rts, sim.Options{}, nil)
+	if err == nil {
+		t.Fatal("RunCompiledSet accepted mismatched lengths")
+	}
+}
+
+// TestRunCompiledSetZeroAllocs extends the reuse gate to the batch mode:
+// after warm-up, one set run over all six systems must not allocate.
+func TestRunCompiledSetZeroAllocs(t *testing.T) {
+	is, ct := compiledFrame(t, 1)
+	nrs := allRuntimes(t, is, ct)
+	rts := make([]sim.Runtime, len(nrs))
+	results := make([]*sim.Result, len(nrs))
+	for i, nr := range nrs {
+		rts[i] = nr.rt
+		results[i] = new(sim.Result)
+	}
+	for i := 0; i < 2; i++ {
+		if err := sim.RunCompiledSet(context.Background(), ct, rts, sim.Options{}, results); err != nil {
+			t.Fatal(err)
+		}
+	}
+	avg := testing.AllocsPerRun(20, func() {
+		if err := sim.RunCompiledSet(context.Background(), ct, rts, sim.Options{}, results); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg != 0 {
+		t.Errorf("steady-state RunCompiledSet allocates %.1f times per run, want 0", avg)
+	}
+}
+
+// BenchmarkRunCompiledSet measures the single-pass six-system walk — the
+// per-grid-point cost of the sweep stack after this PR.
+func BenchmarkRunCompiledSet(b *testing.B) {
+	is, ct := compiledFrame(b, 1)
+	nrs := allRuntimes(b, is, ct)
+	rts := make([]sim.Runtime, len(nrs))
+	results := make([]*sim.Result, len(nrs))
+	for i, nr := range nrs {
+		rts[i] = nr.rt
+		results[i] = new(sim.Result)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := sim.RunCompiledSet(context.Background(), ct, rts, sim.Options{}, results); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -291,6 +291,62 @@ func RunCompiled(ctx context.Context, ct *workload.Compiled, rt Runtime, opts Op
 	return err
 }
 
+// maxInlineSet is the runtime count up to which RunCompiledSet runs without
+// allocating its runner table (the six paper systems fit).
+const maxInlineSet = 8
+
+// RunCompiledSet simulates one compiled trace against several run-time
+// systems in a single pass: the trace is walked once, phase by phase, with
+// every runtime executing each phase in turn before the walk moves on. The
+// runtimes are independent, so each results[i] is field-exact identical to
+// a sequential RunCompiled(ctx, ct, rts[i], opts, results[i]) — the batch
+// form only shares the walk (hot compiled-trace data stays cached across
+// systems, the per-point overhead is paid once per grid point instead of
+// once per system).
+//
+// Every runtime is Reset first and results[i] receives rts[i]'s run.
+// Options apply to all systems; Journal is not supported (the N interleaved
+// event streams would be unusable) and returns an error. On error the
+// results hold partial state and must not be interpreted.
+func RunCompiledSet(ctx context.Context, ct *workload.Compiled, rts []Runtime, opts Options, results []*Result) error {
+	if opts.Journal != nil {
+		return fmt.Errorf("sim: RunCompiledSet does not support a journal; run the systems individually")
+	}
+	if len(rts) != len(results) {
+		return fmt.Errorf("sim: RunCompiledSet got %d runtimes but %d results", len(rts), len(results))
+	}
+	var buf [maxInlineSet]runner
+	var runners []runner
+	if len(rts) <= maxInlineSet {
+		runners = buf[:len(rts)]
+	} else {
+		runners = make([]runner, len(rts))
+	}
+	done := ctx.Done()
+	for i, rt := range rts {
+		rt.Reset()
+		results[i].reset(rt.Name(), ct.NumSIs, len(ct.Phases), opts)
+		runners[i] = runner{
+			ctx:       ctx,
+			done:      done,
+			rt:        rt,
+			res:       results[i],
+			maxCycles: opts.MaxCycles,
+		}
+	}
+	for pi := range ct.Phases {
+		for i := range runners {
+			if err := runners[i].runPhase(ct, pi); err != nil {
+				return err
+			}
+		}
+	}
+	for i := range runners {
+		results[i].TotalCycles = runners[i].now
+	}
+	return nil
+}
+
 // runner is the per-run simulator state; it lives on the stack of
 // RunCompiled so the steady-state run path allocates nothing.
 type runner struct {
@@ -356,68 +412,79 @@ func (r *runner) drain(limit int64, spot []isa.SIID) {
 }
 
 func (r *runner) run(ct *workload.Compiled) error {
-	rt, res := r.rt, r.res
 	for pi := range ct.Phases {
-		if r.canceled() {
-			return r.cancelErr
+		if err := r.runPhase(ct, pi); err != nil {
+			return err
 		}
-		p := &ct.Phases[pi]
-		phaseStart := r.now
-		rt.EnterHotSpot(p.HotSpot, r.now)
-		if r.js != nil {
-			r.js.emit(JournalEvent{Cycle: r.now, Event: "enter", HotSpot: int(p.HotSpot)})
-		}
-		r.recordLats(r.now, p.Spot)
-		r.now += p.Setup
-		r.drain(r.now, p.Spot)
+	}
+	r.res.TotalCycles = r.now
+	return nil
+}
 
-		for bi := range p.Bursts {
-			b := &p.Bursts[bi]
-			remaining := b.Count
-			for remaining > 0 {
-				r.drain(r.now, p.Spot)
-				if r.cancelErr != nil {
-					return r.cancelErr
-				}
-				lat := rt.Latency(b.SI)
-				per := int64(lat) + b.Gap
-				n := remaining
-				if next, ok := rt.NextEvent(); ok && next > r.now {
-					// Executions whose start time is before the event keep
-					// the current latency.
-					if k := (next - r.now + per - 1) / per; k < n {
-						n = k
-					}
-				}
-				if res.Histogram != nil {
-					res.Histogram.Add(int(b.SI), r.now, n, per)
-				}
-				res.execs[b.SI] += n
-				if lat >= b.SWLatency {
-					res.swExecs[b.SI] += n
-				} else {
-					res.hwExecs[b.SI] += n
-				}
-				res.StallCycles += n * int64(lat-b.FastestLatency)
-				r.now += n * per
-				remaining -= n
-				rt.Record(b.SI, n, r.now)
-				if r.maxCycles > 0 && r.now > r.maxCycles {
-					return fmt.Errorf("sim: exceeded MaxCycles=%d at phase %d", r.maxCycles, pi)
+// runPhase executes one hot-spot phase of the compiled trace. It is the
+// unit of interleaving for RunCompiledSet: runtimes are independent, so
+// executing phase pi for each runtime in turn produces results identical to
+// full sequential runs.
+func (r *runner) runPhase(ct *workload.Compiled, pi int) error {
+	rt, res := r.rt, r.res
+	if r.canceled() {
+		return r.cancelErr
+	}
+	p := &ct.Phases[pi]
+	phaseStart := r.now
+	rt.EnterHotSpot(p.HotSpot, r.now)
+	if r.js != nil {
+		r.js.emit(JournalEvent{Cycle: r.now, Event: "enter", HotSpot: int(p.HotSpot)})
+	}
+	r.recordLats(r.now, p.Spot)
+	r.now += p.Setup
+	r.drain(r.now, p.Spot)
+
+	for bi := range p.Bursts {
+		b := &p.Bursts[bi]
+		remaining := b.Count
+		for remaining > 0 {
+			r.drain(r.now, p.Spot)
+			if r.cancelErr != nil {
+				return r.cancelErr
+			}
+			lat := rt.Latency(b.SI)
+			per := int64(lat) + b.Gap
+			n := remaining
+			if next, ok := rt.NextEvent(); ok && next > r.now {
+				// Executions whose start time is before the event keep
+				// the current latency.
+				if k := (next - r.now + per - 1) / per; k < n {
+					n = k
 				}
 			}
+			if res.Histogram != nil {
+				res.Histogram.Add(int(b.SI), r.now, n, per)
+			}
+			res.execs[b.SI] += n
+			if lat >= b.SWLatency {
+				res.swExecs[b.SI] += n
+			} else {
+				res.hwExecs[b.SI] += n
+			}
+			res.StallCycles += n * int64(lat-b.FastestLatency)
+			r.now += n * per
+			remaining -= n
+			rt.Record(b.SI, n, r.now)
+			if r.maxCycles > 0 && r.now > r.maxCycles {
+				return fmt.Errorf("sim: exceeded MaxCycles=%d at phase %d", r.maxCycles, pi)
+			}
 		}
-		r.drain(r.now, p.Spot)
-		if r.cancelErr != nil {
-			return r.cancelErr
-		}
-		rt.LeaveHotSpot(r.now)
-		if r.js != nil {
-			r.js.emit(JournalEvent{Cycle: r.now, Event: "leave", HotSpot: int(p.HotSpot)})
-		}
-		res.Phases = append(res.Phases, PhaseStat{HotSpot: p.HotSpot, Start: phaseStart, End: r.now})
 	}
-	res.TotalCycles = r.now
+	r.drain(r.now, p.Spot)
+	if r.cancelErr != nil {
+		return r.cancelErr
+	}
+	rt.LeaveHotSpot(r.now)
+	if r.js != nil {
+		r.js.emit(JournalEvent{Cycle: r.now, Event: "leave", HotSpot: int(p.HotSpot)})
+	}
+	res.Phases = append(res.Phases, PhaseStat{HotSpot: p.HotSpot, Start: phaseStart, End: r.now})
 	return nil
 }
 

@@ -24,6 +24,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"rispp/internal/bitstream"
 	"rispp/internal/core"
@@ -185,19 +186,162 @@ type SweepPoint struct {
 // base.Workload is used verbatim for every point — in that case do not
 // share an explore.Cache across different traces, since the point key only
 // describes the knobs.
+// Runtimes are pooled too: runtime construction allocates the full arena
+// set (monitor tables, Atom Container array, scheduler scratch), while a
+// reused runtime is Reset in place by the simulator and re-runs without
+// allocating. The pool is keyed by everything that distinguishes one
+// runtime build from another under a fixed base config — scheduler, #ACs,
+// forecast seeding, prefetching, and the workload knobs (forecast seeds
+// derive from the trace).
 type Runner struct {
 	base     Config
-	memo     bool      // compiled-trace memoization is sound (no Bus rewrite)
+	memo     bool      // trace memo + runtime pool are sound (no Bus rewrite)
 	results  sync.Pool // *sim.Result, reused across runs
 	compiled sync.Map  // workload.H264Config → *workload.Compiled
+
+	runtimes             sync.Map // runtimeKey → *runtimePool
+	poolHits, poolMisses atomic.Int64
 }
 
-// NewRunner builds a Runner over the base config. Trace memoization is
-// disabled when base.Bus is set, because the Bus transform rewrites the
-// trace after the workload knobs are applied — equal knobs would no longer
-// imply an equal compiled trace per config.
+// runtimePool is a per-key free list of idle runtimes. Unlike sync.Pool it
+// holds strong references: a runtime arena is a deliberate, bounded cache
+// (the list can never exceed the peak number of concurrent runs per key),
+// and dropping it on every GC — which the construction garbage of the
+// resulting misses itself triggers — would defeat the cache exactly when
+// it is needed.
+type runtimePool struct {
+	mu   sync.Mutex
+	free []sim.Runtime
+}
+
+// maxPooledPerKey bounds each free list as a safety net; in practice the
+// list size equals the peak concurrency on the key (a handful).
+const maxPooledPerKey = 32
+
+func (p *runtimePool) get() (sim.Runtime, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if n := len(p.free); n > 0 {
+		rt := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		return rt, true
+	}
+	return nil, false
+}
+
+func (p *runtimePool) put(rt sim.Runtime) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.free) < maxPooledPerKey {
+		p.free = append(p.free, rt)
+	}
+}
+
+// runtimeKey identifies a pool of interchangeable runtimes: two builds with
+// equal keys (under one Runner, whose remaining config fields are fixed)
+// are behaviorally identical after Reset.
+type runtimeKey struct {
+	scheduler     string
+	numACs        int
+	seedForecasts bool
+	prefetch      bool
+	knobs         workload.H264Config
+}
+
+// NewRunner builds a Runner over the base config. Trace memoization and the
+// runtime pool are disabled when base.Bus is set, because the Bus transform
+// rewrites the trace after the workload knobs are applied — equal knobs
+// would no longer imply an equal compiled trace (or equal forecast seeds)
+// per config. The default ISA is resolved once here: building the H.264
+// Molecule library per point would dwarf a pooled run's cost.
 func NewRunner(base Config) *Runner {
+	if base.ISA == nil {
+		base.ISA = isa.H264()
+	}
 	return &Runner{base: base, memo: base.Bus == nil}
+}
+
+// RuntimePoolStats reports how often a RunPoint/RunPointSet runtime request
+// was served from the pool (hit) versus built fresh (miss). With the pool
+// disabled (base.Bus set) every request counts as a miss.
+func (r *Runner) RuntimePoolStats() (hits, misses int64) {
+	return r.poolHits.Load(), r.poolMisses.Load()
+}
+
+// runtime returns a runtime for cfg, pooled under key when sound. A non-nil
+// pool must be handed back via putRuntime once the run completes — even a
+// failed run, since Reset restores power-on state regardless.
+func (r *Runner) runtime(cfg *Config, key runtimeKey) (sim.Runtime, *runtimePool, error) {
+	if !r.memo {
+		r.poolMisses.Add(1)
+		rt, err := NewRuntime(*cfg)
+		return rt, nil, err
+	}
+	v, ok := r.runtimes.Load(key)
+	if !ok {
+		v, _ = r.runtimes.LoadOrStore(key, new(runtimePool))
+	}
+	pool := v.(*runtimePool)
+	if rt, ok := pool.get(); ok {
+		r.poolHits.Add(1)
+		return rt, pool, nil
+	}
+	r.poolMisses.Add(1)
+	materializeWorkload(cfg, key.knobs) // forecast seeding reads the trace
+	rt, err := NewRuntime(*cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return rt, pool, nil
+}
+
+func (r *Runner) putRuntime(pool *runtimePool, rt sim.Runtime) {
+	if pool != nil {
+		pool.put(rt)
+	}
+}
+
+// pointConfig materializes point p over the base config and returns it with
+// the workload-knob memo key (zeroed when the base pins a shared trace).
+// When memoization is on, cfg.Workload is left nil for knob-driven traces:
+// generating the trace is only necessary on a memo or runtime-pool miss,
+// and materializeWorkload fills it in exactly there. The steady state —
+// warm memo, warm pool — therefore touches neither the ISA builder nor the
+// trace generator.
+func (r *Runner) pointConfig(p explore.Point, collect sim.Options) (Config, workload.H264Config) {
+	cfg := r.base // base.ISA is pre-resolved by NewRunner
+	cfg.Scheduler = p.Scheduler
+	cfg.NumACs = p.NumACs
+	cfg.SeedForecasts = p.SeedForecasts
+	cfg.Prefetch = p.Prefetch
+	cfg.Collect = collect
+	if cfg.Scheduler == "" {
+		cfg.Scheduler = "HEF"
+	}
+	key := workload.H264Config{
+		Frames:            p.Frames,
+		Seed:              p.Seed,
+		MotionVariability: p.Motion,
+		SceneChangeFrame:  p.SceneChange,
+	}
+	if cfg.Workload != nil {
+		key = workload.H264Config{} // single shared trace, one memo slot
+	} else if !r.memo {
+		cfg.Workload = workload.H264(key)
+	}
+	if cfg.Bus != nil {
+		cfg.setDefaults() // applies the Bus transform to timing and trace
+	}
+	return cfg, key
+}
+
+// materializeWorkload generates the knob-driven trace if pointConfig left
+// it lazy (memo on, no pinned base workload).
+func materializeWorkload(cfg *Config, key workload.H264Config) {
+	if cfg.Workload == nil {
+		cfg.Workload = workload.H264(key)
+	}
 }
 
 // GetResult returns a pooled Result for RunPoint; return it with PutResult
@@ -220,6 +364,7 @@ func (r *Runner) compile(cfg *Config, key workload.H264Config) (*workload.Compil
 			return v.(*workload.Compiled), nil
 		}
 	}
+	materializeWorkload(cfg, key)
 	ct, err := workload.Compile(cfg.Workload, cfg.ISA)
 	if err != nil {
 		return nil, err
@@ -234,48 +379,93 @@ func (r *Runner) compile(cfg *Config, key workload.H264Config) (*workload.Compil
 
 // RunPoint simulates design point p into the caller-owned res (typically
 // from GetResult), collecting the artifacts selected by collect. The
-// runtime is built fresh per call; the compiled trace comes from the memo
-// when possible. On error res holds partial state and must not be
-// interpreted (it is still safe to PutResult).
+// runtime comes from the runtime pool (built fresh on a miss) and is
+// returned to it afterwards; the compiled trace comes from the memo when
+// possible. On error res holds partial state and must not be interpreted
+// (it is still safe to PutResult).
 func (r *Runner) RunPoint(ctx context.Context, p explore.Point, collect sim.Options, res *sim.Result) error {
-	cfg := r.base
-	cfg.Scheduler = p.Scheduler
-	cfg.NumACs = p.NumACs
-	cfg.SeedForecasts = p.SeedForecasts
-	cfg.Prefetch = p.Prefetch
-	cfg.Collect = collect
-	key := workload.H264Config{
-		Frames:            p.Frames,
-		Seed:              p.Seed,
-		MotionVariability: p.Motion,
-		SceneChangeFrame:  p.SceneChange,
-	}
-	if cfg.Workload == nil {
-		cfg.Workload = workload.H264(key)
-	} else {
-		key = workload.H264Config{} // single shared trace, one memo slot
-	}
-	cfg.setDefaults() // may apply a Bus transform to the trace
+	cfg, key := r.pointConfig(p, collect)
 	ct, err := r.compile(&cfg, key)
 	if err != nil {
 		return err
 	}
-	rt, err := NewRuntime(cfg)
+	rt, pool, err := r.runtime(&cfg, runtimeKey{
+		scheduler:     cfg.Scheduler,
+		numACs:        cfg.NumACs,
+		seedForecasts: cfg.SeedForecasts,
+		prefetch:      cfg.Prefetch,
+		knobs:         key,
+	})
 	if err != nil {
 		return err
 	}
-	return sim.RunCompiled(ctx, ct, rt, cfg.Collect, res)
+	err = sim.RunCompiled(ctx, ct, rt, cfg.Collect, res)
+	r.putRuntime(pool, rt)
+	return err
+}
+
+// RunPointSet simulates several design points that share one workload in a
+// single pass over the compiled trace (sim.RunCompiledSet): the trace is
+// walked once and every runtime advances through it phase by phase. The
+// points may differ in scheduler, #ACs, forecast seeding, and prefetching,
+// but must agree on the workload knobs; results[i] receives point ps[i].
+// Each result is field-exact identical to a RunPoint of the same point.
+func (r *Runner) RunPointSet(ctx context.Context, ps []explore.Point, collect sim.Options, results []*sim.Result) error {
+	if len(ps) != len(results) {
+		return fmt.Errorf("rispp: RunPointSet got %d points but %d results", len(ps), len(results))
+	}
+	if len(ps) == 0 {
+		return nil
+	}
+	rts := make([]sim.Runtime, len(ps))
+	pools := make([]*runtimePool, len(ps))
+	var ct *workload.Compiled
+	for i, p := range ps {
+		cfg, key := r.pointConfig(p, collect)
+		if i == 0 {
+			var err error
+			if ct, err = r.compile(&cfg, key); err != nil {
+				return err
+			}
+		} else if p0 := ps[0]; p.Frames != p0.Frames || p.Seed != p0.Seed ||
+			p.Motion != p0.Motion || p.SceneChange != p0.SceneChange {
+			return fmt.Errorf("rispp: RunPointSet points disagree on workload knobs: %s vs %s", p0.Key(), p.Key())
+		}
+		rt, pool, err := r.runtime(&cfg, runtimeKey{
+			scheduler:     cfg.Scheduler,
+			numACs:        cfg.NumACs,
+			seedForecasts: cfg.SeedForecasts,
+			prefetch:      cfg.Prefetch,
+			knobs:         key,
+		})
+		if err != nil {
+			for j := 0; j < i; j++ {
+				r.putRuntime(pools[j], rts[j])
+			}
+			return err
+		}
+		rts[i], pools[i] = rt, pool
+	}
+	err := sim.RunCompiledSet(ctx, ct, rts, collect, results)
+	for i := range rts {
+		r.putRuntime(pools[i], rts[i])
+	}
+	return err
 }
 
 // Explorer wires the design-space exploration engine of internal/explore to
 // this library: every explore.Point is materialized as a Config and
 // simulated on a bounded worker pool, through a shared Runner (see Runner
-// for the workload semantics and the scratch-sharing guarantees).
+// for the workload semantics and the scratch-sharing guarantees). Points
+// that differ only in their scheduler are batched into a single pass over
+// the shared compiled trace (Runner.RunPointSet).
 func Explorer(base Config, workers int, cache *explore.Cache) *explore.Engine {
+	rn := NewRunner(base)
 	return &explore.Engine{
 		Workers: workers,
 		Cache:   cache,
-		Run:     NewRunner(base).EngineRun(),
+		Run:     rn.EngineRun(),
+		RunSet:  rn.EngineRunSet(),
 	}
 }
 
@@ -295,6 +485,36 @@ func (r *Runner) EngineRun() explore.RunFunc {
 			SWExecutions: res.TotalSWExecutions(),
 			HWExecutions: res.TotalHWExecutions(),
 		}, nil
+	}
+}
+
+// EngineRunSet adapts Runner.RunPointSet to the engine's batched signature:
+// the points of one scheduler group run in a single pass over their shared
+// compiled trace, into pooled Results condensed to explore.Metrics.
+func (r *Runner) EngineRunSet() explore.RunSetFunc {
+	return func(ctx context.Context, ps []explore.Point) ([]explore.Metrics, error) {
+		results := make([]*sim.Result, len(ps))
+		for i := range results {
+			results[i] = r.GetResult()
+		}
+		defer func() {
+			for _, res := range results {
+				r.PutResult(res)
+			}
+		}()
+		if err := r.RunPointSet(ctx, ps, r.base.Collect, results); err != nil {
+			return nil, err
+		}
+		ms := make([]explore.Metrics, len(ps))
+		for i, res := range results {
+			ms[i] = explore.Metrics{
+				TotalCycles:  res.TotalCycles,
+				StallCycles:  res.StallCycles,
+				SWExecutions: res.TotalSWExecutions(),
+				HWExecutions: res.TotalHWExecutions(),
+			}
+		}
+		return ms, nil
 	}
 }
 

@@ -93,3 +93,82 @@ func TestRunnerConcurrentUseIsRaceFreeAndDeterministic(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestRuntimePoolConcurrentUseIsRaceFreeAndDeterministic hammers the
+// runtime pool of one shared Runner from many goroutines, half via RunPoint
+// (one pooled runtime at a time) and half via RunPointSet (a whole
+// scheduler group of pooled runtimes held simultaneously for a single-pass
+// walk), checking every result against a sequential baseline. Run under
+// -race; cheap enough for -short.
+func TestRuntimePoolConcurrentUseIsRaceFreeAndDeterministic(t *testing.T) {
+	pts := racePoints()
+	// Group the points the way the exploration engine would: same knobs,
+	// different scheduler/ACs → one RunPointSet batch per frame count.
+	groups := map[int][]explore.Point{}
+	for _, p := range pts {
+		groups[p.Frames] = append(groups[p.Frames], p)
+	}
+
+	want := make([]int64, len(pts))
+	wantOf := make(map[string]int64, len(pts))
+	seq := NewRunner(Config{})
+	for i, p := range pts {
+		res := new(sim.Result)
+		if err := seq.RunPoint(context.Background(), p, sim.Options{}, res); err != nil {
+			t.Fatalf("point %d: %v", i, err)
+		}
+		want[i] = res.TotalCycles
+		wantOf[p.Normalized().Key()] = res.TotalCycles
+	}
+
+	shared := NewRunner(Config{})
+	const goroutines = 8
+	const rounds = 3
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for round := 0; round < rounds; round++ {
+				if g%2 == 0 {
+					for off := 0; off < len(pts); off++ {
+						i := (g + off) % len(pts)
+						res := shared.GetResult()
+						if err := shared.RunPoint(context.Background(), pts[i], sim.Options{}, res); err != nil {
+							t.Errorf("goroutine %d: %v", g, err)
+							return
+						}
+						if res.TotalCycles != want[i] {
+							t.Errorf("goroutine %d, point %d: got %d cycles, want %d", g, i, res.TotalCycles, want[i])
+							return
+						}
+						shared.PutResult(res)
+					}
+					continue
+				}
+				for _, ps := range groups {
+					results := make([]*sim.Result, len(ps))
+					for i := range results {
+						results[i] = shared.GetResult()
+					}
+					if err := shared.RunPointSet(context.Background(), ps, sim.Options{}, results); err != nil {
+						t.Errorf("goroutine %d: %v", g, err)
+						return
+					}
+					for i, p := range ps {
+						if w := wantOf[p.Normalized().Key()]; results[i].TotalCycles != w {
+							t.Errorf("goroutine %d, point %s: got %d cycles, want %d",
+								g, p.Key(), results[i].TotalCycles, w)
+							return
+						}
+						shared.PutResult(results[i])
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if hits, misses := shared.RuntimePoolStats(); hits == 0 || misses == 0 {
+		t.Errorf("stress did not exercise the pool: hits=%d misses=%d", hits, misses)
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strconv"
@@ -141,7 +142,7 @@ func fmtEntry(e Entry) string {
 // parseBench extracts {ns/op, allocs/op} per benchmark from `go test
 // -bench` output, keeping the minimum of repeated runs. The -cpus suffix
 // ("BenchmarkRun-8") is stripped so baselines are core-count independent.
-func parseBench(f *os.File) (map[string]Entry, error) {
+func parseBench(f io.Reader) (map[string]Entry, error) {
 	out := make(map[string]Entry)
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
@@ -214,7 +215,7 @@ func readBaseline(path string) (Baseline, error) {
 
 func writeBaseline(path string, measured map[string]Entry) error {
 	base := Baseline{
-		Note:       "minimum of repeated runs; regenerate with: make bench-baseline",
+		Note:       "minimum of repeated runs; regenerate with: make bench-baseline (gate) or make bench-json (snapshot)",
 		Benchmarks: measured,
 	}
 	b, err := json.MarshalIndent(base, "", "  ")

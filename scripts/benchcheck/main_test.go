@@ -1,0 +1,89 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func baselineOf(entries map[string]Entry) Baseline {
+	return Baseline{Benchmarks: entries}
+}
+
+// TestCheckFailsOnMissingBenchmark pins the gate's coverage guarantee: a
+// benchmark present in the committed baseline but absent from the bench
+// run must fail the check, so a renamed or accidentally skipped benchmark
+// cannot silently drop out of the regression gate.
+func TestCheckFailsOnMissingBenchmark(t *testing.T) {
+	base := baselineOf(map[string]Entry{
+		"BenchmarkRun":   {NsPerOp: 1000, AllocsPerOp: 0},
+		"BenchmarkSweep": {NsPerOp: 5000, AllocsPerOp: 10},
+	})
+	measured := map[string]Entry{
+		"BenchmarkRun": {NsPerOp: 1000, AllocsPerOp: 0},
+		// BenchmarkSweep missing from the run.
+	}
+	if !check(base, measured, 0.25) {
+		t.Error("check passed although a baselined benchmark was missing from the run")
+	}
+}
+
+func TestCheckFailsOnRegression(t *testing.T) {
+	base := baselineOf(map[string]Entry{"BenchmarkRun": {NsPerOp: 1000, AllocsPerOp: 0}})
+	if !check(base, map[string]Entry{"BenchmarkRun": {NsPerOp: 1300, AllocsPerOp: 0}}, 0.25) {
+		t.Error("check passed a +30% ns/op regression at 25% tolerance")
+	}
+	if check(base, map[string]Entry{"BenchmarkRun": {NsPerOp: 1200, AllocsPerOp: 0}}, 0.25) {
+		t.Error("check failed a +20% ns/op change at 25% tolerance")
+	}
+}
+
+func TestCheckFailsOnAllocIncrease(t *testing.T) {
+	base := baselineOf(map[string]Entry{"BenchmarkRun": {NsPerOp: 1000, AllocsPerOp: 0}})
+	if !check(base, map[string]Entry{"BenchmarkRun": {NsPerOp: 900, AllocsPerOp: 1}}, 0.25) {
+		t.Error("check passed an allocs/op increase")
+	}
+}
+
+func TestCheckIgnoresUnbaselinedBenchmarks(t *testing.T) {
+	base := baselineOf(map[string]Entry{"BenchmarkRun": {NsPerOp: 1000, AllocsPerOp: 0}})
+	measured := map[string]Entry{
+		"BenchmarkRun":           {NsPerOp: 1000, AllocsPerOp: 0},
+		"BenchmarkSweepPerPoint": {NsPerOp: 99999, AllocsPerOp: 12345},
+	}
+	if check(base, measured, 0.25) {
+		t.Error("check failed on a benchmark that has no baseline entry")
+	}
+}
+
+// TestParseBenchMinOfRepeats pins the reduction: repeated runs keep the
+// fastest ns/op and the smallest allocs/op, the -cpus suffix is stripped,
+// and sub-benchmark names survive intact.
+func TestParseBenchMinOfRepeats(t *testing.T) {
+	out, err := parseBench(strings.NewReader(`
+goos: linux
+BenchmarkRun-8           	  100	 1200 ns/op	  64 B/op	 2 allocs/op
+BenchmarkRun-8           	  100	 1000 ns/op	  64 B/op	 3 allocs/op
+BenchmarkRunReused/HEF-8 	  100	 5000 ns/op	   0 B/op	 0 allocs/op
+PASS
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, ok := out["BenchmarkRun"]
+	if !ok {
+		t.Fatalf("BenchmarkRun not parsed (got %v)", out)
+	}
+	if run.NsPerOp != 1000 || run.AllocsPerOp != 2 {
+		t.Errorf("BenchmarkRun reduced to %+v, want min ns/op 1000 and min allocs/op 2", run)
+	}
+	if _, ok := out["BenchmarkRunReused/HEF"]; !ok {
+		t.Errorf("sub-benchmark name not preserved (got %v)", out)
+	}
+}
+
+func TestParseBenchRequiresBenchmem(t *testing.T) {
+	_, err := parseBench(strings.NewReader("BenchmarkRun-8 100 1000 ns/op\n"))
+	if err == nil {
+		t.Error("parseBench accepted output without allocs/op")
+	}
+}
