@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test short race bench bench-paper bench-check bench-baseline bench-json cover-check verify-oracle fuzz lint serve figures verify clean
+.PHONY: all build test short race bench bench-paper bench-check bench-baseline bench-json cover-check verify-oracle fuzz search-smoke lint serve figures verify clean
 
 all: build test
 
@@ -37,12 +37,14 @@ bench-paper:
 bench-check:
 	$(GO) test -run '^$$' -bench BenchmarkRun -benchtime 100x -benchmem -count 5 ./internal/sim > bench_check.txt
 	$(GO) test -run '^$$' -bench 'BenchmarkSweep$$' -benchtime 20x -benchmem -count 5 . >> bench_check.txt
+	$(GO) test -run '^$$' -bench BenchmarkSearchDriver -benchtime 20x -benchmem -count 5 ./internal/search >> bench_check.txt
 	$(GO) run ./scripts/benchcheck -baseline BENCH_baseline.json < bench_check.txt
 
 # Re-measure the bench baseline on this machine (commit the result).
 bench-baseline:
 	$(GO) test -run '^$$' -bench BenchmarkRun -benchtime 100x -benchmem -count 5 ./internal/sim > bench_baseline.txt
 	$(GO) test -run '^$$' -bench 'BenchmarkSweep$$' -benchtime 20x -benchmem -count 5 . >> bench_baseline.txt
+	$(GO) test -run '^$$' -bench BenchmarkSearchDriver -benchtime 20x -benchmem -count 5 ./internal/search >> bench_baseline.txt
 	$(GO) run ./scripts/benchcheck -update -baseline BENCH_baseline.json < bench_baseline.txt
 	rm -f bench_baseline.txt
 
@@ -66,6 +68,24 @@ cover-check:
 # fails with a minimal shrunk reproducer (see EXPERIMENTS.md).
 verify-oracle:
 	$(GO) test -run 'TestCrossCheck' -v ./internal/oracle
+
+# Adaptive-search smoke (what the search-smoke CI job runs): every
+# strategy gets a 30-point budget over a small real-simulator space, runs
+# twice, and the two journals must be byte-identical; each journal must
+# then replay clean (`risppexplore -replay` re-derives the Pareto front
+# from the eval lines and compares byte-for-byte).
+search-smoke:
+	@rm -rf search_smoke && mkdir -p search_smoke
+	@set -e; for s in random halving evolve; do \
+		echo "== $$s =="; \
+		$(GO) run ./cmd/risppexplore -sched HEF,Molen,ASF,software -acs 4-20 -frames 2 \
+			-search $$s -budget 30 -seed 42 -journal search_smoke/$$s.jsonl -out /dev/null -summary=false; \
+		$(GO) run ./cmd/risppexplore -sched HEF,Molen,ASF,software -acs 4-20 -frames 2 \
+			-search $$s -budget 30 -seed 42 -journal search_smoke/$$s.2.jsonl -out /dev/null -summary=false; \
+		cmp search_smoke/$$s.jsonl search_smoke/$$s.2.jsonl; \
+		$(GO) run ./cmd/risppexplore -replay search_smoke/$$s.jsonl; \
+	done
+	@rm -rf search_smoke
 
 # Native fuzzing beyond the committed seed corpora (testdata/fuzz/).
 # FUZZTIME overrides the per-target budget.
@@ -92,4 +112,4 @@ verify:
 	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
 
 clean:
-	rm -rf figures test_output.txt bench_output.txt bench_check.txt bench_baseline.txt bench_json.txt cover.out cpu.pprof
+	rm -rf figures search_smoke test_output.txt bench_output.txt bench_check.txt bench_baseline.txt bench_json.txt cover.out cpu.pprof

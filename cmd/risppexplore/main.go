@@ -13,7 +13,18 @@
 //
 // A spec file is the JSON form of explore.Spec, e.g.
 //
-//	{"schedulers": ["HEF", "Molen"], "acs": [5, 10, 15], "frames": [20], "motion": [0, 0.3]}
+//	{"schedulers": ["HEF", "Molen"], "acs": [5, 10, 15], "motion": [0, 0.3]}
+//
+// Instead of exhaustively expanding the grid, -search runs an adaptive
+// multi-objective strategy (internal/search) over the same spec: points are
+// proposed in seeded deterministic batches, evaluated through the engine
+// with every result validated by the reference oracle, and the
+// cycles-vs-area Pareto front is maintained incrementally under an
+// evaluation budget:
+//
+//	risppexplore -sched HEF,Molen,software -acs 4-32 -search evolve -budget 100 -seed 1
+//	risppexplore -spec sweep.json -search halving -budget 200 -journal run.jsonl
+//	risppexplore -replay run.jsonl            # verify a journal byte-for-byte
 package main
 
 import (
@@ -21,6 +32,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -31,6 +43,7 @@ import (
 	"rispp"
 	"rispp/internal/explore"
 	"rispp/internal/profiling"
+	"rispp/internal/search"
 )
 
 // stopProfiles, once set, flushes active profiles; fatal calls it so that
@@ -56,9 +69,31 @@ func main() {
 		out       = flag.String("out", "-", "JSONL output file (- = stdout)")
 		summary   = flag.Bool("summary", true, "print the sweep summary to stderr")
 		baseline  = flag.String("baseline", "Molen", "baseline scheduler for the speedup table")
+
+		searchName = flag.String("search", "", "adaptive search strategy instead of a full grid sweep: "+strings.Join(search.StrategyNames(), ", "))
+		budget     = flag.Int("budget", 0, "evaluation budget for -search (required with -search)")
+		seed       = flag.Int64("seed", 1, "PRNG seed for -search (same seed = byte-identical journal)")
+		batch      = flag.Int("search-batch", search.DefaultBatchSize, "points proposed per -search round")
+		journalOut = flag.String("journal", "", "write the replayable search journal (JSONL) to this file")
+		replayFile = flag.String("replay", "", "verify a search journal and print its summary (no simulation)")
+		check      = flag.Bool("check", false, "validate every simulated point with the reference oracle (always on under -search)")
 	)
 	prof.AddFlags(flag.CommandLine)
 	flag.Parse()
+
+	if *replayFile != "" {
+		f, err := os.Open(*replayFile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		rep, err := search.Replay(f)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(rep.Format())
+		return
+	}
 
 	var spec explore.Spec
 	if *specFile != "" {
@@ -164,8 +199,19 @@ func main() {
 		defer cancel()
 	}
 
+	if *searchName != "" {
+		runSearch(ctx, spec, cache, searchFlags{
+			strategy: *searchName, seed: *seed, budget: *budget, batch: *batch,
+			workers: *workers, journal: *journalOut, summary: *summary,
+		}, bw)
+		return
+	}
+
 	start := time.Now()
 	eng := rispp.Explorer(rispp.Config{}, *workers, cache)
+	if *check {
+		eng = rispp.CheckedExplorer(rispp.Config{}, *workers, cache)
+	}
 	res, err := eng.Execute(ctx, spec, bw)
 	if flushErr := bw.Flush(); err == nil {
 		err = flushErr
@@ -182,6 +228,64 @@ func main() {
 	}
 	if res.Summary.Failed > 0 {
 		fatal(fmt.Errorf("%d of %d jobs failed (first: %v)", res.Summary.Failed, res.Summary.Total, res.FirstErr()))
+	}
+}
+
+type searchFlags struct {
+	strategy string
+	seed     int64
+	budget   int
+	batch    int
+	workers  int
+	journal  string
+	summary  bool
+}
+
+// runSearch executes the adaptive-search path: the engine is always the
+// oracle-checked one, so a guided strategy can never converge onto a
+// simulator bug. Evaluated records stream to bw as JSONL (same format as a
+// grid sweep); the replayable journal goes to -journal when given.
+func runSearch(ctx context.Context, spec explore.Spec, cache *explore.Cache, sf searchFlags, bw *bufio.Writer) {
+	start := time.Now()
+	var journal io.Writer
+	var jf *os.File
+	if sf.journal != "" {
+		f, err := os.Create(sf.journal)
+		if err != nil {
+			fatal(err)
+		}
+		jf = f
+		journal = f
+	}
+	eng := rispp.CheckedExplorer(rispp.Config{}, sf.workers, cache)
+	out, err := search.Run(ctx, eng, spec, search.Config{
+		Strategy:  sf.strategy,
+		Seed:      sf.seed,
+		Budget:    sf.budget,
+		BatchSize: sf.batch,
+		Stream:    bw,
+		Journal:   journal,
+	})
+	if flushErr := bw.Flush(); err == nil {
+		err = flushErr
+	}
+	if jf != nil {
+		if cerr := jf.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if perr := stopProfiles(); err == nil {
+		err = perr
+	}
+	stopProfiles = nil
+	if sf.summary && out != nil {
+		fmt.Fprintf(os.Stderr, "\n%selapsed: %s\n", out.Format(), time.Since(start).Round(time.Millisecond))
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if out.Failed > 0 {
+		fatal(fmt.Errorf("%d of %d evaluated points failed", out.Failed, out.Evaluated))
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 	"sort"
 	"sync"
 
+	"rispp/internal/hwmodel"
 	"rispp/internal/stats"
 )
 
@@ -28,7 +29,13 @@ type Metrics struct {
 type Record struct {
 	Point Point `json:"point"`
 	Metrics
-	Err string `json:"err,omitempty"`
+	// Area is the estimated fabric cost of the point in Virtex-II slices
+	// (hwmodel.PointArea): the Atom-Container array plus the run-time
+	// system's fixed hardware. It is derived from the point — not measured
+	// and not cached — so every record carries it, including failed ones,
+	// and cold/warm runs stay byte-identical.
+	Area int64  `json:"area"`
+	Err  string `json:"err,omitempty"`
 
 	Cached bool `json:"-"`
 	// CacheWarn carries a non-fatal warning: the point simulated fine but
@@ -117,12 +124,23 @@ func (r *Result) FirstErr() error {
 // context cancellation the completed prefix is flushed, unfinished jobs are
 // marked failed, and ctx's error is returned alongside the partial result.
 func (e *Engine) Execute(ctx context.Context, spec Spec, w io.Writer) (*Result, error) {
-	if e.Run == nil {
-		return nil, errors.New("explore: Engine.Run is nil")
-	}
 	jobs, err := spec.Expand()
 	if err != nil {
 		return nil, err
+	}
+	return e.ExecutePoints(ctx, jobs, w)
+}
+
+// ExecutePoints runs an already-expanded job list, bypassing Spec.Expand:
+// the points must be normalized (Point.Normalized) and deduplicated —
+// exactly what Expand, or a search space built from one, produces. Batch
+// drivers that already hold canonical points (internal/search proposes from
+// a space normalized once at construction) use this to avoid re-normalizing
+// every batch; everything else — streaming, ordering, grouping, caching —
+// matches Execute.
+func (e *Engine) ExecutePoints(ctx context.Context, jobs []Point, w io.Writer) (*Result, error) {
+	if e.Run == nil {
+		return nil, errors.New("explore: Engine.Run is nil")
 	}
 	workers := e.Workers
 	if workers <= 0 {
@@ -148,6 +166,7 @@ func (e *Engine) Execute(ctx context.Context, spec Spec, w io.Writer) (*Result, 
 	}
 	// finish records job i and streams every contiguous completed record.
 	finish := func(i int, rec Record) {
+		rec.Area = hwmodel.PointArea(rec.Point.Scheduler, rec.Point.NumACs)
 		mu.Lock()
 		defer mu.Unlock()
 		res.Records[i] = rec
@@ -224,7 +243,11 @@ func (e *Engine) Execute(ctx context.Context, spec Spec, w io.Writer) (*Result, 
 	if err := ctx.Err(); err != nil {
 		for i := range res.Records {
 			if !done[i] {
-				res.Records[i] = Record{Point: jobs[i], Err: "skipped: " + err.Error()}
+				res.Records[i] = Record{
+					Point: jobs[i],
+					Area:  hwmodel.PointArea(jobs[i].Scheduler, jobs[i].NumACs),
+					Err:   "skipped: " + err.Error(),
+				}
 			}
 		}
 		res.summarize()

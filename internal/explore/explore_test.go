@@ -9,6 +9,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"rispp/internal/hwmodel"
 )
 
 // fakeRun is a deterministic stand-in for the simulator: cycles depend only
@@ -105,6 +107,122 @@ func TestKeyStableAndHashDistinct(t *testing.T) {
 	want := `{"scheduler":"HEF","acs":10,"frames":20,"seed":0,"motion":0,"scene_change":0,"seed_forecasts":true,"prefetch":false}`
 	if a.Key() != want {
 		t.Fatalf("canonical key changed:\n got %s\nwant %s", a.Key(), want)
+	}
+}
+
+// TestNormalizedIdempotent guards the normalize-once contract the search
+// driver relies on: normalizing an already-normalized point must be the
+// identity, so points expanded once can be re-submitted (ExecutePoints,
+// suggest observations) without drifting.
+func TestNormalizedIdempotent(t *testing.T) {
+	pts := []Point{
+		{},
+		{Scheduler: "ASF", NumACs: 7},
+		{Scheduler: "Molen", NumACs: 3, Frames: 9, Seed: 4, Motion: 0.5, SceneChange: 2, SeedForecasts: true, Prefetch: true},
+	}
+	for _, p := range pts {
+		once := p.Normalized()
+		if twice := once.Normalized(); twice != once {
+			t.Errorf("double normalization drifts: %+v -> %+v", once, twice)
+		}
+	}
+	// Expand emits normalized points: re-normalizing its output is a no-op.
+	jobs, err := testSpec().Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range jobs {
+		if p.Normalized() != p {
+			t.Errorf("Expand emitted non-normalized point %+v", p)
+		}
+	}
+}
+
+// TestRecordsCarryArea: every record of every sweep — simulated, cached,
+// failed — carries the hwmodel area estimate, and the JSONL stream exposes
+// it as the "area" field.
+func TestRecordsCarryArea(t *testing.T) {
+	spec := Spec{
+		Schedulers: []string{"HEF", "Molen", "software"},
+		ACs:        []int{5, 10},
+		Frames:     []int{20},
+	}
+	var buf bytes.Buffer
+	eng := &Engine{Run: fakeRun(nil)}
+	res, err := eng.Execute(context.Background(), spec, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range res.Records {
+		want := hwmodel.PointArea(rec.Point.Scheduler, rec.Point.NumACs)
+		if rec.Area != want {
+			t.Errorf("%s: area = %d, want %d", rec.Point.Key(), rec.Area, want)
+		}
+		if rec.Point.Scheduler == "software" && rec.Area != 0 {
+			t.Errorf("software point priced %d slices", rec.Area)
+		}
+	}
+	if !strings.Contains(buf.String(), `"area":`) {
+		t.Fatal("JSONL stream lacks the area field")
+	}
+	// Area is derived, not cached: a warm re-run reports it identically.
+	cache, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Cache = cache
+	var cold, warm bytes.Buffer
+	if _, err := eng.Execute(context.Background(), spec, &cold); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Execute(context.Background(), spec, &warm); err != nil {
+		t.Fatal(err)
+	}
+	if cold.String() != warm.String() {
+		t.Fatal("area broke cold/warm byte parity")
+	}
+	// Failed records are priced too (area is a property of the point).
+	failEng := &Engine{Run: func(ctx context.Context, p Point) (Metrics, error) {
+		return Metrics{}, errors.New("boom")
+	}}
+	res, err = failEng.Execute(context.Background(), Spec{Schedulers: []string{"HEF"}, ACs: []int{4}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec := res.Records[0]; rec.OK() || rec.Area != hwmodel.PointArea("HEF", 4) {
+		t.Fatalf("failed record area = %d (err %q)", rec.Area, rec.Err)
+	}
+}
+
+// TestExecutePointsMatchesExecute: running a pre-expanded job list through
+// ExecutePoints yields the identical stream and summary as Execute on the
+// spec — the batch path the search driver uses to avoid re-normalizing per
+// batch.
+func TestExecutePointsMatchesExecute(t *testing.T) {
+	spec := testSpec()
+	jobs, err := spec.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var viaSpec, viaPoints bytes.Buffer
+	eng := &Engine{Run: fakeRun(nil), Workers: 4}
+	rs, err := eng.Execute(context.Background(), spec, &viaSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp, err := eng.ExecutePoints(context.Background(), jobs, &viaPoints)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if viaSpec.String() != viaPoints.String() {
+		t.Fatal("ExecutePoints stream differs from Execute")
+	}
+	if rs.Summary.Total != rp.Summary.Total || rs.Summary.Simulated != rp.Summary.Simulated ||
+		rs.Summary.Failed != rp.Summary.Failed || len(rs.Summary.Pareto) != len(rp.Summary.Pareto) {
+		t.Fatalf("summaries differ: %+v vs %+v", rs.Summary, rp.Summary)
+	}
+	if _, err := (&Engine{}).ExecutePoints(context.Background(), jobs, nil); err == nil {
+		t.Fatal("nil RunFunc accepted")
 	}
 }
 

@@ -215,6 +215,67 @@ func Table3(is *isa.ISA) string {
 	return b.String()
 }
 
+// MolenLoader is the structural model of the Molen baseline's
+// reconfiguration controller: the set/execute decode FSM and the CCU load
+// address generator. The baseline reconfigures whole Special Instructions
+// and never computes benefits, so it carries no scheduler datapath — the
+// area gap to the HEF module is the hardware price of fine-grained
+// upgrading.
+func MolenLoader() *Module {
+	return &Module{
+		Name:      "Molen reconfiguration controller",
+		FSMStates: 4,
+		Components: []Component{
+			{"set/execute decode + FSM", Control, 96, 18, 0},
+			{"CCU load address generator", Datapath, 64, 32, 0},
+		},
+		CriticalPath: []PathElement{
+			{"address adder", 2.45},
+			{"interconnect", 2.10},
+			{"register setup", 0.70},
+		},
+	}
+}
+
+// SchedulerSlices returns the slice cost of a run-time system's fixed
+// hardware: zero for "software" (no reconfigurable fabric at all), the
+// loader FSM for "Molen", and the full HEF scheduler module for the RISPP
+// SI-schedulers — the paper synthesizes HEF (Table 3); FSFR/ASF/SJF share
+// its iterator and datapath and differ only in comparator wiring, so HEF
+// prices them all.
+func SchedulerSlices(scheduler string) int {
+	switch scheduler {
+	case "software":
+		return 0
+	case "Molen", "molen":
+		return molenSlices
+	default:
+		return hefSlices
+	}
+}
+
+// The module netlists are fixed, so their slice counts are computed once:
+// area pricing runs per explore record and must not allocate.
+var (
+	molenSlices = MolenLoader().Resources().Slices
+	hefSlices   = HEFScheduler().Resources().Slices
+)
+
+// PointArea estimates the reconfigurable-fabric area of a design point, in
+// Virtex-II slices: the Atom-Container array (NumACs × ACSlices) plus the
+// run-time system's fixed hardware (SchedulerSlices). It is a pure function
+// of (scheduler, #ACs) — the second objective of cycles-vs-area design-space
+// search, and the "area" field of every explore record.
+func PointArea(scheduler string, numACs int) int64 {
+	if scheduler == "software" {
+		return 0
+	}
+	if numACs < 0 {
+		numACs = 0
+	}
+	return int64(numACs)*ACSlices + int64(SchedulerSlices(scheduler))
+}
+
 // SlicesOfXC2V3000 is the total slice count of the prototype FPGA; the HEF
 // utilization the paper reports (3.83%) is relative to a 14,336-slice
 // device.

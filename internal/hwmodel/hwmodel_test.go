@@ -106,6 +106,35 @@ func TestTable3Rendering(t *testing.T) {
 	}
 }
 
+// TestPointArea pins the area model the exploration records and the search
+// layer price points with: software occupies no fabric, Molen pays the AC
+// array plus a small loader, RISPP schedulers pay the AC array plus the HEF
+// module, and area is strictly monotone in the AC budget.
+func TestPointArea(t *testing.T) {
+	if a := PointArea("software", 10); a != 0 {
+		t.Fatalf("software area = %d, want 0", a)
+	}
+	hef := int64(HEFScheduler().Resources().Slices)
+	molen := int64(MolenLoader().Resources().Slices)
+	if molen <= 0 || molen >= hef {
+		t.Fatalf("Molen loader slices = %d, want in (0, %d)", molen, hef)
+	}
+	if a := PointArea("Molen", 5); a != 5*ACSlices+molen {
+		t.Fatalf("Molen area = %d, want %d", a, 5*ACSlices+molen)
+	}
+	for _, s := range []string{"HEF", "FSFR", "ASF", "SJF"} {
+		if a := PointArea(s, 7); a != 7*ACSlices+hef {
+			t.Fatalf("%s area = %d, want %d", s, a, 7*ACSlices+hef)
+		}
+	}
+	if PointArea("HEF", 5) >= PointArea("HEF", 6) {
+		t.Fatal("area not monotone in ACs")
+	}
+	if a := PointArea("HEF", -3); a != hef {
+		t.Fatalf("negative ACs clamp: area = %d, want %d", a, hef)
+	}
+}
+
 func TestFFDominatedPacking(t *testing.T) {
 	m := &Module{Name: "regfile", Components: []Component{
 		{"registers", Datapath, 10, 400, 0},

@@ -1,0 +1,279 @@
+package search
+
+import (
+	"math/rand"
+
+	"rispp/internal/explore"
+)
+
+// step is one queued proposal: a space index plus the move that produced
+// it (axis < 0 when it has no provenance — a seed, restart, or offspring).
+type step struct {
+	idx  int
+	axis int // lattice axis moved to reach idx, or -1
+	dir  int // +1 / -1 along axis
+}
+
+// evolve is an ISEGEN-style iterative-improvement strategy. Whenever an
+// observation enters the incremental Pareto front, the search chases it:
+// the move that produced it is continued first (line search — e.g. keep
+// walking the AC axis down while each cheaper point still enters the
+// front), then the rest of its ±1 single-axis neighborhood, all at the
+// head of the proposal queue so improving chains spend budget before
+// stale breadth does. This is the "move one Atom and re-evaluate" local
+// improvement of ISEGEN's loop. When no improvement is in flight, an
+// evolutionary generation backfills: Pareto-ranked parents drawn from
+// everything observed produce single-axis mutations and axis-wise
+// crossovers, topped up with seeded random restarts so the search cannot
+// collapse into a local optimum.
+type evolve struct {
+	visitSet
+	rng     *rand.Rand
+	popSize int
+	queue   []step // proposal queue; improvements are pushed at the head
+	pending map[int]step
+	pool    []int // every index proposed so far, in proposal order
+	front   *Front
+	restart []int // seeded permutation for random restarts
+	next    int   // cursor into restart
+}
+
+// evolvePopulation is the default generation size; small enough that a
+// 30-point smoke budget spans two generations.
+const evolvePopulation = 16
+
+func newEvolve(sp *Space, seed int64) *evolve {
+	rng := rand.New(rand.NewSource(seed))
+	e := &evolve{
+		visitSet: newVisitSet(sp),
+		rng:      rng,
+		popSize:  evolvePopulation,
+		pending:  make(map[int]step),
+		front:    &Front{},
+		restart:  rng.Perm(sp.Len()),
+	}
+	if e.popSize > sp.Len() {
+		e.popSize = sp.Len()
+	}
+	// Generation zero: a seeded random sample.
+	e.queue = e.fill(nil, e.popSize)
+	return e
+}
+
+func (e *evolve) Name() string { return "evolve" }
+
+// fill appends seeded random unvisited indices to q until it has n
+// members (or the space is exhausted).
+func (e *evolve) fill(q []step, n int) []step {
+	member := make(map[int]bool, len(q))
+	for _, s := range q {
+		member[s.idx] = true
+	}
+	for len(q) < n && e.next < len(e.restart) {
+		i := e.restart[e.next]
+		e.next++
+		if e.visited[i] || member[i] {
+			continue
+		}
+		if _, p := e.pending[i]; p {
+			continue
+		}
+		member[i] = true
+		q = append(q, step{idx: i, axis: -1})
+	}
+	return q
+}
+
+// move returns the index one lattice step from i along (axis, dir), or -1
+// when out of range, already visited, or in flight.
+func (e *evolve) move(i, axis, dir int) int {
+	c, ok := e.sp.coords(i)
+	if !ok {
+		return -1
+	}
+	c[axis] += dir
+	if c[axis] < 0 || c[axis] >= e.sp.dims[axis] {
+		return -1
+	}
+	j := e.sp.indexOf(c)
+	if e.visited[j] {
+		return -1
+	}
+	if _, p := e.pending[j]; p {
+		return -1
+	}
+	return j
+}
+
+// chase builds the follow-up proposals for a point that just advanced the
+// front: the continuation of the move that found it (line search — one
+// evaluation per step while the line keeps improving), or, for a point
+// without provenance, its whole ±1 neighborhood to discover a direction.
+// Lateral moves of points that already have a direction are not enqueued:
+// the generation backfill probes the front's neighborhoods through seeded
+// mutation instead, so breadth is rank-guided rather than first-in
+// first-out.
+func (e *evolve) chase(i int, from step) []step {
+	if from.axis >= 0 {
+		if j := e.move(i, from.axis, from.dir); j >= 0 {
+			return []step{{idx: j, axis: from.axis, dir: from.dir}}
+		}
+		// The line ran into the lattice edge (or visited ground): the
+		// point is a terminus — branch into its whole neighborhood.
+	}
+	return e.neighborhood(i)
+}
+
+// neighborhood returns every reachable unvisited ±1 neighbor of i as
+// momentum-carrying steps, in deterministic axis order.
+func (e *evolve) neighborhood(i int) []step {
+	var out []step
+	for a := 0; a < numAxes; a++ {
+		for _, d := range [2]int{-1, +1} {
+			if j := e.move(i, a, d); j >= 0 {
+				out = append(out, step{idx: j, axis: a, dir: d})
+			}
+		}
+	}
+	return out
+}
+
+// mutate returns a ±1 single-axis neighbor of i, or a no-provenance
+// invalid step after a bounded number of seeded attempts.
+func (e *evolve) mutate(i int) step {
+	for try := 0; try < 8; try++ {
+		a := e.rng.Intn(numAxes)
+		if e.sp.dims[a] < 2 {
+			continue
+		}
+		d := 1
+		if e.rng.Intn(2) == 0 {
+			d = -1
+		}
+		if j := e.move(i, a, d); j >= 0 {
+			return step{idx: j, axis: a, dir: d}
+		}
+	}
+	return step{idx: -1, axis: -1}
+}
+
+// crossover mixes the coordinates of two parents axis-wise (uniform,
+// seeded) and returns the child index, or -1 if visited/degenerate.
+func (e *evolve) crossover(i, j int) int {
+	ci, ok1 := e.sp.coords(i)
+	cj, ok2 := e.sp.coords(j)
+	if !ok1 || !ok2 {
+		return -1
+	}
+	var c [numAxes]int
+	for a := 0; a < numAxes; a++ {
+		if e.rng.Intn(2) == 0 {
+			c[a] = ci[a]
+		} else {
+			c[a] = cj[a]
+		}
+	}
+	k := e.sp.indexOf(c)
+	if e.visited[k] {
+		return -1
+	}
+	if _, p := e.pending[k]; p {
+		return -1
+	}
+	return k
+}
+
+// nextGeneration breeds the backfill queue: seeded mutations and
+// crossovers of the Pareto-ranked parents, then random restarts up to the
+// population size.
+func (e *evolve) nextGeneration() {
+	member := make(map[int]bool)
+	var q []step
+	add := func(s step) {
+		if s.idx >= 0 && !member[s.idx] {
+			member[s.idx] = true
+			q = append(q, s)
+		}
+	}
+	// The front's neighborhoods first — one seeded mutation per member —
+	// then mutations and crossovers of the Pareto-ranked better half of
+	// everything observed, then seeded random restarts.
+	for _, p := range e.frontIndices() {
+		add(e.mutate(p))
+	}
+	parents := e.selectHalf(e.pool)
+	if len(parents) > e.popSize/2 {
+		parents = parents[:e.popSize/2]
+	}
+	for _, p := range parents {
+		add(e.mutate(p))
+	}
+	for k := 0; k+1 < len(parents); k += 2 {
+		add(step{idx: e.crossover(parents[k], parents[k+1]), axis: -1})
+	}
+	e.queue = e.fill(q, e.popSize)
+}
+
+func (e *evolve) Propose(max int) []explore.Point {
+	var out []explore.Point
+	for len(out) < max {
+		if len(e.queue) == 0 {
+			if len(e.pending) > 0 {
+				break // improvements may still be in flight
+			}
+			e.nextGeneration()
+			if len(e.queue) == 0 {
+				break // space exhausted
+			}
+		}
+		s := e.queue[0]
+		e.queue = e.queue[1:]
+		i := s.idx
+		if e.visited[i] {
+			continue
+		}
+		if _, p := e.pending[i]; p {
+			continue
+		}
+		e.take(i)
+		e.pending[i] = s
+		e.pool = append(e.pool, i)
+		out = append(out, e.sp.Points[i])
+	}
+	return out
+}
+
+func (e *evolve) Observe(evals []Eval) {
+	for _, ev := range evals {
+		i := e.sp.Index(ev.Point)
+		if i < 0 {
+			continue
+		}
+		from, wasPending := e.pending[i]
+		if !wasPending {
+			from = step{idx: i, axis: -1}
+		}
+		e.visited[i] = true
+		e.evals[i] = ev
+		delete(e.pending, i)
+		if !ev.OK() {
+			continue
+		}
+		tie := e.front.hasVector(ev.Cycles, ev.Area)
+		if e.front.Add(FrontPoint{Point: ev.Point, Cycles: ev.Cycles, Area: ev.Area}) && !tie {
+			// The point strictly advanced the front (a key tie-break is
+			// not an improvement worth budget): chase it at the head of
+			// the queue — the continuation of the move that found it,
+			// or the whole ±1 neighborhood at a terminus or a fresh
+			// no-provenance entry.
+			e.queue = append(e.chase(i, from), e.queue...)
+		} else if from.axis >= 0 {
+			// A line just died here: its predecessor is a front elbow —
+			// branch into the rest of that terminus's neighborhood.
+			if c, ok := e.sp.coords(i); ok {
+				c[from.axis] -= from.dir
+				e.queue = append(e.neighborhood(e.sp.indexOf(c)), e.queue...)
+			}
+		}
+	}
+}

@@ -1,0 +1,188 @@
+package search
+
+import (
+	"math/rand"
+	"sort"
+
+	"rispp/internal/explore"
+)
+
+// halving is successive halving over the coordinate lattice. Rung 0
+// evaluates the coarse sublattice whose coordinates are multiples of each
+// axis's initial stride (2–3 positions per axis), so the whole space —
+// including the extremes of every axis — is covered cheaply. After a rung
+// is observed, the better half of its members by Pareto rank survives
+// (plus the global front, elitist), every axis stride halves, and the next
+// rung evaluates the unvisited stride-neighbors of the survivors: the
+// search keeps halving the resolution around the emerging front until all
+// strides reach one and no unvisited neighbor remains.
+//
+// The strategy is fully deterministic; the seed only shuffles nothing here
+// (kept for interface symmetry), so equal seeds and unequal seeds alike
+// reproduce the same trajectory on the same space.
+type halving struct {
+	visitSet
+	rng     *rand.Rand // reserved; halving is deterministic without it
+	strides [numAxes]int
+	queue   []int // current-rung candidates not yet proposed
+	pending map[int]bool
+	rung    []int // members of the current rung, in proposal order
+}
+
+func newHalving(sp *Space, seed int64) *halving {
+	h := &halving{
+		visitSet: newVisitSet(sp),
+		rng:      rand.New(rand.NewSource(seed)),
+		pending:  make(map[int]bool),
+	}
+	for a := 0; a < numAxes; a++ {
+		h.strides[a] = sp.axisStride(a)
+	}
+	h.queue = h.coarseLattice()
+	return h
+}
+
+func (h *halving) Name() string { return "halving" }
+
+// coarseLattice enumerates the sublattice of coordinates that are
+// multiples of the current per-axis strides, in ascending index order.
+func (h *halving) coarseLattice() []int {
+	var out []int
+	var c [numAxes]int
+	var walk func(a int)
+	walk = func(a int) {
+		if a == numAxes {
+			out = append(out, h.sp.indexOf(c))
+			return
+		}
+		for v := 0; v < h.sp.dims[a]; v += h.strides[a] {
+			c[a] = v
+			walk(a + 1)
+		}
+	}
+	walk(0)
+	sort.Ints(out)
+	return out
+}
+
+// neighbors returns the unvisited lattice points one current-stride step
+// away from i along each axis (plus/minus), ascending and deduplicated.
+func (h *halving) neighbors(i int) []int {
+	c, ok := h.sp.coords(i)
+	if !ok {
+		return nil
+	}
+	var out []int
+	for a := 0; a < numAxes; a++ {
+		for _, d := range [2]int{-h.strides[a], +h.strides[a]} {
+			n := c
+			n[a] = c[a] + d
+			if n[a] < 0 || n[a] >= h.sp.dims[a] {
+				continue
+			}
+			j := h.sp.indexOf(n)
+			if !h.visited[j] && !h.pending[j] {
+				out = append(out, j)
+			}
+		}
+	}
+	return out
+}
+
+// halveStrides halves every axis stride (floor 1) and reports whether any
+// stride was still above one.
+func (h *halving) halveStrides() bool {
+	moved := false
+	for a := 0; a < numAxes; a++ {
+		if h.strides[a] > 1 {
+			h.strides[a] /= 2
+			moved = true
+		}
+	}
+	return moved
+}
+
+func (h *halving) atFinestStride() bool {
+	for a := 0; a < numAxes; a++ {
+		if h.strides[a] > 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// advanceRung closes the observed rung and builds the next queue: keep the
+// better half (plus the global front), halve the strides, propose the
+// survivors' unvisited stride-neighbors. The queue keeps the survivors'
+// quality order — the front's neighborhoods first, then the Pareto-ranked
+// rest — so a budget that runs out mid-rung was spent around the front.
+func (h *halving) advanceRung() {
+	ordered := append(h.frontIndices(), h.selectHalf(h.rung)...)
+	var survivors []int
+	member := make(map[int]bool, len(ordered))
+	for _, s := range ordered {
+		if !member[s] {
+			member[s] = true
+			survivors = append(survivors, s)
+		}
+	}
+	h.rung = nil
+	for {
+		wasCoarser := !h.atFinestStride()
+		if wasCoarser {
+			h.halveStrides()
+		}
+		seen := make(map[int]bool)
+		var queue []int
+		for _, s := range survivors {
+			for _, n := range h.neighbors(s) {
+				if !seen[n] {
+					seen[n] = true
+					queue = append(queue, n)
+				}
+			}
+		}
+		if len(queue) > 0 {
+			h.queue = queue
+			return
+		}
+		if !wasCoarser {
+			// Finest stride and no unvisited neighbors: converged.
+			h.queue = nil
+			return
+		}
+	}
+}
+
+func (h *halving) Propose(max int) []explore.Point {
+	var out []explore.Point
+	for len(out) < max {
+		if len(h.queue) == 0 {
+			if len(h.pending) > 0 || len(h.rung) == 0 {
+				// Wait for the rung's observations (or: nothing ever
+				// proposed and the space has no candidates).
+				break
+			}
+			h.advanceRung()
+			if len(h.queue) == 0 {
+				break
+			}
+		}
+		i := h.queue[0]
+		h.queue = h.queue[1:]
+		if h.visited[i] {
+			continue
+		}
+		h.take(i)
+		h.pending[i] = true
+		h.rung = append(h.rung, i)
+		out = append(out, h.sp.Points[i])
+	}
+	return out
+}
+
+func (h *halving) Observe(evals []Eval) {
+	for _, i := range h.observe(evals) {
+		delete(h.pending, i)
+	}
+}

@@ -1,0 +1,160 @@
+package search
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Replayed summarizes a verified journal.
+type Replayed struct {
+	Strategy    string       `json:"strategy"`
+	Seed        int64        `json:"seed"`
+	Budget      int          `json:"budget"`
+	SpacePoints int          `json:"space_points"`
+	Rounds      int          `json:"rounds"`
+	Proposed    int          `json:"proposed"`
+	Evaluated   int          `json:"evaluated"`
+	Failed      int          `json:"failed"`
+	Front       []FrontPoint `json:"front"`
+}
+
+// Format renders the replay summary as text (CLI output).
+func (r *Replayed) Format() string {
+	out := fmt.Sprintf("journal verified: %s search, seed %d, budget %d, %d rounds, %d proposed, %d evaluated (%d failed), space %d\n",
+		r.Strategy, r.Seed, r.Budget, r.Rounds, r.Proposed, r.Evaluated, r.Failed, r.SpacePoints)
+	return out + FormatFront(r.Front)
+}
+
+// Replay reads a search journal and verifies it end to end:
+//
+//   - the line sequence is start, (propose, eval*)*, front, with contiguous
+//     round numbers;
+//   - every evaluated point was proposed in its round, each exactly once;
+//   - the recorded front is byte-for-byte the front recomputed from the
+//     eval lines (same incremental Front, same canonical ordering).
+//
+// It returns the verified summary, or an error naming the first
+// inconsistent line. Replay never re-runs the simulator — it checks that
+// the journal is self-consistent and exactly reproducible, which is what
+// the determinism guarantee promises.
+func Replay(r io.Reader) (*Replayed, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<26)
+
+	var (
+		out      *Replayed
+		front    = &Front{}
+		frontRaw []byte
+		proposed = make(map[string]int) // point key -> round proposed in
+		round    = 0
+		line     = 0
+		done     bool
+	)
+	for sc.Scan() {
+		line++
+		raw := bytes.TrimSpace(sc.Bytes())
+		if len(raw) == 0 {
+			continue
+		}
+		if done {
+			return nil, fmt.Errorf("search: journal line %d: content after front line", line)
+		}
+		var tag struct {
+			Type string `json:"type"`
+		}
+		if err := json.Unmarshal(raw, &tag); err != nil {
+			return nil, fmt.Errorf("search: journal line %d: %w", line, err)
+		}
+		switch tag.Type {
+		case "start":
+			if out != nil {
+				return nil, fmt.Errorf("search: journal line %d: duplicate start line", line)
+			}
+			var js journalStart
+			if err := json.Unmarshal(raw, &js); err != nil {
+				return nil, fmt.Errorf("search: journal line %d: %w", line, err)
+			}
+			if js.Version != journalVersion {
+				return nil, fmt.Errorf("search: journal line %d: version %d (want %d)", line, js.Version, journalVersion)
+			}
+			out = &Replayed{
+				Strategy: js.Strategy, Seed: js.Seed, Budget: js.Budget,
+				SpacePoints: js.SpacePoints,
+			}
+		case "propose":
+			if out == nil {
+				return nil, fmt.Errorf("search: journal line %d: propose before start", line)
+			}
+			var jp journalPropose
+			if err := json.Unmarshal(raw, &jp); err != nil {
+				return nil, fmt.Errorf("search: journal line %d: %w", line, err)
+			}
+			if jp.Round != round+1 {
+				return nil, fmt.Errorf("search: journal line %d: round %d after round %d", line, jp.Round, round)
+			}
+			round = jp.Round
+			for _, p := range jp.Points {
+				k := p.Key()
+				if prev, dup := proposed[k]; dup {
+					return nil, fmt.Errorf("search: journal line %d: point %s proposed twice (rounds %d and %d)", line, k, prev, jp.Round)
+				}
+				proposed[k] = jp.Round
+			}
+			out.Rounds = round
+			out.Proposed += len(jp.Points)
+		case "eval":
+			if out == nil {
+				return nil, fmt.Errorf("search: journal line %d: eval before start", line)
+			}
+			var je journalEval
+			if err := json.Unmarshal(raw, &je); err != nil {
+				return nil, fmt.Errorf("search: journal line %d: %w", line, err)
+			}
+			if je.Round != round {
+				return nil, fmt.Errorf("search: journal line %d: eval for round %d inside round %d", line, je.Round, round)
+			}
+			k := je.Point.Key()
+			if proposed[k] != round {
+				return nil, fmt.Errorf("search: journal line %d: eval of unproposed point %s", line, k)
+			}
+			out.Evaluated++
+			if !je.OK() {
+				out.Failed++
+			} else {
+				front.Add(FrontPoint{Point: je.Point, Cycles: je.Cycles, Area: je.Area})
+			}
+		case "front":
+			if out == nil {
+				return nil, fmt.Errorf("search: journal line %d: front before start", line)
+			}
+			frontRaw = append([]byte(nil), raw...)
+			done = true
+		default:
+			return nil, fmt.Errorf("search: journal line %d: unknown type %q", line, tag.Type)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("search: journal: %w", err)
+	}
+	if out == nil {
+		return nil, fmt.Errorf("search: journal: empty")
+	}
+	if !done {
+		return nil, fmt.Errorf("search: journal: missing front line")
+	}
+
+	// Byte-exact front verification: re-encode the recomputed front the way
+	// the driver did and compare to the recorded line.
+	out.Front = front.Points()
+	want, err := json.Marshal(journalFront{Type: "front", Points: out.Front})
+	if err != nil {
+		return nil, fmt.Errorf("search: journal: %w", err)
+	}
+	if !bytes.Equal(want, frontRaw) {
+		return nil, fmt.Errorf("search: journal: recorded front does not match the front recomputed from the eval lines\n got: %s\nwant: %s", frontRaw, want)
+	}
+	return out, nil
+}

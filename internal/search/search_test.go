@@ -1,0 +1,216 @@
+package search
+
+import (
+	"reflect"
+	"testing"
+
+	"rispp/internal/explore"
+	"rispp/internal/hwmodel"
+)
+
+func fp(sched string, acs int, cycles, area int64) FrontPoint {
+	return FrontPoint{
+		Point:  explore.Point{Scheduler: sched, NumACs: acs}.Normalized(),
+		Cycles: cycles,
+		Area:   area,
+	}
+}
+
+func TestFrontAddAndEviction(t *testing.T) {
+	f := &Front{}
+	if !f.Add(fp("HEF", 10, 100, 50)) {
+		t.Fatal("first point must enter")
+	}
+	if f.Add(fp("ASF", 10, 120, 60)) {
+		t.Error("dominated point entered")
+	}
+	if !f.Add(fp("FSFR", 10, 90, 60)) {
+		t.Error("trade-off point rejected")
+	}
+	// Dominates both current members: front collapses to it.
+	if !f.Add(fp("SJF", 10, 80, 40)) {
+		t.Error("dominating point rejected")
+	}
+	if f.Len() != 1 {
+		t.Errorf("front has %d members after collapse, want 1", f.Len())
+	}
+}
+
+func TestFrontOrderIndependenceAndTieBreak(t *testing.T) {
+	pts := []FrontPoint{
+		fp("HEF", 10, 100, 50),
+		fp("ASF", 10, 100, 50), // equal objectives: smaller key must win
+		fp("SJF", 10, 90, 70),
+		fp("FSFR", 10, 120, 40),
+	}
+	var first []FrontPoint
+	for _, order := range [][]int{{0, 1, 2, 3}, {3, 2, 1, 0}, {1, 3, 0, 2}} {
+		f := &Front{}
+		for _, i := range order {
+			f.Add(pts[i])
+		}
+		got := f.Points()
+		if first == nil {
+			first = got
+			continue
+		}
+		if !reflect.DeepEqual(got, first) {
+			t.Fatalf("front depends on insertion order %v:\n got %v\nwant %v", order, got, first)
+		}
+	}
+	// The tie must have kept exactly one of HEF/ASF: the smaller key.
+	kASF := pts[1].Point.Key()
+	kHEF := pts[0].Point.Key()
+	want := kASF
+	if kHEF < kASF {
+		want = kHEF
+	}
+	found := false
+	for _, p := range first {
+		if p.Cycles == 100 && p.Area == 50 {
+			found = true
+			if p.Point.Key() != want {
+				t.Errorf("tie kept %s, want %s", p.Point.Key(), want)
+			}
+		}
+	}
+	if !found {
+		t.Error("tied objective vector missing from front")
+	}
+}
+
+func TestFrontCovers(t *testing.T) {
+	a, b := &Front{}, &Front{}
+	a.Add(fp("HEF", 10, 100, 50))
+	a.Add(fp("HEF", 12, 80, 70))
+	b.Add(fp("ASF", 10, 110, 50))
+	b.Add(fp("ASF", 12, 80, 70))
+	if !a.Covers(b) {
+		t.Error("a should cover b (every b member weakly dominated)")
+	}
+	if b.Covers(a) {
+		t.Error("b must not cover a (a's {100,50} beats b's {110,50})")
+	}
+	empty := &Front{}
+	if !a.Covers(empty) || !empty.Covers(empty) {
+		t.Error("every front covers the empty front")
+	}
+}
+
+func TestParetoRank(t *testing.T) {
+	evals := []Eval{
+		{Cycles: 100, Area: 50},             // rank 0
+		{Cycles: 80, Area: 70},              // rank 0
+		{Cycles: 110, Area: 60},             // rank 1 (behind {100,50})
+		{Cycles: 120, Area: 80},             // rank 2
+		{Cycles: 90, Area: 90, Err: "boom"}, // failed: behind everything
+	}
+	ranks := paretoRank(evals)
+	want := []int{0, 0, 1, 2, 1 << 30}
+	if !reflect.DeepEqual(ranks, want) {
+		t.Errorf("paretoRank = %v, want %v", ranks, want)
+	}
+
+	// Degenerate: identical objective vectors are one rank.
+	same := []Eval{{Cycles: 5, Area: 5}, {Cycles: 5, Area: 5}, {Cycles: 5, Area: 5}}
+	ranks = paretoRank(same)
+	if !reflect.DeepEqual(ranks, []int{0, 0, 0}) {
+		t.Errorf("identical vectors rank %v, want all 0", ranks)
+	}
+}
+
+func TestSpaceLatticeRoundTrip(t *testing.T) {
+	spec := explore.Spec{
+		Schedulers: []string{"HEF", "ASF", "software"},
+		ACs:        []int{1, 2, 3, 4},
+		Frames:     []int{1},
+		Motion:     []float64{0, 0.5},
+	}
+	sp, err := NewSpace(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Len() != 3*4*2 {
+		t.Fatalf("space has %d points, want 24", sp.Len())
+	}
+	for i := 0; i < sp.Len(); i++ {
+		c, ok := sp.coords(i)
+		if !ok {
+			t.Fatalf("point %d has no coords", i)
+		}
+		if j := sp.indexOf(c); j != i {
+			t.Fatalf("indexOf(coords(%d)) = %d", i, j)
+		}
+		if j := sp.Index(sp.Points[i]); j != i {
+			t.Fatalf("Index(Points[%d]) = %d", i, j)
+		}
+	}
+	// The lattice order must be Expand's row-major order.
+	pts, err := spec.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sp.Points, pts) {
+		t.Error("space points differ from Spec.Expand order")
+	}
+	// Unknown point.
+	if sp.Index(explore.Point{Scheduler: "SJF", NumACs: 99}.Normalized()) != -1 {
+		t.Error("unknown point should index to -1")
+	}
+}
+
+func TestSpaceDoesNotMutateSpec(t *testing.T) {
+	scheds := []string{"HEF", "HEF", "ASF"}
+	acs := []int{3, 3, 5}
+	spec := explore.Spec{Schedulers: scheds, ACs: acs, Frames: []int{1}}
+	sp, err := NewSpace(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Len() != 2*2 {
+		t.Errorf("deduplicated space has %d points, want 4", sp.Len())
+	}
+	if !reflect.DeepEqual(scheds, []string{"HEF", "HEF", "ASF"}) || !reflect.DeepEqual(acs, []int{3, 3, 5}) {
+		t.Error("NewSpace mutated the caller's spec slices")
+	}
+}
+
+func TestSpaceExplicitPointsFallback(t *testing.T) {
+	spec := explore.Spec{Points: []explore.Point{
+		{Scheduler: "HEF", NumACs: 4, Frames: 1},
+		{Scheduler: "ASF", NumACs: 6, Frames: 1},
+	}}
+	sp, err := NewSpace(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Len() != 2 || sp.gridLen != 2 {
+		t.Fatalf("fallback lattice: len=%d grid=%d, want 2/2", sp.Len(), sp.gridLen)
+	}
+	if _, ok := sp.coords(1); !ok {
+		t.Error("explicit points must form a 1-D lattice")
+	}
+}
+
+func TestAxisStride(t *testing.T) {
+	sp := &Space{dims: [numAxes]int{1, 2, 3, 4, 5, 8, 20, 64}}
+	want := []int{1, 1, 2, 2, 4, 4, 16, 32}
+	for a, w := range want {
+		if got := sp.axisStride(a); got != w {
+			t.Errorf("axisStride(dim=%d) = %d, want %d", sp.dims[a], got, w)
+		}
+	}
+}
+
+func TestEvalOfCarriesArea(t *testing.T) {
+	p := explore.Point{Scheduler: "HEF", NumACs: 7}.Normalized()
+	rec := explore.Record{Point: p, Area: hwmodel.PointArea("HEF", 7), Cached: true}
+	rec.TotalCycles = 42
+	e := evalOf(rec)
+	if e.Area != hwmodel.PointArea("HEF", 7) || e.Cycles != 42 || !e.Cached {
+		t.Errorf("evalOf dropped fields: %+v", e)
+	}
+	if areaOf(p) != e.Area {
+		t.Errorf("areaOf disagrees with record area")
+	}
+}

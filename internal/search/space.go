@@ -1,0 +1,159 @@
+package search
+
+import (
+	"fmt"
+
+	"rispp/internal/explore"
+)
+
+// numAxes is the number of grid dimensions of an explore.Spec, in Expand's
+// nested-loop order: scheduler, ACs, frames, seeds, motion, scene change,
+// forecast seeding, prefetch.
+const numAxes = 8
+
+// Space is the candidate pool of a search: the expanded, normalized,
+// deduplicated points of a spec, plus the coordinate lattice the guided
+// strategies move on. Points[:GridLen] are the grid in row-major order
+// (innermost axis fastest, exactly Spec.Expand's order); any explicit
+// spec.Points follow as lattice-less extras reachable only by random
+// sampling. Building the Space normalizes every point exactly once — the
+// driver and the strategies never re-normalize.
+type Space struct {
+	Points []explore.Point
+
+	dims    [numAxes]int // axis sizes (grid part)
+	gridLen int          // len of the lattice prefix of Points
+	index   map[string]int
+}
+
+// NewSpace expands the spec into a search space. Axis values are
+// deduplicated (preserving first occurrence, like Expand); specs without
+// any grid dimension degrade to a 1-D lattice over their explicit points
+// so every strategy still has a neighborhood structure.
+func NewSpace(spec explore.Spec) (*Space, error) {
+	gridded := len(spec.Schedulers) > 0 || len(spec.ACs) > 0 || len(spec.Frames) > 0 ||
+		len(spec.Seeds) > 0 || len(spec.Motion) > 0 || len(spec.SceneChanges) > 0 ||
+		len(spec.SeedForecasts) > 0 || len(spec.Prefetch) > 0
+	s := &Space{}
+	if gridded {
+		// Deduplicate each axis so the lattice↔index mapping is bijective;
+		// Expand on the deduplicated spec then yields exactly the lattice in
+		// row-major order, followed by any new explicit points.
+		spec.Schedulers = uniq(orDefault(spec.Schedulers, []string{"HEF"}))
+		spec.ACs = uniq(orDefault(spec.ACs, []int{10}))
+		spec.Frames = uniq(orDefault(spec.Frames, []int{140}))
+		spec.Seeds = uniq(orDefault(spec.Seeds, []int64{0}))
+		spec.Motion = uniq(orDefault(spec.Motion, []float64{0}))
+		spec.SceneChanges = uniq(orDefault(spec.SceneChanges, []int{0}))
+		spec.SeedForecasts = uniq(orDefault(spec.SeedForecasts, []bool{true}))
+		spec.Prefetch = uniq(orDefault(spec.Prefetch, []bool{false}))
+		s.dims = [numAxes]int{
+			len(spec.Schedulers), len(spec.ACs), len(spec.Frames), len(spec.Seeds),
+			len(spec.Motion), len(spec.SceneChanges), len(spec.SeedForecasts), len(spec.Prefetch),
+		}
+		s.gridLen = 1
+		for _, d := range s.dims {
+			s.gridLen *= d
+		}
+	}
+	pts, err := spec.Expand()
+	if err != nil {
+		return nil, err
+	}
+	if len(pts) == 0 {
+		return nil, fmt.Errorf("search: spec expands to no points")
+	}
+	if gridded && len(pts) < s.gridLen {
+		// Cannot happen with deduplicated axes; guard the invariant anyway.
+		return nil, fmt.Errorf("search: grid of %d points expanded to %d", s.gridLen, len(pts))
+	}
+	if !gridded {
+		s.dims = [numAxes]int{len(pts), 1, 1, 1, 1, 1, 1, 1}
+		s.gridLen = len(pts)
+	}
+	s.Points = pts
+	s.index = make(map[string]int, len(pts))
+	for i, p := range pts {
+		s.index[p.Key()] = i
+	}
+	return s, nil
+}
+
+// Len returns the number of candidate points.
+func (s *Space) Len() int { return len(s.Points) }
+
+// Index returns the index of a normalized point, or -1.
+func (s *Space) Index(p explore.Point) int {
+	if i, ok := s.index[p.Key()]; ok {
+		return i
+	}
+	return -1
+}
+
+// coords returns the lattice coordinates of grid point i; ok is false for
+// the lattice-less extras.
+func (s *Space) coords(i int) (c [numAxes]int, ok bool) {
+	if i < 0 || i >= s.gridLen {
+		return c, false
+	}
+	for a := numAxes - 1; a >= 0; a-- {
+		c[a] = i % s.dims[a]
+		i /= s.dims[a]
+	}
+	return c, true
+}
+
+// indexOf is the inverse of coords.
+func (s *Space) indexOf(c [numAxes]int) int {
+	i := 0
+	for a := 0; a < numAxes; a++ {
+		i = i*s.dims[a] + c[a]
+	}
+	return i
+}
+
+// maxDim returns the size of the largest axis.
+func (s *Space) maxDim() int {
+	m := 1
+	for _, d := range s.dims {
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// axisStride returns the initial successive-halving stride of axis a: the
+// largest power of two strictly below the axis size (minimum 1), so the
+// first rung samples every axis at its extremes (plus at most one interior
+// position) and later rungs halve toward the survivors — classic
+// successive halving starts maximally coarse and spends the budget on
+// depth around what works.
+func (s *Space) axisStride(a int) int {
+	st := 1
+	for st*2 <= s.dims[a]-1 {
+		st *= 2
+	}
+	return st
+}
+
+func orDefault[T any](v, def []T) []T {
+	if len(v) == 0 {
+		return def
+	}
+	return v
+}
+
+// uniq copies v keeping the first occurrence of each value (never mutates
+// v — the slices belong to the caller's spec).
+func uniq[T comparable](v []T) []T {
+	seen := make(map[T]bool, len(v))
+	out := make([]T, 0, len(v))
+	for _, x := range v {
+		if !seen[x] {
+			seen[x] = true
+			out = append(out, x)
+		}
+	}
+	return out
+}

@@ -1,0 +1,189 @@
+package search
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"rispp/internal/explore"
+)
+
+// Strategy proposes batches of design points and observes their outcomes.
+// Implementations are deterministic given their seed: the same sequence of
+// Propose/Observe calls yields the same proposals. They are not safe for
+// concurrent use — the Driver serializes all calls.
+type Strategy interface {
+	// Name returns the registry name of the strategy.
+	Name() string
+	// Propose returns up to max not-yet-proposed candidate points, in a
+	// deterministic order. An empty result means the strategy has
+	// converged or exhausted the space.
+	Propose(max int) []explore.Point
+	// Observe delivers the outcomes of previously proposed points, in
+	// proposal order. Unknown points (observed out-of-band, e.g. by a
+	// suggest client) are absorbed into the strategy's state too.
+	Observe([]Eval)
+}
+
+// StrategyNames lists the registered strategies in the order the CLI and
+// the docs present them: the baseline first, then the guided strategies.
+func StrategyNames() []string { return []string{"random", "halving", "evolve"} }
+
+// New builds a named strategy over the space, seeded. The seed fully
+// determines the strategy's behavior; distinct seeds give independent runs.
+func New(name string, sp *Space, seed int64) (Strategy, error) {
+	switch name {
+	case "random":
+		return newRandom(sp, seed), nil
+	case "halving":
+		return newHalving(sp, seed), nil
+	case "evolve":
+		return newEvolve(sp, seed), nil
+	default:
+		return nil, fmt.Errorf("search: unknown strategy %q (have %v)", name, StrategyNames())
+	}
+}
+
+// visitSet is the bookkeeping every strategy shares: which space indices
+// were proposed or observed, and the evals seen so far.
+type visitSet struct {
+	sp      *Space
+	visited map[int]bool
+	evals   map[int]Eval
+}
+
+func newVisitSet(sp *Space) visitSet {
+	return visitSet{sp: sp, visited: make(map[int]bool), evals: make(map[int]Eval)}
+}
+
+// observe records evals, returning the indices of the newly observed
+// points in input order (unknown points are ignored).
+func (v *visitSet) observe(evals []Eval) []int {
+	idx := make([]int, 0, len(evals))
+	for _, e := range evals {
+		i := v.sp.Index(e.Point)
+		if i < 0 {
+			continue
+		}
+		v.visited[i] = true
+		v.evals[i] = e
+		idx = append(idx, i)
+	}
+	return idx
+}
+
+// take marks index i proposed and returns its point.
+func (v *visitSet) take(i int) explore.Point {
+	v.visited[i] = true
+	return v.sp.Points[i]
+}
+
+// randomStrategy proposes a seeded uniform permutation of the space: the
+// unguided baseline. With budget == space size it degenerates to the full
+// grid sweep in shuffled order.
+type randomStrategy struct {
+	visitSet
+	order []int
+	next  int
+}
+
+func newRandom(sp *Space, seed int64) *randomStrategy {
+	rng := rand.New(rand.NewSource(seed))
+	return &randomStrategy{visitSet: newVisitSet(sp), order: rng.Perm(sp.Len())}
+}
+
+func (r *randomStrategy) Name() string { return "random" }
+
+func (r *randomStrategy) Propose(max int) []explore.Point {
+	var out []explore.Point
+	for len(out) < max && r.next < len(r.order) {
+		i := r.order[r.next]
+		r.next++
+		if r.visited[i] {
+			continue
+		}
+		out = append(out, r.take(i))
+	}
+	return out
+}
+
+func (r *randomStrategy) Observe(evals []Eval) { r.observe(evals) }
+
+// selectHalf ranks the given indices by (Pareto rank, cycles, area, index)
+// and returns the better ceil(n/2) — the survivor selection of both guided
+// strategies. Indices without an eval (skipped points) are dropped.
+type rankedIndex struct {
+	idx  int
+	rank int
+	ev   Eval
+}
+
+func (v *visitSet) selectHalf(indices []int) []int {
+	var evals []Eval
+	var present []int
+	for _, i := range indices {
+		if e, ok := v.evals[i]; ok {
+			evals = append(evals, e)
+			present = append(present, i)
+		}
+	}
+	if len(present) == 0 {
+		return nil
+	}
+	ranks := paretoRank(evals)
+	ranked := make([]rankedIndex, len(present))
+	for k, i := range present {
+		ranked[k] = rankedIndex{idx: i, rank: ranks[k], ev: evals[k]}
+	}
+	sort.Slice(ranked, func(a, b int) bool {
+		ra, rb := ranked[a], ranked[b]
+		if ra.rank != rb.rank {
+			return ra.rank < rb.rank
+		}
+		if ra.ev.Cycles != rb.ev.Cycles {
+			return ra.ev.Cycles < rb.ev.Cycles
+		}
+		if ra.ev.Area != rb.ev.Area {
+			return ra.ev.Area < rb.ev.Area
+		}
+		return ra.idx < rb.idx
+	})
+	keep := (len(ranked) + 1) / 2
+	out := make([]int, keep)
+	for k := 0; k < keep; k++ {
+		out[k] = ranked[k].idx
+	}
+	return out
+}
+
+// frontIndices returns the indices of the current global Pareto front among
+// all observed evals, ascending — the elite set both guided strategies
+// re-seed their next round from.
+func (v *visitSet) frontIndices() []int {
+	f := &Front{}
+	members := make(map[string]int)
+	// Deterministic iteration: walk indices in ascending order.
+	idxs := make([]int, 0, len(v.evals))
+	for i := range v.evals {
+		idxs = append(idxs, i)
+	}
+	sort.Ints(idxs)
+	for _, i := range idxs {
+		e := v.evals[i]
+		if !e.OK() {
+			continue
+		}
+		fp := FrontPoint{Point: e.Point, Cycles: e.Cycles, Area: e.Area}
+		if f.Add(fp) {
+			members[e.Point.Key()] = i
+		}
+	}
+	var out []int
+	for _, fp := range f.Points() {
+		if i, ok := members[fp.Point.Key()]; ok {
+			out = append(out, i)
+		}
+	}
+	sort.Ints(out)
+	return out
+}

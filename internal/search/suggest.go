@@ -1,0 +1,109 @@
+package search
+
+import (
+	"fmt"
+
+	"rispp/internal/explore"
+)
+
+// SuggestRequest asks for the next points a strategy would evaluate, given
+// the observations made so far. It is the stateless API behind the serve
+// layer's /v1/suggest: the client keeps the observations, the server keeps
+// nothing — each request deterministically replays the strategy from its
+// seed, feeds it the matching observations, and returns the first points
+// the strategy wants that the client has not evaluated yet.
+type SuggestRequest struct {
+	Strategy string       `json:"strategy"`
+	Seed     int64        `json:"seed"`
+	Count    int          `json:"count"` // max points to return (0: DefaultBatchSize)
+	Spec     explore.Spec `json:"spec"`
+	Observed []Eval       `json:"observed,omitempty"`
+}
+
+// Suggestion is the reply to a SuggestRequest.
+type Suggestion struct {
+	Strategy    string          `json:"strategy"`
+	Seed        int64           `json:"seed"`
+	SpacePoints int             `json:"space_points"`
+	Replayed    int             `json:"replayed"` // observations matched to the space and replayed
+	Points      []explore.Point `json:"points"`   // next points to evaluate, in proposal order
+	Front       []FrontPoint    `json:"front"`    // Pareto front over the replayed observations
+	Exhausted   bool            `json:"exhausted"`
+}
+
+// Suggest deterministically replays a strategy against the client's
+// observations and returns the next points to evaluate. Observed points
+// are normalized before matching, so clients may send sparse points;
+// observations outside the spec's space are ignored (they cannot steer a
+// lattice the strategy does not know). Exhausted is set when the strategy
+// has converged or proposed the entire space.
+func Suggest(req SuggestRequest) (*Suggestion, error) {
+	count := req.Count
+	if count <= 0 {
+		count = DefaultBatchSize
+	}
+	sp, err := NewSpace(req.Spec)
+	if err != nil {
+		return nil, err
+	}
+	strat, err := New(req.Strategy, sp, req.Seed)
+	if err != nil {
+		return nil, err
+	}
+
+	// Index the client's observations by space index (last write wins) and
+	// build the front over all of them; observations sent without an area
+	// are priced by the hwmodel estimator. Front membership is independent
+	// of insertion order, so the reply is canonical.
+	obs := make(map[int]Eval, len(req.Observed))
+	front := &Front{}
+	for _, e := range req.Observed {
+		e.Point = e.Point.Normalized()
+		i := sp.Index(e.Point)
+		if i < 0 {
+			continue
+		}
+		if e.Area == 0 {
+			e.Area = areaOf(e.Point)
+		}
+		obs[i] = e
+		if e.OK() {
+			front.Add(FrontPoint{Point: e.Point, Cycles: e.Cycles, Area: e.Area})
+		}
+	}
+
+	out := &Suggestion{
+		Strategy:    strat.Name(),
+		Seed:        req.Seed,
+		SpacePoints: sp.Len(),
+		Replayed:    len(obs),
+	}
+	// Replay: propose, feed back what the client already measured, collect
+	// what it has not. The loop is bounded: every proposal is new (visited
+	// bookkeeping), so at most Len() points are ever proposed.
+	for len(out.Points) < count {
+		ps := strat.Propose(count - len(out.Points))
+		if len(ps) == 0 {
+			out.Exhausted = true
+			break
+		}
+		known := make([]Eval, 0, len(ps))
+		for _, p := range ps {
+			i := sp.Index(p)
+			if i < 0 {
+				// Cannot happen: strategies propose space members only.
+				return nil, fmt.Errorf("search: strategy %s proposed a point outside its space: %s", strat.Name(), p.Key())
+			}
+			if e, ok := obs[i]; ok {
+				known = append(known, e)
+			} else {
+				out.Points = append(out.Points, p)
+			}
+		}
+		if len(known) > 0 {
+			strat.Observe(known)
+		}
+	}
+	out.Front = front.Points()
+	return out, nil
+}

@@ -5,6 +5,7 @@
 //
 //	POST /v1/simulate   one design point → full JSON result
 //	POST /v1/explore    a sweep spec → JSONL record stream (risppexplore bytes)
+//	POST /v1/suggest    adaptive-search proposals: next points + Pareto front
 //	GET  /v1/healthz    liveness + drain state
 //	GET  /metrics       Prometheus text exposition (stdlib only)
 //

@@ -11,6 +11,7 @@ import (
 
 	"rispp/internal/explore"
 	"rispp/internal/sched"
+	"rispp/internal/search"
 	"rispp/internal/sim"
 )
 
@@ -381,6 +382,67 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 	// status code; per-record errors travel in the records themselves and
 	// a deadline truncates the stream (clients compare against X-Points).
 	eng.Execute(ctx, req.Spec, w) //nolint:errcheck // see above: reported in-band
+}
+
+// handleSuggest answers POST /v1/suggest: the adaptive-search side of the
+// service. The request carries a strategy name, a seed, a spec, and the
+// evaluations the client has already made; the reply is the next batch of
+// design points the strategy wants evaluated plus the Pareto front over
+// the observations. The server holds no search state — each request is a
+// deterministic replay (internal/search.Suggest), so any replica answers
+// identically and the client drives the eval loop at its own pace
+// (typically through /v1/simulate or /v1/explore).
+func (s *Server) handleSuggest(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	var req search.SuggestRequest
+	if err := s.decodeJSON(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if req.Count < 0 {
+		writeError(w, http.StatusBadRequest, "negative count")
+		return
+	}
+	if req.Count > s.cfg.MaxPoints {
+		writeError(w, http.StatusBadRequest, "count %d exceeds server limit %d", req.Count, s.cfg.MaxPoints)
+		return
+	}
+	jobs, err := req.Spec.Expand()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "invalid spec: %v", err)
+		return
+	}
+	if len(jobs) == 0 {
+		writeError(w, http.StatusBadRequest, "empty space: spec expands to no points")
+		return
+	}
+	if len(jobs) > s.cfg.MaxPoints {
+		writeError(w, http.StatusBadRequest, "space of %d points exceeds server limit %d", len(jobs), s.cfg.MaxPoints)
+		return
+	}
+	for _, p := range jobs {
+		if err := s.validatePoint(p); err != nil {
+			writeError(w, http.StatusBadRequest, "invalid point %s: %v", p.Key(), err)
+			return
+		}
+	}
+	if len(req.Observed) > len(jobs) {
+		writeError(w, http.StatusBadRequest, "%d observations for a space of %d points", len(req.Observed), len(jobs))
+		return
+	}
+
+	sug, err := search.Suggest(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.met.suggest(sug.Strategy, len(sug.Points), len(sug.Front))
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(sug) //nolint:errcheck // headers sent; nothing left to do
 }
 
 // handleHealthz answers GET /v1/healthz.

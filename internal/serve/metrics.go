@@ -37,13 +37,32 @@ type metrics struct {
 	latSumNS  atomic.Int64
 	latBucket [numLatencyBuckets]atomic.Int64 // rendered cumulatively
 
+	// Adaptive-search instrumentation (/v1/suggest). suggests counts
+	// requests per strategy (under mu); the atomics track the points
+	// proposed in total and the front size of the most recent reply.
+	suggests      map[string]int64
+	suggestPoints atomic.Int64
+	frontSize     atomic.Int64
+
 	// poolStats, when non-nil, reads the runner's runtime-pool hit/miss
 	// counters at scrape time (the pool lives in rispp.Runner, not here).
 	poolStats func() (hits, misses int64)
 }
 
 func newMetrics() *metrics {
-	return &metrics{requests: make(map[string]int64)}
+	return &metrics{
+		requests: make(map[string]int64),
+		suggests: make(map[string]int64),
+	}
+}
+
+// suggest records one answered /v1/suggest request.
+func (m *metrics) suggest(strategy string, points, front int) {
+	m.mu.Lock()
+	m.suggests[strategy]++
+	m.mu.Unlock()
+	m.suggestPoints.Add(int64(points))
+	m.frontSize.Store(int64(front))
 }
 
 // request records one completed request: its route, status code and wall
@@ -109,6 +128,29 @@ func (m *metrics) write(w io.Writer) {
 	fmt.Fprintf(w, "# HELP rispp_explore_cache_hits_total /v1/explore records answered from the result cache.\n")
 	fmt.Fprintf(w, "# TYPE rispp_explore_cache_hits_total counter\n")
 	fmt.Fprintf(w, "rispp_explore_cache_hits_total %d\n", m.engineHits.Load())
+
+	m.mu.Lock()
+	strats := make([]string, 0, len(m.suggests))
+	for k := range m.suggests {
+		strats = append(strats, k)
+	}
+	sort.Strings(strats)
+	suggestCounts := make([]int64, len(strats))
+	for i, k := range strats {
+		suggestCounts[i] = m.suggests[k]
+	}
+	m.mu.Unlock()
+	fmt.Fprintf(w, "# HELP rispp_search_suggest_total Answered /v1/suggest requests by strategy.\n")
+	fmt.Fprintf(w, "# TYPE rispp_search_suggest_total counter\n")
+	for i, k := range strats {
+		fmt.Fprintf(w, "rispp_search_suggest_total{strategy=%q} %d\n", k, suggestCounts[i])
+	}
+	fmt.Fprintf(w, "# HELP rispp_search_suggested_points_total Design points proposed by /v1/suggest.\n")
+	fmt.Fprintf(w, "# TYPE rispp_search_suggested_points_total counter\n")
+	fmt.Fprintf(w, "rispp_search_suggested_points_total %d\n", m.suggestPoints.Load())
+	fmt.Fprintf(w, "# HELP rispp_search_front_size Pareto-front size of the most recent /v1/suggest reply.\n")
+	fmt.Fprintf(w, "# TYPE rispp_search_front_size gauge\n")
+	fmt.Fprintf(w, "rispp_search_front_size %d\n", m.frontSize.Load())
 
 	if m.poolStats != nil {
 		hits, misses := m.poolStats()

@@ -69,10 +69,11 @@ func New(cfg Config, base rispp.Config) *Server {
 	s.met.poolStats = runner.RuntimePoolStats
 	s.mux.HandleFunc("/v1/simulate", s.wrap("/v1/simulate", s.handleSimulate))
 	s.mux.HandleFunc("/v1/explore", s.wrap("/v1/explore", s.handleExplore))
+	s.mux.HandleFunc("/v1/suggest", s.wrap("/v1/suggest", s.handleSuggest))
 	s.mux.HandleFunc("/v1/healthz", s.wrap("/v1/healthz", s.handleHealthz))
 	s.mux.Handle("/metrics", s.met)
 	s.mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
-		writeError(w, http.StatusNotFound, "no route %s; see /v1/simulate, /v1/explore, /v1/healthz, /metrics", r.URL.Path)
+		writeError(w, http.StatusNotFound, "no route %s; see /v1/simulate, /v1/explore, /v1/suggest, /v1/healthz, /metrics", r.URL.Path)
 	})
 	return s
 }

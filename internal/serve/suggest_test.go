@@ -1,0 +1,142 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"rispp/internal/explore"
+	"rispp/internal/search"
+)
+
+func suggestSpec() explore.Spec {
+	return explore.Spec{
+		Schedulers: []string{"HEF", "Molen", "software"},
+		ACs:        []int{4, 6, 8, 10},
+		Frames:     []int{2},
+	}
+}
+
+func decodeSuggest(t *testing.T, w *httptest.ResponseRecorder) search.Suggestion {
+	t.Helper()
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d, body %s", w.Code, w.Body.String())
+	}
+	var sug search.Suggestion
+	if err := json.Unmarshal(w.Body.Bytes(), &sug); err != nil {
+		t.Fatalf("decode response: %v", err)
+	}
+	return sug
+}
+
+// TestSuggestDrivesSimulate runs the intended client loop: ask /v1/suggest
+// for points, measure them through /v1/simulate, feed the observations
+// back, and repeat. The front must grow out of the client's own
+// measurements and proposals must never repeat.
+func TestSuggestDrivesSimulate(t *testing.T) {
+	s := newTestServer(t, Config{})
+	h := s.Handler()
+
+	var observed []search.Eval
+	seen := make(map[string]bool)
+	for round := 0; round < 3; round++ {
+		w := postJSON(t, h, "/v1/suggest", search.SuggestRequest{
+			Strategy: "evolve", Seed: 5, Count: 4,
+			Spec: suggestSpec(), Observed: observed,
+		})
+		sug := decodeSuggest(t, w)
+		if sug.Strategy != "evolve" || sug.SpacePoints != 12 {
+			t.Fatalf("round %d: suggestion header %+v", round, sug)
+		}
+		if sug.Replayed != len(observed) {
+			t.Fatalf("round %d: replayed %d of %d observations", round, sug.Replayed, len(observed))
+		}
+		if len(sug.Points) == 0 && !sug.Exhausted {
+			t.Fatalf("round %d: no points and not exhausted", round)
+		}
+		for _, p := range sug.Points {
+			if seen[p.Key()] {
+				t.Fatalf("round %d: point %s proposed twice", round, p.Key())
+			}
+			seen[p.Key()] = true
+			res := decodeSimulate(t, postJSON(t, h, "/v1/simulate", SimulateRequest{Point: p}))
+			observed = append(observed, search.Eval{Point: p, Cycles: res.TotalCycles, StallCycles: res.StallCycles})
+		}
+	}
+	// The final front must be non-empty and consistent with the
+	// observations (every member observed, none dominated by another).
+	w := postJSON(t, h, "/v1/suggest", search.SuggestRequest{
+		Strategy: "evolve", Seed: 5, Count: 1, Spec: suggestSpec(), Observed: observed,
+	})
+	sug := decodeSuggest(t, w)
+	if len(sug.Front) == 0 {
+		t.Fatal("front empty after 8 observations")
+	}
+	for _, fp := range sug.Front {
+		found := false
+		for _, e := range observed {
+			if e.Point.Key() == fp.Point.Key() {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("front member %s was never observed", fp.Point.Key())
+		}
+	}
+
+	// Identical request → byte-identical reply (stateless determinism).
+	w2 := postJSON(t, h, "/v1/suggest", search.SuggestRequest{
+		Strategy: "evolve", Seed: 5, Count: 1, Spec: suggestSpec(), Observed: observed,
+	})
+	if w.Body.String() != w2.Body.String() {
+		t.Error("identical suggest requests answered differently")
+	}
+
+	// The search metrics must be on /metrics.
+	mw := httptest.NewRecorder()
+	h.ServeHTTP(mw, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	body := mw.Body.String()
+	for _, want := range []string{
+		`rispp_search_suggest_total{strategy="evolve"}`,
+		"rispp_search_suggested_points_total",
+		"rispp_search_front_size",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %s", want)
+		}
+	}
+}
+
+func TestSuggestValidation(t *testing.T) {
+	s := newTestServer(t, Config{MaxPoints: 16})
+	h := s.Handler()
+	cases := []struct {
+		name string
+		req  search.SuggestRequest
+	}{
+		{"unknown strategy", search.SuggestRequest{Strategy: "annealing", Spec: suggestSpec()}},
+		{"empty spec", search.SuggestRequest{Strategy: "random"}},
+		{"negative count", search.SuggestRequest{Strategy: "random", Count: -1, Spec: suggestSpec()}},
+		{"space too large", search.SuggestRequest{Strategy: "random", Spec: explore.Spec{
+			Schedulers: []string{"HEF"}, ACs: []int{1, 2, 3, 4, 5}, Frames: []int{1, 2}, Seeds: []int64{1, 2},
+		}}},
+		{"unknown scheduler", search.SuggestRequest{Strategy: "random", Spec: explore.Spec{
+			Schedulers: []string{"quantum"}, ACs: []int{4},
+		}}},
+		{"too many observations", search.SuggestRequest{Strategy: "random", Spec: suggestSpec(),
+			Observed: make([]search.Eval, 13)}},
+	}
+	for _, tc := range cases {
+		if w := postJSON(t, h, "/v1/suggest", tc.req); w.Code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400 (body %s)", tc.name, w.Code, w.Body.String())
+		}
+	}
+	// GET is rejected.
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/v1/suggest", nil))
+	if w.Code != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/suggest: status %d, want 405", w.Code)
+	}
+}

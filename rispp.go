@@ -32,6 +32,7 @@ import (
 	"rispp/internal/isa"
 	"rispp/internal/membus"
 	"rispp/internal/molen"
+	"rispp/internal/oracle"
 	"rispp/internal/reconfig"
 	"rispp/internal/sched"
 	"rispp/internal/sim"
@@ -507,6 +508,90 @@ func (r *Runner) EngineRunSet() explore.RunSetFunc {
 		}
 		ms := make([]explore.Metrics, len(ps))
 		for i, res := range results {
+			ms[i] = explore.Metrics{
+				TotalCycles:  res.TotalCycles,
+				StallCycles:  res.StallCycles,
+				SWExecutions: res.TotalSWExecutions(),
+				HWExecutions: res.TotalHWExecutions(),
+			}
+		}
+		return ms, nil
+	}
+}
+
+// CheckedExplorer is Explorer with every simulated point validated by the
+// reference oracle (internal/oracle.Check): conservation of executions,
+// phase structure, the exact cycle identity, and the software upper bound.
+// A point that simulates but violates an invariant comes back as an error
+// rather than a silently wrong metric — the mode adaptive search uses, so
+// a guided optimizer can never exploit a simulator bug.
+func CheckedExplorer(base Config, workers int, cache *explore.Cache) *explore.Engine {
+	rn := NewRunner(base)
+	return &explore.Engine{
+		Workers: workers,
+		Cache:   cache,
+		Run:     rn.CheckedEngineRun(),
+		RunSet:  rn.CheckedEngineRunSet(),
+	}
+}
+
+// check validates res for point p against the oracle invariants. The trace
+// comes from the compile memo, so the only added cost is the oracle's
+// linear walk over the result.
+func (r *Runner) check(p explore.Point, res *sim.Result) error {
+	cfg, key := r.pointConfig(p, r.base.Collect)
+	ct, err := r.compile(&cfg, key)
+	if err != nil {
+		return err
+	}
+	if err := oracle.Check(ct.Trace, cfg.ISA, res); err != nil {
+		return fmt.Errorf("rispp: point %s: %w", p.Key(), err)
+	}
+	return nil
+}
+
+// CheckedEngineRun is EngineRun followed by the oracle invariant checker
+// on every result.
+func (r *Runner) CheckedEngineRun() explore.RunFunc {
+	return func(ctx context.Context, p explore.Point) (explore.Metrics, error) {
+		res := r.GetResult()
+		defer r.PutResult(res)
+		if err := r.RunPoint(ctx, p, r.base.Collect, res); err != nil {
+			return explore.Metrics{}, err
+		}
+		if err := r.check(p, res); err != nil {
+			return explore.Metrics{}, err
+		}
+		return explore.Metrics{
+			TotalCycles:  res.TotalCycles,
+			StallCycles:  res.StallCycles,
+			SWExecutions: res.TotalSWExecutions(),
+			HWExecutions: res.TotalHWExecutions(),
+		}, nil
+	}
+}
+
+// CheckedEngineRunSet is EngineRunSet followed by the oracle invariant
+// checker on every result of the batch.
+func (r *Runner) CheckedEngineRunSet() explore.RunSetFunc {
+	return func(ctx context.Context, ps []explore.Point) ([]explore.Metrics, error) {
+		results := make([]*sim.Result, len(ps))
+		for i := range results {
+			results[i] = r.GetResult()
+		}
+		defer func() {
+			for _, res := range results {
+				r.PutResult(res)
+			}
+		}()
+		if err := r.RunPointSet(ctx, ps, r.base.Collect, results); err != nil {
+			return nil, err
+		}
+		ms := make([]explore.Metrics, len(ps))
+		for i, res := range results {
+			if err := r.check(ps[i], res); err != nil {
+				return nil, err
+			}
 			ms[i] = explore.Metrics{
 				TotalCycles:  res.TotalCycles,
 				StallCycles:  res.StallCycles,
