@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test short race bench bench-paper bench-check bench-baseline bench-json cover-check verify-oracle fuzz search-smoke lint serve figures verify clean
+.PHONY: all build test short race bench bench-paper bench-check bench-baseline bench-json prof-diff cover-check verify-oracle fuzz search-smoke lint serve figures verify clean
 
 all: build test
 
@@ -36,26 +36,38 @@ bench-paper:
 # BENCH_TOLERANCE overrides the 25%.
 bench-check:
 	$(GO) test -run '^$$' -bench BenchmarkRun -benchtime 100x -benchmem -count 5 ./internal/sim > bench_check.txt
-	$(GO) test -run '^$$' -bench 'BenchmarkSweep$$' -benchtime 20x -benchmem -count 5 . >> bench_check.txt
+	$(GO) test -run '^$$' -bench 'BenchmarkSweep$$|BenchmarkSweepResim$$' -benchtime 20x -benchmem -count 5 . >> bench_check.txt
 	$(GO) test -run '^$$' -bench BenchmarkSearchDriver -benchtime 20x -benchmem -count 5 ./internal/search >> bench_check.txt
 	$(GO) run ./scripts/benchcheck -baseline BENCH_baseline.json < bench_check.txt
 
 # Re-measure the bench baseline on this machine (commit the result).
 bench-baseline:
 	$(GO) test -run '^$$' -bench BenchmarkRun -benchtime 100x -benchmem -count 5 ./internal/sim > bench_baseline.txt
-	$(GO) test -run '^$$' -bench 'BenchmarkSweep$$' -benchtime 20x -benchmem -count 5 . >> bench_baseline.txt
+	$(GO) test -run '^$$' -bench 'BenchmarkSweep$$|BenchmarkSweepResim$$' -benchtime 20x -benchmem -count 5 . >> bench_baseline.txt
 	$(GO) test -run '^$$' -bench BenchmarkSearchDriver -benchtime 20x -benchmem -count 5 ./internal/search >> bench_baseline.txt
 	$(GO) run ./scripts/benchcheck -update -baseline BENCH_baseline.json < bench_baseline.txt
 	rm -f bench_baseline.txt
 
 # Snapshot the current hot-path numbers — including the per-point sweep
-# reference BenchmarkSweepPerPoint — into BENCH_pr5.json, same format and
-# reduction (min of 5) as BENCH_baseline.json, for before/after tables.
+# reference BenchmarkSweepPerPoint and the delta-disabled reference
+# BenchmarkSweepResim — into BENCH_pr7.json, same format and reduction
+# (min of 5) as BENCH_baseline.json, for before/after tables.
 bench-json:
 	$(GO) test -run '^$$' -bench BenchmarkRun -benchtime 100x -benchmem -count 5 ./internal/sim > bench_json.txt
 	$(GO) test -run '^$$' -bench BenchmarkSweep -benchtime 20x -benchmem -count 5 . >> bench_json.txt
-	$(GO) run ./scripts/benchcheck -update -baseline BENCH_pr5.json < bench_json.txt
+	$(GO) run ./scripts/benchcheck -update -baseline BENCH_pr7.json < bench_json.txt
 	rm -f bench_json.txt
+
+# Before/after CPU+heap profile delta for one named benchmark. First run
+# records the "before" snapshot (do this on the base commit), the second —
+# after applying the change — prints top-N cumulative delta tables.
+# Usage: make prof-diff PROF_BENCH=BenchmarkRunHEF PROF_PKG=./internal/sim
+# Add PROF_RESET=1 to discard a stale "before" and start over.
+PROF_BENCH ?= BenchmarkRunHEF
+PROF_PKG ?= ./internal/sim
+PROF_COUNT ?= 5
+prof-diff:
+	$(GO) run ./scripts/profdiff -bench '$(PROF_BENCH)' -pkg '$(PROF_PKG)' -count $(PROF_COUNT) $(if $(PROF_RESET),-reset,)
 
 # Coverage floor gate (what the coverage CI job runs).
 cover-check:
@@ -112,4 +124,4 @@ verify:
 	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
 
 clean:
-	rm -rf figures search_smoke test_output.txt bench_output.txt bench_check.txt bench_baseline.txt bench_json.txt cover.out cpu.pprof
+	rm -rf figures search_smoke test_output.txt bench_output.txt bench_check.txt bench_baseline.txt bench_json.txt cover.out cpu.pprof mem.pprof .profdiff

@@ -36,6 +36,17 @@ type Monitor struct {
 	inSpot     bool
 	successors map[isa.HotSpotID]map[isa.HotSpotID]int // hot-spot rotation
 
+	// Incremental-update bookkeeping: LeaveHotSpot must visit exactly the
+	// SIs with counts[si] != 0 or expected[si] != 0. touched lists the
+	// former (appended on a counter's 0→nonzero transition), nz[h] is a
+	// superset of the latter (rebuilt exactly on every LeaveHotSpot), and
+	// mark/epoch dedupe the union of the two lists without a clearing pass.
+	touched []isa.SIID
+	nz      map[isa.HotSpotID][]isa.SIID
+	mark    []uint32
+	epoch   uint32
+	nzSwap  []isa.SIID
+
 	// ObservedSpots counts completed hot-spot executions per hot spot.
 	ObservedSpots map[isa.HotSpotID]int
 	// AbsError accumulates |measured − previous expectation| per SI across
@@ -52,6 +63,8 @@ func New(is *isa.ISA, shift uint) *Monitor {
 		shift:         shift,
 		expected:      make(map[isa.HotSpotID][]int64),
 		counts:        make([]int64, len(is.SIs)),
+		nz:            make(map[isa.HotSpotID][]isa.SIID),
+		mark:          make([]uint32, len(is.SIs)),
 		ObservedSpots: make(map[isa.HotSpotID]int),
 	}
 }
@@ -69,6 +82,10 @@ func (m *Monitor) Reset() {
 	}
 	for i := range m.counts {
 		m.counts[i] = 0
+	}
+	m.touched = m.touched[:0]
+	for h := range m.nz {
+		m.nz[h] = m.nz[h][:0]
 	}
 	m.current = 0
 	m.inSpot = false
@@ -88,6 +105,21 @@ func (m *Monitor) Seed(si isa.SIID, expected int64) {
 	h := m.is.SI(si).HotSpot
 	m.expected[h] = m.ensure(h)
 	m.expected[h][si] = expected
+	if expected != 0 {
+		m.noteNonzero(h, si)
+	}
+}
+
+// noteNonzero registers si in the nonzero-expectation list of hot spot h,
+// preserving the nz ⊇ {si : expected[si] ≠ 0} invariant. Linear dedupe —
+// only called from cold paths (Seed, RestoreFrom fallback).
+func (m *Monitor) noteNonzero(h isa.HotSpotID, si isa.SIID) {
+	for _, x := range m.nz[h] {
+		if x == si {
+			return
+		}
+	}
+	m.nz[h] = append(m.nz[h], si)
 }
 
 func (m *Monitor) ensure(h isa.HotSpotID) []int64 {
@@ -101,15 +133,13 @@ func (m *Monitor) ensure(h isa.HotSpotID) []int64 {
 
 // EnterHotSpot starts counting SI executions for hot spot h. Entering a new
 // hot spot while another is active finalizes the previous one first.
+// O(1): counters were zeroed lazily when the previous hot spot was left.
 func (m *Monitor) EnterHotSpot(h isa.HotSpotID) {
 	if m.inSpot {
 		m.LeaveHotSpot()
 	}
 	m.current = h
 	m.inSpot = true
-	for i := range m.counts {
-		m.counts[i] = 0
-	}
 }
 
 // Record counts n executions of SI si within the current hot spot.
@@ -117,40 +147,73 @@ func (m *Monitor) Record(si isa.SIID, n int64) {
 	if !m.inSpot {
 		panic("monitor: Record outside a hot spot")
 	}
+	if n == 0 {
+		return
+	}
+	if m.counts[si] == 0 {
+		m.touched = append(m.touched, si)
+	}
 	m.counts[si] += n
 }
 
 // LeaveHotSpot finalizes the current hot spot execution: expectations are
-// updated from the measured counts.
+// updated from the measured counts. Cost is O(changed) — proportional to
+// the SIs that executed this round plus the SIs with a nonzero expectation
+// for this hot spot — not O(SIs): the update below visits exactly the SIs
+// the old full scan would not have skipped (counts ≠ 0 or expected ≠ 0),
+// so AbsError/Samples and every expectation update are order-independent
+// sums over the identical set.
 func (m *Monitor) LeaveHotSpot() {
 	if !m.inSpot {
 		return
 	}
 	e := m.ensure(m.current)
 	first := m.ObservedSpots[m.current] == 0
-	for si := range m.counts {
-		if m.counts[si] == 0 && e[si] == 0 {
+	m.epoch++
+	keep := m.nzSwap[:0]
+	for _, si := range m.touched {
+		m.mark[si] = m.epoch
+		m.settle(e, si, first)
+		if e[si] != 0 {
+			keep = append(keep, si)
+		}
+		m.counts[si] = 0
+	}
+	for _, si := range m.nz[m.current] {
+		if m.mark[si] == m.epoch || e[si] == 0 {
 			continue
 		}
-		diff := m.counts[si] - e[si]
-		if diff < 0 {
-			m.AbsError += -diff
-		} else {
-			m.AbsError += diff
-		}
-		m.Samples++
-		if first && e[si] == 0 {
-			// Cold start: adopt the first measurement outright instead of
-			// halving toward it.
-			e[si] = m.counts[si]
-		} else {
-			// Arithmetic shift: negative diffs round toward −∞, so the
-			// expectation can always decay back to zero.
-			e[si] += diff >> m.shift
+		m.mark[si] = m.epoch
+		m.settle(e, si, first)
+		if e[si] != 0 {
+			keep = append(keep, si)
 		}
 	}
+	m.nzSwap = m.nz[m.current][:0]
+	m.nz[m.current] = keep
+	m.touched = m.touched[:0]
 	m.ObservedSpots[m.current]++
 	m.inSpot = false
+}
+
+// settle applies the smoothing update for one SI of the current hot spot.
+func (m *Monitor) settle(e []int64, si isa.SIID, first bool) {
+	diff := m.counts[si] - e[si]
+	if diff < 0 {
+		m.AbsError += -diff
+	} else {
+		m.AbsError += diff
+	}
+	m.Samples++
+	if first && e[si] == 0 {
+		// Cold start: adopt the first measurement outright instead of
+		// halving toward it.
+		e[si] = m.counts[si]
+	} else {
+		// Arithmetic shift: negative diffs round toward −∞, so the
+		// expectation can always decay back to zero.
+		e[si] += diff >> m.shift
+	}
 }
 
 // Expected returns the expected number of executions of SI si the next time
@@ -183,6 +246,128 @@ func (m *Monitor) MeanAbsError() float64 {
 
 func (m *Monitor) String() string {
 	return fmt.Sprintf("monitor(α=2^-%d, spots=%v)", m.shift, m.ObservedSpots)
+}
+
+// State is an opaque deep copy of a Monitor's learned state, produced by
+// SaveInto at a phase boundary (between hot spots) and consumed by
+// RestoreFrom. Arenas inside are reused across saves.
+type State struct {
+	expected   map[isa.HotSpotID][]int64
+	nz         map[isa.HotSpotID][]isa.SIID
+	successors map[isa.HotSpotID]map[isa.HotSpotID]int
+	observed   map[isa.HotSpotID]int
+	current    isa.HotSpotID
+	absError   int64
+	samples    int
+}
+
+// SaveInto copies the monitor's learned state into dst. Must be called
+// between hot spots (after LeaveHotSpot): live counters are then all zero
+// and need not be captured.
+func (m *Monitor) SaveInto(dst *State) {
+	if m.inSpot {
+		panic("monitor: SaveInto inside a hot spot")
+	}
+	if dst.expected == nil {
+		dst.expected = make(map[isa.HotSpotID][]int64)
+		dst.nz = make(map[isa.HotSpotID][]isa.SIID)
+		dst.observed = make(map[isa.HotSpotID]int)
+	}
+	for h := range dst.expected {
+		if _, ok := m.expected[h]; !ok {
+			delete(dst.expected, h)
+			delete(dst.nz, h)
+		}
+	}
+	for h, e := range m.expected {
+		de := dst.expected[h]
+		if cap(de) < len(e) {
+			de = make([]int64, len(e))
+		}
+		de = de[:len(e)]
+		copy(de, e)
+		dst.expected[h] = de
+		dst.nz[h] = append(dst.nz[h][:0], m.nz[h]...)
+	}
+	if m.successors != nil && dst.successors == nil {
+		dst.successors = make(map[isa.HotSpotID]map[isa.HotSpotID]int)
+	}
+	for h, row := range dst.successors {
+		if _, ok := m.successors[h]; !ok {
+			delete(dst.successors, h)
+		} else {
+			clear(row)
+		}
+	}
+	for h, row := range m.successors {
+		drow := dst.successors[h]
+		if drow == nil {
+			drow = make(map[isa.HotSpotID]int, len(row))
+			dst.successors[h] = drow
+		}
+		for to, n := range row {
+			drow[to] = n
+		}
+	}
+	clear(dst.observed)
+	for h, n := range m.ObservedSpots {
+		dst.observed[h] = n
+	}
+	dst.current = m.current
+	dst.absError = m.AbsError
+	dst.samples = m.Samples
+}
+
+// RestoreFrom overwrites the monitor's learned state with a saved one. Keys
+// the monitor has learned since the save are zeroed in place rather than
+// deleted — a zero expectation vector is behaviorally identical to an
+// absent one — so steady-state restores allocate nothing.
+func (m *Monitor) RestoreFrom(src *State) {
+	for h, e := range m.expected {
+		if _, ok := src.expected[h]; !ok {
+			for i := range e {
+				e[i] = 0
+			}
+			m.nz[h] = m.nz[h][:0]
+		}
+	}
+	for h, se := range src.expected {
+		e := m.ensure(h)
+		copy(e, se)
+		m.nz[h] = append(m.nz[h][:0], src.nz[h]...)
+	}
+	for i := range m.counts {
+		m.counts[i] = 0
+	}
+	m.touched = m.touched[:0]
+	m.inSpot = false
+	m.current = src.current
+	for h, row := range m.successors {
+		if _, ok := src.successors[h]; !ok {
+			clear(row)
+		}
+	}
+	for h, srow := range src.successors {
+		if m.successors == nil {
+			m.successors = make(map[isa.HotSpotID]map[isa.HotSpotID]int)
+		}
+		row := m.successors[h]
+		if row == nil {
+			row = make(map[isa.HotSpotID]int, len(srow))
+			m.successors[h] = row
+		} else {
+			clear(row)
+		}
+		for to, n := range srow {
+			row[to] = n
+		}
+	}
+	clear(m.ObservedSpots)
+	for h, n := range src.observed {
+		m.ObservedSpots[h] = n
+	}
+	m.AbsError = src.absError
+	m.Samples = src.samples
 }
 
 // Successor prediction: the monitor also learns the hot-spot rotation

@@ -1,0 +1,154 @@
+// Checkpoint-equivalence gate: a run served or resumed from a recorded
+// delta-resimulation trail (sim.Trail) must be field-exact identical to a
+// fresh from-power-on run at the same budget — including the JSONL journal
+// byte for byte — across the oracle's seeded generators and all six
+// run-time systems. A second corpus pins the scheduler kernels against the
+// choose-based reference loop on the same generated hardware.
+package oracle_test
+
+import (
+	"bytes"
+	"context"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"rispp/internal/molecule"
+	"rispp/internal/oracle"
+	"rispp/internal/sched"
+	"rispp/internal/sim"
+	"rispp/internal/workload"
+)
+
+const checkpointSeeds = 60 // × systems × budgets ≈ 1.4k comparisons
+
+// TestCheckpointEquivalenceGeneratedCorpus records a trail at one budget
+// and satisfies neighboring budgets through the delta machinery — full
+// skip where the trail transfers end to end, partial resume otherwise,
+// with the resumed runtime deliberately dirtied first (the runtime-pool
+// pattern) — comparing every artifact against a fresh run.
+func TestCheckpointEquivalenceGeneratedCorpus(t *testing.T) {
+	for seed := int64(0); seed < checkpointSeeds; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		is := oracle.GenHardware(r)
+		tr := oracle.GenWorkload(r, is)
+		acs := 1 + oracle.GenNumACs(r) // record at ≥1 so down-transfer exists
+		ct, err := workload.Compile(tr, is)
+		if err != nil {
+			t.Fatal(err)
+		}
+		budgets := []int{acs, acs - 1, acs + 2, 2 * acs}
+
+		for _, sys := range oracle.Systems {
+			trail := new(sim.Trail)
+			var recJournal bytes.Buffer
+			rt := newRuntime(t, sys, is, acs, tr).(sim.Checkpointable)
+			if err := sim.RunCompiledTrail(context.Background(), ct, rt,
+				sim.Options{Journal: &recJournal}, new(sim.Result), trail); err != nil {
+				t.Fatal(err)
+			}
+
+			for _, budget := range budgets {
+				var wantJournal, gotJournal bytes.Buffer
+				var want, got sim.Result
+				if err := sim.RunCompiled(context.Background(), ct,
+					newRuntime(t, sys, is, budget, tr),
+					sim.Options{Journal: &wantJournal}, &want); err != nil {
+					t.Fatal(err)
+				}
+
+				served, err := trail.Serve(ct, budget, sim.Options{Journal: &gotJournal}, &got)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !served {
+					// Partial resume onto a dirtied runtime, recording the
+					// new budget's trail alongside.
+					crt := newRuntime(t, sys, is, budget, tr).(sim.Checkpointable)
+					if err := sim.RunCompiled(context.Background(), ct, crt, sim.Options{}, new(sim.Result)); err != nil {
+						t.Fatal(err)
+					}
+					rec := new(sim.Trail)
+					used, err := sim.ResumeCompiled(context.Background(), ct, crt,
+						sim.Options{Journal: &gotJournal}, &got, trail, rec)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !used {
+						if err := sim.RunCompiledTrail(context.Background(), ct, crt,
+							sim.Options{Journal: &gotJournal}, &got, rec); err != nil {
+							t.Fatal(err)
+						}
+					}
+					// The freshly recorded trail must now serve its own
+					// budget exactly.
+					var skipJournal bytes.Buffer
+					var skip sim.Result
+					served2, err := rec.Serve(ct, budget, sim.Options{Journal: &skipJournal}, &skip)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !served2 {
+						t.Fatalf("seed %d, system %s, budget %d: re-recorded trail cannot serve its own budget",
+							seed, sys, budget)
+					}
+					if err := oracle.DiffResults(&want, &skip); err != nil {
+						t.Errorf("seed %d, system %s, budget %d (re-serve): %v", seed, sys, budget, err)
+					}
+					if !bytes.Equal(wantJournal.Bytes(), skipJournal.Bytes()) {
+						t.Errorf("seed %d, system %s, budget %d (re-serve): journal bytes differ", seed, sys, budget)
+					}
+				}
+				if err := oracle.DiffResults(&want, &got); err != nil {
+					t.Errorf("seed %d, system %s, budget %d (recorded at %d): %v", seed, sys, budget, acs, err)
+				}
+				if !bytes.Equal(wantJournal.Bytes(), gotJournal.Bytes()) {
+					t.Errorf("seed %d, system %s, budget %d (recorded at %d): journal bytes differ between fresh and delta run",
+						seed, sys, budget, acs)
+				}
+			}
+		}
+	}
+}
+
+// TestKernelEquivalenceGeneratedCorpus pins the specialized scheduler
+// kernels against the reference loop on the oracle's generated hardware —
+// a richer Molecule-library distribution than the sched package's own
+// random ISAs.
+func TestKernelEquivalenceGeneratedCorpus(t *testing.T) {
+	names := []string{"FSFR", "ASF", "SJF", "HEF", "HEF-unnorm"}
+	for seed := int64(0); seed < checkpointSeeds; seed++ {
+		r := rand.New(rand.NewSource(seed + 7919))
+		is := oracle.GenHardware(r)
+		dim := len(is.Atoms)
+
+		var reqs []sched.Request
+		for j := range is.SIs {
+			si := &is.SIs[j]
+			reqs = append(reqs, sched.Request{
+				SI:       si,
+				Selected: si.Molecules[r.Intn(len(si.Molecules))],
+				Expected: int64(r.Intn(5000)),
+			})
+		}
+		avail := molecule.New(dim)
+		for a := 0; a < dim; a++ {
+			avail[a] = r.Intn(3)
+		}
+
+		for _, name := range names {
+			s, err := sched.New(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := sched.ScheduleInto(s, sched.NewScratch(), reqs, avail)
+			want := sched.ScheduleReference(s, sched.NewScratch(), reqs, avail)
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("seed %d, %s: kernel %v != reference %v", seed, name, got, want)
+			}
+			if err := sched.Valid(got, reqs, avail); err != nil {
+				t.Errorf("seed %d, %s: invalid kernel schedule: %v", seed, name, err)
+			}
+		}
+	}
+}

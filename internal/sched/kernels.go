@@ -1,0 +1,234 @@
+// Specialized scheduler kernels: the generic scheduling loop of Figure 6
+// (run + clean + candLess + smallestStep) re-derives every comparison input
+// per decision — |a ⊖ o| costs a full Atom-vector scan per candidate per
+// round, and clean compacts the candidate slice each iteration. The kernels
+// below compile those comparisons into flat integer tables precomputed once
+// per (ISA, avail) shape on the reusable Scratch:
+//
+//	kAdd[c]  additionally required Atoms of candidate c (the |a ⊖ o| of the
+//	         HEF denominator and the SJF/ASF step size), maintained
+//	         incrementally per commit: only the Atom dimensions a commit
+//	         actually raised are reconciled, so a decision costs
+//	         O(candidates) instead of O(candidates · dim).
+//	kExp[c]  forecast executions of candidate c's SI (constant per call).
+//	kDead[c] candidate retired by equation (4); deadness is monotone within
+//	         a call (avail only grows, bestLat only shrinks), so the fused
+//	         clean+choose pass marks candidates dead with the current state
+//	         exactly when the generic clean would have dropped them.
+//	kImp[si] FSFR/ASF importance, precomputed so the ordering sort compares
+//	         table entries instead of recomputing Expected·improvement per
+//	         comparison.
+//
+// Candidates stay in the canonical candidates() order and every comparison
+// replaces only on strictly-better, so first-wins tie-breaking is preserved
+// verbatim; the generic implementations remain as scheduleGeneric for the
+// equivalence property tests (mirroring how BenefitFloat anchors the
+// division-free HEF comparator).
+package sched
+
+import (
+	"rispp/internal/isa"
+	"rispp/internal/molecule"
+)
+
+// buildKernel assembles the candidate tables for one scheduling call. Must
+// run after newState; candidates() supplies the canonical order.
+func (st *state) buildKernel() {
+	cands := st.candidates()
+	n := len(cands)
+	if cap(st.kAdd) < n {
+		st.kAdd = make([]int32, n)
+		st.kExp = make([]int64, n)
+		st.kDead = make([]bool, n)
+	}
+	st.kAdd = st.kAdd[:n]
+	st.kExp = st.kExp[:n]
+	st.kDead = st.kDead[:n]
+	for c := range cands {
+		st.kAdd[c] = int32(st.avail.SubDet(cands[c].Atoms))
+		st.kExp[c] = st.byID(cands[c].SI).Expected
+		st.kDead[c] = false
+	}
+}
+
+// commitK is commit plus incremental kAdd maintenance: for every Atom
+// dimension the commit raises from old to new, a live candidate needing o_d
+// Atoms of that type loses min(o_d, new) − min(o_d, old) from its deficit.
+func (st *state) commitK(ci int) {
+	m := &st.cands[ci]
+	a := st.avail
+	for d, c := range m.Atoms {
+		old := a[d]
+		if c <= old {
+			continue
+		}
+		for n := c - old; n > 0; n-- {
+			st.out = append(st.out, isa.AtomID(d))
+		}
+		a[d] = c
+		for j := range st.cands {
+			if st.kDead[j] {
+				continue
+			}
+			od := st.cands[j].Atoms[d]
+			if od <= old {
+				continue
+			}
+			dec := od - old
+			if od > c {
+				dec = c - old
+			}
+			st.kAdd[j] -= int32(dec)
+		}
+	}
+	if m.Latency < st.bestLat[m.SI] {
+		st.bestLat[m.SI] = m.Latency
+	}
+}
+
+// retire applies equation (4) to candidate c against the current state and
+// returns true when it is (now) dead. kAdd == 0 ⇔ o ≤ a (a zero Atom
+// deficit is exactly the Leq(avail) clean condition).
+func (st *state) retire(c int) bool {
+	if st.kDead[c] {
+		return true
+	}
+	o := &st.cands[c]
+	if st.kAdd[c] == 0 || o.Latency >= st.bestLat[o.SI] {
+		st.kDead[c] = true
+		return true
+	}
+	return false
+}
+
+// orderSIsK is orderSIs with the importance of every request precomputed
+// into kImp (indexed by SIID), so the insertion sort compares table entries.
+func orderSIsK(reqs []Request, st *state) []isa.SIID {
+	if cap(st.kImp) < len(st.bestLat) {
+		st.kImp = make([]int64, len(st.bestLat))
+	}
+	st.kImp = st.kImp[:len(st.bestLat)]
+	ids := st.ids[:0]
+	for i := range reqs {
+		id := reqs[i].SI.ID
+		ids = append(ids, id)
+		st.kImp[id] = importance(&reqs[i], st)
+	}
+	imp := st.kImp
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0; j-- {
+			a, b := ids[j], ids[j-1]
+			if imp[a] > imp[b] || (imp[a] == imp[b] && a < b) {
+				ids[j], ids[j-1] = b, a
+			} else {
+				break
+			}
+		}
+	}
+	st.ids = ids
+	return ids
+}
+
+// smallestStepK is the fused clean+smallestStep pass: among live candidates
+// (of SI si, or all SIs if si < 0), pick the one with the smallest Atom
+// deficit, ties to the bigger improvement, first-wins in canonical order.
+func smallestStepK(st *state, si isa.SIID) int {
+	best := -1
+	var bestAdd int32
+	var bestImprove int
+	for c := range st.cands {
+		if st.retire(c) {
+			continue
+		}
+		o := &st.cands[c]
+		if si >= 0 && o.SI != si {
+			continue
+		}
+		add := st.kAdd[c]
+		improve := st.bestLat[o.SI] - o.Latency
+		if best < 0 || add < bestAdd || (add == bestAdd && improve > bestImprove) {
+			best, bestAdd, bestImprove = c, add, improve
+		}
+	}
+	return best
+}
+
+// --- kernel schedule entry points ----------------------------------------
+
+func (fsfr) schedule(sc *Scratch, reqs []Request, avail molecule.Vector) []isa.AtomID {
+	st := newState(sc, reqs, avail)
+	for _, si := range orderSIsK(reqs, st) {
+		st.commit(st.byID(si).Selected)
+	}
+	return st.out
+}
+
+func (asf) schedule(sc *Scratch, reqs []Request, avail molecule.Vector) []isa.AtomID {
+	st := newState(sc, reqs, avail)
+	st.buildKernel()
+	order := orderSIsK(reqs, st)
+	for i := range reqs {
+		if j := smallestStepK(st, reqs[i].SI.ID); j >= 0 {
+			st.commitK(j)
+		}
+	}
+	for _, si := range order {
+		st.commit(st.byID(si).Selected)
+	}
+	return st.out
+}
+
+func (sjf) schedule(sc *Scratch, reqs []Request, avail molecule.Vector) []isa.AtomID {
+	st := newState(sc, reqs, avail)
+	st.buildKernel()
+	for _, si := range orderSIsK(reqs, st) {
+		if _, ok := st.byID(si).SI.FastestAvailable(st.avail); ok {
+			continue
+		}
+		if i := smallestStepK(st, si); i >= 0 {
+			st.commitK(i)
+		}
+	}
+	for {
+		i := smallestStepK(st, -1)
+		if i < 0 {
+			break
+		}
+		st.commitK(i)
+	}
+	return st.out
+}
+
+func (s hef) schedule(sc *Scratch, reqs []Request, avail molecule.Vector) []isa.AtomID {
+	st := newState(sc, reqs, avail)
+	st.buildKernel()
+	for {
+		best := -1
+		var bestNum, bestDen int64
+		for c := range st.cands {
+			if st.retire(c) {
+				continue
+			}
+			o := &st.cands[c]
+			num := st.kExp[c] * int64(st.bestLat[o.SI]-o.Latency)
+			den := int64(1)
+			if s.normalize {
+				den = int64(st.kAdd[c])
+			}
+			if best < 0 {
+				if num > 0 {
+					best, bestNum, bestDen = c, num, den
+				}
+				continue
+			}
+			if num*bestDen > bestNum*den {
+				best, bestNum, bestDen = c, num, den
+			}
+		}
+		if best < 0 {
+			break
+		}
+		st.commitK(best)
+	}
+	return st.out
+}

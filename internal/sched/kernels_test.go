@@ -1,0 +1,147 @@
+package sched
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"rispp/internal/isa"
+	"rispp/internal/isa/isatest"
+	"rispp/internal/molecule"
+)
+
+// kernelNames is every strategy with a specialized kernel, including the
+// unnormalized HEF ablation (a distinct comparison function).
+var kernelNames = []string{"FSFR", "ASF", "SJF", "HEF", "HEF-unnorm"}
+
+// TestKernelMatchesGenericRandom is the central kernel-equivalence
+// property: on hundreds of random Molecule libraries, random expectations
+// and random initial availability, the specialized integer kernels
+// (kernels.go) must emit the exact Atom sequence — same IDs, same order —
+// as the original choose-based reference loop (scheduleGeneric). The
+// comparison is over the raw []isa.AtomID, so even benefit ties must break
+// identically.
+func TestKernelMatchesGenericRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for i := 0; i < 500; i++ {
+		dim := 2 + rng.Intn(5)
+		is := isatest.RandomISA(rng, dim, 1+rng.Intn(4))
+
+		var reqs []Request
+		for j := range is.SIs {
+			si := &is.SIs[j]
+			sel := si.Molecules[rng.Intn(len(si.Molecules))]
+			// Zero expectations included: HEF skips such SIs and the
+			// kernels must agree on the skipping too.
+			reqs = append(reqs, Request{SI: si, Selected: sel, Expected: int64(rng.Intn(10000))})
+		}
+		avail := molecule.New(dim)
+		for a := 0; a < dim; a++ {
+			avail[a] = rng.Intn(3)
+		}
+
+		for _, name := range kernelNames {
+			s, err := New(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ss := s.(scratchScheduler)
+			got := ss.schedule(NewScratch(), reqs, avail)
+			want := ss.scheduleGeneric(NewScratch(), reqs, avail)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("iteration %d, %s: kernel %v != generic %v\nreqs=%+v avail=%v",
+					i, name, got, want, reqs, avail)
+			}
+		}
+	}
+}
+
+// TestKernelScratchReuse: a dirty Scratch (left over from a different
+// instance) must not leak into the next kernel run.
+func TestKernelScratchReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	sc := NewScratch()
+	for i := 0; i < 100; i++ {
+		dim := 2 + rng.Intn(5)
+		is := isatest.RandomISA(rng, dim, 1+rng.Intn(4))
+		var reqs []Request
+		for j := range is.SIs {
+			si := &is.SIs[j]
+			reqs = append(reqs, Request{SI: si, Selected: si.Fastest(), Expected: int64(1 + rng.Intn(100))})
+		}
+		avail := molecule.New(dim)
+		for _, name := range kernelNames {
+			s, _ := New(name)
+			ss := s.(scratchScheduler)
+			got := ss.schedule(sc, reqs, avail) // reused across all iterations
+			want := ss.scheduleGeneric(NewScratch(), reqs, avail)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("iteration %d, %s: reused-scratch kernel %v != fresh generic %v", i, name, got, want)
+			}
+		}
+	}
+}
+
+// tieISA builds a deliberate benefit tie: two SIs with structurally
+// identical Molecule chains over disjoint Atom types and equal
+// expectations. Every per-candidate comparison key (additional Atoms,
+// latency improvement, expected count) is equal between the two SIs'
+// candidates, so the outcome is decided purely by tie-breaking: the
+// canonical candidate order (by SI, then slowest-first) with first-wins
+// replacement. A kernel that broke ties differently — e.g. last-wins on
+// equal benefit, or a different candidate order — produces a different
+// Atom sequence on this instance.
+func tieISA() *isa.ISA {
+	is := &isa.ISA{
+		Name: "tie",
+		Atoms: []isa.AtomType{
+			{ID: 0, Name: "A1", BitstreamBytes: 60488},
+			{ID: 1, Name: "A2", BitstreamBytes: 60488},
+		},
+		SIs: []isa.SI{
+			{ID: 0, Name: "SI1", HotSpot: 0, SWLatency: 500, Molecules: []isa.Molecule{
+				{SI: 0, Atoms: molecule.Of(1, 0), Latency: 100},
+				{SI: 0, Atoms: molecule.Of(2, 0), Latency: 50},
+			}},
+			{ID: 1, Name: "SI2", HotSpot: 0, SWLatency: 500, Molecules: []isa.Molecule{
+				{SI: 1, Atoms: molecule.Of(0, 1), Latency: 100},
+				{SI: 1, Atoms: molecule.Of(0, 2), Latency: 50},
+			}},
+		},
+		HotSpots: []isa.HotSpot{{ID: 0, Name: "hot", SIs: []isa.SIID{0, 1}}},
+	}
+	if err := is.Validate(); err != nil {
+		panic(err)
+	}
+	return is
+}
+
+// TestKernelTieBreaking pins the tie-breaking counterexample: on the
+// symmetric instance both implementations must agree, and the agreed
+// sequence must favor SI1 (the earlier candidate in canonical order) at
+// every tie.
+func TestKernelTieBreaking(t *testing.T) {
+	is := tieISA()
+	reqs := reqsFor(is, 100, 100)
+	avail := molecule.New(2)
+
+	for _, name := range kernelNames {
+		s, _ := New(name)
+		ss := s.(scratchScheduler)
+		got := ss.schedule(NewScratch(), reqs, avail)
+		want := ss.scheduleGeneric(NewScratch(), reqs, avail)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%s: kernel %v != generic %v", name, got, want)
+			continue
+		}
+		if len(got) == 0 {
+			t.Errorf("%s: empty schedule on tie instance", name)
+			continue
+		}
+		// Ties must resolve to the canonically first candidate: Atom 0
+		// (SI1's type) loads before Atom 1 ever does.
+		if got[0] != 0 {
+			t.Errorf("%s: first load is Atom %d, want Atom 0 (SI1 wins ties): seq=%v", name, got[0], got)
+		}
+	}
+}

@@ -87,7 +87,17 @@ func BenchmarkRunJournal(b *testing.B) {
 }
 
 // BenchmarkRunOneShot measures the convenience API (compile + allocate per
-// call) for comparison with the steady-state path.
+// call) for comparison with the steady-state path. Its allocations are the
+// one-shot contract itself, not leakage from the hot path: Run hands a
+// fresh caller-owned *Result back (so it cannot come from a pool — 4
+// allocations: the struct, the fused dense counter backing, journal
+// scratch, phase stats) and compiles the trace per call as documented
+// (the rest; flat burst arrays, per-hot-spot SI lists, the spot memo).
+// Callers that care run workload.Compile once and use RunCompiled, which
+// is allocation-free in the steady state — the gap between this benchmark
+// and BenchmarkRun is exactly what that buys. benchcheck gates both the
+// ns/op and the allocation count here, so any new one-shot allocation
+// still fails the build.
 func BenchmarkRunOneShot(b *testing.B) {
 	is := isa.H264()
 	tr := workload.H264(workload.H264Config{Frames: 1})

@@ -109,7 +109,10 @@ type Result struct {
 	Timeline  *stats.Timeline
 
 	// Dense per-SI accounting, indexed by SIID (length: number of SIs of
-	// the ISA the trace was compiled against).
+	// the ISA the trace was compiled against). The three slices are views
+	// into one shared backing array (dense), so a fresh Result costs one
+	// allocation for all counters.
+	dense   []int64
 	execs   []int64
 	swExecs []int64
 	hwExecs []int64
@@ -190,9 +193,16 @@ func (r *Result) reset(runtime string, nSIs, nPhases int, opts Options) {
 	r.Runtime = runtime
 	r.TotalCycles = 0
 	r.StallCycles = 0
-	r.execs = denseReset(r.execs, nSIs)
-	r.swExecs = denseReset(r.swExecs, nSIs)
-	r.hwExecs = denseReset(r.hwExecs, nSIs)
+	if cap(r.dense) < 3*nSIs {
+		r.dense = make([]int64, 3*nSIs)
+	}
+	r.dense = r.dense[:3*nSIs]
+	for i := range r.dense {
+		r.dense[i] = 0
+	}
+	r.execs = r.dense[0*nSIs : 1*nSIs : 1*nSIs]
+	r.swExecs = r.dense[1*nSIs : 2*nSIs : 2*nSIs]
+	r.hwExecs = r.dense[2*nSIs : 3*nSIs : 3*nSIs]
 	if cap(r.lastLat) < nSIs {
 		r.lastLat = make([]int, nSIs)
 	} else {
@@ -224,17 +234,6 @@ func (r *Result) reset(runtime string, nSIs, nPhases int, opts Options) {
 	} else {
 		r.Timeline = nil
 	}
-}
-
-func denseReset(d []int64, n int) []int64 {
-	if cap(d) < n {
-		return make([]int64, n)
-	}
-	d = d[:n]
-	for i := range d {
-		d[i] = 0
-	}
-	return d
 }
 
 // Run simulates the trace on the runtime and returns the result. The
@@ -358,6 +357,7 @@ type runner struct {
 	now       int64
 	maxCycles int64
 	cancelErr error
+	rec       *trailRec // non-nil when recording a checkpoint trail
 }
 
 func (r *runner) canceled() bool {
@@ -485,6 +485,9 @@ func (r *runner) runPhase(ct *workload.Compiled, pi int) error {
 		r.js.emit(JournalEvent{Cycle: r.now, Event: "leave", HotSpot: int(p.HotSpot)})
 	}
 	res.Phases = append(res.Phases, PhaseStat{HotSpot: p.HotSpot, Start: phaseStart, End: r.now})
+	if r.rec != nil {
+		r.rec.boundary(r, pi+1)
+	}
 	return nil
 }
 
@@ -503,3 +506,11 @@ func (r *swRuntime) Latency(si isa.SIID) int           { return r.is.SI(si).SWLa
 func (r *swRuntime) Record(isa.SIID, int64, int64)     {}
 func (r *swRuntime) NextEvent() (int64, bool)          { return 0, false }
 func (r *swRuntime) Advance(int64)                     { panic("sim: software runtime has no events") }
+
+// The software runtime has no mutable state at all, so it checkpoints
+// trivially and every prefix transfers to every budget.
+func (r *swRuntime) ContainerBudget() int           { return 0 }
+func (r *swRuntime) NewState() any                  { return nil }
+func (r *swRuntime) SaveState(any)                  {}
+func (r *swRuntime) RestoreState(any)               {}
+func (r *swRuntime) BudgetSensitivity() (int, bool) { return 0, true }

@@ -82,7 +82,9 @@ func Compile(tr *Trace, is *isa.ISA) (*Compiled, error) {
 		p := &tr.Phases[i]
 		spot, ok := spots[p.HotSpot]
 		if !ok {
-			for _, s := range is.HotSpotSIs(p.HotSpot) {
+			sis := is.HotSpotSIs(p.HotSpot)
+			spot = make([]isa.SIID, 0, len(sis))
+			for _, s := range sis {
 				spot = append(spot, s.ID)
 			}
 			spots[p.HotSpot] = spot

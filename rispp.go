@@ -85,6 +85,13 @@ type Config struct {
 
 	// Collect controls measurement artifacts (histograms, timelines).
 	Collect sim.Options
+
+	// DisableDelta turns off delta-resimulation in Runner-based paths
+	// (RunPoint/RunPointSet/Explorer): every point then simulates from
+	// power-on even when a recorded checkpoint trail could serve it.
+	// Results are identical either way; the knob exists for benchmarking
+	// the raw simulator and for tests that pin runtime-pool behavior.
+	DisableDelta bool
 }
 
 func (c *Config) setDefaults() {
@@ -202,6 +209,57 @@ type Runner struct {
 
 	runtimes             sync.Map // runtimeKey → *runtimePool
 	poolHits, poolMisses atomic.Int64
+
+	// trails holds completed delta-resimulation trails (sim.Trail) keyed by
+	// everything that distinguishes runs EXCEPT the container budget — the
+	// axis trails transfer across. Only complete trails are stored, and a
+	// complete trail is immutable, so lookups are lock-free reads.
+	trails                               sync.Map // trailKey → *trailSet
+	deltaServes, deltaResumes, deltaRecs atomic.Int64
+}
+
+// trailKey is runtimeKey minus the budget axis: two runs with equal trail
+// keys differ at most in NumACs, which is exactly the difference
+// delta-resimulation bridges.
+type trailKey struct {
+	scheduler     string
+	seedForecasts bool
+	prefetch      bool
+	knobs         workload.H264Config
+}
+
+// trailSet holds the recorded trails of one budget-axis class. The mutex
+// guards the map only; the trails themselves are immutable once stored.
+type trailSet struct {
+	mu       sync.Mutex
+	byBudget map[int]*sim.Trail
+}
+
+// candidates appends the trails worth consulting for budget: the exact
+// match first (always a full skip), then every other recorded budget.
+func (ts *trailSet) candidates(budget int, dst []*sim.Trail) []*sim.Trail {
+	ts.mu.Lock()
+	if t := ts.byBudget[budget]; t != nil {
+		dst = append(dst, t)
+	}
+	for b, t := range ts.byBudget {
+		if b != budget {
+			dst = append(dst, t)
+		}
+	}
+	ts.mu.Unlock()
+	return dst
+}
+
+// store records the complete trail for budget, first-wins: under concurrent
+// recording of the same point the earliest trail sticks and later ones are
+// dropped (all are field-exact equivalent).
+func (ts *trailSet) store(budget int, t *sim.Trail) {
+	ts.mu.Lock()
+	if _, ok := ts.byBudget[budget]; !ok {
+		ts.byBudget[budget] = t
+	}
+	ts.mu.Unlock()
 }
 
 // runtimePool is a per-key free list of idle runtimes. Unlike sync.Pool it
@@ -265,9 +323,104 @@ func NewRunner(base Config) *Runner {
 
 // RuntimePoolStats reports how often a RunPoint/RunPointSet runtime request
 // was served from the pool (hit) versus built fresh (miss). With the pool
-// disabled (base.Bus set) every request counts as a miss.
+// disabled (base.Bus set) every request counts as a miss. Points served
+// entirely from a checkpoint trail never request a runtime and therefore
+// count as neither.
 func (r *Runner) RuntimePoolStats() (hits, misses int64) {
 	return r.poolHits.Load(), r.poolMisses.Load()
+}
+
+// DeltaStats reports how RunPoint/RunPointSet requests were satisfied by
+// the delta-resimulation layer: serves completed without simulating at all
+// (a recorded trail transferred end to end), resumes re-simulated only a
+// suffix of the trace, and records simulated from power-on while recording
+// a new trail. Requests with delta off (DisableDelta, ineligible Collect
+// options, or a Bus-rewritten workload) count as none of the three.
+func (r *Runner) DeltaStats() (serves, resumes, records int64) {
+	return r.deltaServes.Load(), r.deltaResumes.Load(), r.deltaRecs.Load()
+}
+
+// deltaOn reports whether delta-resimulation applies to runs of cfg: the
+// memo must be sound (trail identity relies on the same keying as the
+// runtime pool) and the collected artifacts checkpointable.
+func (r *Runner) deltaOn(cfg *Config) bool {
+	return r.memo && !cfg.DisableDelta && sim.DeltaEligible(cfg.Collect)
+}
+
+// trailSetFor returns the (lazily created) trail set of cfg's budget-axis
+// class.
+func (r *Runner) trailSetFor(cfg *Config, key workload.H264Config) *trailSet {
+	tk := trailKey{
+		scheduler:     cfg.Scheduler,
+		seedForecasts: cfg.SeedForecasts,
+		prefetch:      cfg.Prefetch,
+		knobs:         key,
+	}
+	v, ok := r.trails.Load(tk)
+	if !ok {
+		v, _ = r.trails.LoadOrStore(tk, &trailSet{byBudget: make(map[int]*sim.Trail)})
+	}
+	return v.(*trailSet)
+}
+
+// runPointDelta is RunPoint through the delta-resimulation layer: serve the
+// point from a recorded trail when one transfers end to end (no runtime at
+// all), otherwise resume from the deepest transferable prefix — falling
+// back to a full recording run — and store the resulting trail so future
+// requests for this budget full-skip.
+func (r *Runner) runPointDelta(ctx context.Context, cfg *Config, key workload.H264Config, ct *workload.Compiled, res *sim.Result) error {
+	ts := r.trailSetFor(cfg, key)
+	var buf [16]*sim.Trail
+	cands := ts.candidates(cfg.NumACs, buf[:0])
+	for _, t := range cands {
+		served, err := t.Serve(ct, cfg.NumACs, cfg.Collect, res)
+		if served {
+			if err == nil {
+				r.deltaServes.Add(1)
+			}
+			return err
+		}
+	}
+
+	rt, pool, err := r.runtime(cfg, runtimeKey{
+		scheduler:     cfg.Scheduler,
+		numACs:        cfg.NumACs,
+		seedForecasts: cfg.SeedForecasts,
+		prefetch:      cfg.Prefetch,
+		knobs:         key,
+	})
+	if err != nil {
+		return err
+	}
+	crt, ok := rt.(sim.Checkpointable)
+	if !ok { // custom runtime without checkpoint support
+		err = sim.RunCompiled(ctx, ct, rt, cfg.Collect, res)
+		r.putRuntime(pool, rt)
+		return err
+	}
+	rec := new(sim.Trail)
+	resumed := false
+	for _, t := range cands {
+		used, rerr := sim.ResumeCompiled(ctx, ct, crt, cfg.Collect, res, t, rec)
+		if used {
+			resumed, err = true, rerr
+			break
+		}
+	}
+	if !resumed {
+		err = sim.RunCompiledTrail(ctx, ct, crt, cfg.Collect, res, rec)
+	}
+	r.putRuntime(pool, rt)
+	if err != nil {
+		return err // rec incomplete → discarded
+	}
+	if resumed {
+		r.deltaResumes.Add(1)
+	} else {
+		r.deltaRecs.Add(1)
+	}
+	ts.store(cfg.NumACs, rec)
+	return nil
 }
 
 // runtime returns a runtime for cfg, pooled under key when sound. A non-nil
@@ -390,6 +543,9 @@ func (r *Runner) RunPoint(ctx context.Context, p explore.Point, collect sim.Opti
 	if err != nil {
 		return err
 	}
+	if r.deltaOn(&cfg) {
+		return r.runPointDelta(ctx, &cfg, key, ct, res)
+	}
 	rt, pool, err := r.runtime(&cfg, runtimeKey{
 		scheduler:     cfg.Scheduler,
 		numACs:        cfg.NumACs,
@@ -416,6 +572,30 @@ func (r *Runner) RunPointSet(ctx context.Context, ps []explore.Point, collect si
 		return fmt.Errorf("rispp: RunPointSet got %d points but %d results", len(ps), len(results))
 	}
 	if len(ps) == 0 {
+		return nil
+	}
+	cfg0, key0 := r.pointConfig(ps[0], collect)
+	if r.deltaOn(&cfg0) {
+		// Delta split: each point either full-skips from a recorded trail,
+		// resumes a prefix, or records a new trail. After the first pass
+		// over a budget grid the grouped walk below would simulate nothing
+		// anyway, so delta-eligible sets run point-wise.
+		ct, err := r.compile(&cfg0, key0)
+		if err != nil {
+			return err
+		}
+		for i, p := range ps {
+			if i > 0 {
+				if p0 := ps[0]; p.Frames != p0.Frames || p.Seed != p0.Seed ||
+					p.Motion != p0.Motion || p.SceneChange != p0.SceneChange {
+					return fmt.Errorf("rispp: RunPointSet points disagree on workload knobs: %s vs %s", p0.Key(), p.Key())
+				}
+			}
+			cfg, key := r.pointConfig(p, collect)
+			if err := r.runPointDelta(ctx, &cfg, key, ct, results[i]); err != nil {
+				return err
+			}
+		}
 		return nil
 	}
 	rts := make([]sim.Runtime, len(ps))

@@ -121,7 +121,10 @@ func TestRuntimePoolConcurrentUseIsRaceFreeAndDeterministic(t *testing.T) {
 		wantOf[p.Normalized().Key()] = res.TotalCycles
 	}
 
-	shared := NewRunner(Config{})
+	// Delta-resimulation would satisfy repeat points from trails without
+	// requesting runtimes; disable it so this stress keeps hammering the
+	// pool itself (TestDeltaTrailConcurrentUse covers the delta layer).
+	shared := NewRunner(Config{DisableDelta: true})
 	const goroutines = 8
 	const rounds = 3
 	var wg sync.WaitGroup

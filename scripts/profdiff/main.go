@@ -1,0 +1,248 @@
+// Command profdiff produces a before/after CPU- and heap-profile delta for
+// one named benchmark, answering "where did the time go" for a performance
+// change without leaving the repository tooling.
+//
+// Workflow (wrapped by `make prof-diff`):
+//
+//  1. On the base commit:   go run ./scripts/profdiff -bench BenchmarkRunHEF -pkg ./internal/sim
+//     → runs the benchmark at -count N with -cpuprofile/-memprofile and
+//     records the profiles as the "before" snapshot under .profdiff/.
+//  2. Apply the change, run the identical command again
+//     → records the "after" snapshot and prints a top-N delta table of
+//     cumulative time (and allocated space) per function, sorted by the
+//     magnitude of the change.
+//
+// Pass -reset to drop the recorded "before" and start a new comparison;
+// pass -a/-b to diff two existing pprof files directly without running
+// anything. The tool shells out to `go test` and `go tool pprof` only — no
+// dependencies beyond the toolchain.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+var (
+	bench   = flag.String("bench", "", "benchmark name (anchored regex) to profile, e.g. BenchmarkRunHEF")
+	pkg     = flag.String("pkg", "./internal/sim", "package containing the benchmark")
+	count   = flag.Int("count", 5, "benchmark -count (profiles merge across repeats)")
+	topN    = flag.Int("top", 25, "rows in the delta table")
+	dir     = flag.String("dir", ".profdiff", "directory holding the before/after snapshots")
+	reset   = flag.Bool("reset", false, "discard the recorded before snapshot and record a new one")
+	fileA   = flag.String("a", "", "diff mode: 'before' pprof file (skips running the benchmark)")
+	fileB   = flag.String("b", "", "diff mode: 'after' pprof file (skips running the benchmark)")
+	verbose = flag.Bool("v", false, "echo the commands being run")
+)
+
+func main() {
+	flag.Parse()
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "profdiff:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	if *fileA != "" || *fileB != "" {
+		if *fileA == "" || *fileB == "" {
+			return fmt.Errorf("-a and -b must be given together")
+		}
+		return printDelta("cpu (cumulative)", *fileA, *fileB, pprofArgs("cpu"))
+	}
+	if *bench == "" {
+		return fmt.Errorf("missing -bench (or -a/-b for direct diff mode)")
+	}
+
+	slug := sanitize(*bench)
+	beforeCPU := filepath.Join(*dir, slug+".before.cpu.pprof")
+	beforeMem := filepath.Join(*dir, slug+".before.mem.pprof")
+	afterCPU := filepath.Join(*dir, slug+".after.cpu.pprof")
+	afterMem := filepath.Join(*dir, slug+".after.mem.pprof")
+
+	if *reset {
+		for _, f := range []string{beforeCPU, beforeMem, afterCPU, afterMem} {
+			os.Remove(f)
+		}
+	}
+	if err := os.MkdirAll(*dir, 0o755); err != nil {
+		return err
+	}
+
+	_, err := os.Stat(beforeCPU)
+	recording := os.IsNotExist(err)
+	cpuOut, memOut := afterCPU, afterMem
+	if recording {
+		cpuOut, memOut = beforeCPU, beforeMem
+	}
+
+	// -cpuprofile paths are interpreted relative to the package directory
+	// by `go test`, so hand it absolute paths.
+	absCPU, err := filepath.Abs(cpuOut)
+	if err != nil {
+		return err
+	}
+	absMem, err := filepath.Abs(memOut)
+	if err != nil {
+		return err
+	}
+	args := []string{
+		"test", "-run", "^$",
+		"-bench", "^" + *bench + "$",
+		"-count", strconv.Itoa(*count),
+		"-cpuprofile", absCPU,
+		"-memprofile", absMem,
+		*pkg,
+	}
+	if *verbose {
+		fmt.Fprintln(os.Stderr, "+ go", strings.Join(args, " "))
+	}
+	cmd := exec.Command("go", args...)
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		return fmt.Errorf("benchmark run failed: %w", err)
+	}
+
+	if recording {
+		fmt.Printf("recorded before snapshot for %s (%s, count=%d) under %s\n",
+			*bench, *pkg, *count, *dir)
+		fmt.Println("apply your change and run the same command again to print the delta table")
+		return nil
+	}
+	if err := printDelta("cpu (cumulative ms)", beforeCPU, afterCPU, pprofArgs("cpu")); err != nil {
+		return err
+	}
+	fmt.Println()
+	return printDelta("heap (alloc_space kB)", beforeMem, afterMem, pprofArgs("mem"))
+}
+
+func sanitize(s string) string {
+	return regexp.MustCompile(`[^A-Za-z0-9_.-]+`).ReplaceAllString(s, "_")
+}
+
+func pprofArgs(kind string) []string {
+	args := []string{"tool", "pprof", "-top", "-cum", "-nodecount", strconv.Itoa(*topN * 4)}
+	if kind == "mem" {
+		args = append(args, "-sample_index=alloc_space", "-unit=kb")
+	} else {
+		args = append(args, "-unit=ms")
+	}
+	return args
+}
+
+// topRows runs `go tool pprof -top` on the profile and parses the
+// cumulative column per function.
+func topRows(profile string, args []string) (map[string]float64, error) {
+	cmd := exec.Command("go", append(args, profile)...)
+	out, err := cmd.Output()
+	if err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			return nil, fmt.Errorf("pprof %s: %v: %s", profile, err, ee.Stderr)
+		}
+		return nil, fmt.Errorf("pprof %s: %w", profile, err)
+	}
+	rows := make(map[string]float64)
+	sc := bufio.NewScanner(strings.NewReader(string(out)))
+	header := true
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if header {
+			if strings.HasPrefix(line, "flat ") || strings.HasPrefix(line, "flat\t") {
+				header = false
+			}
+			continue
+		}
+		// Columns: flat flat% sum% cum cum% name...
+		f := strings.Fields(line)
+		if len(f) < 6 {
+			continue
+		}
+		cum, err := parseValue(f[3])
+		if err != nil {
+			continue
+		}
+		rows[strings.Join(f[5:], " ")] = cum
+	}
+	return rows, sc.Err()
+}
+
+// parseValue strips the unit suffix pprof appends (ms, kB, …) and parses
+// the numeric prefix.
+func parseValue(s string) (float64, error) {
+	i := len(s)
+	for i > 0 && !(s[i-1] >= '0' && s[i-1] <= '9') && s[i-1] != '.' {
+		i--
+	}
+	return strconv.ParseFloat(s[:i], 64)
+}
+
+func printDelta(title, before, after string, args []string) error {
+	b, err := topRows(before, args)
+	if err != nil {
+		return err
+	}
+	a, err := topRows(after, args)
+	if err != nil {
+		return err
+	}
+	names := make(map[string]bool, len(a)+len(b))
+	for n := range a {
+		names[n] = true
+	}
+	for n := range b {
+		names[n] = true
+	}
+	type delta struct {
+		name          string
+		before, after float64
+		diff          float64
+	}
+	var ds []delta
+	for n := range names {
+		d := delta{name: n, before: b[n], after: a[n]}
+		d.diff = d.after - d.before
+		if d.diff != 0 {
+			ds = append(ds, d)
+		}
+	}
+	sort.Slice(ds, func(i, j int) bool {
+		di, dj := ds[i].diff, ds[j].diff
+		if di < 0 {
+			di = -di
+		}
+		if dj < 0 {
+			dj = -dj
+		}
+		if di != dj {
+			return di > dj
+		}
+		return ds[i].name < ds[j].name
+	})
+	if len(ds) > *topN {
+		ds = ds[:*topN]
+	}
+	fmt.Printf("== %s: top %d by |delta| (%s → %s)\n", title, *topN, before, after)
+	fmt.Printf("%12s %12s %12s %8s  %s\n", "before", "after", "delta", "pct", "function")
+	for _, d := range ds {
+		pct := "new"
+		if d.before != 0 {
+			pct = fmt.Sprintf("%+.1f%%", 100*d.diff/d.before)
+		} else if d.after == 0 {
+			pct = "gone"
+		}
+		fmt.Printf("%12.2f %12.2f %+12.2f %8s  %s\n", d.before, d.after, d.diff, pct, d.name)
+	}
+	if len(ds) == 0 {
+		fmt.Println("(no differing functions — profiles are identical at this granularity)")
+	}
+	return nil
+}
