@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test short race bench bench-paper bench-check bench-baseline bench-json prof-diff cover-check verify-oracle fuzz search-smoke lint serve figures verify clean
+.PHONY: all build test short race bench bench-paper bench-check bench-baseline bench-json prof-diff cover-check verify-oracle fuzz search-smoke soak lint serve figures verify clean
 
 all: build test
 
@@ -38,6 +38,7 @@ bench-check:
 	$(GO) test -run '^$$' -bench BenchmarkRun -benchtime 100x -benchmem -count 5 ./internal/sim > bench_check.txt
 	$(GO) test -run '^$$' -bench 'BenchmarkSweep$$|BenchmarkSweepResim$$' -benchtime 20x -benchmem -count 5 . >> bench_check.txt
 	$(GO) test -run '^$$' -bench BenchmarkSearchDriver -benchtime 20x -benchmem -count 5 ./internal/search >> bench_check.txt
+	$(GO) test -run '^$$' -bench BenchmarkServeSimulate -benchtime 200x -benchmem -count 5 ./internal/serve >> bench_check.txt
 	$(GO) run ./scripts/benchcheck -baseline BENCH_baseline.json < bench_check.txt
 
 # Re-measure the bench baseline on this machine (commit the result).
@@ -45,6 +46,7 @@ bench-baseline:
 	$(GO) test -run '^$$' -bench BenchmarkRun -benchtime 100x -benchmem -count 5 ./internal/sim > bench_baseline.txt
 	$(GO) test -run '^$$' -bench 'BenchmarkSweep$$|BenchmarkSweepResim$$' -benchtime 20x -benchmem -count 5 . >> bench_baseline.txt
 	$(GO) test -run '^$$' -bench BenchmarkSearchDriver -benchtime 20x -benchmem -count 5 ./internal/search >> bench_baseline.txt
+	$(GO) test -run '^$$' -bench BenchmarkServeSimulate -benchtime 200x -benchmem -count 5 ./internal/serve >> bench_baseline.txt
 	$(GO) run ./scripts/benchcheck -update -baseline BENCH_baseline.json < bench_baseline.txt
 	rm -f bench_baseline.txt
 
@@ -98,6 +100,13 @@ search-smoke:
 		$(GO) run ./cmd/risppexplore -replay search_smoke/$$s.jsonl; \
 	done
 	@rm -rf search_smoke
+
+# Multi-tenant load soak with SLO assertions (what the CI soak job runs):
+# spawns risppserve in-process, drives the seeded two-tenant mix, fails on
+# p99/shed/5xx/fairness violations. SOAK_PROFILE=long for the nightly one.
+SOAK_PROFILE ?= quick
+soak:
+	$(GO) run ./cmd/risppload -profile $(SOAK_PROFILE) -report soak-report.json -pprof-dir soak-pprof
 
 # Native fuzzing beyond the committed seed corpora (testdata/fuzz/).
 # FUZZTIME overrides the per-target budget.

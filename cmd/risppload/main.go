@@ -1,0 +1,132 @@
+// Command risppload soak-tests risppserve under deterministic multi-tenant
+// load and gates on SLOs. With no -target it spawns an in-process server,
+// drives the profile's seeded request mix against it (two tenants, both
+// priority classes, bursts), writes a machine-readable JSON report, and
+// exits 1 when any SLO assertion fails — which is how the CI soak job
+// turns a tail-latency or fairness regression into a red build.
+//
+//	risppload -profile quick -report soak-report.json
+//	risppload -profile long -pprof-dir pprof/
+//	risppload -target http://localhost:8264 -duration 30s
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"sort"
+	"syscall"
+	"time"
+
+	"rispp/internal/load"
+)
+
+func main() {
+	var (
+		profile  = flag.String("profile", "quick", "base profile: quick (~15s PR gate) or long (~5m nightly)")
+		target   = flag.String("target", "", "base URL of a running server (default: spawn one in-process)")
+		seed     = flag.Int64("seed", 8264, "PRNG seed for the request mix (same seed → same requests)")
+		duration = flag.Duration("duration", 0, "override the profile's run length")
+		report   = flag.String("report", "", "write the JSON report to this file (default: stdout only)")
+		pprofDir = flag.String("pprof-dir", "", "capture CPU+heap profiles from the target into this directory")
+
+		p99      = flag.Float64("p99", 0, "override SLO: max p99 simulate latency in ms")
+		shed     = flag.Float64("shed", -1, "override SLO: max shed rate (fraction)")
+		fairness = flag.Float64("fairness", -1, "override SLO: min weighted fairness between tenants")
+		max5xx   = flag.Int64("max-5xx", -1, "override SLO: max 5xx responses (default: zero tolerated)")
+	)
+	flag.Parse()
+
+	var p load.Profile
+	switch *profile {
+	case "quick":
+		p = load.Quick(*seed)
+	case "long":
+		p = load.Long(*seed)
+	default:
+		log.Fatalf("risppload: unknown -profile %q (want quick or long)", *profile)
+	}
+	p.Target = *target
+	p.PprofDir = *pprofDir
+	if *duration > 0 {
+		p.Duration = *duration
+	}
+	if *p99 > 0 {
+		p.SLO.MaxP99SimulateMS = *p99
+	}
+	if *shed >= 0 {
+		p.SLO.MaxShedRate = *shed
+	}
+	if *fairness >= 0 {
+		p.SLO.MinFairness = *fairness
+	}
+	if *max5xx >= 0 {
+		p.SLO.MaxServerErrors = *max5xx
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	start := time.Now()
+	rep, err := load.Run(ctx, p, log.Printf)
+	if err != nil {
+		log.Fatalf("risppload: %v", err)
+	}
+
+	if *report != "" {
+		b, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			log.Fatalf("risppload: marshal report: %v", err)
+		}
+		b = append(b, '\n')
+		if err := os.WriteFile(*report, b, 0o644); err != nil {
+			log.Fatalf("risppload: write report: %v", err)
+		}
+	}
+
+	printSummary(rep, time.Since(start))
+	if !rep.Pass {
+		fmt.Println("\nSLO VIOLATIONS:")
+		for _, v := range rep.Violations {
+			fmt.Printf("  ✗ %s\n", v)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("\nall SLOs met")
+}
+
+func printSummary(rep *load.Report, wall time.Duration) {
+	fmt.Printf("target     %s (seed %d, %.1fs wall)\n", rep.Target, rep.Seed, wall.Seconds())
+	fmt.Printf("requests   %d total · %d ok · %d shed · %d 5xx · %d other\n",
+		rep.Total.Requests, rep.Total.OK, rep.Total.Shed, rep.Total.Errors5x, rep.Total.Other)
+	fmt.Printf("shed rate  %.3f · fairness %.3f\n", rep.ShedRate, rep.Fairness)
+
+	routes := make([]string, 0, len(rep.Routes))
+	for r := range rep.Routes {
+		routes = append(routes, r)
+	}
+	sort.Strings(routes)
+	for _, r := range routes {
+		s := rep.Routes[r]
+		fmt.Printf("  %-14s %6d req  p50 %7.1fms  p99 %7.1fms  max %7.1fms\n",
+			r, s.Requests, s.P50MS, s.P99MS, s.MaxMS)
+	}
+	tenants := make([]string, 0, len(rep.Tenants))
+	for t := range rep.Tenants {
+		tenants = append(tenants, t)
+	}
+	sort.Strings(tenants)
+	for _, t := range tenants {
+		tr := rep.Tenants[t]
+		fmt.Printf("  tenant %-8s weight %.0f  %6d req  %6d ok  weighted share %.1f\n",
+			t, tr.Weight, tr.Total.Requests, tr.Total.OK, tr.WeightedShare)
+	}
+	if len(rep.Server.EndpointP99MS) > 0 {
+		fmt.Printf("  server-side simulate p99 %.1fms (from /metrics histogram)\n",
+			rep.Server.EndpointP99MS["/v1/simulate"])
+	}
+}

@@ -4,18 +4,30 @@
 //
 //	risppserve -addr :8264 -workers 8
 //	risppserve -cache .explore-cache          # sweeps reuse cached points
+//	risppserve -limits limits.json            # multi-tenant QoS policy
 //
 //	curl -s localhost:8264/v1/simulate -d '{"scheduler":"HEF","acs":10,"frames":140,"seed_forecasts":true}'
 //	curl -s localhost:8264/v1/explore  -d '{"spec":{"schedulers":["HEF","Molen"],"acs":[5,10,15],"frames":[20]}}'
 //	curl -s localhost:8264/v1/healthz
 //	curl -s localhost:8264/metrics
 //
+// The -limits file is a serve.QoSConfig JSON document: per-tenant weights,
+// quotas, auth tokens and queue depths. SIGHUP re-reads it and hot-swaps
+// the policy without dropping in-flight or queued work:
+//
+//	{
+//	  "tenants": {"gold": {"weight": 3}, "bronze": {"weight": 1, "max_inflight": 2}},
+//	  "interactive_queue": 64
+//	}
+//
 // SIGINT/SIGTERM drain the server: in-flight simulations finish (bounded
 // by -grace), new requests are answered 503.
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -42,6 +54,9 @@ func main() {
 		cacheDir   = flag.String("cache", "", "content-addressed explore result cache directory (empty = off)")
 		respCache  = flag.Int("resp-cache", 4096, "in-memory /v1/simulate response cache entries (-1 = off)")
 		grace      = flag.Duration("grace", 30*time.Second, "shutdown drain deadline")
+		limits     = flag.String("limits", "", "QoS limits file (serve.QoSConfig JSON); SIGHUP hot-reloads it")
+		pprofFlag  = flag.Bool("pprof", false, "mount /debug/pprof/ profiling endpoints")
+		accessLog  = flag.String("access-log", "", "structured request log destination: a file path or - for stderr")
 	)
 	flag.Parse()
 
@@ -54,7 +69,28 @@ func main() {
 		MaxFrames:      *maxFrames,
 		MaxPoints:      *maxPoints,
 		CacheEntries:   *respCache,
+		EnablePprof:    *pprofFlag,
 	}
+	if *limits != "" {
+		qos, err := loadLimits(*limits)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.QoS = qos
+	}
+	switch *accessLog {
+	case "":
+	case "-":
+		cfg.AccessLog = os.Stderr
+	default:
+		f, err := os.OpenFile(*accessLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fatal(fmt.Errorf("access log: %w", err))
+		}
+		defer f.Close() //nolint:errcheck // best-effort flush on exit
+		cfg.AccessLog = f
+	}
+
 	srv := serve.New(cfg, rispp.Config{})
 	if *cacheDir != "" {
 		cache, err := explore.OpenCache(*cacheDir)
@@ -66,6 +102,23 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
+
+	hupc := make(chan os.Signal, 1)
+	signal.Notify(hupc, syscall.SIGHUP)
+	go func() {
+		for range hupc {
+			if *limits == "" {
+				fmt.Fprintln(os.Stderr, "risppserve: SIGHUP ignored (no -limits file)")
+				continue
+			}
+			qos, err := loadLimits(*limits)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "risppserve: SIGHUP reload failed, keeping current limits: %v\n", err)
+				continue
+			}
+			srv.UpdateQoS(qos)
+		}
+	}()
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
@@ -88,4 +141,20 @@ func main() {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "risppserve:", err)
 	os.Exit(1)
+}
+
+// loadLimits parses a QoS policy file, rejecting unknown fields so a typo
+// in a limits file fails loudly instead of silently dropping a quota.
+func loadLimits(path string) (serve.QoSConfig, error) {
+	var qos serve.QoSConfig
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return qos, fmt.Errorf("limits: %w", err)
+	}
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&qos); err != nil {
+		return qos, fmt.Errorf("limits %s: %w", path, err)
+	}
+	return qos, nil
 }

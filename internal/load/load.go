@@ -1,0 +1,506 @@
+// Package load is the risppserve soak harness: a deterministic, seedable
+// multi-tenant load generator with SLO assertions. It drives a
+// configurable request mix (simulate/explore/suggest across both QoS
+// priority classes) against a target server — spawning one in-process on a
+// loopback port when no target is given — and reduces the observed
+// latencies, shed decisions and per-tenant completion shares into a
+// machine-readable Report. cmd/risppload is the CLI; the CI soak job is
+// the primary consumer.
+//
+// Determinism: all request scheduling derives from Profile.Seed through
+// per-worker PRNGs (worker k of tenant t always draws the same point and
+// endpoint sequence), so two runs of the same profile issue the same
+// requests in the same per-worker order. Wall-clock latencies naturally
+// vary; the SLO thresholds are what make a run pass or fail.
+package load
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"rispp"
+	"rispp/internal/explore"
+	"rispp/internal/search"
+	"rispp/internal/serve"
+)
+
+// Mix is the relative endpoint weighting of one tenant's traffic. Zero
+// values drop the endpoint from the mix; an all-zero Mix means
+// simulate-only.
+type Mix struct {
+	Simulate float64 `json:"simulate"`
+	Explore  float64 `json:"explore"`
+	Suggest  float64 `json:"suggest"`
+}
+
+// Tenant is one synthetic client population.
+type Tenant struct {
+	Name string `json:"name"`
+	// Weight is the tenant's expected fair share, matching its server-side
+	// WFQ weight; the fairness metric normalizes completions by it.
+	Weight float64 `json:"weight"`
+	// Workers is the closed-loop concurrency (outstanding requests).
+	Workers int `json:"workers"`
+	// RPS switches the tenant to open loop: each worker fires at a fixed
+	// interval regardless of completions (Workers/RPS seconds apart).
+	// 0 keeps the closed loop.
+	RPS float64 `json:"rps,omitempty"`
+	Mix Mix     `json:"mix"`
+}
+
+// Burst periodically multiplies open-loop arrival rates (and shortens
+// closed-loop think time) to model arrival spikes.
+type Burst struct {
+	Every  time.Duration `json:"every,omitempty"`  // period; 0 disables bursts
+	Length time.Duration `json:"length,omitempty"` // spike duration within each period
+	Factor float64       `json:"factor,omitempty"` // rate multiplier during the spike
+}
+
+// SLO are the assertions a run must satisfy. Zero-valued fields are not
+// asserted.
+type SLO struct {
+	// MaxP99SimulateMS bounds the client-observed p99 /v1/simulate latency
+	// (successful requests, after warmup).
+	MaxP99SimulateMS float64 `json:"max_p99_simulate_ms,omitempty"`
+	// MaxShedRate bounds sheds (429) as a fraction of all requests after
+	// warmup.
+	MaxShedRate float64 `json:"max_shed_rate,omitempty"`
+	// MaxServerErrors bounds 5xx responses over the whole run (set 0 with
+	// AssertServerErrors for "zero 5xx").
+	MaxServerErrors    int64 `json:"max_5xx"`
+	AssertServerErrors bool  `json:"assert_5xx"`
+	// MinFairness bounds the weighted completion-share ratio between the
+	// worst- and best-served tenants (1 = perfectly weighted-fair).
+	MinFairness float64 `json:"min_fairness,omitempty"`
+}
+
+// Profile is one load-test configuration.
+type Profile struct {
+	// Target is the base URL of a running server; empty spawns an
+	// in-process server on 127.0.0.1:0 configured by Server.
+	Target string `json:"target,omitempty"`
+	// Server configures the spawned server (nil: soak defaults — two named
+	// tenants gold:3 / bronze:1, interactive queue, pprof on).
+	Server *serve.Config `json:"-"`
+
+	Seed     int64         `json:"seed"`
+	Duration time.Duration `json:"duration"`
+	// Warmup excludes the ramp-up from latency/shed/fairness statistics
+	// (0: Duration/5).
+	Warmup  time.Duration `json:"warmup"`
+	Tenants []Tenant      `json:"tenants"`
+	Burst   Burst         `json:"burst"`
+
+	// Point-pool knobs: the generator draws from Points distinct design
+	// points over Schedulers × [1,MaxACs] at Frames frames each. A small
+	// pool exercises the response cache; a large one the simulator.
+	Points     int      `json:"points"`
+	Frames     int      `json:"frames"`
+	MaxACs     int      `json:"max_acs"`
+	Schedulers []string `json:"schedulers"`
+
+	SLO SLO `json:"slo"`
+
+	// PprofDir, when set, saves CPU and heap profiles from the target's
+	// /debug/pprof endpoints into this directory during the run.
+	PprofDir string `json:"pprof_dir,omitempty"`
+}
+
+// Quick is the PR-scoped soak profile: ~15 s wall time, two tenants with
+// 3:1 weights, mixed interactive and batch traffic, loose-but-real SLOs.
+// Worker counts track the weights so each tenant's offered load matches
+// its entitlement: weighted completion shares then align (fairness ≈ 1)
+// both when the server is unsaturated and when WFQ is arbitrating, and a
+// starved or monopolizing tenant shows up as fairness → 0.
+func Quick(seed int64) Profile {
+	return Profile{
+		Seed:     seed,
+		Duration: 15 * time.Second,
+		Tenants: []Tenant{
+			{Name: "gold", Weight: 3, Workers: 3, Mix: Mix{Simulate: 8, Explore: 1, Suggest: 1}},
+			{Name: "bronze", Weight: 1, Workers: 1, Mix: Mix{Simulate: 8, Explore: 1, Suggest: 1}},
+		},
+		Burst: Burst{Every: 5 * time.Second, Length: time.Second, Factor: 3},
+		SLO: SLO{
+			MaxP99SimulateMS:   2000,
+			MaxShedRate:        0.05,
+			AssertServerErrors: true,
+			MinFairness:        0.25,
+		},
+	}
+}
+
+// Long is the nightly soak profile: several minutes, more workers, a
+// bigger point pool, tighter fairness.
+func Long(seed int64) Profile {
+	p := Quick(seed)
+	p.Duration = 5 * time.Minute
+	p.Points = 256
+	p.Frames = 4
+	for i := range p.Tenants {
+		p.Tenants[i].Workers *= 2
+	}
+	p.SLO.MinFairness = 0.4
+	return p
+}
+
+func (p Profile) withDefaults() Profile {
+	if p.Duration <= 0 {
+		p.Duration = 10 * time.Second
+	}
+	if p.Warmup <= 0 {
+		p.Warmup = p.Duration / 5
+	}
+	if len(p.Tenants) == 0 {
+		p.Tenants = []Tenant{{Name: "anonymous", Weight: 1, Workers: 2, Mix: Mix{Simulate: 1}}}
+	}
+	for i := range p.Tenants {
+		if p.Tenants[i].Weight <= 0 {
+			p.Tenants[i].Weight = 1
+		}
+		if p.Tenants[i].Workers <= 0 {
+			p.Tenants[i].Workers = 1
+		}
+		if p.Tenants[i].Mix == (Mix{}) {
+			p.Tenants[i].Mix = Mix{Simulate: 1}
+		}
+	}
+	if p.Points <= 0 {
+		p.Points = 64
+	}
+	if p.Frames <= 0 {
+		p.Frames = 2
+	}
+	if p.MaxACs <= 0 {
+		p.MaxACs = 20
+	}
+	if len(p.Schedulers) == 0 {
+		p.Schedulers = []string{"HEF", "SJF", "Molen", "ASF", "software"}
+	}
+	if p.Burst.Factor <= 0 {
+		p.Burst.Factor = 1
+	}
+	return p
+}
+
+// soakServerConfig is the server the harness spawns when the profile
+// names no target: the QoS policy mirrors the Quick/Long tenant weights.
+func soakServerConfig(p Profile) serve.Config {
+	tenants := make(map[string]serve.TenantLimits, len(p.Tenants))
+	for _, t := range p.Tenants {
+		tenants[t.Name] = serve.TenantLimits{Weight: int(t.Weight), MaxQueue: 256}
+	}
+	return serve.Config{
+		Addr: "127.0.0.1:0",
+		QoS: serve.QoSConfig{
+			Tenants:          tenants,
+			InteractiveQueue: 64,
+			BatchQueue:       1024,
+		},
+		EnablePprof: p.PprofDir != "",
+	}
+}
+
+// Run executes the profile and reduces it to a Report. logf receives
+// progress lines (nil discards them). The returned error covers harness
+// failures (cannot spawn, cannot scrape); SLO violations are not errors —
+// they are Report.Violations, and Report.Pass is false.
+func Run(ctx context.Context, p Profile, logf func(string, ...any)) (*Report, error) {
+	p = p.withDefaults()
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+
+	target := p.Target
+	var shutdown func() error
+	if target == "" {
+		cfg := soakServerConfig(p)
+		if p.Server != nil {
+			cfg = *p.Server
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, fmt.Errorf("load: spawn listener: %w", err)
+		}
+		srv := serve.New(cfg, rispp.Config{})
+		srv.Logf = func(string, ...any) {} // keep harness output clean
+		go srv.Serve(ln)                   //nolint:errcheck // ends via Shutdown
+		target = "http://" + ln.Addr().String()
+		shutdown = func() error {
+			sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			return srv.Shutdown(sctx)
+		}
+		logf("load: spawned risppserve on %s", target)
+	}
+
+	gen := newGenerator(p)
+	client := &http.Client{Timeout: 30 * time.Second}
+	col := newCollector()
+
+	runCtx, cancel := context.WithTimeout(ctx, p.Duration)
+	defer cancel()
+	start := time.Now()
+	warmEnd := start.Add(p.Warmup)
+
+	var pprofErr error
+	var pprofWG sync.WaitGroup
+	if p.PprofDir != "" {
+		pprofWG.Add(1)
+		go func() {
+			defer pprofWG.Done()
+			pprofErr = fetchPprof(runCtx, client, target, p.PprofDir, p.Duration)
+		}()
+	}
+
+	var wg sync.WaitGroup
+	for ti, t := range p.Tenants {
+		for w := 0; w < t.Workers; w++ {
+			wg.Add(1)
+			go func(ti, w int, t Tenant) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(workerSeed(p.Seed, t.Name, w)))
+				interval := time.Duration(0)
+				if t.RPS > 0 {
+					interval = time.Duration(float64(t.Workers) / t.RPS * float64(time.Second))
+				}
+				for runCtx.Err() == nil {
+					req := gen.next(rng, t)
+					issued := time.Now()
+					code, err := req.do(runCtx, client, target, t.Name)
+					if runCtx.Err() != nil && code == 0 {
+						return // run ended mid-request; don't count the abort
+					}
+					col.record(sample{
+						tenant: t.Name,
+						route:  req.route,
+						code:   code,
+						err:    err != nil,
+						ms:     float64(time.Since(issued)) / float64(time.Millisecond),
+						steady: issued.After(warmEnd),
+					})
+					if interval > 0 {
+						d := interval
+						if inBurst(issued.Sub(start), p.Burst) {
+							d = time.Duration(float64(d) / p.Burst.Factor)
+						}
+						select {
+						case <-time.After(d):
+						case <-runCtx.Done():
+							return
+						}
+					}
+				}
+			}(ti, w, t)
+		}
+	}
+	wg.Wait()
+	pprofWG.Wait()
+
+	rep := col.report(p, target)
+	rep.WallSeconds = time.Since(start).Seconds()
+
+	// Scrape the server's own SLO series into the report before shutdown.
+	if text, err := fetchText(context.Background(), client, target+"/metrics"); err != nil {
+		logf("load: metrics scrape failed: %v", err)
+	} else {
+		rep.Server = parseServerStats(text)
+	}
+	if shutdown != nil {
+		if err := shutdown(); err != nil {
+			return nil, fmt.Errorf("load: server shutdown: %w", err)
+		}
+	}
+	if pprofErr != nil {
+		logf("load: pprof capture: %v", pprofErr)
+	}
+
+	rep.Violations = Assert(rep, p.SLO)
+	rep.Pass = len(rep.Violations) == 0
+	return rep, nil
+}
+
+// inBurst reports whether elapsed time t falls inside a burst window.
+func inBurst(t time.Duration, b Burst) bool {
+	if b.Every <= 0 || b.Length <= 0 || b.Factor <= 1 {
+		return false
+	}
+	return t%b.Every < b.Length
+}
+
+// workerSeed derives a stable per-worker PRNG seed from the profile seed.
+func workerSeed(seed int64, tenant string, worker int) int64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s/%d", tenant, worker)
+	return seed ^ int64(h.Sum64())
+}
+
+// request is one generated request, ready to issue.
+type request struct {
+	route string
+	body  []byte
+}
+
+func (r request) do(ctx context.Context, client *http.Client, target, tenant string) (int, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, target+r.route, bytes.NewReader(r.body))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Tenant", tenant)
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	// Drain so the connection is reused; the stats only need the code.
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck // best-effort drain
+	resp.Body.Close()              //nolint:errcheck
+	return resp.StatusCode, nil
+}
+
+// generator turns PRNG draws into concrete requests over a fixed,
+// seed-derived point pool.
+type generator struct {
+	points []explore.Point
+	bodies [][]byte // pre-marshaled simulate bodies, 1:1 with points
+}
+
+func newGenerator(p Profile) *generator {
+	rng := rand.New(rand.NewSource(p.Seed))
+	g := &generator{}
+	seen := make(map[string]bool)
+	for len(g.points) < p.Points {
+		pt := explore.Point{
+			Scheduler:     p.Schedulers[rng.Intn(len(p.Schedulers))],
+			NumACs:        1 + rng.Intn(p.MaxACs),
+			Frames:        p.Frames,
+			SeedForecasts: true,
+		}
+		if pt.Scheduler == "software" {
+			pt.NumACs = 0
+		}
+		key := pt.Normalized().Key()
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		g.points = append(g.points, pt)
+		body, err := json.Marshal(serve.SimulateRequest{Point: pt})
+		if err != nil {
+			panic(err) // static struct; cannot fail
+		}
+		g.bodies = append(g.bodies, body)
+	}
+	return g
+}
+
+// next draws one request for tenant t from rng. The draw order is fixed
+// per worker: endpoint first, then the endpoint-specific parameters.
+func (g *generator) next(rng *rand.Rand, t Tenant) request {
+	total := t.Mix.Simulate + t.Mix.Explore + t.Mix.Suggest
+	x := rng.Float64() * total
+	switch {
+	case x < t.Mix.Simulate:
+		i := rng.Intn(len(g.points))
+		return request{route: "/v1/simulate", body: g.bodies[i]}
+	case x < t.Mix.Simulate+t.Mix.Explore:
+		// A small sweep: 3 consecutive pool points (batch class).
+		i := rng.Intn(len(g.points))
+		pts := make([]explore.Point, 0, 3)
+		for k := 0; k < 3; k++ {
+			pts = append(pts, g.points[(i+k)%len(g.points)])
+		}
+		body, err := json.Marshal(serve.ExploreRequest{Spec: explore.Spec{Points: pts}})
+		if err != nil {
+			panic(err)
+		}
+		return request{route: "/v1/explore", body: body}
+	default:
+		body, err := json.Marshal(search.SuggestRequest{
+			Strategy: "random",
+			Seed:     rng.Int63(),
+			Count:    4,
+			Spec: explore.Spec{
+				Schedulers: []string{"HEF", "Molen", "software"},
+				ACs:        []int{4, 6, 8, 10},
+				Frames:     []int{g.pointsFrames()},
+			},
+		})
+		if err != nil {
+			panic(err)
+		}
+		return request{route: "/v1/suggest", body: body}
+	}
+}
+
+func (g *generator) pointsFrames() int { return g.points[0].Frames }
+
+// fetchText GETs a URL and returns its body as a string.
+func fetchText(ctx context.Context, client *http.Client, url string) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close() //nolint:errcheck
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("GET %s: status %d", url, resp.StatusCode)
+	}
+	b, err := io.ReadAll(resp.Body)
+	return string(b), err
+}
+
+// fetchPprof saves a CPU profile spanning most of the run plus a heap
+// snapshot into dir. The target must have pprof enabled.
+func fetchPprof(ctx context.Context, client *http.Client, target, dir string, dur time.Duration) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	secs := int(dur.Seconds()) - 2 // leave room to finish before the run ends
+	if secs < 1 {
+		secs = 1
+	}
+	save := func(url, name string) error {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+		if err != nil {
+			return err
+		}
+		c := *client
+		c.Timeout = dur + 15*time.Second // CPU profile blocks for secs
+		resp, err := c.Do(req)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close() //nolint:errcheck
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("GET %s: status %d", url, resp.StatusCode)
+		}
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			return err
+		}
+		if _, err := io.Copy(f, resp.Body); err != nil {
+			f.Close() //nolint:errcheck
+			return err
+		}
+		return f.Close()
+	}
+	if err := save(fmt.Sprintf("%s/debug/pprof/profile?seconds=%d", target, secs), "cpu.pprof"); err != nil {
+		return err
+	}
+	return save(target+"/debug/pprof/heap", "heap.pprof")
+}

@@ -1,0 +1,42 @@
+package serve
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"rispp"
+)
+
+// BenchmarkServeSimulate measures the in-process /v1/simulate handler hot
+// path on a cached hit: tenant identification, QoS admission bookkeeping,
+// cache lookup and response write — everything except the simulation
+// itself. This is the per-request overhead the QoS layer adds, and the
+// bench-regression gate holds its allocs/op flat.
+func BenchmarkServeSimulate(b *testing.B) {
+	s := New(Config{Workers: 1}, rispp.Config{})
+	h := s.Handler()
+	body := []byte(`{"scheduler":"HEF","acs":5,"frames":1,"seed_forecasts":true}`)
+
+	// Warm the response cache so the steady state is a pure hit.
+	warm := httptest.NewRequest(http.MethodPost, "/v1/simulate", bytes.NewReader(body))
+	warm.Header.Set("X-Tenant", "bench")
+	wrec := httptest.NewRecorder()
+	h.ServeHTTP(wrec, warm)
+	if wrec.Code != http.StatusOK {
+		b.Fatalf("warmup status %d: %s", wrec.Code, wrec.Body.String())
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest(http.MethodPost, "/v1/simulate", bytes.NewReader(body))
+		req.Header.Set("X-Tenant", "bench")
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			b.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+		}
+	}
+}

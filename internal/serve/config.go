@@ -20,6 +20,7 @@
 package serve
 
 import (
+	"io"
 	"runtime"
 	"time"
 )
@@ -55,6 +56,20 @@ type Config struct {
 	// RetryAfter is the Retry-After hint answered on saturation
 	// (0: 1 second).
 	RetryAfter time.Duration
+	// QoS is the multi-tenant policy: tenant identification, quotas,
+	// weighted fair queueing and priority classes over the simulation-slot
+	// pool. The zero value keeps the pre-QoS single-tenant behavior
+	// (immediate shed on saturation, no quotas). Limits can be hot-swapped
+	// at run time with Server.UpdateQoS.
+	QoS QoSConfig
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ (CPU, heap,
+	// goroutine, ... profiles). Off by default: profiling endpoints leak
+	// internals and cost CPU, so production fleets opt in explicitly.
+	EnablePprof bool
+	// AccessLog, when non-nil, receives one JSON line per completed
+	// request (route, tenant, class, status, duration, cache outcome).
+	// Writes are serialized by the server.
+	AccessLog io.Writer
 }
 
 func (c Config) withDefaults() Config {

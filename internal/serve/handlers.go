@@ -194,9 +194,10 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	tenant := tenantFrom(r.Context())
 	key := req.Collect.cacheKey(p.Key())
 	body, hit, err := s.cache.do(r.Context(), key, func() ([]byte, error) {
-		return s.simulate(r.Context(), p, req.Collect, s.timeout(req.TimeoutMS))
+		return s.simulate(r.Context(), tenant, p, req.Collect, s.timeout(req.TimeoutMS))
 	})
 	if hit {
 		s.met.cacheHits.Add(1)
@@ -222,10 +223,15 @@ func cacheHeader(hit bool) string {
 }
 
 func (s *Server) writeSimulateError(w http.ResponseWriter, r *http.Request, err error) {
+	var shed *shedError
 	switch {
-	case errors.Is(err, errSaturated):
-		w.Header().Set("Retry-After", strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
-		writeError(w, http.StatusTooManyRequests, "saturated: %d simulations in flight", s.cfg.Workers)
+	case errors.As(err, &shed):
+		retry := shed.retryAfter
+		if s.cfg.RetryAfter > retry {
+			retry = s.cfg.RetryAfter
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(int((retry+time.Second-1)/time.Second)))
+		writeError(w, http.StatusTooManyRequests, "%s", shed.detail)
 	case errors.Is(err, context.DeadlineExceeded):
 		writeError(w, http.StatusGatewayTimeout, "simulation deadline exceeded: %v", err)
 	case r.Context().Err() != nil:
@@ -239,23 +245,34 @@ func (s *Server) writeSimulateError(w http.ResponseWriter, r *http.Request, err 
 
 // simulate runs one admission-controlled simulation and renders the
 // response body. It is the single-flight leader's path: concurrent
-// identical requests wait on its outcome instead of taking slots.
-func (s *Server) simulate(ctx context.Context, p explore.Point, collect CollectSpec, d time.Duration) ([]byte, error) {
-	if !s.lim.tryAcquire() {
-		return nil, errSaturated
-	}
-	defer s.lim.release()
-	s.met.inflight.Add(1)
-	defer s.met.inflight.Add(-1)
-
+// identical requests wait on its outcome instead of taking slots; the
+// leader's tenant pays the QoS cost (followers and cache hits are free —
+// a cached response consumes no fabric time). The deadline covers queue
+// wait plus simulation, so a queued request that can't start in time
+// surfaces as 504 rather than waiting forever.
+func (s *Server) simulate(ctx context.Context, tenant string, p explore.Point, collect CollectSpec, d time.Duration) ([]byte, error) {
 	ctx, cancel := context.WithTimeout(ctx, d)
 	defer cancel()
 
+	cost := s.cost.predict(p)
+	if err := s.qos.admit(tenant, cost); err != nil {
+		return nil, err
+	}
+	slot, err := s.qos.acquire(ctx, tenant, classInteractive, cost)
+	if err != nil {
+		return nil, err
+	}
+	defer s.qos.release(slot)
+	s.met.inflight.Add(1)
+	defer s.met.inflight.Add(-1)
+
 	res := s.runner.GetResult()
 	defer s.runner.PutResult(res)
+	start := time.Now()
 	if err := s.runPoint(ctx, p, collect.options(), res); err != nil {
 		return nil, err
 	}
+	s.cost.observe(p, time.Since(start))
 	return s.renderSimulate(p, res)
 }
 
@@ -338,6 +355,20 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
+	// Sweep-level admission: the whole spec is charged against the
+	// tenant's cost budget up front (predicted from the learned cost
+	// classes), so a tenant cannot sidestep rate limits by splitting load
+	// across huge batch sweeps. Per-point charges are not taken again.
+	tenant := tenantFrom(r.Context())
+	var sweepCost float64
+	for _, p := range jobs {
+		sweepCost += s.cost.predict(p)
+	}
+	if err := s.qos.admit(tenant, sweepCost); err != nil {
+		s.writeSimulateError(w, r, err)
+		return
+	}
+
 	ctx, cancel := context.WithTimeout(r.Context(), s.timeout(req.TimeoutMS))
 	defer cancel()
 
@@ -353,21 +384,26 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 				flusher.Flush()
 			}
 		},
-		// Exploration jobs queue for limiter slots rather than shedding:
-		// the spec was admitted as a whole, and job order (not latency)
-		// is the contract.
+		// Exploration jobs queue for slots at batch priority rather than
+		// shedding: the spec was admitted as a whole, and job order (not
+		// latency) is the contract. The WFQ scheduler arbitrates slot by
+		// slot between this sweep, other tenants' sweeps, and interactive
+		// traffic (which always wins a free slot).
 		Run: func(ctx context.Context, p explore.Point) (explore.Metrics, error) {
-			if err := s.lim.acquire(ctx); err != nil {
+			slot, err := s.qos.acquire(ctx, tenant, classBatch, s.cost.predict(p))
+			if err != nil {
 				return explore.Metrics{}, err
 			}
-			defer s.lim.release()
+			defer s.qos.release(slot)
 			s.met.inflight.Add(1)
 			defer s.met.inflight.Add(-1)
 			res := s.runner.GetResult()
 			defer s.runner.PutResult(res)
+			start := time.Now()
 			if err := s.runPoint(ctx, p, sim.Options{}, res); err != nil {
 				return explore.Metrics{}, err
 			}
+			s.cost.observe(p, time.Since(start))
 			return explore.Metrics{
 				TotalCycles:  res.TotalCycles,
 				StallCycles:  res.StallCycles,
@@ -434,6 +470,25 @@ func (s *Server) handleSuggest(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%d observations for a space of %d points", len(req.Observed), len(jobs))
 		return
 	}
+
+	// Suggest is planning work, not simulation, but it rides the batch
+	// class: a strategy replay over a big space is CPU-bound and must not
+	// crowd out interactive traffic. The cost charge scales with the
+	// replayed history.
+	tenant := tenantFrom(r.Context())
+	cost := 1 + float64(len(req.Observed))
+	if err := s.qos.admit(tenant, cost); err != nil {
+		s.writeSimulateError(w, r, err)
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.DefaultTimeout)
+	defer cancel()
+	slot, err := s.qos.acquire(ctx, tenant, classBatch, cost)
+	if err != nil {
+		s.writeSimulateError(w, r, err)
+		return
+	}
+	defer s.qos.release(slot)
 
 	sug, err := search.Suggest(req)
 	if err != nil {

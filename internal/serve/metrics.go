@@ -19,6 +19,41 @@ var latencyBuckets = [numLatencyBuckets]float64{0.001, 0.005, 0.025, 0.1, 0.5, 2
 
 const numLatencyBuckets = 8
 
+// metricRoutes are the routes that get their own latency histogram
+// (rispp_endpoint_latency_seconds); anything else folds into "other".
+// Fixed-index lookup keeps the hot path allocation-free.
+var metricRoutes = [...]string{"/v1/simulate", "/v1/explore", "/v1/suggest", "/v1/healthz", "other"}
+
+const numMetricRoutes = len(metricRoutes)
+
+func routeIndex(route string) int {
+	for i, r := range metricRoutes {
+		if r == route {
+			return i
+		}
+	}
+	return numMetricRoutes - 1
+}
+
+// routeHist is one endpoint's latency histogram plus count/sum.
+type routeHist struct {
+	count  atomic.Int64
+	sumNS  atomic.Int64
+	bucket [numLatencyBuckets]atomic.Int64
+}
+
+func (h *routeHist) observe(d time.Duration) {
+	h.count.Add(1)
+	h.sumNS.Add(int64(d))
+	s := d.Seconds()
+	for i, ub := range latencyBuckets {
+		if s <= ub {
+			h.bucket[i].Add(1)
+			break
+		}
+	}
+}
+
 // metrics is the server's instrumentation: a handful of counters, one
 // latency histogram and an in-flight gauge, exposed in Prometheus text
 // exposition format with nothing but the standard library. All methods are
@@ -37,6 +72,20 @@ type metrics struct {
 	latSumNS  atomic.Int64
 	latBucket [numLatencyBuckets]atomic.Int64 // rendered cumulatively
 
+	// Per-endpoint latency histograms (SLO series: p50/p99 per route are
+	// derived from the buckets by the scraper/risppload).
+	routeLat [numMetricRoutes]routeHist
+
+	// Multi-tenant QoS series (under mu): shed counts by tenant and
+	// reason, dispatched work by tenant and class.
+	sheds  map[string]int64 // "tenant\x00reason" → count
+	admits map[string]int64 // "tenant\x00class" → count
+
+	// queueDepths, when non-nil, reads the scheduler's waiting counts at
+	// scrape time; costClasses reads the learned cost model.
+	queueDepths func() [numClasses]int
+	costClasses func() map[string]float64
+
 	// Adaptive-search instrumentation (/v1/suggest). suggests counts
 	// requests per strategy (under mu); the atomics track the points
 	// proposed in total and the front size of the most recent reply.
@@ -53,7 +102,23 @@ func newMetrics() *metrics {
 	return &metrics{
 		requests: make(map[string]int64),
 		suggests: make(map[string]int64),
+		sheds:    make(map[string]int64),
+		admits:   make(map[string]int64),
 	}
+}
+
+// tenantShed records one rejected request (429) by tenant and reason.
+func (m *metrics) tenantShed(tenant, reason string) {
+	m.mu.Lock()
+	m.sheds[tenant+"\x00"+reason]++
+	m.mu.Unlock()
+}
+
+// tenantAdmit records one dispatched slot acquisition by tenant and class.
+func (m *metrics) tenantAdmit(tenant string, class int) {
+	m.mu.Lock()
+	m.admits[tenant+"\x00"+className(class)]++
+	m.mu.Unlock()
 }
 
 // suggest records one answered /v1/suggest request.
@@ -66,7 +131,8 @@ func (m *metrics) suggest(strategy string, points, front int) {
 }
 
 // request records one completed request: its route, status code and wall
-// time.
+// time (aggregate histogram kept for continuity, per-route histogram for
+// the SLO series).
 func (m *metrics) request(route string, code int, d time.Duration) {
 	m.mu.Lock()
 	m.requests[route+"\x00"+strconv.Itoa(code)]++
@@ -80,6 +146,7 @@ func (m *metrics) request(route string, code int, d time.Duration) {
 			break
 		}
 	}
+	m.routeLat[routeIndex(route)].observe(d)
 }
 
 // write renders the Prometheus text exposition. Series are emitted in a
@@ -115,6 +182,71 @@ func (m *metrics) write(w io.Writer) {
 	fmt.Fprintf(w, "rispp_request_duration_seconds_bucket{le=\"+Inf\"} %d\n", count)
 	fmt.Fprintf(w, "rispp_request_duration_seconds_sum %g\n", float64(m.latSumNS.Load())/1e9)
 	fmt.Fprintf(w, "rispp_request_duration_seconds_count %d\n", count)
+
+	fmt.Fprintf(w, "# HELP rispp_endpoint_latency_seconds Request wall time by route (SLO series).\n")
+	fmt.Fprintf(w, "# TYPE rispp_endpoint_latency_seconds histogram\n")
+	for ri, route := range metricRoutes {
+		h := &m.routeLat[ri]
+		n := h.count.Load()
+		if n == 0 {
+			continue
+		}
+		var c int64
+		for i, ub := range latencyBuckets {
+			c += h.bucket[i].Load()
+			fmt.Fprintf(w, "rispp_endpoint_latency_seconds_bucket{route=%q,le=%q} %d\n", route, formatBound(ub), c)
+		}
+		fmt.Fprintf(w, "rispp_endpoint_latency_seconds_bucket{route=%q,le=\"+Inf\"} %d\n", route, n)
+		fmt.Fprintf(w, "rispp_endpoint_latency_seconds_sum{route=%q} %g\n", route, float64(h.sumNS.Load())/1e9)
+		fmt.Fprintf(w, "rispp_endpoint_latency_seconds_count{route=%q} %d\n", route, n)
+	}
+
+	m.mu.Lock()
+	shedKeys := sortedKeys(m.sheds)
+	shedCounts := make([]int64, len(shedKeys))
+	for i, k := range shedKeys {
+		shedCounts[i] = m.sheds[k]
+	}
+	admitKeys := sortedKeys(m.admits)
+	admitCounts := make([]int64, len(admitKeys))
+	for i, k := range admitKeys {
+		admitCounts[i] = m.admits[k]
+	}
+	m.mu.Unlock()
+	fmt.Fprintf(w, "# HELP rispp_tenant_shed_total Requests rejected (429) by tenant and reason.\n")
+	fmt.Fprintf(w, "# TYPE rispp_tenant_shed_total counter\n")
+	for i, k := range shedKeys {
+		tenant, reason, _ := cutByte(k)
+		fmt.Fprintf(w, "rispp_tenant_shed_total{tenant=%q,reason=%q} %d\n", tenant, reason, shedCounts[i])
+	}
+	fmt.Fprintf(w, "# HELP rispp_tenant_admitted_total Slot acquisitions dispatched by tenant and priority class.\n")
+	fmt.Fprintf(w, "# TYPE rispp_tenant_admitted_total counter\n")
+	for i, k := range admitKeys {
+		tenant, class, _ := cutByte(k)
+		fmt.Fprintf(w, "rispp_tenant_admitted_total{tenant=%q,class=%q} %d\n", tenant, class, admitCounts[i])
+	}
+
+	if m.queueDepths != nil {
+		d := m.queueDepths()
+		fmt.Fprintf(w, "# HELP rispp_qos_queue_depth Requests waiting for a simulation slot by priority class.\n")
+		fmt.Fprintf(w, "# TYPE rispp_qos_queue_depth gauge\n")
+		for class := 0; class < numClasses; class++ {
+			fmt.Fprintf(w, "rispp_qos_queue_depth{class=%q} %d\n", className(class), d[class])
+		}
+	}
+	if m.costClasses != nil {
+		classes := m.costClasses()
+		names := make([]string, 0, len(classes))
+		for k := range classes {
+			names = append(names, k)
+		}
+		sort.Strings(names)
+		fmt.Fprintf(w, "# HELP rispp_cost_class_us Learned per-class simulation cost (EWMA, microseconds).\n")
+		fmt.Fprintf(w, "# TYPE rispp_cost_class_us gauge\n")
+		for _, k := range names {
+			fmt.Fprintf(w, "rispp_cost_class_us{class=%q} %g\n", k, classes[k])
+		}
+	}
 
 	fmt.Fprintf(w, "# HELP rispp_inflight_simulations Simulations currently holding a limiter slot.\n")
 	fmt.Fprintf(w, "# TYPE rispp_inflight_simulations gauge\n")
@@ -168,6 +300,17 @@ func (m *metrics) write(w io.Writer) {
 func (m *metrics) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	m.write(w)
+}
+
+// sortedKeys snapshots a counter map's keys in stable order (callers hold
+// mu).
+func sortedKeys(m map[string]int64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 func cutByte(k string) (route, code string, ok bool) {

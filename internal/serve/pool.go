@@ -3,42 +3,12 @@ package serve
 import (
 	"container/list"
 	"context"
-	"errors"
 	"sync"
 )
 
-// errSaturated is returned by request execution when no limiter slot is
-// free; the handler maps it to 429 + Retry-After.
-var errSaturated = errors.New("serve: all simulation slots busy")
-
-// limiter bounds concurrently running simulations across all requests.
-// Interactive requests (/v1/simulate) use tryAcquire and shed load on
-// saturation; batch exploration jobs use acquire and queue for a slot.
-type limiter chan struct{}
-
-func newLimiter(n int) limiter { return make(limiter, n) }
-
-// tryAcquire takes a slot without blocking.
-func (l limiter) tryAcquire() bool {
-	select {
-	case l <- struct{}{}:
-		return true
-	default:
-		return false
-	}
-}
-
-// acquire blocks for a slot until the context is done.
-func (l limiter) acquire(ctx context.Context) error {
-	select {
-	case l <- struct{}{}:
-		return nil
-	case <-ctx.Done():
-		return ctx.Err()
-	}
-}
-
-func (l limiter) release() { <-l }
+// The simulation-slot pool itself is arbitrated by the QoS scheduler in
+// qos.go (weighted fair queueing, priority classes, per-tenant quotas);
+// this file keeps the response cache.
 
 // respCache is an LRU of rendered /v1/simulate response bodies keyed by the
 // canonical design-point key (plus collect options), with single-flight

@@ -2,10 +2,12 @@ package serve
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -23,10 +25,12 @@ type Server struct {
 	cfg    Config
 	isa    *isa.ISA
 	runner *rispp.Runner
-	lim    limiter
+	qos    *qsched
+	cost   *costModel
 	cache  *respCache
 	met    *metrics
 	mux    *http.ServeMux
+	logMu  sync.Mutex // serializes AccessLog writes
 
 	// exploreCache optionally backs /v1/explore with the engine's
 	// content-addressed disk cache (SetExploreCache).
@@ -60,23 +64,44 @@ func New(cfg Config, base rispp.Config) *Server {
 		cfg:    cfg,
 		isa:    is,
 		runner: runner,
-		lim:    newLimiter(cfg.Workers),
 		cache:  newRespCache(cfg.CacheEntries),
 		met:    newMetrics(),
 		mux:    http.NewServeMux(),
 	}
+	s.qos = newQsched(cfg.Workers, cfg.QoS, s.met)
+	s.cost = newCostModel()
 	s.runPoint = runner.RunPoint
 	s.met.poolStats = runner.RuntimePoolStats
+	s.met.queueDepths = s.qos.queueDepths
+	s.met.costClasses = s.cost.snapshot
 	s.mux.HandleFunc("/v1/simulate", s.wrap("/v1/simulate", s.handleSimulate))
 	s.mux.HandleFunc("/v1/explore", s.wrap("/v1/explore", s.handleExplore))
 	s.mux.HandleFunc("/v1/suggest", s.wrap("/v1/suggest", s.handleSuggest))
 	s.mux.HandleFunc("/v1/healthz", s.wrap("/v1/healthz", s.handleHealthz))
 	s.mux.Handle("/metrics", s.met)
+	if cfg.EnablePprof {
+		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	s.mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "no route %s; see /v1/simulate, /v1/explore, /v1/suggest, /v1/healthz, /metrics", r.URL.Path)
 	})
 	return s
 }
+
+// UpdateQoS hot-swaps the multi-tenant policy (quotas, weights, tokens,
+// queue depths). In-flight and queued work is unaffected; new admissions
+// see the new limits immediately. cmd/risppserve calls this on SIGHUP.
+func (s *Server) UpdateQoS(q QoSConfig) {
+	s.qos.setConfig(q)
+	s.logf("serve: QoS limits updated (%d named tenants)", len(q.Tenants))
+}
+
+// qosCfg reads the live QoS policy (which UpdateQoS may have replaced).
+func (s *Server) qosCfg() QoSConfig { return s.qos.config() }
 
 // SetExploreCache backs /v1/explore sweeps with a content-addressed disk
 // cache (see explore.Cache): re-posted specs only simulate new points.
@@ -125,11 +150,27 @@ func (r *statusRecorder) Flush() {
 	}
 }
 
-// wrap is the per-route middleware: drain gate, in-flight accounting,
-// panic-to-500 recovery and request metrics.
+// tenantCtxKey carries the identified tenant through the request context
+// to the QoS admission points inside the handlers.
+type tenantCtxKey struct{}
+
+// tenantFrom recovers the tenant wrap() identified ("anonymous" when the
+// request bypassed wrap, e.g. direct handler tests).
+func tenantFrom(ctx context.Context) string {
+	if t, ok := ctx.Value(tenantCtxKey{}).(string); ok {
+		return t
+	}
+	return "anonymous"
+}
+
+// wrap is the per-route middleware: tenant identification, drain gate,
+// in-flight accounting, panic-to-500 recovery, request metrics and the
+// structured access log.
 func (s *Server) wrap(route string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
+		tenant := s.tenantOf(r.Header)
+		r = r.WithContext(context.WithValue(r.Context(), tenantCtxKey{}, tenant))
 		rec := &statusRecorder{ResponseWriter: w}
 		s.inflight.Add(1)
 		defer func() {
@@ -140,7 +181,9 @@ func (s *Server) wrap(route string, h http.HandlerFunc) http.HandlerFunc {
 					writeError(rec, http.StatusInternalServerError, "internal error")
 				}
 			}
-			s.met.request(route, rec.code, time.Since(start))
+			d := time.Since(start)
+			s.met.request(route, rec.code, d)
+			s.logAccess(route, tenant, rec, d)
 			s.inflight.Done()
 		}()
 		// The health endpoint stays up while draining (it reports the
@@ -151,6 +194,50 @@ func (s *Server) wrap(route string, h http.HandlerFunc) http.HandlerFunc {
 		}
 		h(rec, r)
 	}
+}
+
+// accessRecord is one structured request-log line.
+type accessRecord struct {
+	Time   string  `json:"t"`
+	Route  string  `json:"route"`
+	Tenant string  `json:"tenant"`
+	Class  string  `json:"class"`
+	Code   int     `json:"code"`
+	Millis float64 `json:"ms"`
+	Cache  string  `json:"cache,omitempty"`
+}
+
+// logAccess emits one JSON line per completed request when an access log
+// is configured.
+func (s *Server) logAccess(route, tenant string, rec *statusRecorder, d time.Duration) {
+	if s.cfg.AccessLog == nil {
+		return
+	}
+	line, err := json.Marshal(accessRecord{
+		Time:   time.Now().UTC().Format(time.RFC3339Nano),
+		Route:  route,
+		Tenant: tenant,
+		Class:  className(routeClass(route)),
+		Code:   rec.code,
+		Millis: float64(d) / float64(time.Millisecond),
+		Cache:  rec.Header().Get("X-Cache"),
+	})
+	if err != nil {
+		return // plain scalars; cannot fail
+	}
+	line = append(line, '\n')
+	s.logMu.Lock()
+	s.cfg.AccessLog.Write(line) //nolint:errcheck // logging is best-effort
+	s.logMu.Unlock()
+}
+
+// routeClass maps a route to its QoS priority class: the interactive
+// endpoint is /v1/simulate; sweeps and search proposals are batch.
+func routeClass(route string) int {
+	if route == "/v1/simulate" || route == "/v1/healthz" {
+		return classInteractive
+	}
+	return classBatch
 }
 
 func (s *Server) logf(format string, args ...any) {
