@@ -77,7 +77,9 @@ cover-check:
 	$(GO) run ./scripts/covercheck -profile cover.out -floor 70
 
 # Cross-check the compiled simulator against the reference interpreter:
-# 1,500 generated (hardware, workload, system, ACs) triples plus the full
+# 1,500 generated (hardware, workload, system, ACs) triples, 540 generated
+# scenario triples (multi-app merged ISAs, control-flow branch models,
+# content-driven encodes), every shipped library scenario, and the full
 # 140-frame H.264 trace under all six run-time systems. A divergence
 # fails with a minimal shrunk reproducer (see EXPERIMENTS.md).
 verify-oracle:
@@ -114,6 +116,7 @@ FUZZTIME ?= 30s
 fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzRunCompiled$$' -fuzztime $(FUZZTIME) ./internal/oracle
 	$(GO) test -run '^$$' -fuzz '^FuzzServeSimulate$$' -fuzztime $(FUZZTIME) ./internal/serve
+	$(GO) test -run '^$$' -fuzz '^FuzzScenarioDecode$$' -fuzztime $(FUZZTIME) ./internal/scenario
 
 # Lint gate; needs golangci-lint on PATH (CI installs it via the action).
 lint:

@@ -3,7 +3,10 @@
 // Usage:
 //
 //	rispptrace -gen -frames 20 -motion 0.3 -out trace.json
-//	rispptrace -info trace.json
+//	rispptrace -gen -scenario video-crypto -frames 12 -seed 3 -out trace.json
+//	rispptrace -info trace.json [-scenario video-crypto]
+//	rispptrace -scenarios
+//	rispptrace -check scenario.json
 package main
 
 import (
@@ -13,31 +16,69 @@ import (
 	"sort"
 
 	"rispp/internal/isa"
+	"rispp/internal/scenario"
 	"rispp/internal/stats"
 	"rispp/internal/workload"
 )
 
 func main() {
 	var (
-		gen    = flag.Bool("gen", false, "generate an H.264 trace")
-		frames = flag.Int("frames", 140, "frames (with -gen)")
-		motion = flag.Float64("motion", 0, "motion variability (with -gen)")
-		scene  = flag.Int("scene", 0, "scene-change frame (with -gen)")
-		seed   = flag.Int64("seed", 0, "PRNG seed (with -gen)")
-		out    = flag.String("out", "", "output file (with -gen; default stdout)")
-		info   = flag.String("info", "", "trace file to inspect")
+		gen       = flag.Bool("gen", false, "generate a trace (H.264 generator, or -scenario)")
+		frames    = flag.Int("frames", 140, "frames / scenario iterations (with -gen)")
+		motion    = flag.Float64("motion", 0, "motion variability (with -gen, H.264 only)")
+		scene     = flag.Int("scene", 0, "scene-change frame (with -gen, H.264 only)")
+		seed      = flag.Int64("seed", 0, "PRNG seed (with -gen)")
+		scen      = flag.String("scenario", "", "named scenario: its generator builds the trace and its ISA validates -info")
+		out       = flag.String("out", "", "output file (with -gen; default stdout)")
+		info      = flag.String("info", "", "trace file to inspect")
+		list      = flag.Bool("scenarios", false, "list the shipped scenario library")
+		checkSpec = flag.String("check", "", "scenario spec file to validate (decode, build ISA, expand once)")
 	)
 	flag.Parse()
 
-	is := isa.H264()
+	is, err := resolveISA(*scen)
+	if err != nil {
+		fatal(err)
+	}
 	switch {
+	case *list:
+		tb := &stats.Table{Header: []string{"scenario", "kind", "atoms", "SIs", "hot spots", "digest"}}
+		for _, n := range scenario.Names() {
+			sc, _ := scenario.Find(n)
+			si := sc.ISA()
+			tb.AddRow(n, sc.Kind(), fmt.Sprint(si.Dim()), fmt.Sprint(len(si.SIs)),
+				fmt.Sprint(len(si.HotSpots)), sc.Digest()[:16])
+		}
+		fmt.Print(tb.String())
+	case *checkSpec != "":
+		f, err := os.Open(*checkSpec)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		sc, err := scenario.Decode(f)
+		if err != nil {
+			fatal(err)
+		}
+		tr := sc.Trace(4, 1)
+		if err := tr.Validate(sc.ISA()); err != nil {
+			fatal(fmt.Errorf("expanded trace invalid: %w", err))
+		}
+		fmt.Printf("%s: ok (%s, %d atoms, %d SIs, digest %s)\n",
+			sc.Name(), sc.Kind(), sc.ISA().Dim(), len(sc.ISA().SIs), sc.Digest())
 	case *gen:
-		tr := workload.H264(workload.H264Config{
-			Frames:            *frames,
-			MotionVariability: *motion,
-			SceneChangeFrame:  *scene,
-			Seed:              *seed,
-		})
+		var tr *workload.Trace
+		if *scen != "" {
+			sc, _ := scenario.Find(*scen) // resolveISA verified the name
+			tr = sc.Trace(*frames, *seed)
+		} else {
+			tr = workload.H264(workload.H264Config{
+				Frames:            *frames,
+				MotionVariability: *motion,
+				SceneChangeFrame:  *scene,
+				Seed:              *seed,
+			})
+		}
 		w := os.Stdout
 		if *out != "" {
 			f, err := os.Create(*out)
@@ -77,9 +118,22 @@ func main() {
 		fmt.Println()
 		fmt.Print(tb.String())
 	default:
-		fmt.Fprintln(os.Stderr, "rispptrace: need -gen or -info FILE")
+		fmt.Fprintln(os.Stderr, "rispptrace: need -gen, -info FILE, -check FILE or -scenarios")
 		os.Exit(2)
 	}
+}
+
+// resolveISA picks the ISA traces are generated for / validated against:
+// the named scenario's, or the paper's H.264 instruction set.
+func resolveISA(name string) (*isa.ISA, error) {
+	if name == "" {
+		return isa.H264(), nil
+	}
+	sc, ok := scenario.Find(name)
+	if !ok {
+		return nil, fmt.Errorf("unknown scenario %q (run -scenarios for the library)", name)
+	}
+	return sc.ISA(), nil
 }
 
 func fatal(err error) {

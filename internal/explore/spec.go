@@ -42,6 +42,15 @@ type Point struct {
 	SeedForecasts bool `json:"seed_forecasts"`
 	// Prefetch enables next-hot-spot reconfiguration prefetching.
 	Prefetch bool `json:"prefetch"`
+	// Scenario, when non-empty, replaces the H.264 workload generator
+	// with the named scenario from internal/scenario: Frames becomes the
+	// scenario iteration count, Seed selects a member of its seeded trace
+	// family, and Motion/SceneChange must stay zero (they are H.264
+	// generator knobs). The name participates in Key/Hash — shipped
+	// scenarios are append-only precisely so the name is a sound content
+	// address. omitempty keeps the keys (and caches) of all non-scenario
+	// points unchanged.
+	Scenario string `json:"scenario,omitempty"`
 }
 
 // Normalized fills the paper defaults so that equivalent points share one
@@ -91,7 +100,10 @@ type Spec struct {
 	SceneChanges  []int     `json:"scene_changes,omitempty"`
 	SeedForecasts []bool    `json:"seed_forecasts,omitempty"`
 	Prefetch      []bool    `json:"prefetch,omitempty"`
-	Points        []Point   `json:"points,omitempty"`
+	// Scenarios spans the workload axis: "" is the H.264 generator, any
+	// other entry a named scenario.
+	Scenarios []string `json:"scenarios,omitempty"`
+	Points    []Point  `json:"points,omitempty"`
 }
 
 // gridEmpty reports whether no grid dimension is set at all, in which case
@@ -99,7 +111,7 @@ type Spec struct {
 func (s Spec) gridEmpty() bool {
 	return len(s.Schedulers) == 0 && len(s.ACs) == 0 && len(s.Frames) == 0 &&
 		len(s.Seeds) == 0 && len(s.Motion) == 0 && len(s.SceneChanges) == 0 &&
-		len(s.SeedForecasts) == 0 && len(s.Prefetch) == 0
+		len(s.SeedForecasts) == 0 && len(s.Prefetch) == 0 && len(s.Scenarios) == 0
 }
 
 // Expand turns the spec into the ordered, deduplicated job list: the grid
@@ -142,19 +154,26 @@ func (s Spec) Expand() ([]Point, error) {
 		if len(prefetch) == 0 {
 			prefetch = []bool{false}
 		}
-		for _, sc := range schedulers {
-			for _, n := range acs {
-				for _, f := range frames {
-					for _, sd := range seeds {
-						for _, m := range motion {
-							for _, sn := range scenes {
-								for _, fc := range forecasts {
-									for _, pf := range prefetch {
-										grid = append(grid, Point{
-											Scheduler: sc, NumACs: n, Frames: f,
-											Seed: sd, Motion: m, SceneChange: sn,
-											SeedForecasts: fc, Prefetch: pf,
-										})
+		scenarios := s.Scenarios
+		if len(scenarios) == 0 {
+			scenarios = []string{""}
+		}
+		for _, wl := range scenarios {
+			for _, sc := range schedulers {
+				for _, n := range acs {
+					for _, f := range frames {
+						for _, sd := range seeds {
+							for _, m := range motion {
+								for _, sn := range scenes {
+									for _, fc := range forecasts {
+										for _, pf := range prefetch {
+											grid = append(grid, Point{
+												Scheduler: sc, NumACs: n, Frames: f,
+												Seed: sd, Motion: m, SceneChange: sn,
+												SeedForecasts: fc, Prefetch: pf,
+												Scenario: wl,
+											})
+										}
 									}
 								}
 							}
@@ -177,6 +196,9 @@ func (s Spec) Expand() ([]Point, error) {
 		}
 		if p.Motion < 0 || p.Motion > 1 {
 			return nil, fmt.Errorf("explore: motion variability %g outside [0,1]", p.Motion)
+		}
+		if p.Scenario != "" && (p.Motion != 0 || p.SceneChange != 0) {
+			return nil, fmt.Errorf("explore: scenario %q combined with H.264 knobs (motion/scene_change)", p.Scenario)
 		}
 		k := p.Key()
 		if seen[k] {

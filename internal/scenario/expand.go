@@ -1,0 +1,163 @@
+package scenario
+
+// Trace expansion: the pure function from (validated spec, frames, seed)
+// to a workload.Trace. All randomness flows through the single rand.Rand
+// seeded by Scenario.Trace, and every draw happens in a fixed order, so
+// expansion is bit-reproducible — the property the content-addressed
+// cache keys of internal/explore rely on.
+
+import (
+	"math/rand"
+
+	"rispp/internal/video"
+	"rispp/internal/workload"
+)
+
+// templateTrace expands a template scenario (apps + switch + branch).
+//
+// Per iteration: the branch model first steps its mode Markov chain, then
+// each scheduled app takes a turn (Switch.Rounds passes over its round
+// templates). Per round, the current mode's scale for the round's hot
+// spot applies, then each matching early-exit rule draws once — a phase
+// either drops (Skip: the hot-spot order itself changes) or collapses to
+// a fraction of its work. Multi-app scheduling follows Switch.Pattern
+// (default round-robin) or the seeded PSwitch random walk.
+func (s *Scenario) templateTrace(iters int, rng *rand.Rand) *workload.Trace {
+	b := workload.NewBuilder("scenario:" + s.spec.Name)
+	br := s.spec.Branch
+	sw := s.spec.Switch
+	mode := 0
+
+	emitRound := func(rd *round) {
+		scale := 1.0
+		if br != nil && len(br.Modes) > 0 {
+			if v, ok := br.Modes[mode].Scale[rd.hotName]; ok {
+				scale = v
+			}
+		}
+		if br != nil {
+			for i := range br.EarlyExit {
+				ee := &br.EarlyExit[i]
+				if ee.HotSpot != rd.hotName {
+					continue
+				}
+				if rng.Float64() < ee.P {
+					if ee.Skip {
+						scale = -1 // sentinel: drop the phase
+						break
+					}
+					scale *= ee.Scale
+				}
+			}
+		}
+		if scale < 0 {
+			return
+		}
+		b.Phase(rd.hot, rd.setup)
+		for _, bu := range rd.bursts {
+			count := bu.count
+			if scale != 1 {
+				count = int(float64(count)*scale + 0.5)
+			}
+			b.Burst(bu.si, count, bu.gap)
+		}
+	}
+	turnRounds := 1
+	if sw != nil && sw.Rounds > 0 {
+		turnRounds = sw.Rounds
+	}
+	emitTurn := func(app *appRT) {
+		for r := 0; r < turnRounds; r++ {
+			for i := range app.rounds {
+				emitRound(&app.rounds[i])
+			}
+		}
+	}
+
+	// Static schedule of one iteration (nil when PSwitch walks instead).
+	var pattern []int
+	walk := sw != nil && sw.PSwitch > 0
+	if !walk {
+		if sw != nil && len(sw.Pattern) > 0 {
+			pattern = sw.Pattern
+		} else {
+			pattern = make([]int, len(s.apps))
+			for i := range pattern {
+				pattern[i] = i
+			}
+		}
+	}
+	cur := 0
+	for it := 0; it < iters; it++ {
+		if br != nil && len(br.Modes) > 1 && it > 0 {
+			mode = nextMode(br, mode, rng)
+		}
+		if walk {
+			emitTurn(&s.apps[cur])
+			if rng.Float64() < sw.PSwitch {
+				next := rng.Intn(len(s.apps) - 1)
+				if next >= cur {
+					next++
+				}
+				cur = next
+			}
+			continue
+		}
+		for _, app := range pattern {
+			emitTurn(&s.apps[app])
+		}
+	}
+	return b.Build()
+}
+
+// nextMode steps the mode Markov chain. A nil transition matrix means
+// uniform re-draw.
+func nextMode(br *Branch, cur int, rng *rand.Rand) int {
+	n := len(br.Modes)
+	if br.Transition == nil {
+		return rng.Intn(n)
+	}
+	u := rng.Float64()
+	acc := 0.0
+	for j, p := range br.Transition[cur] {
+		acc += p
+		if u < acc {
+			return j
+		}
+	}
+	return n - 1
+}
+
+// contentTrace expands a content-driven scenario: a deterministic
+// synthetic scene is rendered and actually motion-searched by
+// internal/video, so SI counts and the inter/intra mix depend on what the
+// virtual camera sees. The scene seed is drawn from the scenario PRNG, so
+// per-point seeds select different renderings of the same setup.
+func (s *Scenario) contentTrace(frames int, rng *rand.Rand) *workload.Trace {
+	c := s.spec.Content
+	w, h := c.WidthPx, c.HeightPx
+	if w == 0 {
+		w = 96
+	}
+	if h == 0 {
+		h = 96
+	}
+	objects := c.Objects
+	if objects == 0 {
+		objects = 4
+	}
+	tr := video.Trace(video.TraceConfig{
+		Scene: video.Scene{
+			W: w, H: h,
+			Seed:             rng.Int63(),
+			Objects:          objects,
+			PanX:             c.PanX,
+			PanY:             c.PanY,
+			SceneChangeFrame: c.SceneChangeFrame,
+		},
+		Frames:      frames,
+		SearchRange: c.SearchRange,
+	})
+	tr.Name = "scenario:" + s.spec.Name
+	return tr
+}

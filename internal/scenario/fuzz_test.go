@@ -1,0 +1,79 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// FuzzScenarioDecode fuzzes the DSL trust boundary: Decode must never
+// panic, and whatever it accepts must hold the full scenario contract —
+// a Validate-clean spec, an isa.Validate-clean instruction set, and
+// deterministic expansions that validate against that instruction set.
+// The committed corpus under testdata/fuzz seeds the shipped library
+// files plus structural near-misses; the in-code seeds below add the
+// generated-corpus shapes.
+func FuzzScenarioDecode(f *testing.F) {
+	// Every shipped scenario file is a seed.
+	entries, err := dataFS.ReadDir("data")
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, e := range entries {
+		raw, err := dataFS.ReadFile("data/" + e.Name())
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(raw)
+	}
+	// A few generated specs widen the seeded shapes (custom ISAs, random
+	// branch models) beyond what the library ships.
+	for seed := int64(0); seed < 4; seed++ {
+		spec := GenSpec(rand.New(rand.NewSource(seed)))
+		b, err := json.Marshal(spec)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(b)
+	}
+	f.Add([]byte(`{"name":"x","kind":"multiapp"}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`not json`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sc, err := Decode(bytes.NewReader(data))
+		if err != nil {
+			return // rejected input: the only other acceptable outcome
+		}
+		// Accepted input: the full contract must hold.
+		spec := sc.Spec()
+		if verr := spec.Validate(); verr != nil {
+			t.Fatalf("Decode accepted a spec Validate rejects: %v", verr)
+		}
+		if ierr := sc.ISA().Validate(); ierr != nil {
+			t.Fatalf("accepted scenario has an invalid ISA: %v", ierr)
+		}
+		tr := sc.Trace(3, 1)
+		if verr := tr.Validate(sc.ISA()); verr != nil {
+			t.Fatalf("expansion does not validate against the scenario ISA: %v", verr)
+		}
+		if again := sc.Trace(3, 1); !reflect.DeepEqual(tr, again) {
+			t.Fatal("expansion not deterministic")
+		}
+		// Round trip: re-decoding the validated spec reproduces the same
+		// content address.
+		b, merr := json.Marshal(spec)
+		if merr != nil {
+			t.Fatalf("re-marshal: %v", merr)
+		}
+		sc2, derr := Decode(bytes.NewReader(b))
+		if derr != nil {
+			t.Fatalf("re-decode of an accepted spec failed: %v", derr)
+		}
+		if sc2.Digest() != sc.Digest() {
+			t.Fatalf("digest changed across a marshal round trip: %s vs %s", sc.Digest(), sc2.Digest())
+		}
+	})
+}

@@ -1,0 +1,198 @@
+package scenario
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// GenSpec generates a random, valid-by-construction scenario spec — the
+// scenario-side counterpart of oracle.GenHardware/GenWorkload. The oracle
+// corpus test expands hundreds of generated specs and cross-checks each
+// expansion field-exactly against the reference interpreter; the property
+// tests reuse it to probe the validator and the expander. Generated specs
+// are small on purpose (tiny macroblock counts, short bursts) so a corpus
+// run stays fast.
+func GenSpec(r *rand.Rand) Spec {
+	spec := Spec{
+		Name:        fmt.Sprintf("gen-%d", r.Intn(1_000_000)),
+		Description: "generated corpus scenario",
+		Seed:        r.Int63n(1 << 32),
+	}
+	if r.Intn(2) == 0 {
+		spec.Kind = KindMultiApp
+		n := 2 + r.Intn(2)
+		for i := 0; i < n; i++ {
+			spec.Apps = append(spec.Apps, genApp(r))
+		}
+		spec.Switch = genSwitch(r, n)
+	} else {
+		spec.Kind = KindControlFlow
+		if r.Intn(10) < 3 {
+			spec.Content = genContent(r)
+		} else {
+			app := genApp(r)
+			spec.Apps = []App{app}
+			spec.Branch = genBranch(r, app.hotSpotNames())
+		}
+	}
+	if err := spec.Validate(); err != nil {
+		panic(fmt.Sprintf("scenario: GenSpec produced an invalid spec: %v", err))
+	}
+	return spec
+}
+
+func genApp(r *rand.Rand) App {
+	var app App
+	switch r.Intn(4) {
+	case 0:
+		app = App{Library: "h264", MBs: 1 + r.Intn(3)}
+	case 1:
+		app = App{Library: "crypto"}
+	case 2:
+		app = App{Library: "audio"}
+	default:
+		app = App{Library: "custom", Custom: genCustomISA(r)}
+	}
+	if r.Intn(2) == 0 {
+		app.Scale = []float64{0.25, 0.5, 1, 2}[r.Intn(4)]
+	}
+	if r.Intn(3) == 0 {
+		app.Gap = r.Intn(16)
+	}
+	if r.Intn(3) == 0 {
+		app.Setup = r.Int63n(50_000)
+	}
+	return app
+}
+
+func genSwitch(r *rand.Rand, numApps int) *Switch {
+	switch r.Intn(3) {
+	case 0:
+		return nil // default round-robin
+	case 1:
+		n := 1 + r.Intn(4)
+		pat := make([]int, n)
+		for i := range pat {
+			pat[i] = r.Intn(numApps)
+		}
+		return &Switch{Pattern: pat, Rounds: r.Intn(3)}
+	default:
+		return &Switch{PSwitch: 0.1 + 0.8*r.Float64(), Rounds: r.Intn(3)}
+	}
+}
+
+func genBranch(r *rand.Rand, hotNames []string) *Branch {
+	b := &Branch{}
+	nModes := 1 + r.Intn(3)
+	for i := 0; i < nModes; i++ {
+		m := Mode{Name: fmt.Sprintf("m%d", i)}
+		if r.Intn(2) == 0 {
+			m.Scale = map[string]float64{}
+			for _, h := range hotNames {
+				if r.Intn(2) == 0 {
+					m.Scale[h] = []float64{0.25, 0.5, 2, 4}[r.Intn(4)]
+				}
+			}
+		}
+		b.Modes = append(b.Modes, m)
+	}
+	if nModes > 1 && r.Intn(2) == 0 {
+		b.Transition = make([][]float64, nModes)
+		for i := range b.Transition {
+			row := make([]float64, nModes)
+			total := 0.0
+			for j := range row {
+				row[j] = 0.05 + r.Float64()
+				total += row[j]
+			}
+			for j := range row {
+				row[j] /= total
+			}
+			b.Transition[i] = row
+		}
+	}
+	for _, h := range hotNames {
+		if r.Intn(3) != 0 {
+			continue
+		}
+		ee := EarlyExit{HotSpot: h, P: 0.1 + 0.6*r.Float64()}
+		if r.Intn(2) == 0 {
+			ee.Skip = true
+		} else {
+			ee.Scale = 0.25 + 0.5*r.Float64()
+		}
+		b.EarlyExit = append(b.EarlyExit, ee)
+	}
+	return b
+}
+
+func genContent(r *rand.Rand) *Content {
+	c := &Content{
+		WidthPx:     32 + 16*r.Intn(3),
+		HeightPx:    32 + 16*r.Intn(3),
+		Objects:     r.Intn(5),
+		PanX:        float64(r.Intn(5)) - 2,
+		PanY:        float64(r.Intn(5)) - 2,
+		SearchRange: 1 + r.Intn(3),
+	}
+	if r.Intn(2) == 0 {
+		c.SceneChangeFrame = 1 + r.Intn(3)
+	}
+	return c
+}
+
+func genCustomISA(r *rand.Rand) *CustomISA {
+	nAtoms := 1 + r.Intn(3)
+	c := &CustomISA{Name: "gen"}
+	for i := 0; i < nAtoms; i++ {
+		c.Atoms = append(c.Atoms, CustomAtom{
+			Name:           fmt.Sprintf("A%d", i),
+			BitstreamBytes: 1024 * (1 + r.Intn(8)),
+			Slices:         r.Intn(400),
+		})
+	}
+	nHots := 1 + r.Intn(2)
+	for h := 0; h < nHots; h++ {
+		c.HotSpots = append(c.HotSpots, fmt.Sprintf("hot%d", h))
+	}
+	// One SI per hot spot keeps every hot spot covered.
+	for h := 0; h < nHots; h++ {
+		k := 1 + r.Intn(nAtoms)
+		si := CustomSI{
+			Name:     fmt.Sprintf("SI%d", h),
+			HotSpot:  h,
+			Overhead: 1 + r.Intn(20),
+			Round:    10 + r.Intn(80),
+		}
+		perm := r.Perm(nAtoms)[:k]
+		grid := 1
+		for _, a := range perm {
+			si.Atoms = append(si.Atoms, a)
+			occ := 1 + r.Intn(8)
+			hw := 1 + r.Intn(4)
+			si.Occ = append(si.Occ, occ)
+			si.HWCyc = append(si.HWCyc, hw)
+			si.SWCyc = append(si.SWCyc, hw+1+r.Intn(40))
+			// Steps always include 0 so the zero Molecule exists and the
+			// non-zero grid size is grid-1.
+			steps := []int{0}
+			for _, v := range []int{1, 2, 4, 8} {
+				if r.Intn(2) == 0 {
+					steps = append(steps, v)
+				}
+			}
+			if len(steps) == 1 {
+				steps = append(steps, 1+r.Intn(8))
+			}
+			si.Steps = append(si.Steps, steps)
+			grid *= len(steps)
+		}
+		maxCount := grid - 1
+		if maxCount > 4 {
+			maxCount = 4
+		}
+		si.Count = 1 + r.Intn(maxCount)
+		c.SIs = append(c.SIs, si)
+	}
+	return c
+}

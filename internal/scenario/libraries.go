@@ -1,0 +1,435 @@
+package scenario
+
+// The application libraries: each library contributes a dynamic
+// instruction set (its own Atom space — merging concatenates, no sharing
+// across apps) plus round templates, the per-hot-spot burst patterns one
+// pass of the application executes. Library counts are calibrated per
+// macroblock / packet batch / audio granule; the App knobs (MBs, Scale)
+// and the branch model of the spec rescale them at expansion time.
+
+import (
+	"fmt"
+
+	"rispp/internal/isa"
+)
+
+// appRT is the runtime form of one app: its round templates with SI and
+// hot-spot IDs already lifted into the scenario's (merged) ID space.
+type appRT struct {
+	name   string
+	rounds []round
+}
+
+// round is one hot-spot pass of an app's turn.
+type round struct {
+	hot     isa.HotSpotID // scenario-global ID
+	hotName string        // app-local name, the branch model's key
+	setup   int64
+	bursts  []burst
+}
+
+type burst struct {
+	si    isa.SIID // scenario-global ID
+	count int
+	gap   int
+}
+
+// build constructs the scenario's ISA and runtime apps from the validated
+// spec: single-app scenarios keep their library ISA as-is (H.264 keeps
+// the paper's SI IDs), multi-app scenarios go through isa.Merge with IDs
+// lifted by isa.Offsets.
+func (s *Scenario) build() error {
+	if s.spec.Content != nil {
+		is := isa.H264() // freshly allocated; renaming is safe
+		is.Name = "scenario " + s.spec.Name
+		s.is = is
+		return nil
+	}
+	parts := make([]*isa.ISA, len(s.spec.Apps))
+	rounds := make([][]round, len(s.spec.Apps))
+	for i := range s.spec.Apps {
+		p, r, err := buildApp(&s.spec.Apps[i])
+		if err != nil {
+			return fmt.Errorf("scenario %s: app %d: %w", s.spec.Name, i, err)
+		}
+		parts[i], rounds[i] = p, r
+	}
+	if len(parts) == 1 {
+		s.is = parts[0]
+		s.apps = []appRT{{name: parts[0].Name, rounds: rounds[0]}}
+		return nil
+	}
+	merged, err := isa.Merge("scenario "+s.spec.Name, parts...)
+	if err != nil {
+		return fmt.Errorf("scenario %s: %w", s.spec.Name, err)
+	}
+	siOff, hsOff := isa.Offsets(parts...)
+	s.apps = make([]appRT, 0, len(parts))
+	for i := range rounds {
+		for j := range rounds[i] {
+			rounds[i][j].hot += isa.HotSpotID(hsOff[i])
+			for k := range rounds[i][j].bursts {
+				rounds[i][j].bursts[k].si += isa.SIID(siOff[i])
+			}
+		}
+		s.apps = append(s.apps, appRT{name: parts[i].Name, rounds: rounds[i]})
+	}
+	s.is = merged
+	return nil
+}
+
+// Per-app knob defaults.
+const (
+	defaultMBs   = 4
+	defaultGap   = 8
+	defaultSetup = 20_000
+)
+
+func (a *App) knobs() (scale float64, gap int, setup int64) {
+	scale = a.Scale
+	if scale == 0 {
+		scale = 1
+	}
+	gap = a.Gap
+	if gap == 0 {
+		gap = defaultGap
+	}
+	setup = a.Setup
+	if setup == 0 {
+		setup = defaultSetup
+	}
+	return scale, gap, setup
+}
+
+// hotSpotNames returns the app-local hot-spot names — the identifiers the
+// branch model may reference. Must agree with what the builders emit.
+func (a *App) hotSpotNames() []string {
+	switch a.Library {
+	case "h264":
+		return []string{"Motion Estimation", "Encoding Engine", "Loop Filter"}
+	case "crypto":
+		return []string{"bulk encryption", "integrity hashing"}
+	case "audio":
+		return []string{"filterbank", "entropy"}
+	case "custom":
+		if a.Custom != nil {
+			return a.Custom.HotSpots
+		}
+	}
+	return nil
+}
+
+func buildApp(a *App) (*isa.ISA, []round, error) {
+	switch a.Library {
+	case "h264":
+		return buildH264App(a)
+	case "crypto":
+		return buildCryptoApp(a)
+	case "audio":
+		return buildAudioApp(a)
+	case "custom":
+		return buildCustomApp(a)
+	}
+	return nil, nil, fmt.Errorf("unknown library %q", a.Library) // unreachable after Validate
+}
+
+// scaleCount applies the app-level scale to a base burst count.
+func scaleCount(base int, scale float64) int {
+	n := int(float64(base)*scale + 0.5)
+	if n < 0 {
+		n = 0
+	}
+	return n
+}
+
+// buildH264App instantiates the paper's H.264 encoder ISA with the
+// calibrated per-macroblock counts of workload.H264, aggregated into one
+// burst per SI per hot spot and sized by the MBs knob (so small scenario
+// geometries stay cheap enough for the reference interpreter).
+func buildH264App(a *App) (*isa.ISA, []round, error) {
+	is := isa.H264()
+	if a.Name != "" {
+		is.Name = a.Name
+	}
+	mbs := a.MBs
+	if mbs == 0 {
+		mbs = defaultMBs
+	}
+	scale, gap, setup := a.knobs()
+	c := func(perMB int) int { return scaleCount(perMB*mbs, scale) }
+	rounds := []round{
+		{hot: isa.HotSpotME, hotName: "Motion Estimation", setup: setup, bursts: []burst{
+			{si: isa.SISAD, count: c(65), gap: gap},
+			{si: isa.SISATD, count: c(16), gap: gap},
+		}},
+		{hot: isa.HotSpotEE, hotName: "Encoding Engine", setup: setup, bursts: []burst{
+			{si: isa.SIMC, count: c(6), gap: gap},
+			{si: isa.SIIPredHDC, count: c(2), gap: gap},
+			{si: isa.SIIPredVDC, count: c(2), gap: gap},
+			{si: isa.SIDCT, count: c(24), gap: gap},
+			{si: isa.SIHT4x4, count: c(2), gap: gap},
+			{si: isa.SIHT2x2, count: c(1), gap: gap},
+		}},
+		{hot: isa.HotSpotLF, hotName: "Loop Filter", setup: setup, bursts: []burst{
+			{si: isa.SILFBS4, count: c(16), gap: gap},
+		}},
+	}
+	return is, rounds, nil
+}
+
+// siSpec is the shared shape of the built-in non-H.264 libraries.
+type siSpec struct {
+	name    string
+	hotSpot isa.HotSpotID
+	spec    isa.MoleculeSpec
+}
+
+func buildLibraryISA(name string, atoms []isa.AtomType, hotSpots []isa.HotSpot, specs []siSpec) (*isa.ISA, error) {
+	is := &isa.ISA{
+		Name:     name,
+		Atoms:    append([]isa.AtomType(nil), atoms...),
+		HotSpots: hotSpots,
+	}
+	for i, d := range specs {
+		id := isa.SIID(i)
+		is.SIs = append(is.SIs, isa.SI{
+			ID:        id,
+			Name:      d.name,
+			HotSpot:   d.hotSpot,
+			SWLatency: d.spec.SWLatency(),
+			Molecules: d.spec.Generate(id, len(atoms)),
+		})
+	}
+	if err := is.Validate(); err != nil {
+		return nil, err
+	}
+	return is, nil
+}
+
+// buildCryptoApp models a network-security stack: AES-like bulk
+// encryption and SHA-like integrity hashing (cf. examples/adaptivecrypto).
+// One round is one packet batch.
+func buildCryptoApp(a *App) (*isa.ISA, []round, error) {
+	const (
+		atomSBox = isa.AtomID(iota)
+		atomMixCol
+		atomKeyXor
+		atomSigma
+		atomCSA
+	)
+	const (
+		siAESRound = isa.SIID(iota)
+		siAESKeyExp
+		siSHACompress
+	)
+	const (
+		hotEncrypt = isa.HotSpotID(iota)
+		hotHash
+	)
+	name := a.Name
+	if name == "" {
+		name = "crypto stack"
+	}
+	is, err := buildLibraryISA(name,
+		[]isa.AtomType{
+			{ID: atomSBox, Name: "SBox", BitstreamBytes: 52000, Slices: 300, LUTs: 590, FFs: 24},
+			{ID: atomMixCol, Name: "MixCol", BitstreamBytes: 63000, Slices: 450, LUTs: 880, FFs: 40},
+			{ID: atomKeyXor, Name: "KeyXor", BitstreamBytes: 47000, Slices: 210, LUTs: 400, FFs: 16},
+			{ID: atomSigma, Name: "Sigma", BitstreamBytes: 58000, Slices: 380, LUTs: 740, FFs: 36},
+			{ID: atomCSA, Name: "CSA", BitstreamBytes: 55000, Slices: 340, LUTs: 660, FFs: 30},
+		},
+		[]isa.HotSpot{
+			{ID: hotEncrypt, Name: "bulk encryption", SIs: []isa.SIID{siAESRound, siAESKeyExp}},
+			{ID: hotHash, Name: "integrity hashing", SIs: []isa.SIID{siSHACompress}},
+		},
+		[]siSpec{
+			{"AES round", hotEncrypt, isa.MoleculeSpec{
+				Atoms:    []isa.AtomID{atomSBox, atomMixCol, atomKeyXor},
+				Occ:      []int{16, 4, 4},
+				HWCyc:    []int{1, 2, 1},
+				SWCyc:    []int{30, 55, 18},
+				Steps:    [][]int{{0, 1, 2, 4}, {0, 1, 2}, {0, 1}},
+				Overhead: 8,
+				Count:    10,
+			}},
+			{"AES key expansion", hotEncrypt, isa.MoleculeSpec{
+				Atoms:    []isa.AtomID{atomSBox, atomKeyXor},
+				Occ:      []int{4, 8},
+				HWCyc:    []int{1, 1},
+				SWCyc:    []int{30, 18},
+				Steps:    [][]int{{0, 1, 2}, {0, 1, 2}},
+				Overhead: 6,
+				Count:    5,
+			}},
+			{"SHA compress", hotHash, isa.MoleculeSpec{
+				Atoms:    []isa.AtomID{atomSigma, atomCSA, atomKeyXor},
+				Occ:      []int{16, 8, 4},
+				HWCyc:    []int{1, 1, 1},
+				SWCyc:    []int{26, 34, 18},
+				Steps:    [][]int{{0, 1, 2, 4}, {0, 1, 2}, {0, 1}},
+				Overhead: 10,
+				Count:    9,
+			}},
+		})
+	if err != nil {
+		return nil, nil, err
+	}
+	scale, gap, setup := a.knobs()
+	rounds := []round{
+		{hot: hotEncrypt, hotName: "bulk encryption", setup: setup, bursts: []burst{
+			{si: siAESKeyExp, count: scaleCount(20, scale), gap: gap},
+			{si: siAESRound, count: scaleCount(320, scale), gap: gap},
+		}},
+		{hot: hotHash, hotName: "integrity hashing", setup: setup, bursts: []burst{
+			{si: siSHACompress, count: scaleCount(192, scale), gap: gap},
+		}},
+	}
+	return is, rounds, nil
+}
+
+// buildAudioApp models an AAC-like audio encoder: an MDCT filterbank with
+// quantization, then entropy coding. One round is one granule. WinMAC is
+// shared between MDCT and Quantize — intra-app Atom reuse, the essence of
+// RISPP's efficiency.
+func buildAudioApp(a *App) (*isa.ISA, []round, error) {
+	const (
+		atomButterfly = isa.AtomID(iota)
+		atomWinMAC
+		atomQuantPow
+		atomPackShift
+	)
+	const (
+		siMDCT = isa.SIID(iota)
+		siQuantize
+		siHuffman
+	)
+	const (
+		hotFilterbank = isa.HotSpotID(iota)
+		hotEntropy
+	)
+	name := a.Name
+	if name == "" {
+		name = "audio encoder"
+	}
+	is, err := buildLibraryISA(name,
+		[]isa.AtomType{
+			{ID: atomButterfly, Name: "Butterfly", BitstreamBytes: 61000, Slices: 430, LUTs: 850, FFs: 52},
+			{ID: atomWinMAC, Name: "WinMAC", BitstreamBytes: 54000, Slices: 330, LUTs: 640, FFs: 28},
+			{ID: atomQuantPow, Name: "QuantPow", BitstreamBytes: 57000, Slices: 360, LUTs: 700, FFs: 32},
+			{ID: atomPackShift, Name: "PackShift", BitstreamBytes: 49000, Slices: 240, LUTs: 460, FFs: 18},
+		},
+		[]isa.HotSpot{
+			{ID: hotFilterbank, Name: "filterbank", SIs: []isa.SIID{siMDCT, siQuantize}},
+			{ID: hotEntropy, Name: "entropy", SIs: []isa.SIID{siHuffman}},
+		},
+		[]siSpec{
+			{"MDCT", hotFilterbank, isa.MoleculeSpec{
+				Atoms:    []isa.AtomID{atomButterfly, atomWinMAC},
+				Occ:      []int{16, 8},
+				HWCyc:    []int{2, 1},
+				SWCyc:    []int{40, 25},
+				Steps:    [][]int{{0, 1, 2, 4}, {0, 1, 2}},
+				Overhead: 12,
+				Count:    8,
+			}},
+			{"Quantize", hotFilterbank, isa.MoleculeSpec{
+				Atoms:    []isa.AtomID{atomQuantPow, atomWinMAC},
+				Occ:      []int{12, 4},
+				HWCyc:    []int{1, 1},
+				SWCyc:    []int{22, 25},
+				Steps:    [][]int{{0, 1, 2}, {0, 1}},
+				Overhead: 8,
+				Count:    4,
+			}},
+			{"Huffman", hotEntropy, isa.MoleculeSpec{
+				Atoms:    []isa.AtomID{atomPackShift},
+				Occ:      []int{10},
+				HWCyc:    []int{2},
+				SWCyc:    []int{35},
+				Steps:    [][]int{{1, 2, 5}},
+				Overhead: 9,
+				Count:    3,
+			}},
+		})
+	if err != nil {
+		return nil, nil, err
+	}
+	scale, gap, setup := a.knobs()
+	rounds := []round{
+		{hot: hotFilterbank, hotName: "filterbank", setup: setup, bursts: []burst{
+			{si: siMDCT, count: scaleCount(96, scale), gap: gap},
+			{si: siQuantize, count: scaleCount(64, scale), gap: gap},
+		}},
+		{hot: hotEntropy, hotName: "entropy", setup: setup, bursts: []burst{
+			{si: siHuffman, count: scaleCount(128, scale), gap: gap},
+		}},
+	}
+	return is, rounds, nil
+}
+
+// buildCustomApp lowers an inline CustomISA — validated by
+// CustomISA.validate, which guarantees MoleculeSpec.Generate cannot panic
+// (dimensions agree, Count fits the non-zero grid).
+func buildCustomApp(a *App) (*isa.ISA, []round, error) {
+	c := a.Custom
+	name := a.Name
+	if name == "" {
+		name = c.Name
+	}
+	if name == "" {
+		name = "custom"
+	}
+	is := &isa.ISA{Name: name}
+	for i, at := range c.Atoms {
+		slices := at.Slices
+		if slices == 0 {
+			slices = 200 + at.BitstreamBytes/256 // plausible default synthesis cost
+		}
+		luts := at.LUTs
+		if luts == 0 {
+			luts = 2 * slices
+		}
+		ffs := at.FFs
+		if ffs == 0 {
+			ffs = slices / 8
+		}
+		is.Atoms = append(is.Atoms, isa.AtomType{
+			ID: isa.AtomID(i), Name: at.Name,
+			BitstreamBytes: at.BitstreamBytes, Slices: slices, LUTs: luts, FFs: ffs,
+		})
+	}
+	for i, h := range c.HotSpots {
+		is.HotSpots = append(is.HotSpots, isa.HotSpot{ID: isa.HotSpotID(i), Name: h})
+	}
+	scale, gap, setup := a.knobs()
+	rounds := make([]round, len(c.HotSpots))
+	for i, h := range c.HotSpots {
+		rounds[i] = round{hot: isa.HotSpotID(i), hotName: h, setup: setup}
+	}
+	for i, si := range c.SIs {
+		id := isa.SIID(i)
+		atoms := make([]isa.AtomID, len(si.Atoms))
+		for d, ai := range si.Atoms {
+			atoms[d] = isa.AtomID(ai)
+		}
+		spec := isa.MoleculeSpec{
+			Atoms: atoms, Occ: si.Occ, HWCyc: si.HWCyc, SWCyc: si.SWCyc,
+			Steps: si.Steps, Overhead: si.Overhead, Count: si.Count,
+		}
+		is.SIs = append(is.SIs, isa.SI{
+			ID:        id,
+			Name:      si.Name,
+			HotSpot:   isa.HotSpotID(si.HotSpot),
+			SWLatency: spec.SWLatency(),
+			Molecules: spec.Generate(id, len(c.Atoms)),
+		})
+		is.HotSpots[si.HotSpot].SIs = append(is.HotSpots[si.HotSpot].SIs, id)
+		rounds[si.HotSpot].bursts = append(rounds[si.HotSpot].bursts, burst{
+			si: id, count: scaleCount(si.Round, scale), gap: gap,
+		})
+	}
+	if err := is.Validate(); err != nil {
+		return nil, nil, err
+	}
+	return is, rounds, nil
+}

@@ -1,0 +1,644 @@
+// Package scenario is the workload scenario library of the RISPP
+// evaluation platform: new workloads are data, not code.
+//
+// A Spec is a small JSON document describing either a multi-application
+// scenario — two or more applications with disjoint dynamic instruction
+// sets (composed via isa.Merge) time-sharing one fabric, with ISA switch
+// points in the trace — or a dynamic control-flow scenario, where a seeded
+// branch model (mode Markov chains, early-exit rules) or a content-driven
+// encoder front end (internal/video) makes the hot-spot order and SI mix
+// input-dependent, so a-priori forecasts mis-predict and the monitor's
+// online re-estimation matters.
+//
+// Specs are schema-validated, seeded and deterministic: the same
+// (spec, frames, seed) always expands to the identical workload.Trace, so
+// scenario names are legitimate members of the content-addressed point-key
+// scheme of internal/explore. The named scenarios shipped under data/ are
+// append-only: once published, a scenario's expansion must never change
+// (caches and experiment tables key on the name), so edits require a new
+// name — enforced by the digest-pinning test in scenario_test.go.
+//
+// Every scenario doubles as a verification input: the corpus tests in this
+// package cross-check each expansion field-exactly (results, histograms,
+// journal bytes) against the reference interpreter of internal/oracle.
+package scenario
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+
+	"rispp/internal/isa"
+	"rispp/internal/workload"
+)
+
+// Scenario kinds.
+const (
+	KindMultiApp    = "multiapp"
+	KindControlFlow = "controlflow"
+)
+
+// Validation caps. They bound what a decoded spec may ask for, so the
+// expander stays fast and panic-free on arbitrary (fuzzed) inputs.
+const (
+	MaxApps       = 4
+	MaxIterations = 100_000
+	maxAtoms      = 8
+	maxSIs        = 8
+	maxStepsDim   = 6
+	maxGrid       = 2048
+	maxMolecules  = 64
+	maxModes      = 8
+	maxPattern    = 64
+	maxNameLen    = 64
+)
+
+// Spec is the JSON scenario description — the DSL a data file or an API
+// client writes. See Validate for the schema rules.
+type Spec struct {
+	// Name identifies the scenario; it becomes part of explore.Point keys
+	// and therefore of every cache address. Lowercase [a-z0-9-] only.
+	Name string `json:"name"`
+	// Kind is "multiapp" or "controlflow".
+	Kind string `json:"kind"`
+	// Description is free-form documentation.
+	Description string `json:"description,omitempty"`
+	// Seed is the scenario's base PRNG seed; it is mixed with the
+	// per-point seed so one scenario spans a seeded family of traces.
+	Seed int64 `json:"seed,omitempty"`
+
+	// Apps lists the applications sharing the fabric. A multiapp scenario
+	// needs at least two; a controlflow scenario exactly one (or none,
+	// when Content drives the trace).
+	Apps []App `json:"apps,omitempty"`
+	// Switch describes how a multiapp scenario interleaves its apps.
+	Switch *Switch `json:"switch,omitempty"`
+	// Branch is the control-flow model: workload modes walked by a seeded
+	// Markov chain plus probabilistic early-exit rules.
+	Branch *Branch `json:"branch,omitempty"`
+	// Content derives the trace from the synthetic-video encoder front
+	// end (internal/video) instead of the burst templates: motion search
+	// with early termination over rendered frames, so SI counts and the
+	// inter/intra mix genuinely depend on what the virtual camera sees.
+	Content *Content `json:"content,omitempty"`
+}
+
+// App is one application of a scenario.
+type App struct {
+	// Library selects the application's dynamic instruction set and round
+	// templates: "h264", "crypto", "audio", or "custom".
+	Library string `json:"library"`
+	// Name overrides the display name of the app's ISA.
+	Name string `json:"name,omitempty"`
+	// Custom holds the inline ISA of a "custom" app.
+	Custom *CustomISA `json:"custom,omitempty"`
+	// MBs sizes the h264 app: macroblocks per frame round (default 4;
+	// the paper's CIF geometry is 396).
+	MBs int `json:"mbs,omitempty"`
+	// Scale multiplies every burst count of the app (default 1).
+	Scale float64 `json:"scale,omitempty"`
+	// Gap is the glue cycles per SI execution (default 8).
+	Gap int `json:"gap,omitempty"`
+	// Setup is the per-phase setup cycles (default 20000).
+	Setup int64 `json:"setup,omitempty"`
+}
+
+// Switch describes multi-application interleaving: which app owns the
+// fabric next. Each turn an app emits one pass over its hot-spot rounds;
+// the boundary between turns of different apps is an ISA switch point.
+type Switch struct {
+	// Pattern is the explicit app order of one iteration (indices into
+	// Apps), e.g. [0,1] for strict alternation. Empty selects round-robin
+	// over all apps.
+	Pattern []int `json:"pattern,omitempty"`
+	// Rounds is how many passes over its rounds an app makes per turn
+	// (default 1). Longer turns mean rarer, costlier ISA switches.
+	Rounds int `json:"rounds,omitempty"`
+	// PSwitch, when > 0, replaces the pattern with a seeded random walk:
+	// after each turn the fabric switches to a uniformly chosen other app
+	// with this probability — the unpredictable time-sharing the run-time
+	// system cannot plan for.
+	PSwitch float64 `json:"p_switch,omitempty"`
+}
+
+// Branch is the seeded control-flow model: the workload walks a Markov
+// chain of modes (per-hot-spot count multipliers) and applies early-exit
+// rules per phase, so both the SI mix and the hot-spot order depend on the
+// input — which is exactly what invalidates a-priori forecasts.
+type Branch struct {
+	// Modes are the workload modes; the chain starts in Modes[0].
+	Modes []Mode `json:"modes,omitempty"`
+	// Transition is the row-stochastic mode transition matrix (rows must
+	// sum to ~1). Empty selects the uniform matrix.
+	Transition [][]float64 `json:"transition,omitempty"`
+	// EarlyExit lists probabilistic per-phase rules.
+	EarlyExit []EarlyExit `json:"early_exit,omitempty"`
+}
+
+// Mode is one workload mode.
+type Mode struct {
+	Name string `json:"name"`
+	// Scale multiplies the burst counts of phases by hot-spot name (the
+	// app-local name, e.g. "Motion Estimation"). Missing hot spots keep
+	// their base counts.
+	Scale map[string]float64 `json:"scale,omitempty"`
+}
+
+// EarlyExit is a probabilistic per-phase rule modeling data-dependent
+// kernel exits (an ME search that terminates early, a skipped encoding
+// pass). Each time the named hot spot would run, with probability P the
+// phase is either dropped entirely (Skip — the hot-spot order changes) or
+// its counts collapse to Scale of the base.
+type EarlyExit struct {
+	HotSpot string  `json:"hot_spot"`
+	P       float64 `json:"p"`
+	Skip    bool    `json:"skip,omitempty"`
+	Scale   float64 `json:"scale,omitempty"`
+}
+
+// Content derives the trace from internal/video: a deterministic rendered
+// scene is actually motion-searched and mode-decided per macroblock.
+type Content struct {
+	// WidthPx/HeightPx size the pictures (default 96x96; must be
+	// multiples of 16, capped at CIF).
+	WidthPx  int `json:"width_px,omitempty"`
+	HeightPx int `json:"height_px,omitempty"`
+	// Objects is the number of moving foreground objects (default 4).
+	Objects int `json:"objects,omitempty"`
+	// PanX/PanY pan the background (pixels per frame).
+	PanX float64 `json:"pan_x,omitempty"`
+	PanY float64 `json:"pan_y,omitempty"`
+	// SceneChangeFrame, when > 0, swaps the layout and speeds the objects
+	// up from that frame on.
+	SceneChangeFrame int `json:"scene_change_frame,omitempty"`
+	// SearchRange is the integer-pel motion search range (default 4).
+	SearchRange int `json:"search_range,omitempty"`
+}
+
+// CustomISA is an inline dynamic instruction set: the data form of
+// isa.MoleculeSpec, so an application nobody anticipated can be described
+// in a scenario file without writing Go.
+type CustomISA struct {
+	Name     string       `json:"name,omitempty"`
+	Atoms    []CustomAtom `json:"atoms"`
+	HotSpots []string     `json:"hot_spots"`
+	SIs      []CustomSI   `json:"sis"`
+}
+
+// CustomAtom is one reconfigurable data path of a custom ISA.
+type CustomAtom struct {
+	Name           string `json:"name"`
+	BitstreamBytes int    `json:"bitstream_bytes"`
+	Slices         int    `json:"slices,omitempty"`
+	LUTs           int    `json:"luts,omitempty"`
+	FFs            int    `json:"ffs,omitempty"`
+}
+
+// CustomSI is one Special Instruction of a custom ISA, described through
+// the mixed-execution latency model of isa.MoleculeSpec.
+type CustomSI struct {
+	Name     string  `json:"name"`
+	HotSpot  int     `json:"hot_spot"`
+	Atoms    []int   `json:"atoms"` // indices into CustomISA.Atoms
+	Occ      []int   `json:"occ"`
+	HWCyc    []int   `json:"hw_cyc"`
+	SWCyc    []int   `json:"sw_cyc"`
+	Steps    [][]int `json:"steps"`
+	Overhead int     `json:"overhead"`
+	Count    int     `json:"count"`
+	// Round is the SI's burst count in the hot spot's round template.
+	Round int `json:"round"`
+}
+
+// Validate checks the schema rules every spec must satisfy before
+// expansion. It is deliberately strict: everything the expander assumes is
+// checked here, so expansion of a validated spec cannot fail or panic.
+func (s *Spec) Validate() error {
+	if err := validateName(s.Name); err != nil {
+		return err
+	}
+	switch s.Kind {
+	case KindMultiApp:
+		if s.Content != nil {
+			return fmt.Errorf("scenario %s: content is controlflow-only", s.Name)
+		}
+		if len(s.Apps) < 2 {
+			return fmt.Errorf("scenario %s: multiapp needs at least 2 apps, got %d", s.Name, len(s.Apps))
+		}
+	case KindControlFlow:
+		if s.Content != nil {
+			if len(s.Apps) != 0 || s.Branch != nil || s.Switch != nil {
+				return fmt.Errorf("scenario %s: content excludes apps/branch/switch", s.Name)
+			}
+		} else {
+			if len(s.Apps) != 1 {
+				return fmt.Errorf("scenario %s: controlflow needs exactly 1 app (or content), got %d", s.Name, len(s.Apps))
+			}
+			if s.Branch == nil {
+				return fmt.Errorf("scenario %s: controlflow needs a branch model (or content)", s.Name)
+			}
+		}
+	default:
+		return fmt.Errorf("scenario %s: unknown kind %q (want %q or %q)", s.Name, s.Kind, KindMultiApp, KindControlFlow)
+	}
+	if len(s.Apps) > MaxApps {
+		return fmt.Errorf("scenario %s: %d apps exceeds cap %d", s.Name, len(s.Apps), MaxApps)
+	}
+	hotNames := map[string]bool{}
+	for i := range s.Apps {
+		if err := s.Apps[i].validate(); err != nil {
+			return fmt.Errorf("scenario %s: app %d: %w", s.Name, i, err)
+		}
+		for _, h := range s.Apps[i].hotSpotNames() {
+			hotNames[h] = true
+		}
+	}
+	if s.Switch != nil {
+		if s.Kind != KindMultiApp {
+			return fmt.Errorf("scenario %s: switch is multiapp-only", s.Name)
+		}
+		if err := s.Switch.validate(len(s.Apps)); err != nil {
+			return fmt.Errorf("scenario %s: %w", s.Name, err)
+		}
+	}
+	if s.Branch != nil {
+		if err := s.Branch.validate(hotNames); err != nil {
+			return fmt.Errorf("scenario %s: %w", s.Name, err)
+		}
+	}
+	if s.Content != nil {
+		if err := s.Content.validate(); err != nil {
+			return fmt.Errorf("scenario %s: %w", s.Name, err)
+		}
+	}
+	return nil
+}
+
+func validateName(name string) error {
+	if name == "" {
+		return fmt.Errorf("scenario: empty name")
+	}
+	if len(name) > maxNameLen {
+		return fmt.Errorf("scenario: name longer than %d bytes", maxNameLen)
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		if c >= 'a' && c <= 'z' || c >= '0' && c <= '9' || c == '-' || c == '+' {
+			continue
+		}
+		return fmt.Errorf("scenario: name %q contains %q (want [a-z0-9+-])", name, c)
+	}
+	return nil
+}
+
+func (a *App) validate() error {
+	switch a.Library {
+	case "h264":
+		if a.MBs < 0 || a.MBs > 396 {
+			return fmt.Errorf("mbs %d outside [0, 396]", a.MBs)
+		}
+	case "crypto", "audio":
+	case "custom":
+		if a.Custom == nil {
+			return fmt.Errorf("custom app without custom ISA")
+		}
+		if err := a.Custom.validate(); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown library %q", a.Library)
+	}
+	if a.Library != "custom" && a.Custom != nil {
+		return fmt.Errorf("library %q does not take a custom ISA", a.Library)
+	}
+	if a.Scale < 0 || a.Scale > 64 {
+		return fmt.Errorf("scale %g outside [0, 64]", a.Scale)
+	}
+	if a.Scale != 0 && a.Scale < 1.0/16 {
+		return fmt.Errorf("scale %g below 1/16", a.Scale)
+	}
+	if a.Gap < 0 || a.Gap > 1<<16 {
+		return fmt.Errorf("gap %d outside [0, 65536]", a.Gap)
+	}
+	if a.Setup < 0 || a.Setup > 1<<30 {
+		return fmt.Errorf("setup %d outside [0, 2^30]", a.Setup)
+	}
+	return nil
+}
+
+func (sw *Switch) validate(numApps int) error {
+	if len(sw.Pattern) > maxPattern {
+		return fmt.Errorf("switch pattern longer than %d", maxPattern)
+	}
+	for _, a := range sw.Pattern {
+		if a < 0 || a >= numApps {
+			return fmt.Errorf("switch pattern references app %d of %d", a, numApps)
+		}
+	}
+	if sw.Rounds < 0 || sw.Rounds > 16 {
+		return fmt.Errorf("switch rounds %d outside [0, 16]", sw.Rounds)
+	}
+	if sw.PSwitch < 0 || sw.PSwitch > 1 {
+		return fmt.Errorf("p_switch %g outside [0, 1]", sw.PSwitch)
+	}
+	if sw.PSwitch > 0 && len(sw.Pattern) > 0 {
+		return fmt.Errorf("p_switch and pattern are mutually exclusive")
+	}
+	return nil
+}
+
+func (b *Branch) validate(hotNames map[string]bool) error {
+	if len(b.Modes) == 0 && len(b.EarlyExit) == 0 {
+		return fmt.Errorf("branch model with neither modes nor early-exit rules")
+	}
+	if len(b.Modes) > maxModes {
+		return fmt.Errorf("%d modes exceeds cap %d", len(b.Modes), maxModes)
+	}
+	for i, m := range b.Modes {
+		if m.Name == "" {
+			return fmt.Errorf("mode %d unnamed", i)
+		}
+		for h, sc := range m.Scale {
+			if !hotNames[h] {
+				return fmt.Errorf("mode %q scales unknown hot spot %q", m.Name, h)
+			}
+			if sc < 0 || sc > 64 {
+				return fmt.Errorf("mode %q scale %g outside [0, 64]", m.Name, sc)
+			}
+		}
+	}
+	if b.Transition != nil {
+		if len(b.Transition) != len(b.Modes) {
+			return fmt.Errorf("transition matrix has %d rows for %d modes", len(b.Transition), len(b.Modes))
+		}
+		for i, row := range b.Transition {
+			if len(row) != len(b.Modes) {
+				return fmt.Errorf("transition row %d has %d columns for %d modes", i, len(row), len(b.Modes))
+			}
+			sum := 0.0
+			for _, p := range row {
+				if p < 0 || p > 1 {
+					return fmt.Errorf("transition row %d probability %g outside [0, 1]", i, p)
+				}
+				sum += p
+			}
+			if sum < 0.999 || sum > 1.001 {
+				return fmt.Errorf("transition row %d sums to %g, want 1", i, sum)
+			}
+		}
+	}
+	for i, ee := range b.EarlyExit {
+		if !hotNames[ee.HotSpot] {
+			return fmt.Errorf("early-exit rule %d names unknown hot spot %q", i, ee.HotSpot)
+		}
+		if ee.P < 0 || ee.P > 1 {
+			return fmt.Errorf("early-exit rule %d probability %g outside [0, 1]", i, ee.P)
+		}
+		if ee.Scale < 0 || ee.Scale > 1 {
+			return fmt.Errorf("early-exit rule %d scale %g outside [0, 1]", i, ee.Scale)
+		}
+		if ee.Skip && ee.Scale != 0 {
+			return fmt.Errorf("early-exit rule %d sets both skip and scale", i)
+		}
+	}
+	return nil
+}
+
+func (c *Content) validate() error {
+	if c.WidthPx%16 != 0 || c.HeightPx%16 != 0 {
+		return fmt.Errorf("content geometry %dx%d not multiples of 16", c.WidthPx, c.HeightPx)
+	}
+	if c.WidthPx < 0 || c.WidthPx > 352 || c.HeightPx < 0 || c.HeightPx > 288 {
+		return fmt.Errorf("content geometry %dx%d outside CIF bounds", c.WidthPx, c.HeightPx)
+	}
+	if c.Objects < 0 || c.Objects > 16 {
+		return fmt.Errorf("content objects %d outside [0, 16]", c.Objects)
+	}
+	if c.PanX < -8 || c.PanX > 8 || c.PanY < -8 || c.PanY > 8 {
+		return fmt.Errorf("content pan (%g, %g) outside [-8, 8]", c.PanX, c.PanY)
+	}
+	if c.SceneChangeFrame < 0 || c.SceneChangeFrame > MaxIterations {
+		return fmt.Errorf("content scene-change frame %d outside [0, %d]", c.SceneChangeFrame, MaxIterations)
+	}
+	if c.SearchRange < 0 || c.SearchRange > 16 {
+		return fmt.Errorf("content search range %d outside [0, 16]", c.SearchRange)
+	}
+	return nil
+}
+
+func (c *CustomISA) validate() error {
+	if len(c.Atoms) == 0 || len(c.Atoms) > maxAtoms {
+		return fmt.Errorf("custom ISA has %d atoms (want 1..%d)", len(c.Atoms), maxAtoms)
+	}
+	for i, a := range c.Atoms {
+		if a.Name == "" {
+			return fmt.Errorf("custom atom %d unnamed", i)
+		}
+		if a.BitstreamBytes <= 0 || a.BitstreamBytes > 1<<24 {
+			return fmt.Errorf("custom atom %q bitstream %d outside (0, 2^24]", a.Name, a.BitstreamBytes)
+		}
+		if a.Slices < 0 || a.LUTs < 0 || a.FFs < 0 {
+			return fmt.Errorf("custom atom %q has negative synthesis cost", a.Name)
+		}
+	}
+	if len(c.HotSpots) == 0 || len(c.HotSpots) > maxSIs {
+		return fmt.Errorf("custom ISA has %d hot spots (want 1..%d)", len(c.HotSpots), maxSIs)
+	}
+	if len(c.SIs) == 0 || len(c.SIs) > maxSIs {
+		return fmt.Errorf("custom ISA has %d SIs (want 1..%d)", len(c.SIs), maxSIs)
+	}
+	covered := make([]bool, len(c.HotSpots))
+	for i, si := range c.SIs {
+		if si.Name == "" {
+			return fmt.Errorf("custom SI %d unnamed", i)
+		}
+		if si.HotSpot < 0 || si.HotSpot >= len(c.HotSpots) {
+			return fmt.Errorf("custom SI %q references hot spot %d of %d", si.Name, si.HotSpot, len(c.HotSpots))
+		}
+		covered[si.HotSpot] = true
+		k := len(si.Atoms)
+		if k == 0 || k > len(c.Atoms) {
+			return fmt.Errorf("custom SI %q uses %d atom types (want 1..%d)", si.Name, k, len(c.Atoms))
+		}
+		if len(si.Occ) != k || len(si.HWCyc) != k || len(si.SWCyc) != k || len(si.Steps) != k {
+			return fmt.Errorf("custom SI %q: atoms/occ/hw_cyc/sw_cyc/steps lengths disagree", si.Name)
+		}
+		seen := map[int]bool{}
+		grid := 1
+		zeroReachable := true
+		for d := 0; d < k; d++ {
+			if si.Atoms[d] < 0 || si.Atoms[d] >= len(c.Atoms) {
+				return fmt.Errorf("custom SI %q references atom %d of %d", si.Name, si.Atoms[d], len(c.Atoms))
+			}
+			if seen[si.Atoms[d]] {
+				return fmt.Errorf("custom SI %q repeats atom %d", si.Name, si.Atoms[d])
+			}
+			seen[si.Atoms[d]] = true
+			if si.Occ[d] < 1 || si.Occ[d] > 1024 {
+				return fmt.Errorf("custom SI %q occ[%d]=%d outside [1, 1024]", si.Name, d, si.Occ[d])
+			}
+			if si.HWCyc[d] < 1 || si.HWCyc[d] > 1024 {
+				return fmt.Errorf("custom SI %q hw_cyc[%d]=%d outside [1, 1024]", si.Name, d, si.HWCyc[d])
+			}
+			// Strictly faster hardware guarantees every non-zero Molecule
+			// beats the trap latency, which isa.Validate requires.
+			if si.SWCyc[d] <= si.HWCyc[d] || si.SWCyc[d] > 4096 {
+				return fmt.Errorf("custom SI %q sw_cyc[%d]=%d not in (hw_cyc, 4096]", si.Name, d, si.SWCyc[d])
+			}
+			steps := si.Steps[d]
+			if len(steps) == 0 || len(steps) > maxStepsDim {
+				return fmt.Errorf("custom SI %q steps[%d] has %d entries (want 1..%d)", si.Name, d, len(steps), maxStepsDim)
+			}
+			hasZero := false
+			stepSeen := map[int]bool{}
+			for _, v := range steps {
+				if v < 0 || v > 64 {
+					return fmt.Errorf("custom SI %q steps[%d] value %d outside [0, 64]", si.Name, d, v)
+				}
+				if stepSeen[v] {
+					return fmt.Errorf("custom SI %q steps[%d] repeats %d", si.Name, d, v)
+				}
+				stepSeen[v] = true
+				if v == 0 {
+					hasZero = true
+				}
+			}
+			if !hasZero {
+				zeroReachable = false
+			}
+			grid *= len(steps)
+			if grid > maxGrid {
+				return fmt.Errorf("custom SI %q molecule grid exceeds %d", si.Name, maxGrid)
+			}
+		}
+		nonzero := grid
+		if zeroReachable {
+			nonzero--
+		}
+		if si.Count < 1 || si.Count > maxMolecules || si.Count > nonzero {
+			return fmt.Errorf("custom SI %q wants %d molecules of a %d-point grid", si.Name, si.Count, nonzero)
+		}
+		if si.Overhead < 1 || si.Overhead > 1<<16 {
+			return fmt.Errorf("custom SI %q overhead %d outside [1, 65536]", si.Name, si.Overhead)
+		}
+		if si.Round < 0 || si.Round > 1<<16 {
+			return fmt.Errorf("custom SI %q round count %d outside [0, 65536]", si.Name, si.Round)
+		}
+	}
+	for h, ok := range covered {
+		if !ok {
+			return fmt.Errorf("custom hot spot %q has no SIs", c.HotSpots[h])
+		}
+	}
+	return nil
+}
+
+// Scenario is a validated spec with its instruction set built: ready to
+// expand deterministic workload traces. Build one with New or Decode, or
+// fetch a shipped one with Find.
+type Scenario struct {
+	spec   Spec
+	digest string
+	is     *isa.ISA
+	apps   []appRT
+}
+
+// New validates the spec and builds the scenario's (merged) instruction
+// set. The returned Scenario is immutable and safe for concurrent use.
+func New(spec Spec) (sc *Scenario, err error) {
+	// The expander and the library builders are panic-free for validated
+	// specs; this backstop turns any future gap into an error instead of
+	// a crash, because New is the trust boundary of the DSL.
+	defer func() {
+		if p := recover(); p != nil {
+			sc, err = nil, fmt.Errorf("scenario %s: building ISA: %v", spec.Name, p)
+		}
+	}()
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	sc = &Scenario{spec: spec, digest: specDigest(spec)}
+	if err := sc.build(); err != nil {
+		return nil, err
+	}
+	return sc, nil
+}
+
+// Decode reads one strict JSON spec (unknown fields and trailing garbage
+// rejected) and builds the scenario.
+func Decode(r io.Reader) (*Scenario, error) {
+	var spec Spec
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		return nil, fmt.Errorf("scenario: decode: %w", err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("scenario: trailing data after spec")
+	}
+	return New(spec)
+}
+
+// specDigest is the content address of a spec: SHA-256 over its canonical
+// (field-ordered, compact) JSON form.
+func specDigest(spec Spec) string {
+	b, err := json.Marshal(spec)
+	if err != nil {
+		panic(fmt.Sprintf("scenario: marshal spec: %v", err)) // plain data; cannot fail
+	}
+	h := sha256.Sum256(b)
+	return hex.EncodeToString(h[:])
+}
+
+// Name returns the scenario name.
+func (s *Scenario) Name() string { return s.spec.Name }
+
+// Kind returns the scenario kind ("multiapp" or "controlflow").
+func (s *Scenario) Kind() string { return s.spec.Kind }
+
+// Description returns the free-form description.
+func (s *Scenario) Description() string { return s.spec.Description }
+
+// Digest returns the SHA-256 content address of the spec. Named scenarios
+// pin their digests in tests: a published scenario's expansion is part of
+// the cache-key contract and must never change under the same name.
+func (s *Scenario) Digest() string { return s.digest }
+
+// Spec returns a copy of the validated spec.
+func (s *Scenario) Spec() Spec { return s.spec }
+
+// ISA returns the scenario's dynamic instruction set: the single app's
+// library, or the isa.Merge composition for multi-app scenarios. The ISA
+// is built once by New and shared — treat it as immutable.
+func (s *Scenario) ISA() *isa.ISA { return s.is }
+
+// mixSeed folds the scenario's base seed and the per-point seed into one
+// PRNG seed (SplitMix64-style, so nearby seeds decorrelate).
+func mixSeed(base, point int64) int64 {
+	z := uint64(base)*0x9E3779B97F4A7C15 + uint64(point) + 0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return int64(z ^ (z >> 31))
+}
+
+// Trace expands the scenario into a workload trace of the given length
+// (iterations for template scenarios, encoded frames for content-driven
+// ones; values < 1 are clamped to 1) for the given per-point seed. The
+// expansion is a pure function of (spec, frames, seed) — same inputs,
+// identical trace — and the result always validates against ISA().
+func (s *Scenario) Trace(frames int, seed int64) *workload.Trace {
+	if frames < 1 {
+		frames = 1
+	}
+	if frames > MaxIterations {
+		frames = MaxIterations
+	}
+	rng := rand.New(rand.NewSource(mixSeed(s.spec.Seed, seed)))
+	if s.spec.Content != nil {
+		return s.contentTrace(frames, rng)
+	}
+	return s.templateTrace(frames, rng)
+}

@@ -1,0 +1,459 @@
+package scenario
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"rispp/internal/isa"
+	"rispp/internal/workload"
+)
+
+// pinnedDigests is the append-only contract of the shipped library: a
+// published scenario's spec (and therefore its expansion) must never change
+// under the same name, because explore.Point keys — and every cache built
+// on them — embed the name. Editing a data file under an existing name
+// fails here; publish a new name instead.
+var pinnedDigests = map[string]string{
+	"branchy-modes":      "996342dc59756b503f108eb9834ec48bd72d9a4d5640f5ef61ab782cb3bde8b8",
+	"early-exit-me":      "8049a412a5343eb92c90f56d3fadbf836225e50e9e23b03f2d2d9d7c9b133b6d",
+	"scene-cut":          "a37eb8071d20f74e842aedb73e862e6662ca9c0c47dfaa321d051c848fc66cd4",
+	"sdr-crypto":         "f14507fdbcb5e4b83ff0d9c2a5e261e3e13b8f4ce84628670b9eb2f5180bae31",
+	"video-crypto":       "38a91904a322856e2ef8bf8cc6cb65c52ab661c5dc0f37797f05d79282e3f62c",
+	"video-crypto-audio": "8587050a77669f22349ec5658163d16645e254dbd0d9a97686cce4511dac7286",
+	"video-pip":          "0f4acb76aaf6967c649d760e8b1291ebd7a6b2b8f901bdad08c2860b86868702",
+}
+
+func TestRegistryDigestsPinned(t *testing.T) {
+	names := Names()
+	if len(names) != len(pinnedDigests) {
+		t.Errorf("library has %d scenarios, pinned %d — new scenarios must be pinned here", len(names), len(pinnedDigests))
+	}
+	for _, n := range names {
+		sc, ok := Find(n)
+		if !ok {
+			t.Fatalf("Names() lists %q but Find does not return it", n)
+		}
+		want, pinned := pinnedDigests[n]
+		if !pinned {
+			t.Errorf("scenario %q is not digest-pinned; add it (append-only!)", n)
+			continue
+		}
+		if sc.Digest() != want {
+			t.Errorf("scenario %q digest = %s, pinned %s — published scenarios are append-only; publish a new name instead of editing", n, sc.Digest(), want)
+		}
+	}
+}
+
+func TestLibraryShape(t *testing.T) {
+	kinds := map[string]int{}
+	for _, n := range Names() {
+		sc, _ := Find(n)
+		kinds[sc.Kind()]++
+		if sc.Description() == "" {
+			t.Errorf("scenario %q has no description", n)
+		}
+	}
+	// The issue's acceptance floor: at least 3 of each kind.
+	if kinds[KindMultiApp] < 3 {
+		t.Errorf("library has %d multiapp scenarios, want >= 3", kinds[KindMultiApp])
+	}
+	if kinds[KindControlFlow] < 3 {
+		t.Errorf("library has %d controlflow scenarios, want >= 3", kinds[KindControlFlow])
+	}
+	if _, ok := Find("no-such-scenario"); ok {
+		t.Error("Find returned a scenario for an unknown name")
+	}
+}
+
+// TestTraceDeterminism is the contract that makes scenario names sound
+// cache keys: expansion is a pure function of (spec, frames, seed).
+func TestTraceDeterminism(t *testing.T) {
+	for _, n := range Names() {
+		sc, _ := Find(n)
+		a := sc.Trace(8, 42)
+		b := sc.Trace(8, 42)
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("%s: same (frames, seed) expanded to different traces", n)
+		}
+		// Only stochastic scenarios (random walk, branch model, content)
+		// draw from the PRNG; static-pattern multiapp scenarios are
+		// seed-invariant by design.
+		spec := sc.Spec()
+		stochastic := spec.Branch != nil || spec.Content != nil ||
+			(spec.Switch != nil && spec.Switch.PSwitch > 0)
+		if !stochastic {
+			continue
+		}
+		c := sc.Trace(8, 43)
+		if reflect.DeepEqual(a, c) {
+			t.Errorf("%s: seeds 42 and 43 expanded to identical traces", n)
+		}
+	}
+}
+
+func TestTraceValidatesAgainstISA(t *testing.T) {
+	for _, n := range Names() {
+		sc, _ := Find(n)
+		for _, seed := range []int64{0, 1, 7} {
+			tr := sc.Trace(12, seed)
+			if err := tr.Validate(sc.ISA()); err != nil {
+				t.Errorf("%s seed %d: %v", n, seed, err)
+			}
+			if len(tr.Phases) == 0 {
+				t.Errorf("%s seed %d: empty trace", n, seed)
+			}
+			if tr.TotalExecutions() == 0 {
+				t.Errorf("%s seed %d: trace with zero SI executions", n, seed)
+			}
+		}
+	}
+}
+
+func TestScenarioISAsValid(t *testing.T) {
+	for _, n := range Names() {
+		sc, _ := Find(n)
+		if err := sc.ISA().Validate(); err != nil {
+			t.Errorf("%s: ISA invalid: %v", n, err)
+		}
+	}
+}
+
+// TestMultiAppSwitchPoints verifies the defining property of multiapp
+// scenarios: the trace crosses between the hot-spot ranges of different
+// apps (ISA switch points the run-time system must absorb).
+func TestMultiAppSwitchPoints(t *testing.T) {
+	for _, n := range Names() {
+		sc, _ := Find(n)
+		if sc.Kind() != KindMultiApp {
+			continue
+		}
+		// Recover each app's hot-spot range from the merged ISA: merged
+		// hot-spot names are "partName: hotName", so the app boundary is
+		// where the prefix changes.
+		is := sc.ISA()
+		prefix := func(h isa.HotSpotID) string {
+			name := is.HotSpots[h].Name
+			i := strings.Index(name, ": ")
+			if i < 0 {
+				t.Fatalf("%s: merged hot spot %q lacks app prefix", n, name)
+			}
+			return name[:i]
+		}
+		tr := sc.Trace(10, 1)
+		switches := 0
+		for i := 1; i < len(tr.Phases); i++ {
+			if prefix(tr.Phases[i].HotSpot) != prefix(tr.Phases[i-1].HotSpot) {
+				switches++
+			}
+		}
+		if switches == 0 {
+			t.Errorf("%s: 10 iterations produced no ISA switch points", n)
+		}
+	}
+}
+
+// TestControlFlowVariesAcrossSeeds verifies the defining property of
+// control-flow scenarios: the per-SI mix depends on the input, so a-priori
+// forecasts made for one seed mis-predict another.
+func TestControlFlowVariesAcrossSeeds(t *testing.T) {
+	for _, n := range Names() {
+		sc, _ := Find(n)
+		if sc.Kind() != KindControlFlow {
+			continue
+		}
+		a := sc.Trace(16, 1).Executions()
+		b := sc.Trace(16, 2).Executions()
+		if reflect.DeepEqual(a, b) {
+			t.Errorf("%s: seeds 1 and 2 produced identical SI mixes — not input-dependent", n)
+		}
+	}
+}
+
+func TestSingleAppKeepsLibraryISA(t *testing.T) {
+	// A controlflow scenario over the h264 library must keep the paper's
+	// SI identities (no merge offsets), so forecasts and per-SI tables
+	// stay comparable with the baseline workload.
+	sc, ok := Find("branchy-modes")
+	if !ok {
+		t.Fatal("branchy-modes missing")
+	}
+	ref := isa.H264()
+	is := sc.ISA()
+	if len(is.SIs) != len(ref.SIs) || is.Dim() != ref.Dim() {
+		t.Fatalf("branchy-modes ISA shape %d SIs/%d atoms, want %d/%d", len(is.SIs), is.Dim(), len(ref.SIs), ref.Dim())
+	}
+	for i := range ref.SIs {
+		if is.SIs[i].Name != ref.SIs[i].Name {
+			t.Errorf("SI %d = %q, want %q", i, is.SIs[i].Name, ref.SIs[i].Name)
+		}
+	}
+}
+
+func TestTraceClamping(t *testing.T) {
+	sc, _ := Find("video-crypto")
+	if tr := sc.Trace(0, 0); len(tr.Phases) == 0 {
+		t.Error("frames=0 should clamp to 1 iteration, got empty trace")
+	}
+	if tr := sc.Trace(-5, 0); len(tr.Phases) == 0 {
+		t.Error("negative frames should clamp to 1 iteration")
+	}
+}
+
+// validSpec returns a minimal valid multiapp spec for mutation tests.
+func validSpec() Spec {
+	return Spec{
+		Name: "t",
+		Kind: KindMultiApp,
+		Apps: []App{{Library: "h264", MBs: 2}, {Library: "crypto"}},
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Spec)
+		want string
+	}{
+		{"empty name", func(s *Spec) { s.Name = "" }, "empty name"},
+		{"bad name chars", func(s *Spec) { s.Name = "Bad_Name" }, "contains"},
+		{"long name", func(s *Spec) { s.Name = strings.Repeat("a", 65) }, "longer"},
+		{"unknown kind", func(s *Spec) { s.Kind = "mystery" }, "unknown kind"},
+		{"multiapp one app", func(s *Spec) { s.Apps = s.Apps[:1] }, "at least 2"},
+		{"multiapp with content", func(s *Spec) { s.Content = &Content{} }, "controlflow-only"},
+		{"too many apps", func(s *Spec) {
+			s.Apps = []App{{Library: "crypto"}, {Library: "crypto"}, {Library: "crypto"}, {Library: "crypto"}, {Library: "crypto"}}
+		}, "exceeds cap"},
+		{"unknown library", func(s *Spec) { s.Apps[0].Library = "fortran" }, "unknown library"},
+		{"h264 mbs range", func(s *Spec) { s.Apps[0].MBs = 500 }, "outside"},
+		{"scale range", func(s *Spec) { s.Apps[1].Scale = 100 }, "outside"},
+		{"scale tiny", func(s *Spec) { s.Apps[1].Scale = 0.01 }, "below"},
+		{"custom without ISA", func(s *Spec) { s.Apps[0] = App{Library: "custom"} }, "without custom ISA"},
+		{"custom on h264", func(s *Spec) { s.Apps[0].Custom = &CustomISA{} }, "does not take"},
+		{"pattern out of range", func(s *Spec) { s.Switch = &Switch{Pattern: []int{0, 2}} }, "references app"},
+		{"pattern and p_switch", func(s *Spec) { s.Switch = &Switch{Pattern: []int{0}, PSwitch: 0.5} }, "mutually exclusive"},
+		{"p_switch range", func(s *Spec) { s.Switch = &Switch{PSwitch: 1.5} }, "outside"},
+		{"switch rounds range", func(s *Spec) { s.Switch = &Switch{Rounds: 99} }, "outside"},
+		{"empty branch", func(s *Spec) { s.Branch = &Branch{} }, "neither modes nor"},
+		{"mode unknown hot spot", func(s *Spec) {
+			s.Branch = &Branch{Modes: []Mode{{Name: "m", Scale: map[string]float64{"nope": 2}}}}
+		}, "unknown hot spot"},
+		{"transition shape", func(s *Spec) {
+			s.Branch = &Branch{Modes: []Mode{{Name: "a"}, {Name: "b"}}, Transition: [][]float64{{1}}}
+		}, "rows"},
+		{"transition not stochastic", func(s *Spec) {
+			s.Branch = &Branch{Modes: []Mode{{Name: "a"}, {Name: "b"}}, Transition: [][]float64{{0.9, 0.9}, {0.5, 0.5}}}
+		}, "sums to"},
+		{"early exit skip and scale", func(s *Spec) {
+			s.Branch = &Branch{EarlyExit: []EarlyExit{{HotSpot: "bulk encryption", P: 0.5, Skip: true, Scale: 0.5}}}
+		}, "both skip and scale"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := validSpec()
+			tc.mut(&s)
+			err := s.Validate()
+			if err == nil {
+				t.Fatalf("Validate accepted spec mutated by %q", tc.name)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestValidateControlFlowShape(t *testing.T) {
+	cf := Spec{
+		Name:   "cf",
+		Kind:   KindControlFlow,
+		Apps:   []App{{Library: "h264", MBs: 2}},
+		Branch: &Branch{Modes: []Mode{{Name: "steady"}}},
+	}
+	if err := cf.Validate(); err != nil {
+		t.Fatalf("valid controlflow spec rejected: %v", err)
+	}
+	noBranch := cf
+	noBranch.Branch = nil
+	if err := noBranch.Validate(); err == nil || !strings.Contains(err.Error(), "branch model") {
+		t.Errorf("controlflow without branch/content: err = %v", err)
+	}
+	twoApps := cf
+	twoApps.Apps = []App{{Library: "h264"}, {Library: "crypto"}}
+	if err := twoApps.Validate(); err == nil || !strings.Contains(err.Error(), "exactly 1") {
+		t.Errorf("controlflow with 2 apps: err = %v", err)
+	}
+	content := Spec{Name: "c", Kind: KindControlFlow, Content: &Content{WidthPx: 96, HeightPx: 96}}
+	if err := content.Validate(); err != nil {
+		t.Fatalf("valid content spec rejected: %v", err)
+	}
+	contentApps := content
+	contentApps.Apps = []App{{Library: "h264"}}
+	if err := contentApps.Validate(); err == nil || !strings.Contains(err.Error(), "excludes") {
+		t.Errorf("content + apps: err = %v", err)
+	}
+	badGeom := content
+	badGeom.Content = &Content{WidthPx: 100, HeightPx: 96}
+	if err := badGeom.Validate(); err == nil || !strings.Contains(err.Error(), "multiples of 16") {
+		t.Errorf("non-16 geometry: err = %v", err)
+	}
+}
+
+func TestDecodeStrict(t *testing.T) {
+	if _, err := Decode(strings.NewReader(`{"name":"x","kind":"multiapp","bogus":1}`)); err == nil {
+		t.Error("Decode accepted an unknown field")
+	}
+	if _, err := Decode(strings.NewReader(`{"name":"x","kind":"multiapp","apps":[{"library":"crypto"},{"library":"audio"}]} {"more":1}`)); err == nil {
+		t.Error("Decode accepted trailing data")
+	}
+	if _, err := Decode(strings.NewReader(`not json`)); err == nil {
+		t.Error("Decode accepted garbage")
+	}
+	sc, err := Decode(strings.NewReader(`{"name":"ok","kind":"multiapp","apps":[{"library":"crypto"},{"library":"audio"}]}`))
+	if err != nil {
+		t.Fatalf("Decode rejected a valid spec: %v", err)
+	}
+	if sc.Name() != "ok" || len(sc.ISA().SIs) == 0 {
+		t.Errorf("decoded scenario malformed: name %q, %d SIs", sc.Name(), len(sc.ISA().SIs))
+	}
+}
+
+func TestCustomISARoundTrip(t *testing.T) {
+	spec := Spec{
+		Name: "custom-app",
+		Kind: KindControlFlow,
+		Apps: []App{{
+			Library: "custom",
+			Custom: &CustomISA{
+				Name:     "dsp",
+				Atoms:    []CustomAtom{{Name: "MAC", BitstreamBytes: 4096}, {Name: "SHIFT", BitstreamBytes: 2048}},
+				HotSpots: []string{"filter"},
+				SIs: []CustomSI{{
+					Name: "FIR", HotSpot: 0, Atoms: []int{0, 1},
+					Occ: []int{8, 4}, HWCyc: []int{2, 1}, SWCyc: []int{40, 12},
+					Steps: [][]int{{0, 1, 2}, {0, 1}}, Overhead: 6, Count: 4, Round: 50,
+				}},
+			},
+		}},
+		Branch: &Branch{EarlyExit: []EarlyExit{{HotSpot: "filter", P: 0.3, Scale: 0.5}}},
+	}
+	sc, err := New(spec)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := sc.ISA().Validate(); err != nil {
+		t.Fatalf("custom ISA invalid: %v", err)
+	}
+	tr := sc.Trace(20, 3)
+	if err := tr.Validate(sc.ISA()); err != nil {
+		t.Fatalf("custom trace invalid: %v", err)
+	}
+	// The early-exit rule at p=0.3 over 20 iterations should fire at least
+	// once: not every phase has the full 50-count burst.
+	full, reduced := 0, 0
+	for i := range tr.Phases {
+		for _, b := range tr.Phases[i].Bursts {
+			if b.Count == 50 {
+				full++
+			} else {
+				reduced++
+			}
+		}
+	}
+	if full == 0 || reduced == 0 {
+		t.Errorf("early-exit rule never fired or always fired: %d full, %d reduced bursts", full, reduced)
+	}
+}
+
+func TestCustomISARejections(t *testing.T) {
+	base := func() *CustomISA {
+		return &CustomISA{
+			Atoms:    []CustomAtom{{Name: "A", BitstreamBytes: 1024}},
+			HotSpots: []string{"h"},
+			SIs: []CustomSI{{
+				Name: "S", HotSpot: 0, Atoms: []int{0},
+				Occ: []int{4}, HWCyc: []int{2}, SWCyc: []int{20},
+				Steps: [][]int{{0, 1, 2}}, Overhead: 4, Count: 2, Round: 10,
+			}},
+		}
+	}
+	cases := []struct {
+		name string
+		mut  func(*CustomISA)
+		want string
+	}{
+		{"no atoms", func(c *CustomISA) { c.Atoms = nil }, "atoms"},
+		{"zero bitstream", func(c *CustomISA) { c.Atoms[0].BitstreamBytes = 0 }, "bitstream"},
+		{"no SIs", func(c *CustomISA) { c.SIs = nil }, "SIs"},
+		{"bad hot spot ref", func(c *CustomISA) { c.SIs[0].HotSpot = 3 }, "references hot spot"},
+		{"length mismatch", func(c *CustomISA) { c.SIs[0].Occ = []int{4, 4} }, "disagree"},
+		{"repeated atom", func(c *CustomISA) {
+			c.Atoms = append(c.Atoms, CustomAtom{Name: "B", BitstreamBytes: 512})
+			c.SIs[0].Atoms = []int{0, 0}
+			c.SIs[0].Occ = []int{4, 4}
+			c.SIs[0].HWCyc = []int{2, 2}
+			c.SIs[0].SWCyc = []int{20, 20}
+			c.SIs[0].Steps = [][]int{{0, 1}, {0, 1}}
+		}, "repeats atom"},
+		{"sw not above hw", func(c *CustomISA) { c.SIs[0].SWCyc = []int{2} }, "not in (hw_cyc"},
+		{"repeated step", func(c *CustomISA) { c.SIs[0].Steps = [][]int{{0, 1, 1}} }, "repeats"},
+		{"count beyond grid", func(c *CustomISA) { c.SIs[0].Count = 5 }, "molecules of a"},
+		{"uncovered hot spot", func(c *CustomISA) { c.HotSpots = []string{"h", "lonely"} }, "no SIs"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := base()
+			tc.mut(c)
+			err := c.validate()
+			if err == nil {
+				t.Fatalf("validate accepted custom ISA mutated by %q", tc.name)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestMixSeedSpreads(t *testing.T) {
+	seen := map[int64]bool{}
+	for base := int64(0); base < 4; base++ {
+		for pt := int64(0); pt < 4; pt++ {
+			s := mixSeed(base, pt)
+			if seen[s] {
+				t.Fatalf("mixSeed collision at (%d, %d)", base, pt)
+			}
+			seen[s] = true
+		}
+	}
+}
+
+// TestExpansionSnapshot pins the concrete expansion of one scenario at one
+// (frames, seed): phase count, execution total and first phases. If the
+// expander ever changes behavior, this fails before the oracle corpus does,
+// with a much smaller counterexample.
+func TestExpansionSnapshot(t *testing.T) {
+	sc, _ := Find("video-crypto")
+	tr := sc.Trace(4, 7)
+	if err := tr.Validate(sc.ISA()); err != nil {
+		t.Fatal(err)
+	}
+	again := sc.Trace(4, 7)
+	if !reflect.DeepEqual(tr, again) {
+		t.Fatal("expansion not reproducible")
+	}
+	var hs []isa.HotSpotID
+	for i := range tr.Phases {
+		hs = append(hs, tr.Phases[i].HotSpot)
+	}
+	// Pattern [0,0,1]: two h264 turns (hot spots 0..2) then one crypto turn
+	// (hot spots 3..4), repeated.
+	wantFirst := []isa.HotSpotID{0, 1, 2, 0, 1, 2, 3, 4}
+	if len(hs) < len(wantFirst) {
+		t.Fatalf("only %d phases", len(hs))
+	}
+	if !reflect.DeepEqual(hs[:len(wantFirst)], wantFirst) {
+		t.Errorf("first phases %v, want %v", hs[:len(wantFirst)], wantFirst)
+	}
+	_ = workload.Trace{} // keep the import if the snapshot shrinks
+}

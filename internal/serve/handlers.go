@@ -7,9 +7,12 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 
 	"rispp/internal/explore"
+	"rispp/internal/isa"
+	"rispp/internal/scenario"
 	"rispp/internal/sched"
 	"rispp/internal/search"
 	"rispp/internal/sim"
@@ -130,14 +133,20 @@ func (s *Server) decodeJSON(w http.ResponseWriter, r *http.Request, v any) error
 }
 
 // validatePoint applies the serving layer's checks on top of the canonical
-// ones of explore.Spec.Expand: scheduler must name a known run-time system
-// and the workload must stay within the configured size cap.
+// ones of explore.Spec.Expand: scheduler must name a known run-time system,
+// a scenario must name a shipped scenario, and the workload must stay
+// within the configured size cap.
 func (s *Server) validatePoint(p explore.Point) error {
 	switch p.Scheduler {
 	case "Molen", "molen", "software":
 	default:
 		if _, err := sched.New(p.Scheduler); err != nil {
 			return fmt.Errorf("unknown scheduler %q", p.Scheduler)
+		}
+	}
+	if p.Scenario != "" {
+		if _, ok := scenario.Find(p.Scenario); !ok {
+			return fmt.Errorf("unknown scenario %q (known: %s)", p.Scenario, strings.Join(scenario.Names(), ", "))
 		}
 	}
 	if p.Frames > s.cfg.MaxFrames {
@@ -147,6 +156,18 @@ func (s *Server) validatePoint(p explore.Point) error {
 		return fmt.Errorf("acs %d exceeds server limit %d", p.NumACs, maxACs)
 	}
 	return nil
+}
+
+// isaFor returns the instruction set a point's run executes under: the
+// named scenario's (possibly merged multi-app) ISA, or the server's base
+// ISA. Call only after validatePoint.
+func (s *Server) isaFor(p explore.Point) *isa.ISA {
+	if p.Scenario != "" {
+		if sc, ok := scenario.Find(p.Scenario); ok {
+			return sc.ISA()
+		}
+	}
+	return s.isa
 }
 
 // maxACs caps the Atom-Container budget a request may ask for; the paper
@@ -280,6 +301,7 @@ func (s *Server) simulate(ctx context.Context, tenant string, p explore.Point, c
 // Data is copied out of res (which returns to the pool) — slices in the
 // response never alias pooled buffers.
 func (s *Server) renderSimulate(p explore.Point, res *sim.Result) ([]byte, error) {
+	is := s.isaFor(p)
 	resp := SimulateResponse{
 		Point:        p,
 		Runtime:      res.Runtime,
@@ -294,7 +316,7 @@ func (s *Server) renderSimulate(p explore.Point, res *sim.Result) ([]byte, error
 	for _, si := range executed {
 		resp.SIs = append(resp.SIs, SIStat{
 			SI:           int(si),
-			Name:         s.isa.SI(si).Name,
+			Name:         is.SI(si).Name,
 			Executions:   res.ExecutionsOf(si),
 			SWExecutions: res.SWExecutionsOf(si),
 			HWExecutions: res.HWExecutionsOf(si),
@@ -306,7 +328,7 @@ func (s *Server) renderSimulate(p explore.Point, res *sim.Result) ([]byte, error
 			counts := res.Histogram.Counts(int(si))
 			resp.Histograms = append(resp.Histograms, SIHistogram{
 				SI:     int(si),
-				Name:   s.isa.SI(si).Name,
+				Name:   is.SI(si).Name,
 				Counts: append([]int64(nil), counts...),
 			})
 		}
@@ -498,6 +520,47 @@ func (s *Server) handleSuggest(w http.ResponseWriter, r *http.Request) {
 	s.met.suggest(sug.Strategy, len(sug.Points), len(sug.Front))
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(sug) //nolint:errcheck // headers sent; nothing left to do
+}
+
+// ScenarioInfo is one entry of the GET /v1/scenarios listing.
+type ScenarioInfo struct {
+	Name        string `json:"name"`
+	Kind        string `json:"kind"`
+	Description string `json:"description,omitempty"`
+	// Digest is the SHA-256 content address of the scenario spec; clients
+	// caching on scenario names can assert it to detect a (forbidden)
+	// in-place redefinition.
+	Digest   string `json:"digest"`
+	Atoms    int    `json:"atoms"`
+	SIs      int    `json:"sis"`
+	HotSpots int    `json:"hot_spots"`
+}
+
+// handleScenarios answers GET /v1/scenarios: the shipped scenario library,
+// sorted by name — the valid values of Point.Scenario.
+func (s *Server) handleScenarios(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	names := scenario.Names()
+	out := make([]ScenarioInfo, 0, len(names))
+	for _, n := range names {
+		sc, _ := scenario.Find(n)
+		is := sc.ISA()
+		out = append(out, ScenarioInfo{
+			Name:        n,
+			Kind:        sc.Kind(),
+			Description: sc.Description(),
+			Digest:      sc.Digest(),
+			Atoms:       is.Dim(),
+			SIs:         len(is.SIs),
+			HotSpots:    len(is.HotSpots),
+		})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(out) //nolint:errcheck // headers sent; nothing left to do
 }
 
 // handleHealthz answers GET /v1/healthz.

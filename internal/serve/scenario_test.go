@@ -1,0 +1,203 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"rispp"
+	"rispp/internal/explore"
+	"rispp/internal/scenario"
+)
+
+// TestSimulateScenario: a scenario point served over HTTP matches the
+// direct library run under the scenario's ISA, and the per-SI table uses
+// the scenario's SI names (not the base H.264 ISA's).
+func TestSimulateScenario(t *testing.T) {
+	s := newTestServer(t, Config{})
+	sc, ok := scenario.Find("video-crypto")
+	if !ok {
+		t.Fatal("video-crypto missing from library")
+	}
+	w := postJSON(t, s.Handler(), "/v1/simulate", SimulateRequest{
+		Point: explore.Point{Scheduler: "HEF", NumACs: 8, Frames: 3, Seed: 1,
+			SeedForecasts: true, Scenario: "video-crypto"},
+	})
+	got := decodeSimulate(t, w)
+
+	want, err := rispp.Run(rispp.Config{
+		ISA:           sc.ISA(),
+		Workload:      sc.Trace(3, 1),
+		Scheduler:     "HEF",
+		NumACs:        8,
+		SeedForecasts: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TotalCycles != want.TotalCycles || got.StallCycles != want.StallCycles {
+		t.Errorf("served %d/%d cycles, direct run %d/%d",
+			got.TotalCycles, got.StallCycles, want.TotalCycles, want.StallCycles)
+	}
+	if got.Point.Scenario != "video-crypto" {
+		t.Errorf("normalized point lost the scenario: %+v", got.Point)
+	}
+	names := map[string]bool{}
+	for _, st := range got.SIs {
+		names[st.Name] = true
+	}
+	// The merged ISA carries the crypto app's SIs; the base H.264 ISA
+	// could never produce this name.
+	if !names["AES round"] {
+		t.Errorf("per-SI table lacks the crypto app's SIs: %v", names)
+	}
+}
+
+func TestSimulateScenarioValidation(t *testing.T) {
+	s := newTestServer(t, Config{})
+	w := postJSON(t, s.Handler(), "/v1/simulate", SimulateRequest{
+		Point: explore.Point{Scenario: "no-such-scenario"},
+	})
+	if w.Code != http.StatusBadRequest {
+		t.Fatalf("unknown scenario: status %d, body %s", w.Code, w.Body.String())
+	}
+	if !strings.Contains(w.Body.String(), "unknown scenario") {
+		t.Errorf("error body %s does not name the problem", w.Body.String())
+	}
+
+	w = postJSON(t, s.Handler(), "/v1/simulate", SimulateRequest{
+		Point: explore.Point{Scenario: "video-crypto", Motion: 0.4},
+	})
+	if w.Code != http.StatusBadRequest {
+		t.Fatalf("scenario+motion: status %d, body %s", w.Code, w.Body.String())
+	}
+}
+
+// TestSimulateScenarioCached: equal scenario points coalesce onto one cache
+// entry; different scenarios do not share entries.
+func TestSimulateScenarioCached(t *testing.T) {
+	s := newTestServer(t, Config{})
+	req := SimulateRequest{Point: explore.Point{Scheduler: "HEF", NumACs: 6,
+		Frames: 2, SeedForecasts: true, Scenario: "early-exit-me"}}
+	first := decodeSimulate(t, postJSON(t, s.Handler(), "/v1/simulate", req))
+	w := postJSON(t, s.Handler(), "/v1/simulate", req)
+	second := decodeSimulate(t, w)
+	if w.Header().Get("X-Cache") != "hit" {
+		t.Errorf("repeat scenario request not served from cache (X-Cache=%q)", w.Header().Get("X-Cache"))
+	}
+	if first.TotalCycles != second.TotalCycles {
+		t.Errorf("cached response diverged: %d vs %d cycles", first.TotalCycles, second.TotalCycles)
+	}
+
+	other := req
+	other.Point.Scenario = "branchy-modes"
+	w = postJSON(t, s.Handler(), "/v1/simulate", other)
+	third := decodeSimulate(t, w)
+	if w.Header().Get("X-Cache") == "hit" {
+		t.Error("different scenario served from the other scenario's cache entry")
+	}
+	if third.TotalCycles == first.TotalCycles {
+		t.Error("distinct scenarios produced identical cycle counts (suspicious key collision)")
+	}
+}
+
+func TestExploreScenarioSweep(t *testing.T) {
+	s := newTestServer(t, Config{})
+	w := postJSON(t, s.Handler(), "/v1/explore", ExploreRequest{
+		Spec: explore.Spec{
+			Schedulers: []string{"HEF", "software"},
+			ACs:        []int{6},
+			Frames:     []int{2},
+			Scenarios:  []string{"video-crypto", "video-pip"},
+		},
+	})
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d, body %s", w.Code, w.Body.String())
+	}
+	var recs []explore.Record
+	dec := json.NewDecoder(strings.NewReader(w.Body.String()))
+	for dec.More() {
+		var rec explore.Record
+		if err := dec.Decode(&rec); err != nil {
+			t.Fatal(err)
+		}
+		recs = append(recs, rec)
+	}
+	if len(recs) != 4 {
+		t.Fatalf("got %d records, want 4", len(recs))
+	}
+	seen := map[string]bool{}
+	for _, rec := range recs {
+		if rec.Err != "" {
+			t.Errorf("point %s failed: %s", rec.Point.Key(), rec.Err)
+		}
+		seen[rec.Point.Scenario] = true
+	}
+	if !seen["video-crypto"] || !seen["video-pip"] {
+		t.Errorf("sweep did not cover both scenarios: %v", seen)
+	}
+}
+
+func TestScenariosEndpoint(t *testing.T) {
+	s := newTestServer(t, Config{})
+	req := httptest.NewRequest(http.MethodGet, "/v1/scenarios", nil)
+	w := httptest.NewRecorder()
+	s.Handler().ServeHTTP(w, req)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d, body %s", w.Code, w.Body.String())
+	}
+	var infos []ScenarioInfo
+	if err := json.Unmarshal(w.Body.Bytes(), &infos); err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != len(scenario.Names()) {
+		t.Fatalf("listed %d scenarios, library has %d", len(infos), len(scenario.Names()))
+	}
+	for _, info := range infos {
+		sc, ok := scenario.Find(info.Name)
+		if !ok {
+			t.Errorf("endpoint lists unknown scenario %q", info.Name)
+			continue
+		}
+		if info.Digest != sc.Digest() {
+			t.Errorf("%s: endpoint digest %s, library %s", info.Name, info.Digest, sc.Digest())
+		}
+		if info.Atoms == 0 || info.SIs == 0 || info.HotSpots == 0 {
+			t.Errorf("%s: empty ISA summary %+v", info.Name, info)
+		}
+	}
+
+	post := httptest.NewRequest(http.MethodPost, "/v1/scenarios", nil)
+	w = httptest.NewRecorder()
+	s.Handler().ServeHTTP(w, post)
+	if w.Code != http.StatusMethodNotAllowed {
+		t.Errorf("POST /v1/scenarios: status %d, want 405", w.Code)
+	}
+}
+
+// TestSimulateScenarioHistograms: artifact collection under a scenario ISA
+// names the scenario's SIs in the histogram table.
+func TestSimulateScenarioHistograms(t *testing.T) {
+	s := newTestServer(t, Config{})
+	w := postJSON(t, s.Handler(), "/v1/simulate", SimulateRequest{
+		Point: explore.Point{Scheduler: "HEF", NumACs: 6, Frames: 2,
+			SeedForecasts: true, Scenario: "sdr-crypto"},
+		Collect: CollectSpec{HistogramBucket: 50_000},
+	})
+	got := decodeSimulate(t, w)
+	if len(got.Histograms) == 0 {
+		t.Fatal("no histograms collected")
+	}
+	sc, _ := scenario.Find("sdr-crypto")
+	for _, h := range got.Histograms {
+		if h.SI < 0 || h.SI >= len(sc.ISA().SIs) {
+			t.Errorf("histogram references SI %d outside the scenario ISA", h.SI)
+			continue
+		}
+		if want := sc.ISA().SIs[h.SI].Name; h.Name != want {
+			t.Errorf("histogram SI %d named %q, scenario ISA says %q", h.SI, h.Name, want)
+		}
+	}
+}

@@ -77,6 +77,7 @@ func New(cfg Config, base rispp.Config) *Server {
 	s.mux.HandleFunc("/v1/simulate", s.wrap("/v1/simulate", s.handleSimulate))
 	s.mux.HandleFunc("/v1/explore", s.wrap("/v1/explore", s.handleExplore))
 	s.mux.HandleFunc("/v1/suggest", s.wrap("/v1/suggest", s.handleSuggest))
+	s.mux.HandleFunc("/v1/scenarios", s.wrap("/v1/scenarios", s.handleScenarios))
 	s.mux.HandleFunc("/v1/healthz", s.wrap("/v1/healthz", s.handleHealthz))
 	s.mux.Handle("/metrics", s.met)
 	if cfg.EnablePprof {
@@ -87,7 +88,7 @@ func New(cfg Config, base rispp.Config) *Server {
 		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	}
 	s.mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
-		writeError(w, http.StatusNotFound, "no route %s; see /v1/simulate, /v1/explore, /v1/suggest, /v1/healthz, /metrics", r.URL.Path)
+		writeError(w, http.StatusNotFound, "no route %s; see /v1/simulate, /v1/explore, /v1/suggest, /v1/scenarios, /v1/healthz, /metrics", r.URL.Path)
 	})
 	return s
 }

@@ -122,10 +122,18 @@ type trailSnap struct {
 // Trail is the checkpoint ladder of one recorded simulation run. A Trail is
 // immutable once complete, so concurrent readers need no locking; an
 // incomplete Trail (recording failed mid-run) must be discarded.
+//
+// A trail remembers the identity of the compiled trace it recorded — by
+// pointer, since workload.Compiled is immutable and callers (the Runner's
+// compile memo) hold one canonical *Compiled per workload. Serve and
+// ResumeCompiled refuse a trail whose trace is not the very same object:
+// under ISA-switching workloads two different traces can agree on phase
+// count and still schedule completely differently, and a silently wrong
+// resume is the one failure mode delta-resimulation must never have.
 type Trail struct {
 	name       string
 	budget     int
-	nPhases    int
+	ct         *workload.Compiled
 	complete   bool
 	hasJournal bool
 	snaps      []trailSnap
@@ -142,10 +150,10 @@ func (t *Trail) RecordedBudget() int { return t.budget }
 // Snapshots returns the ladder depth (for introspection/metrics).
 func (t *Trail) Snapshots() int { return len(t.snaps) }
 
-func (t *Trail) reset(name string, budget, nPhases int, journal bool) {
+func (t *Trail) reset(name string, budget int, ct *workload.Compiled, journal bool) {
 	t.name = name
 	t.budget = budget
-	t.nPhases = nPhases
+	t.ct = ct
 	t.complete = false
 	t.hasJournal = journal
 	t.snaps = t.snaps[:0]
@@ -237,7 +245,7 @@ func RunCompiledTrail(ctx context.Context, ct *workload.Compiled, rt Checkpointa
 	if !DeltaEligible(opts) {
 		return fmt.Errorf("sim: options are not delta-eligible; use RunCompiled")
 	}
-	t.reset(rt.Name(), rt.ContainerBudget(), len(ct.Phases), opts.Journal != nil)
+	t.reset(rt.Name(), rt.ContainerBudget(), ct, opts.Journal != nil)
 	rt.Reset()
 	res.reset(rt.Name(), ct.NumSIs, len(ct.Phases), opts)
 	var js *journalState
@@ -273,7 +281,7 @@ func RunCompiledTrail(ctx context.Context, ct *workload.Compiled, rt Checkpointa
 // res (and replays the journal bytes when opts.Journal is set) and reports
 // whether it could serve.
 func (t *Trail) Serve(ct *workload.Compiled, budget int, opts Options, res *Result) (bool, error) {
-	if !t.complete || !DeltaEligible(opts) || t.nPhases != len(ct.Phases) {
+	if !t.complete || !DeltaEligible(opts) || t.ct != ct {
 		return false, nil
 	}
 	if opts.Journal != nil && !t.hasJournal {
@@ -309,7 +317,7 @@ func (t *Trail) Serve(ct *workload.Compiled, budget int, opts Options, res *Resu
 // RunCompiled/RunCompiledTrail. res is field-exact identical — journal
 // bytes included — to a fresh run of rt, which the oracle corpus pins.
 func ResumeCompiled(ctx context.Context, ct *workload.Compiled, rt Checkpointable, opts Options, res *Result, src *Trail, rec *Trail) (bool, error) {
-	if !src.complete || !DeltaEligible(opts) || src.nPhases != len(ct.Phases) {
+	if !src.complete || !DeltaEligible(opts) || src.ct != ct {
 		return false, nil
 	}
 	wantJ := opts.Journal != nil
@@ -338,7 +346,7 @@ func ResumeCompiled(ctx context.Context, ct *workload.Compiled, rt Checkpointabl
 
 	var recorder *trailRec
 	if rec != nil && rec != src {
-		rec.reset(rt.Name(), budget, len(ct.Phases), wantJ)
+		rec.reset(rt.Name(), budget, ct, wantJ)
 		rec.snaps = append(rec.snaps[:0], src.snaps[:i+1]...)
 		recorder = &trailRec{rt: rt, t: rec, lastD: snap.demand, lastU: snap.upOK}
 	}

@@ -1,0 +1,50 @@
+package rispp
+
+import (
+	"context"
+	"testing"
+
+	"rispp/internal/explore"
+	"rispp/internal/sim"
+)
+
+// TestControlFlowFlipsSchedulerRanking pins the headline property of the
+// control-flow scenario library: scheduler rankings measured on the H.264
+// reference workload do not transfer to dynamic control flow. On plain
+// H.264 at 8 Atom Containers SJF finishes ahead of FSFR; on the
+// "branchy-modes" scenario — whose seeded branch model reorders hot spots
+// and defeats the monitor's forecasts — the ranking inverts and FSFR
+// finishes ahead of SJF. Both gaps are required to be real (>3%), not
+// ties, so the flip cannot rot into noise silently.
+func TestControlFlowFlipsSchedulerRanking(t *testing.T) {
+	rn := NewRunner(Config{})
+	run := func(sched, scen string) int64 {
+		t.Helper()
+		p := explore.Point{Scheduler: sched, NumACs: 8, Frames: 8, Seed: 1,
+			SeedForecasts: true, Scenario: scen}
+		res := new(sim.Result)
+		if err := rn.RunPoint(context.Background(), p, sim.Options{}, res); err != nil {
+			t.Fatalf("%s on %q: %v", sched, scen, err)
+		}
+		return res.TotalCycles
+	}
+
+	h264SJF, h264FSFR := run("SJF", ""), run("FSFR", "")
+	cfSJF, cfFSFR := run("SJF", "branchy-modes"), run("FSFR", "branchy-modes")
+	t.Logf("h264: SJF=%d FSFR=%d; branchy-modes: SJF=%d FSFR=%d",
+		h264SJF, h264FSFR, cfSJF, cfFSFR)
+
+	if h264SJF >= h264FSFR {
+		t.Errorf("H.264 baseline: SJF (%d) should beat FSFR (%d)", h264SJF, h264FSFR)
+	}
+	if cfFSFR >= cfSJF {
+		t.Errorf("branchy-modes: FSFR (%d) should beat SJF (%d) — ranking flip lost", cfFSFR, cfSJF)
+	}
+	// Margins: >3% each way, so neither leg of the flip is a near-tie.
+	if h264FSFR-h264SJF <= h264SJF*3/100 {
+		t.Errorf("H.264 SJF-over-FSFR margin too thin: %d vs %d", h264SJF, h264FSFR)
+	}
+	if cfSJF-cfFSFR <= cfFSFR*3/100 {
+		t.Errorf("branchy-modes FSFR-over-SJF margin too thin: %d vs %d", cfFSFR, cfSJF)
+	}
+}

@@ -34,6 +34,7 @@ import (
 	"rispp/internal/molen"
 	"rispp/internal/oracle"
 	"rispp/internal/reconfig"
+	"rispp/internal/scenario"
 	"rispp/internal/sched"
 	"rispp/internal/sim"
 	"rispp/internal/workload"
@@ -190,9 +191,12 @@ type SweepPoint struct {
 // (internal/serve) run their points through one.
 //
 // When base.Workload is nil, the point's workload knobs (frames, seed,
-// motion variability, scene change) build the H.264 trace; a non-nil
-// base.Workload is used verbatim for every point — in that case do not
-// share an explore.Cache across different traces, since the point key only
+// motion variability, scene change) build the H.264 trace — or, when the
+// point names a scenario, the scenario generator of internal/scenario
+// builds the trace and the run executes under that scenario's (possibly
+// merged multi-app) ISA. A non-nil base.Workload is used verbatim for
+// every point and excludes scenario points — in that case do not share an
+// explore.Cache across different traces, since the point key only
 // describes the knobs.
 // Runtimes are pooled too: runtime construction allocates the full arena
 // set (monitor tables, Atom Container array, scheduler scratch), while a
@@ -205,7 +209,7 @@ type Runner struct {
 	base     Config
 	memo     bool      // trace memo + runtime pool are sound (no Bus rewrite)
 	results  sync.Pool // *sim.Result, reused across runs
-	compiled sync.Map  // workload.H264Config → *workload.Compiled
+	compiled sync.Map  // workKey → *workload.Compiled
 
 	runtimes             sync.Map // runtimeKey → *runtimePool
 	poolHits, poolMisses atomic.Int64
@@ -218,6 +222,16 @@ type Runner struct {
 	deltaServes, deltaResumes, deltaRecs atomic.Int64
 }
 
+// workKey identifies a distinct workload under a fixed base config: which
+// generator produced the trace (the H.264 generator when scenario is
+// empty, the named scenario of internal/scenario otherwise) and the knobs
+// it ran with. Scenario traces use only the Frames and Seed knobs; the
+// H.264-only knobs stay zero in their keys.
+type workKey struct {
+	scenario string
+	knobs    workload.H264Config
+}
+
 // trailKey is runtimeKey minus the budget axis: two runs with equal trail
 // keys differ at most in NumACs, which is exactly the difference
 // delta-resimulation bridges.
@@ -225,7 +239,7 @@ type trailKey struct {
 	scheduler     string
 	seedForecasts bool
 	prefetch      bool
-	knobs         workload.H264Config
+	work          workKey
 }
 
 // trailSet holds the recorded trails of one budget-axis class. The mutex
@@ -305,7 +319,7 @@ type runtimeKey struct {
 	numACs        int
 	seedForecasts bool
 	prefetch      bool
-	knobs         workload.H264Config
+	work          workKey
 }
 
 // NewRunner builds a Runner over the base config. Trace memoization and the
@@ -349,12 +363,12 @@ func (r *Runner) deltaOn(cfg *Config) bool {
 
 // trailSetFor returns the (lazily created) trail set of cfg's budget-axis
 // class.
-func (r *Runner) trailSetFor(cfg *Config, key workload.H264Config) *trailSet {
+func (r *Runner) trailSetFor(cfg *Config, key workKey) *trailSet {
 	tk := trailKey{
 		scheduler:     cfg.Scheduler,
 		seedForecasts: cfg.SeedForecasts,
 		prefetch:      cfg.Prefetch,
-		knobs:         key,
+		work:          key,
 	}
 	v, ok := r.trails.Load(tk)
 	if !ok {
@@ -368,7 +382,7 @@ func (r *Runner) trailSetFor(cfg *Config, key workload.H264Config) *trailSet {
 // all), otherwise resume from the deepest transferable prefix — falling
 // back to a full recording run — and store the resulting trail so future
 // requests for this budget full-skip.
-func (r *Runner) runPointDelta(ctx context.Context, cfg *Config, key workload.H264Config, ct *workload.Compiled, res *sim.Result) error {
+func (r *Runner) runPointDelta(ctx context.Context, cfg *Config, key workKey, ct *workload.Compiled, res *sim.Result) error {
 	ts := r.trailSetFor(cfg, key)
 	var buf [16]*sim.Trail
 	cands := ts.candidates(cfg.NumACs, buf[:0])
@@ -387,7 +401,7 @@ func (r *Runner) runPointDelta(ctx context.Context, cfg *Config, key workload.H2
 		numACs:        cfg.NumACs,
 		seedForecasts: cfg.SeedForecasts,
 		prefetch:      cfg.Prefetch,
-		knobs:         key,
+		work:          key,
 	})
 	if err != nil {
 		return err
@@ -442,7 +456,7 @@ func (r *Runner) runtime(cfg *Config, key runtimeKey) (sim.Runtime, *runtimePool
 		return rt, pool, nil
 	}
 	r.poolMisses.Add(1)
-	materializeWorkload(cfg, key.knobs) // forecast seeding reads the trace
+	materializeWorkload(cfg, key.work) // forecast seeding reads the trace
 	rt, err := NewRuntime(*cfg)
 	if err != nil {
 		return nil, nil, err
@@ -457,13 +471,18 @@ func (r *Runner) putRuntime(pool *runtimePool, rt sim.Runtime) {
 }
 
 // pointConfig materializes point p over the base config and returns it with
-// the workload-knob memo key (zeroed when the base pins a shared trace).
-// When memoization is on, cfg.Workload is left nil for knob-driven traces:
+// the workload memo key (zeroed when the base pins a shared trace). When
+// memoization is on, cfg.Workload is left nil for generator-driven traces:
 // generating the trace is only necessary on a memo or runtime-pool miss,
 // and materializeWorkload fills it in exactly there. The steady state —
 // warm memo, warm pool — therefore touches neither the ISA builder nor the
 // trace generator.
-func (r *Runner) pointConfig(p explore.Point, collect sim.Options) (Config, workload.H264Config) {
+//
+// A point naming a scenario swaps in that scenario's ISA (the merged
+// instruction set of a multi-app scenario is a different Atom space than
+// the base ISA) and uses only the Frames and Seed knobs; it is rejected
+// when the base pins a workload or an unknown scenario is named.
+func (r *Runner) pointConfig(p explore.Point, collect sim.Options) (Config, workKey, error) {
 	cfg := r.base // base.ISA is pre-resolved by NewRunner
 	cfg.Scheduler = p.Scheduler
 	cfg.NumACs = p.NumACs
@@ -473,29 +492,56 @@ func (r *Runner) pointConfig(p explore.Point, collect sim.Options) (Config, work
 	if cfg.Scheduler == "" {
 		cfg.Scheduler = "HEF"
 	}
-	key := workload.H264Config{
-		Frames:            p.Frames,
-		Seed:              p.Seed,
-		MotionVariability: p.Motion,
-		SceneChangeFrame:  p.SceneChange,
-	}
-	if cfg.Workload != nil {
-		key = workload.H264Config{} // single shared trace, one memo slot
-	} else if !r.memo {
-		cfg.Workload = workload.H264(key)
+	var key workKey
+	switch {
+	case p.Scenario != "":
+		if cfg.Workload != nil {
+			return cfg, key, fmt.Errorf("rispp: point %s names a scenario but the base config pins a workload", p.Key())
+		}
+		if p.Motion != 0 || p.SceneChange != 0 {
+			return cfg, key, fmt.Errorf("rispp: point %s combines scenario %q with H.264 knobs", p.Key(), p.Scenario)
+		}
+		sc, ok := scenario.Find(p.Scenario)
+		if !ok {
+			return cfg, key, fmt.Errorf("rispp: unknown scenario %q", p.Scenario)
+		}
+		key = workKey{scenario: p.Scenario, knobs: workload.H264Config{Frames: p.Frames, Seed: p.Seed}}
+		cfg.ISA = sc.ISA()
+		if !r.memo {
+			cfg.Workload = sc.Trace(p.Frames, p.Seed)
+		}
+	case cfg.Workload != nil:
+		// Single shared trace, one memo slot: key stays zero.
+	default:
+		key.knobs = workload.H264Config{
+			Frames:            p.Frames,
+			Seed:              p.Seed,
+			MotionVariability: p.Motion,
+			SceneChangeFrame:  p.SceneChange,
+		}
+		if !r.memo {
+			cfg.Workload = workload.H264(key.knobs)
+		}
 	}
 	if cfg.Bus != nil {
 		cfg.setDefaults() // applies the Bus transform to timing and trace
 	}
-	return cfg, key
+	return cfg, key, nil
 }
 
-// materializeWorkload generates the knob-driven trace if pointConfig left
-// it lazy (memo on, no pinned base workload).
-func materializeWorkload(cfg *Config, key workload.H264Config) {
-	if cfg.Workload == nil {
-		cfg.Workload = workload.H264(key)
+// materializeWorkload generates the generator-driven trace if pointConfig
+// left it lazy (memo on, no pinned base workload). A scenario key always
+// resolves: pointConfig already verified the name.
+func materializeWorkload(cfg *Config, key workKey) {
+	if cfg.Workload != nil {
+		return
 	}
+	if key.scenario != "" {
+		sc, _ := scenario.Find(key.scenario)
+		cfg.Workload = sc.Trace(key.knobs.Frames, key.knobs.Seed)
+		return
+	}
+	cfg.Workload = workload.H264(key.knobs)
 }
 
 // GetResult returns a pooled Result for RunPoint; return it with PutResult
@@ -511,8 +557,8 @@ func (r *Runner) GetResult() *sim.Result {
 // retain any reference into it afterwards.
 func (r *Runner) PutResult(res *sim.Result) { r.results.Put(res) }
 
-// compile lowers cfg's workload, memoizing per knob combination when sound.
-func (r *Runner) compile(cfg *Config, key workload.H264Config) (*workload.Compiled, error) {
+// compile lowers cfg's workload, memoizing per workload key when sound.
+func (r *Runner) compile(cfg *Config, key workKey) (*workload.Compiled, error) {
 	if r.memo {
 		if v, ok := r.compiled.Load(key); ok {
 			return v.(*workload.Compiled), nil
@@ -538,7 +584,10 @@ func (r *Runner) compile(cfg *Config, key workload.H264Config) (*workload.Compil
 // possible. On error res holds partial state and must not be interpreted
 // (it is still safe to PutResult).
 func (r *Runner) RunPoint(ctx context.Context, p explore.Point, collect sim.Options, res *sim.Result) error {
-	cfg, key := r.pointConfig(p, collect)
+	cfg, key, err := r.pointConfig(p, collect)
+	if err != nil {
+		return err
+	}
 	ct, err := r.compile(&cfg, key)
 	if err != nil {
 		return err
@@ -551,7 +600,7 @@ func (r *Runner) RunPoint(ctx context.Context, p explore.Point, collect sim.Opti
 		numACs:        cfg.NumACs,
 		seedForecasts: cfg.SeedForecasts,
 		prefetch:      cfg.Prefetch,
-		knobs:         key,
+		work:          key,
 	})
 	if err != nil {
 		return err
@@ -574,7 +623,10 @@ func (r *Runner) RunPointSet(ctx context.Context, ps []explore.Point, collect si
 	if len(ps) == 0 {
 		return nil
 	}
-	cfg0, key0 := r.pointConfig(ps[0], collect)
+	cfg0, key0, err0 := r.pointConfig(ps[0], collect)
+	if err0 != nil {
+		return err0
+	}
 	if r.deltaOn(&cfg0) {
 		// Delta split: each point either full-skips from a recorded trail,
 		// resumes a prefix, or records a new trail. After the first pass
@@ -587,11 +639,15 @@ func (r *Runner) RunPointSet(ctx context.Context, ps []explore.Point, collect si
 		for i, p := range ps {
 			if i > 0 {
 				if p0 := ps[0]; p.Frames != p0.Frames || p.Seed != p0.Seed ||
-					p.Motion != p0.Motion || p.SceneChange != p0.SceneChange {
+					p.Motion != p0.Motion || p.SceneChange != p0.SceneChange ||
+					p.Scenario != p0.Scenario {
 					return fmt.Errorf("rispp: RunPointSet points disagree on workload knobs: %s vs %s", p0.Key(), p.Key())
 				}
 			}
-			cfg, key := r.pointConfig(p, collect)
+			cfg, key, err := r.pointConfig(p, collect)
+			if err != nil {
+				return err
+			}
 			if err := r.runPointDelta(ctx, &cfg, key, ct, results[i]); err != nil {
 				return err
 			}
@@ -602,14 +658,17 @@ func (r *Runner) RunPointSet(ctx context.Context, ps []explore.Point, collect si
 	pools := make([]*runtimePool, len(ps))
 	var ct *workload.Compiled
 	for i, p := range ps {
-		cfg, key := r.pointConfig(p, collect)
+		cfg, key, err := r.pointConfig(p, collect)
+		if err != nil {
+			return err
+		}
 		if i == 0 {
-			var err error
 			if ct, err = r.compile(&cfg, key); err != nil {
 				return err
 			}
 		} else if p0 := ps[0]; p.Frames != p0.Frames || p.Seed != p0.Seed ||
-			p.Motion != p0.Motion || p.SceneChange != p0.SceneChange {
+			p.Motion != p0.Motion || p.SceneChange != p0.SceneChange ||
+			p.Scenario != p0.Scenario {
 			return fmt.Errorf("rispp: RunPointSet points disagree on workload knobs: %s vs %s", p0.Key(), p.Key())
 		}
 		rt, pool, err := r.runtime(&cfg, runtimeKey{
@@ -617,7 +676,7 @@ func (r *Runner) RunPointSet(ctx context.Context, ps []explore.Point, collect si
 			numACs:        cfg.NumACs,
 			seedForecasts: cfg.SeedForecasts,
 			prefetch:      cfg.Prefetch,
-			knobs:         key,
+			work:          key,
 		})
 		if err != nil {
 			for j := 0; j < i; j++ {
@@ -719,7 +778,10 @@ func CheckedExplorer(base Config, workers int, cache *explore.Cache) *explore.En
 // comes from the compile memo, so the only added cost is the oracle's
 // linear walk over the result.
 func (r *Runner) check(p explore.Point, res *sim.Result) error {
-	cfg, key := r.pointConfig(p, r.base.Collect)
+	cfg, key, err := r.pointConfig(p, r.base.Collect)
+	if err != nil {
+		return err
+	}
 	ct, err := r.compile(&cfg, key)
 	if err != nil {
 		return err
