@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test short race bench bench-paper bench-check bench-baseline bench-json prof-diff cover-check verify-oracle fuzz search-smoke soak lint serve figures verify clean
+.PHONY: all build test short race bench bench-paper bench-check bench-baseline bench-json prof-diff cover-check verify-oracle fuzz search-smoke soak fabric-smoke lint serve figures verify clean
 
 all: build test
 
@@ -39,6 +39,7 @@ bench-check:
 	$(GO) test -run '^$$' -bench 'BenchmarkSweep$$|BenchmarkSweepResim$$' -benchtime 20x -benchmem -count 5 . >> bench_check.txt
 	$(GO) test -run '^$$' -bench BenchmarkSearchDriver -benchtime 20x -benchmem -count 5 ./internal/search >> bench_check.txt
 	$(GO) test -run '^$$' -bench BenchmarkServeSimulate -benchtime 200x -benchmem -count 5 ./internal/serve >> bench_check.txt
+	$(GO) test -run '^$$' -bench BenchmarkFabric -benchtime 5x -benchmem -count 5 ./internal/fabric >> bench_check.txt
 	$(GO) run ./scripts/benchcheck -baseline BENCH_baseline.json < bench_check.txt
 
 # Re-measure the bench baseline on this machine (commit the result).
@@ -47,17 +48,20 @@ bench-baseline:
 	$(GO) test -run '^$$' -bench 'BenchmarkSweep$$|BenchmarkSweepResim$$' -benchtime 20x -benchmem -count 5 . >> bench_baseline.txt
 	$(GO) test -run '^$$' -bench BenchmarkSearchDriver -benchtime 20x -benchmem -count 5 ./internal/search >> bench_baseline.txt
 	$(GO) test -run '^$$' -bench BenchmarkServeSimulate -benchtime 200x -benchmem -count 5 ./internal/serve >> bench_baseline.txt
+	$(GO) test -run '^$$' -bench BenchmarkFabric -benchtime 5x -benchmem -count 5 ./internal/fabric >> bench_baseline.txt
 	$(GO) run ./scripts/benchcheck -update -baseline BENCH_baseline.json < bench_baseline.txt
 	rm -f bench_baseline.txt
 
-# Snapshot the current hot-path numbers — including the per-point sweep
-# reference BenchmarkSweepPerPoint and the delta-disabled reference
-# BenchmarkSweepResim — into BENCH_pr7.json, same format and reduction
+# Snapshot the current hot-path numbers — the simulator, the grouped
+# sweep, and the fabric sweep (BenchmarkFabricSweep/workers=N is the
+# sharded-vs-serialized speedup table; BenchmarkFabricOverhead the
+# coordinator tax) — into BENCH_pr10.json, same format and reduction
 # (min of 5) as BENCH_baseline.json, for before/after tables.
 bench-json:
 	$(GO) test -run '^$$' -bench BenchmarkRun -benchtime 100x -benchmem -count 5 ./internal/sim > bench_json.txt
 	$(GO) test -run '^$$' -bench BenchmarkSweep -benchtime 20x -benchmem -count 5 . >> bench_json.txt
-	$(GO) run ./scripts/benchcheck -update -baseline BENCH_pr7.json < bench_json.txt
+	$(GO) test -run '^$$' -bench BenchmarkFabric -benchtime 5x -benchmem -count 5 ./internal/fabric >> bench_json.txt
+	$(GO) run ./scripts/benchcheck -update -baseline BENCH_pr10.json < bench_json.txt
 	rm -f bench_json.txt
 
 # Before/after CPU+heap profile delta for one named benchmark. First run
@@ -110,6 +114,13 @@ SOAK_PROFILE ?= quick
 soak:
 	$(GO) run ./cmd/risppload -profile $(SOAK_PROFILE) -report soak-report.json -pprof-dir soak-pprof
 
+# Distributed-sweep smoke (what the CI fabric-smoke job runs): a 3-worker
+# in-process fleet with one worker hard-killed mid-sweep; fails unless the
+# merged stream is byte-identical to a single process and the warm re-run
+# simulates zero points fleet-wide.
+fabric-smoke:
+	$(GO) run ./cmd/risppload -fleet -fleet-size 3 -report fleet-report.json
+
 # Native fuzzing beyond the committed seed corpora (testdata/fuzz/).
 # FUZZTIME overrides the per-target budget.
 FUZZTIME ?= 30s
@@ -136,4 +147,4 @@ verify:
 	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
 
 clean:
-	rm -rf figures search_smoke test_output.txt bench_output.txt bench_check.txt bench_baseline.txt bench_json.txt cover.out cpu.pprof mem.pprof .profdiff
+	rm -rf figures search_smoke test_output.txt bench_output.txt bench_check.txt bench_baseline.txt bench_json.txt cover.out cpu.pprof mem.pprof .profdiff soak-report.json soak-pprof fleet-report.json

@@ -8,6 +8,15 @@
 //	risppload -profile quick -report soak-report.json
 //	risppload -profile long -pprof-dir pprof/
 //	risppload -target http://localhost:8264 -duration 30s
+//
+// -fleet switches to the distributed-sweep smoke scenario instead: it
+// spawns an in-process coordinator plus -fleet-size workers, shards a sweep
+// across them while hard-killing one worker mid-stream, and exits 1 unless
+// the merged stream is byte-identical to a single-process sweep and a warm
+// re-run simulates zero points fleet-wide. This is the CI fabric-smoke
+// gate.
+//
+//	risppload -fleet -fleet-size 3 -report fleet-report.json
 package main
 
 import (
@@ -38,8 +47,18 @@ func main() {
 		shed     = flag.Float64("shed", -1, "override SLO: max shed rate (fraction)")
 		fairness = flag.Float64("fairness", -1, "override SLO: min weighted fairness between tenants")
 		max5xx   = flag.Int64("max-5xx", -1, "override SLO: max 5xx responses (default: zero tolerated)")
+
+		fleet     = flag.Bool("fleet", false, "run the distributed-sweep smoke scenario instead of the soak profile")
+		fleetSize = flag.Int("fleet-size", 3, "fleet mode: number of in-process workers")
+		noKill    = flag.Bool("fleet-no-kill", false, "fleet mode: skip the induced mid-sweep worker kill")
+		killAfter = flag.Int("fleet-kill-after", 1, "fleet mode: merged records to stream before the kill")
 	)
 	flag.Parse()
+
+	if *fleet {
+		runFleet(*fleetSize, !*noKill, *killAfter, *report)
+		return
+	}
 
 	var p load.Profile
 	switch *profile {
@@ -97,6 +116,51 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Println("\nall SLOs met")
+}
+
+// runFleet executes the fabric-smoke scenario and exits with the gate's
+// verdict: 0 on full byte parity + zero warm re-simulation, 1 otherwise.
+func runFleet(workers int, kill bool, killAfter int, reportPath string) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	start := time.Now()
+	rep, err := load.RunFleet(ctx, load.FleetProfile{
+		Workers:        workers,
+		KillWorker:     kill,
+		KillAfterLines: killAfter,
+	}, log.Printf)
+	if err != nil {
+		log.Fatalf("risppload: fleet: %v", err)
+	}
+
+	if reportPath != "" {
+		b, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			log.Fatalf("risppload: marshal fleet report: %v", err)
+		}
+		b = append(b, '\n')
+		if err := os.WriteFile(reportPath, b, 0o644); err != nil {
+			log.Fatalf("risppload: write fleet report: %v", err)
+		}
+	}
+
+	fmt.Printf("fleet      %d workers · %d points (%.1fs wall)\n", rep.Workers, rep.Points, time.Since(start).Seconds())
+	if rep.Killed != "" {
+		fmt.Printf("killed     %s mid-sweep · %d shard retries · %d worker failures\n",
+			rep.Killed, rep.ShardRetries, rep.WorkerFailures)
+	}
+	fmt.Printf("cold       %d records · %d simulated\n", rep.ColdLines, rep.ColdSimulated)
+	fmt.Printf("warm       %d records · %d simulated\n", rep.WarmLines, rep.WarmSimulated)
+	fmt.Printf("parity     %v\n", rep.ParityOK)
+	if !rep.Pass {
+		fmt.Println("\nFLEET VIOLATIONS:")
+		for _, v := range rep.Violations {
+			fmt.Printf("  ✗ %s\n", v)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("\nfleet sweep byte-identical, warm re-run served entirely from cache")
 }
 
 func printSummary(rep *load.Report, wall time.Duration) {

@@ -87,7 +87,7 @@ func runPoint(is *isa.ISA, tr *workload.Trace, system string, acs int, opts sim.
 // compiled once for the whole sweep and Result buffers are pooled, so each
 // point only pays for runtime construction and simulation.
 func sweep(is *isa.ISA, tr *workload.Trace, systems []string, acs []int, p Params) map[string]map[int]int64 {
-	var cache *explore.Cache
+	var cache explore.Store // non-nil only when a directory is configured
 	if p.CacheDir != "" {
 		c, err := explore.OpenCache(p.CacheDir)
 		if err != nil {

@@ -1,6 +1,9 @@
 package explore
 
 import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -10,15 +13,28 @@ import (
 
 // Cache is a content-addressed result store: one JSON file per design
 // point, named by the SHA-256 of the point's canonical key. Entries are
-// written atomically (temp file + rename), so a cache directory can be
-// shared by concurrent workers and re-used across processes — the -resume
-// mechanism of risppexplore.
+// written atomically (temp file + rename) and a lost rename race against a
+// concurrent writer of the same point is tolerated, so a cache directory
+// can be shared by concurrent workers — including several processes of a
+// sweep fleet — and re-used across restarts (the -resume mechanism of
+// risppexplore).
 type Cache struct {
 	dir string
 
 	// WriteOnly disables Get: every point re-simulates and overwrites its
 	// entry — the risppexplore -resume=false mode.
 	WriteOnly bool
+}
+
+// Store is the result-cache interface the exploration engine consults
+// before and fills after every job. *Cache is the canonical implementation
+// (content-addressed disk files); internal/fabric layers a peer-backed
+// tier on top so a worker fleet shares one logical cache.
+type Store interface {
+	// Get returns the cached metrics of the point, if present and valid.
+	Get(p Point) (Metrics, bool)
+	// Put stores the metrics of a completed simulation.
+	Put(p Point, m Metrics) error
 }
 
 // OpenCache opens (creating if needed) a cache directory.
@@ -32,12 +48,61 @@ func OpenCache(dir string) (*Cache, error) {
 // Dir returns the cache directory.
 func (c *Cache) Dir() string { return c.dir }
 
-// cacheEntry is the on-disk format. The full canonical key is stored and
-// verified on read, so a corrupt or foreign file is treated as a miss
-// rather than returned as a wrong result.
+// cacheEntry is the on-disk (and cache-peer wire) format. The full
+// canonical key is stored and verified on read, so a corrupt or foreign
+// file is treated as a miss rather than returned as a wrong result.
 type cacheEntry struct {
 	Key string `json:"key"`
 	Metrics
+}
+
+// EncodeEntry renders the canonical stored form of a cached result — the
+// bytes Put writes and the body of the cache-peer protocol's GET/PUT.
+func EncodeEntry(p Point, m Metrics) []byte {
+	b, err := json.Marshal(cacheEntry{Key: p.Key(), Metrics: m})
+	if err != nil {
+		panic(fmt.Sprintf("explore: marshal cache entry: %v", err)) // plain scalars; cannot fail
+	}
+	return append(b, '\n')
+}
+
+// DecodeEntry parses a stored entry and validates it against the point it
+// was requested for; a mismatch (corruption, foreign entry) is a miss.
+func DecodeEntry(p Point, b []byte) (Metrics, bool) {
+	var e cacheEntry
+	if json.Unmarshal(b, &e) != nil || e.Key != p.Key() {
+		return Metrics{}, false
+	}
+	return e.Metrics, true
+}
+
+// ValidEntryForHash reports whether b is a well-formed entry whose stored
+// key hashes to hash — the integrity check of the cache-peer PUT path,
+// where the receiver knows only the content address.
+func ValidEntryForHash(hash string, b []byte) bool {
+	var e cacheEntry
+	if json.Unmarshal(b, &e) != nil || e.Key == "" {
+		return false
+	}
+	h := sha256.Sum256([]byte(e.Key))
+	return hex.EncodeToString(h[:]) == hash
+}
+
+// ValidHash reports whether s has the exact shape of a point content
+// address (64 lowercase hex digits). Anything else must be rejected before
+// it is joined into a cache path — the hash arrives over HTTP in the
+// cache-peer protocol.
+func ValidHash(s string) bool {
+	if len(s) != 64 {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
 }
 
 func (c *Cache) path(p Point) string {
@@ -53,24 +118,54 @@ func (c *Cache) Get(p Point) (Metrics, bool) {
 	if err != nil {
 		return Metrics{}, false
 	}
-	var e cacheEntry
-	if json.Unmarshal(b, &e) != nil || e.Key != p.Key() {
-		return Metrics{}, false
-	}
-	return e.Metrics, true
+	return DecodeEntry(p, b)
 }
 
 // Put stores the metrics of a completed simulation.
 func (c *Cache) Put(p Point, m Metrics) error {
-	b, err := json.Marshal(cacheEntry{Key: p.Key(), Metrics: m})
-	if err != nil {
-		return fmt.Errorf("explore: cache put: %w", err)
+	return c.writeEntry(p.Hash(), EncodeEntry(p, m))
+}
+
+// GetRaw returns the stored entry bytes for a content address — the
+// cache-peer GET path. The hash must already be validated (ValidHash).
+func (c *Cache) GetRaw(hash string) ([]byte, bool) {
+	if c.WriteOnly || !ValidHash(hash) {
+		return nil, false
 	}
+	b, err := os.ReadFile(filepath.Join(c.dir, hash+".json"))
+	if err != nil {
+		return nil, false
+	}
+	return b, true
+}
+
+// PutRaw stores entry bytes under their content address — the cache-peer
+// PUT path. The body is validated against the hash (ValidEntryForHash), so
+// a peer cannot poison the store with a mislabeled result.
+func (c *Cache) PutRaw(hash string, b []byte) error {
+	if !ValidHash(hash) {
+		return fmt.Errorf("explore: cache put: invalid content address %q", hash)
+	}
+	if !ValidEntryForHash(hash, b) {
+		return fmt.Errorf("explore: cache put: entry does not match content address %s", hash)
+	}
+	return c.writeEntry(hash, b)
+}
+
+// writeEntry writes entry bytes to <dir>/<hash>.json via a temp file and an
+// atomic rename. Concurrent workers — goroutines or whole processes sharing
+// the directory — may race on the same point: every writer holds a
+// byte-identical entry (the simulator is deterministic), so whichever
+// rename lands last simply overwrites equal bytes. On filesystems where
+// rename-over-existing fails (EEXIST semantics), a loser whose destination
+// already holds a valid equal entry treats the race as won by the other
+// writer and succeeds.
+func (c *Cache) writeEntry(hash string, b []byte) error {
 	tmp, err := os.CreateTemp(c.dir, ".put-*")
 	if err != nil {
 		return fmt.Errorf("explore: cache put: %w", err)
 	}
-	if _, err := tmp.Write(append(b, '\n')); err != nil {
+	if _, err := tmp.Write(b); err != nil {
 		tmp.Close()
 		os.Remove(tmp.Name())
 		return fmt.Errorf("explore: cache put: %w", err)
@@ -79,8 +174,12 @@ func (c *Cache) Put(p Point, m Metrics) error {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("explore: cache put: %w", err)
 	}
-	if err := os.Rename(tmp.Name(), c.path(p)); err != nil {
+	dst := filepath.Join(c.dir, hash+".json")
+	if err := os.Rename(tmp.Name(), dst); err != nil {
 		os.Remove(tmp.Name())
+		if cur, rerr := os.ReadFile(dst); rerr == nil && bytes.Equal(cur, b) {
+			return nil // a concurrent writer of the same point won the race
+		}
 		return fmt.Errorf("explore: cache put: %w", err)
 	}
 	return nil

@@ -71,8 +71,12 @@ type Engine struct {
 	// Workers bounds the pool; <= 0 selects runtime.GOMAXPROCS(0).
 	Workers int
 	// Cache, when non-nil, is consulted before and populated after every
-	// job, so re-running an enlarged sweep only simulates new points.
-	Cache *Cache
+	// job, so re-running an enlarged sweep only simulates new points. It is
+	// typically a *Cache (content-addressed disk files); a sweep-fabric
+	// worker installs a peer-backed tiered Store instead, making the cache
+	// fleet-wide. Beware of typed-nil interfaces: assign only a non-nil
+	// implementation.
+	Cache Store
 	// OnRecord, when non-nil, is invoked for every record exactly when it
 	// is streamed: strictly in job order, immediately after the record is
 	// encoded to Execute's writer (or where it would have been, when no

@@ -1,0 +1,167 @@
+package explore_test
+
+// The distributed sweep fabric relies on one property of this package: any
+// partition of an expanded spec, with each part executed by its own engine
+// and the lines merged back in canonical order, reproduces the unsharded
+// JSONL stream byte-for-byte — under any mix of cache hits and misses.
+// These tests pin that property directly against random hash-range
+// partitions, independent of the fabric's HTTP plumbing.
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"rispp/internal/explore"
+	"rispp/internal/fabric"
+)
+
+func partitionRun(ctx context.Context, p explore.Point) (explore.Metrics, error) {
+	h := int64(p.Hash64() % 1_000_000)
+	if p.NumACs == 13 {
+		return explore.Metrics{}, fmt.Errorf("unlucky budget %d", p.NumACs)
+	}
+	return explore.Metrics{
+		TotalCycles:  2_000_000 + h,
+		StallCycles:  h % 7777,
+		SWExecutions: int64(p.Frames),
+		HWExecutions: int64(p.NumACs) * 100,
+	}, nil
+}
+
+func partitionPoints(t *testing.T) []explore.Point {
+	t.Helper()
+	pts, err := explore.Spec{
+		Schedulers:   []string{"HEF", "Molen", "SJF", "FSFR"},
+		ACs:          []int{4, 8, 13, 16},
+		Frames:       []int{5, 10},
+		SceneChanges: []int{0, 3},
+	}.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pts
+}
+
+// stream executes the points on a fresh engine and returns the JSONL bytes.
+func stream(t *testing.T, pts []explore.Point, cache explore.Store) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	eng := &explore.Engine{Run: partitionRun, Workers: 3}
+	if cache != nil {
+		eng.Cache = cache
+	}
+	if _, err := eng.ExecutePoints(context.Background(), pts, &buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// shardAndMerge partitions pts across the worker ids by rendezvous hash,
+// streams every shard independently (in canonical sub-order, as a fabric
+// worker would), then reassembles the full stream in canonical order.
+func shardAndMerge(t *testing.T, pts []explore.Point, ids []string, cacheFor func(id string) explore.Store) []byte {
+	t.Helper()
+	shards := make(map[string][]explore.Point)
+	for _, p := range pts {
+		id := fabric.Owner(p.Hash64(), ids)
+		shards[id] = append(shards[id], p)
+	}
+	lines := make(map[string][][]byte)
+	for id, shard := range shards {
+		var cache explore.Store
+		if cacheFor != nil {
+			cache = cacheFor(id)
+		}
+		lines[id] = bytes.SplitAfter(stream(t, shard, cache), []byte("\n"))
+	}
+	var merged bytes.Buffer
+	next := make(map[string]int)
+	for _, p := range pts {
+		id := fabric.Owner(p.Hash64(), ids)
+		merged.Write(lines[id][next[id]])
+		next[id]++
+	}
+	return merged.Bytes()
+}
+
+func TestPartitionMergeByteIdentical(t *testing.T) {
+	pts := partitionPoints(t)
+	want := stream(t, pts, nil)
+
+	rng := rand.New(rand.NewSource(8264))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(5)
+		ids := make([]string, n)
+		for i := range ids {
+			ids[i] = fmt.Sprintf("worker-%d-%d", trial, rng.Intn(1000))
+		}
+		got := shardAndMerge(t, pts, ids, nil)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("trial %d (%d workers %v): merged stream differs from unsharded stream", trial, n, ids)
+		}
+	}
+}
+
+// TestPartitionMergeWithCacheMixes re-runs the property with every worker
+// holding its own cache pre-warmed with a random subset of the points: the
+// hit/miss mix varies per worker and per trial, the bytes must not.
+func TestPartitionMergeWithCacheMixes(t *testing.T) {
+	pts := partitionPoints(t)
+	want := stream(t, pts, nil)
+
+	rng := rand.New(rand.NewSource(2008))
+	for trial := 0; trial < 10; trial++ {
+		n := 2 + rng.Intn(4)
+		ids := make([]string, n)
+		caches := make(map[string]*explore.Cache, n)
+		for i := range ids {
+			ids[i] = fmt.Sprintf("w%d", i)
+			c, err := explore.OpenCache(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Warm a random subset — including points this worker does not
+			// own, and none of the failing ones (failures are never cached).
+			for _, p := range pts {
+				if rng.Intn(2) == 0 {
+					continue
+				}
+				if m, err := partitionRun(context.Background(), p); err == nil {
+					if err := c.Put(p, m); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			caches[ids[i]] = c
+		}
+		got := shardAndMerge(t, pts, ids, func(id string) explore.Store { return caches[id] })
+		if !bytes.Equal(got, want) {
+			t.Fatalf("trial %d (%d workers): cache-mixed merged stream differs from unsharded stream", trial, n)
+		}
+	}
+}
+
+// TestPartitionMergeSharedCache is the fleet configuration: every shard
+// consults one shared store (the coordinator cache tier), so later shards
+// may hit entries written moments ago by earlier ones.
+func TestPartitionMergeSharedCache(t *testing.T) {
+	pts := partitionPoints(t)
+	want := stream(t, pts, nil)
+
+	shared, err := explore.OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := []string{"a", "b", "c"}
+	cold := shardAndMerge(t, pts, ids, func(string) explore.Store { return shared })
+	if !bytes.Equal(cold, want) {
+		t.Fatal("cold shared-cache merged stream differs from unsharded stream")
+	}
+	warm := shardAndMerge(t, pts, ids, func(string) explore.Store { return shared })
+	if !bytes.Equal(warm, want) {
+		t.Fatal("warm shared-cache merged stream differs from unsharded stream")
+	}
+}

@@ -14,6 +14,7 @@ package explore
 
 import (
 	"crypto/sha256"
+	"encoding/binary"
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
@@ -84,6 +85,15 @@ func (p Point) Key() string {
 func (p Point) Hash() string {
 	h := sha256.Sum256([]byte(p.Key()))
 	return hex.EncodeToString(h[:])
+}
+
+// Hash64 returns the first 8 bytes of Hash as a big-endian integer — the
+// sharding key of the distributed sweep fabric. Shard assignment therefore
+// depends only on the canonical point key, never on enumeration order, so
+// any process that expands the same spec partitions it identically.
+func (p Point) Hash64() uint64 {
+	h := sha256.Sum256([]byte(p.Key()))
+	return binary.BigEndian.Uint64(h[:8])
 }
 
 // Spec declares a design-space sweep: the cross product of every non-empty

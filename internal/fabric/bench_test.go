@@ -1,0 +1,120 @@
+package fabric
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"rispp/internal/explore"
+)
+
+// benchSpec expands to 24 points — enough for rendezvous hashing to spread
+// work across a 4-worker fleet without long tail shards.
+var benchSpec = explore.Spec{
+	Schedulers: []string{"HEF", "Molen", "SJF"},
+	ACs:        []int{2, 4, 6, 8},
+	Frames:     []int{4, 8},
+}
+
+// benchWorker models one remote fleet worker: each point costs `service`
+// of wall-clock on that worker (its simulation time), metrics are the pure
+// fakeRun function of the point. The coordinator's win — the thing this
+// benchmark measures — is overlapping N workers' service time, so the
+// modeled cost must live on the worker, not the coordinator.
+func benchWorker(b *testing.B, service time.Duration) *httptest.Server {
+	b.Helper()
+	run := func(ctx context.Context, p explore.Point) (explore.Metrics, error) {
+		if service > 0 {
+			select {
+			case <-time.After(service):
+			case <-ctx.Done():
+				return explore.Metrics{}, ctx.Err()
+			}
+		}
+		return fakeRun(ctx, p)
+	}
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var req workerRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		eng := &explore.Engine{Run: run, Workers: 1}
+		eng.ExecutePoints(r.Context(), req.Points, w) //nolint:errcheck // streamed
+	}))
+	b.Cleanup(srv.Close)
+	return srv
+}
+
+// BenchmarkFabricSweep measures a cold sharded sweep end-to-end — HTTP
+// dispatch, worker streams, canonical reassembly — against fleets of 1, 2
+// and 4 workers whose per-point service time is 2ms (a stand-in for remote
+// simulation capacity; in-process workers on a shared CPU cannot exhibit
+// the fleet's wall-clock win). workers=1 is the serialized reference; the
+// PR-10 acceptance bar is >= 2x at workers=4.
+func BenchmarkFabricSweep(b *testing.B) {
+	const service = 2 * time.Millisecond
+	pts, err := benchSpec.Expand()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			coord := NewCoordinator()
+			for i := 0; i < workers; i++ {
+				ws := benchWorker(b, service)
+				if err := coord.Register(fmt.Sprintf("w%d", i+1), ws.URL); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				lines := 0
+				err := coord.Sweep(context.Background(), pts, SweepOptions{
+					Emit: func([]byte) error { lines++; return nil },
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if lines != len(pts) {
+					b.Fatalf("sweep emitted %d of %d records", lines, len(pts))
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFabricOverhead is the coordinator tax in isolation: zero-service
+// workers, so everything measured is dispatch, JSON decode on the worker,
+// record verification and contiguous-flush reassembly. Gated so the fabric
+// hot path cannot quietly bloat.
+func BenchmarkFabricOverhead(b *testing.B) {
+	pts, err := benchSpec.Expand()
+	if err != nil {
+		b.Fatal(err)
+	}
+	coord := NewCoordinator()
+	for i := 0; i < 4; i++ {
+		ws := benchWorker(b, 0)
+		if err := coord.Register(fmt.Sprintf("w%d", i+1), ws.URL); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lines := 0
+		err := coord.Sweep(context.Background(), pts, SweepOptions{
+			Emit: func([]byte) error { lines++; return nil },
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if lines != len(pts) {
+			b.Fatalf("sweep emitted %d of %d records", lines, len(pts))
+		}
+	}
+}

@@ -1,0 +1,148 @@
+package fabric
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync/atomic"
+
+	"rispp/internal/explore"
+)
+
+// Peer is an HTTP client for the cache-peer protocol: GET/PUT
+// /v1/cache/{hash} against another fabric node (typically the
+// coordinator). Entries travel in the canonical stored form
+// (explore.EncodeEntry) and every read is validated against the requesting
+// point, so a misbehaving peer degrades to cache misses, never to wrong
+// results.
+type Peer struct {
+	// Client performs the requests; http.DefaultClient if nil.
+	Client *http.Client
+
+	base string
+
+	hits, misses, errs atomic.Int64
+}
+
+// NewPeer returns a client for the peer at the given base URL.
+func NewPeer(baseURL string) *Peer {
+	return &Peer{base: strings.TrimSuffix(baseURL, "/")}
+}
+
+// URL returns the peer's base URL.
+func (p *Peer) URL() string { return p.base }
+
+// Stats reports lifetime counters: validated remote hits, misses (including
+// invalid entries), and transport/protocol errors.
+func (p *Peer) Stats() (hits, misses, errs int64) {
+	return p.hits.Load(), p.misses.Load(), p.errs.Load()
+}
+
+func (p *Peer) client() *http.Client {
+	if p.Client != nil {
+		return p.Client
+	}
+	return http.DefaultClient
+}
+
+// Get fetches the entry for the point from the peer. Any transport error,
+// non-200 status, or entry that fails validation against the point is a
+// miss.
+func (p *Peer) Get(pt explore.Point) (explore.Metrics, bool) {
+	resp, err := p.client().Get(p.base + "/v1/cache/" + pt.Hash())
+	if err != nil {
+		p.errs.Add(1)
+		return explore.Metrics{}, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck // draining for keep-alive
+		p.misses.Add(1)
+		return explore.Metrics{}, false
+	}
+	b, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		p.errs.Add(1)
+		return explore.Metrics{}, false
+	}
+	m, ok := explore.DecodeEntry(pt, b)
+	if !ok {
+		p.misses.Add(1)
+		return explore.Metrics{}, false
+	}
+	p.hits.Add(1)
+	return m, true
+}
+
+// Put uploads the entry for the point to the peer.
+func (p *Peer) Put(pt explore.Point, m explore.Metrics) error {
+	body := explore.EncodeEntry(pt, m)
+	req, err := http.NewRequest(http.MethodPut, p.base+"/v1/cache/"+pt.Hash(), bytes.NewReader(body))
+	if err != nil {
+		p.errs.Add(1)
+		return fmt.Errorf("fabric: cache put: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := p.client().Do(req)
+	if err != nil {
+		p.errs.Add(1)
+		return fmt.Errorf("fabric: cache put: %w", err)
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck // draining for keep-alive
+	if resp.StatusCode != http.StatusNoContent && resp.StatusCode != http.StatusOK {
+		p.errs.Add(1)
+		return fmt.Errorf("fabric: cache put: peer status %s", resp.Status)
+	}
+	return nil
+}
+
+// Tiered is the fleet-wide result store of a worker: a local
+// content-addressed disk cache backed by a remote peer. Gets try the local
+// tier first, then the peer (backfilling the local tier on a remote hit);
+// Puts write through to both. The peer side is strictly best-effort — a
+// dead peer degrades the fabric to per-worker caching, it never fails a
+// sweep point.
+type Tiered struct {
+	// Local is the disk tier; may be nil (peer-only operation).
+	Local *explore.Cache
+	// Peer is the remote tier; may be nil (equivalent to using Local
+	// directly).
+	Peer *Peer
+}
+
+var _ explore.Store = (*Tiered)(nil)
+
+// Get consults local then peer.
+func (t *Tiered) Get(p explore.Point) (explore.Metrics, bool) {
+	if t.Local != nil {
+		if m, ok := t.Local.Get(p); ok {
+			return m, true
+		}
+	}
+	if t.Peer != nil {
+		if m, ok := t.Peer.Get(p); ok {
+			if t.Local != nil {
+				t.Local.Put(p, m) //nolint:errcheck // backfill is best-effort
+			}
+			return m, true
+		}
+	}
+	return explore.Metrics{}, false
+}
+
+// Put writes through to both tiers. Only a local-tier failure is reported
+// (it breaks restart warm-starts and is surfaced as a record warning); the
+// peer tier is best-effort and its failures show up in Peer.Stats.
+func (t *Tiered) Put(p explore.Point, m explore.Metrics) error {
+	var err error
+	if t.Local != nil {
+		err = t.Local.Put(p, m)
+	}
+	if t.Peer != nil {
+		t.Peer.Put(p, m) //nolint:errcheck // best-effort; counted in Stats
+	}
+	return err
+}

@@ -1,0 +1,286 @@
+package fabric
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// JobState is the lifecycle of an async sweep job.
+type JobState string
+
+const (
+	JobRunning  JobState = "running"
+	JobDone     JobState = "done"
+	JobFailed   JobState = "failed"
+	JobCanceled JobState = "canceled"
+)
+
+// Terminal reports whether the state is final.
+func (s JobState) Terminal() bool { return s != JobRunning }
+
+// ShardProgress is the per-worker progress of a job's sweep.
+type ShardProgress struct {
+	Worker   string `json:"worker"`
+	Assigned int    `json:"assigned"`
+	Done     int    `json:"done"`
+}
+
+// JobStatus is the poll snapshot of a job (GET /v1/jobs/{id}).
+type JobStatus struct {
+	ID    string   `json:"id"`
+	State JobState `json:"state"`
+	// Total and Done count spec points; Bytes is the size of the record
+	// stream so far (the resume offset of a fully-read stream).
+	Total int    `json:"total"`
+	Done  int    `json:"done"`
+	Bytes int64  `json:"bytes"`
+	Error string `json:"error,omitempty"`
+	// Shards breaks progress down per worker (coordinator-backed jobs
+	// only), sorted by worker ID.
+	Shards  []ShardProgress `json:"shards,omitempty"`
+	Created time.Time       `json:"created"`
+	Updated time.Time       `json:"updated"`
+}
+
+// Job is one asynchronous sweep: the record lines accumulate in canonical
+// order inside the store, so any number of clients can stream, disconnect,
+// and resume from a record offset while the sweep keeps running.
+type Job struct {
+	id     string
+	total  int
+	cancel context.CancelFunc
+
+	mu      sync.Mutex
+	lines   [][]byte
+	bytes   int64
+	state   JobState
+	errMsg  string
+	shards  map[string]*ShardProgress
+	created time.Time
+	updated time.Time
+	changed chan struct{} // closed and replaced on every state change
+}
+
+// ID returns the job identifier.
+func (j *Job) ID() string { return j.id }
+
+// Append records the next line of the stream (canonical order). The line
+// is retained as given — callers must not reuse the buffer.
+func (j *Job) Append(line []byte) {
+	j.mu.Lock()
+	j.lines = append(j.lines, line)
+	j.bytes += int64(len(line))
+	j.touch()
+	j.mu.Unlock()
+}
+
+// Shard updates the per-worker progress counters.
+func (j *Job) Shard(worker string, assigned, done int) {
+	j.mu.Lock()
+	sp := j.shards[worker]
+	if sp == nil {
+		sp = &ShardProgress{Worker: worker}
+		j.shards[worker] = sp
+	}
+	sp.Assigned += assigned
+	sp.Done += done
+	j.touch()
+	j.mu.Unlock()
+}
+
+// Finish moves the job to its terminal state: done on nil error, canceled
+// on context.Canceled, failed otherwise. Idempotent after the first call.
+func (j *Job) Finish(err error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.Terminal() {
+		return
+	}
+	switch {
+	case err == nil:
+		j.state = JobDone
+	case errors.Is(err, context.Canceled):
+		j.state = JobCanceled
+		j.errMsg = err.Error()
+	default:
+		j.state = JobFailed
+		j.errMsg = err.Error()
+	}
+	j.touch()
+}
+
+// Cancel stops the job's sweep; Finish then records the terminal state.
+func (j *Job) Cancel() { j.cancel() }
+
+// Status returns a poll snapshot.
+func (j *Job) Status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{
+		ID: j.id, State: j.state, Total: j.total, Done: len(j.lines),
+		Bytes: j.bytes, Error: j.errMsg, Created: j.created, Updated: j.updated,
+	}
+	for _, sp := range j.shards {
+		st.Shards = append(st.Shards, *sp)
+	}
+	sort.Slice(st.Shards, func(i, k int) bool { return st.Shards[i].Worker < st.Shards[k].Worker })
+	return st
+}
+
+// touch must run with j.mu held: it stamps the update time and wakes every
+// stream waiting for more lines.
+func (j *Job) touch() {
+	j.updated = time.Now().UTC()
+	close(j.changed)
+	j.changed = make(chan struct{})
+}
+
+// LinesFrom returns the lines at record offsets [from, len), the job state,
+// and a channel that closes on the next change — the building blocks of a
+// resumable stream: write the batch, and if the state is not yet terminal,
+// wait on the channel for more.
+func (j *Job) LinesFrom(from int) (lines [][]byte, state JobState, changed <-chan struct{}) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if from < 0 {
+		from = 0
+	}
+	if from < len(j.lines) {
+		lines = j.lines[from:len(j.lines):len(j.lines)]
+	}
+	return lines, j.state, j.changed
+}
+
+// JobStore holds the jobs of one serving process. Terminal jobs beyond the
+// retention cap are evicted oldest-first; running jobs are never evicted,
+// and Create fails when the store is full of them.
+type JobStore struct {
+	mu   sync.Mutex
+	jobs map[string]*Job
+	// order tracks creation order for eviction.
+	order []string
+	max   int
+}
+
+// NewJobStore returns a store retaining at most max jobs (64 if <= 0).
+func NewJobStore(max int) *JobStore {
+	if max <= 0 {
+		max = 64
+	}
+	return &JobStore{jobs: make(map[string]*Job), max: max}
+}
+
+// Create registers a new running job over total points whose sweep can be
+// stopped via cancel.
+func (s *JobStore) Create(total int, cancel context.CancelFunc) (*Job, error) {
+	id, err := newJobID()
+	if err != nil {
+		return nil, err
+	}
+	now := time.Now().UTC()
+	j := &Job{
+		id: id, total: total, cancel: cancel, state: JobRunning,
+		shards: make(map[string]*ShardProgress), created: now, updated: now,
+		changed: make(chan struct{}),
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for len(s.jobs) >= s.max {
+		if !s.evictOldestTerminal() {
+			return nil, fmt.Errorf("fabric: job store full: %d jobs running", len(s.jobs))
+		}
+	}
+	s.jobs[id] = j
+	s.order = append(s.order, id)
+	return j, nil
+}
+
+// Get returns the job by ID.
+func (s *JobStore) Get(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// List returns the status of every retained job in creation order.
+func (s *JobStore) List() []JobStatus {
+	s.mu.Lock()
+	jobs := make([]*Job, 0, len(s.jobs))
+	for _, id := range s.order {
+		if j, ok := s.jobs[id]; ok {
+			jobs = append(jobs, j)
+		}
+	}
+	s.mu.Unlock()
+	out := make([]JobStatus, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.Status()
+	}
+	return out
+}
+
+// Counts reports the running and total retained jobs (metrics hook).
+func (s *JobStore) Counts() (running, retained int) {
+	s.mu.Lock()
+	jobs := make([]*Job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		jobs = append(jobs, j)
+	}
+	s.mu.Unlock()
+	for _, j := range jobs {
+		j.mu.Lock()
+		if !j.state.Terminal() {
+			running++
+		}
+		j.mu.Unlock()
+	}
+	return running, len(jobs)
+}
+
+// CancelAll cancels every running job — the serving layer's shutdown hook.
+func (s *JobStore) CancelAll() {
+	s.mu.Lock()
+	jobs := make([]*Job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		jobs = append(jobs, j)
+	}
+	s.mu.Unlock()
+	for _, j := range jobs {
+		j.Cancel()
+	}
+}
+
+// evictOldestTerminal runs with s.mu held.
+func (s *JobStore) evictOldestTerminal() bool {
+	for k, id := range s.order {
+		j, ok := s.jobs[id]
+		if !ok {
+			s.order = append(s.order[:k], s.order[k+1:]...)
+			return s.evictOldestTerminal()
+		}
+		j.mu.Lock()
+		terminal := j.state.Terminal()
+		j.mu.Unlock()
+		if terminal {
+			delete(s.jobs, id)
+			s.order = append(s.order[:k], s.order[k+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+func newJobID() (string, error) {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "", fmt.Errorf("fabric: job id: %w", err)
+	}
+	return "j" + hex.EncodeToString(b[:]), nil
+}

@@ -1,0 +1,54 @@
+// Package fabric is the distributed sweep fabric of the RISPP evaluation
+// platform: a coordinator that shards design-space sweeps across a fleet of
+// risppserve worker backends, an async job store so huge sweeps survive
+// client disconnects, and a cache-peer tier that makes the content-addressed
+// result cache fleet-wide.
+//
+// Sharding uses rendezvous (highest-random-weight) hashing over
+// explore.Point.Hash64: every point's owner is the live worker with the
+// highest mixed score, so workers joining or leaving move only the points
+// they win or lose — there is no ring state to rebalance. The coordinator
+// streams each shard's JSONL response back, reassembles the merged stream
+// strictly in canonical spec order, and — because every record line is a
+// pure function of its point (cache hits and misses serialize identically)
+// — the merged stream is byte-identical to a single-process /v1/explore of
+// the same spec. Workers that fail or stall mid-shard are marked dead and
+// their unfinished points are re-hashed across the survivors.
+package fabric
+
+import "hash/fnv"
+
+// Owner returns the id from ids that wins the rendezvous election for a
+// point hash: the id with the highest mixed score. Ties (astronomically
+// unlikely with 64-bit scores) break toward the lexicographically smaller
+// id so every process agrees. An empty ids slice elects no one ("").
+func Owner(hash64 uint64, ids []string) string {
+	if len(ids) == 0 {
+		return ""
+	}
+	best := ids[0]
+	bestScore := score(hash64, ids[0])
+	for _, id := range ids[1:] {
+		s := score(hash64, id)
+		if s > bestScore || (s == bestScore && id < best) {
+			best, bestScore = id, s
+		}
+	}
+	return best
+}
+
+// score mixes a point hash with a worker id into the rendezvous weight.
+// The id is reduced with FNV-1a, then the pair is finalized with a
+// splitmix64-style avalanche so near-identical ids and hashes still spread
+// uniformly.
+func score(hash64 uint64, id string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(id)) //nolint:errcheck // hash.Hash never errors
+	x := hash64 ^ h.Sum64()
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

@@ -1,0 +1,333 @@
+package load
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"rispp"
+	"rispp/internal/explore"
+	"rispp/internal/fabric"
+	"rispp/internal/serve"
+)
+
+// FleetProfile configures a distributed-sweep correctness run: K in-process
+// risppserve workers behind one coordinator, a sweep sharded across them
+// with one worker killed mid-stream, and the merged output held to byte
+// parity with a single-process sweep of the same spec.
+type FleetProfile struct {
+	// Workers is the fleet size (3 if <= 0).
+	Workers int `json:"workers"`
+	// Spec is the sweep; empty selects a 24-point scheduler × budget grid at
+	// 2 frames.
+	Spec explore.Spec `json:"spec"`
+	// KillWorker, when true (the default via RunFleet), hard-kills one
+	// worker — connections dropped mid-stream, no drain — after
+	// KillAfterLines merged records have arrived.
+	KillWorker bool `json:"kill_worker"`
+	// KillAfterLines counts merged records before the kill (1 if <= 0).
+	KillAfterLines int `json:"kill_after_lines"`
+	// CacheDir roots the per-node cache directories; empty uses a temp dir.
+	CacheDir string `json:"cache_dir,omitempty"`
+}
+
+// FleetReport is the outcome of RunFleet.
+type FleetReport struct {
+	Points  int    `json:"points"`
+	Workers int    `json:"workers"`
+	Killed  string `json:"killed,omitempty"`
+	// ColdLines / WarmLines count merged records of the two sweeps (both
+	// must equal Points for a complete run).
+	ColdLines int `json:"cold_lines"`
+	WarmLines int `json:"warm_lines"`
+	// ParityOK: both fleet streams are byte-identical to the single-process
+	// stream.
+	ParityOK bool `json:"parity_ok"`
+	// ColdSimulated counts fleet-wide simulator runs of the first sweep;
+	// WarmSimulated counts the second sweep's (must be 0 — every point is in
+	// the shared cache tier).
+	ColdSimulated int64 `json:"cold_simulated"`
+	WarmSimulated int64 `json:"warm_simulated"`
+	// ShardRetries / WorkerFailures are the coordinator's lifetime counters.
+	ShardRetries   int64 `json:"shard_retries"`
+	WorkerFailures int64 `json:"worker_failures"`
+
+	Pass       bool     `json:"pass"`
+	Violations []string `json:"violations,omitempty"`
+}
+
+func (p FleetProfile) withDefaults() FleetProfile {
+	if p.Workers <= 0 {
+		p.Workers = 3
+	}
+	if p.KillAfterLines <= 0 {
+		p.KillAfterLines = 1
+	}
+	if specEmpty(p.Spec) {
+		p.Spec = explore.Spec{
+			Schedulers: []string{"HEF", "Molen", "SJF", "software"},
+			ACs:        []int{2, 4, 6, 8, 10, 12},
+			Frames:     []int{2},
+		}
+	}
+	return p
+}
+
+// specEmpty reports whether the spec is entirely empty (an empty spec
+// expands to no points).
+func specEmpty(s explore.Spec) bool {
+	pts, err := s.Expand()
+	return err == nil && len(pts) == 0
+}
+
+// fleetNode is one spawned serve process stand-in: a handler behind a real
+// loopback listener, plus the http.Server that can hard-kill its
+// connections.
+type fleetNode struct {
+	id   string
+	hs   *http.Server
+	url  string
+	dead bool
+}
+
+func (n *fleetNode) kill() {
+	n.dead = true
+	n.hs.Close() //nolint:errcheck // hard kill: listeners and live conns drop
+}
+
+// spawnNode starts a serve handler on a loopback port with an abrupt-kill
+// handle.
+func spawnNode(srv *serve.Server) (*fleetNode, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("load: fleet listener: %w", err)
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln) //nolint:errcheck // ends via Close
+	return &fleetNode{hs: hs, url: "http://" + ln.Addr().String()}, nil
+}
+
+// RunFleet executes the distributed-sweep correctness scenario and reduces
+// it to a FleetReport: harness failures are errors, assertion failures are
+// Violations with Pass=false. It is the teeth behind the CI fabric-smoke
+// job.
+func RunFleet(ctx context.Context, p FleetProfile, logf func(string, ...any)) (*FleetReport, error) {
+	p = p.withDefaults()
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	points, err := p.Spec.Expand()
+	if err != nil {
+		return nil, fmt.Errorf("load: fleet spec: %w", err)
+	}
+	rep := &FleetReport{Points: len(points), Workers: p.Workers}
+
+	cacheRoot := p.CacheDir
+	if cacheRoot == "" {
+		dir, err := os.MkdirTemp("", "rispp-fleet-*")
+		if err != nil {
+			return nil, fmt.Errorf("load: fleet cache root: %w", err)
+		}
+		defer os.RemoveAll(dir) //nolint:errcheck // best-effort cleanup
+		cacheRoot = dir
+	}
+	quiet := func(string, ...any) {}
+
+	// Coordinator node: fleet registry plus the shared cache tier.
+	coordCache, err := explore.OpenCache(cacheRoot + "/coordinator")
+	if err != nil {
+		return nil, fmt.Errorf("load: %w", err)
+	}
+	coord := fabric.NewCoordinator()
+	coord.Logf = logf
+	coordSrv := serve.New(serve.Config{}, rispp.Config{})
+	coordSrv.Logf = quiet
+	coordSrv.SetExploreCache(coordCache)
+	coordSrv.SetCoordinator(coord)
+	coordNode, err := spawnNode(coordSrv)
+	if err != nil {
+		return nil, err
+	}
+	defer coordNode.kill()
+
+	// Worker nodes: tiered store through the coordinator's cache.
+	var nodes []*fleetNode
+	for i := 0; i < p.Workers; i++ {
+		local, err := explore.OpenCache(fmt.Sprintf("%s/w%d", cacheRoot, i+1))
+		if err != nil {
+			return nil, fmt.Errorf("load: %w", err)
+		}
+		ws := serve.New(serve.Config{}, rispp.Config{})
+		ws.Logf = quiet
+		ws.SetExploreStore(&fabric.Tiered{Local: local, Peer: fabric.NewPeer(coordNode.url)}, local)
+		node, err := spawnNode(ws)
+		if err != nil {
+			return nil, err
+		}
+		node.id = fmt.Sprintf("w%d", i+1)
+		defer node.kill()
+		nodes = append(nodes, node)
+		if err := coord.Register(node.id, node.url); err != nil {
+			return nil, fmt.Errorf("load: %w", err)
+		}
+	}
+
+	// Single-process ground truth.
+	refSrv := serve.New(serve.Config{}, rispp.Config{})
+	refSrv.Logf = quiet
+	refNode, err := spawnNode(refSrv)
+	if err != nil {
+		return nil, err
+	}
+	defer refNode.kill()
+	want, _, err := fleetSweep(ctx, refNode.url, p.Spec, nil)
+	if err != nil {
+		return nil, fmt.Errorf("load: reference sweep: %w", err)
+	}
+
+	// Cold fleet sweep, killing one worker mid-stream. The victim is the
+	// owner of the last point in canonical order: its shard cannot be fully
+	// merged when the first line arrives, so the kill always lands while the
+	// fleet still owes it work.
+	var victim *fleetNode
+	if p.KillWorker {
+		ids := make([]string, len(nodes))
+		for i, n := range nodes {
+			ids[i] = n.id
+		}
+		owner := fabric.Owner(points[len(points)-1].Hash64(), ids)
+		for _, n := range nodes {
+			if n.id == owner {
+				victim = n
+			}
+		}
+		rep.Killed = victim.id
+	}
+	cold, coldLines, err := fleetSweep(ctx, coordNode.url, p.Spec, func(line int) {
+		if victim != nil && line == p.KillAfterLines && !victim.dead {
+			logf("load: killing worker %s after %d merged lines", victim.id, line)
+			victim.kill()
+		}
+	})
+	if err != nil {
+		return nil, fmt.Errorf("load: cold fleet sweep: %w", err)
+	}
+	rep.ColdLines = coldLines
+	rep.ColdSimulated = fleetSimulated(ctx, nodes)
+
+	// Warm fleet sweep over the survivors: the shared cache tier must answer
+	// every point.
+	warm, warmLines, err := fleetSweep(ctx, coordNode.url, p.Spec, nil)
+	if err != nil {
+		return nil, fmt.Errorf("load: warm fleet sweep: %w", err)
+	}
+	rep.WarmLines = warmLines
+	rep.WarmSimulated = fleetSimulated(ctx, nodes) - rep.ColdSimulated
+	rep.ShardRetries, rep.WorkerFailures = coord.Stats()
+
+	rep.ParityOK = bytes.Equal(cold, want) && bytes.Equal(warm, want)
+	if !rep.ParityOK {
+		if !bytes.Equal(cold, want) {
+			rep.Violations = append(rep.Violations,
+				fmt.Sprintf("cold fleet stream differs from single-process stream (%d vs %d bytes)", len(cold), len(want)))
+		}
+		if !bytes.Equal(warm, want) {
+			rep.Violations = append(rep.Violations,
+				fmt.Sprintf("warm fleet stream differs from single-process stream (%d vs %d bytes)", len(warm), len(want)))
+		}
+	}
+	if coldLines != len(points) {
+		rep.Violations = append(rep.Violations,
+			fmt.Sprintf("cold sweep incomplete: %d of %d records", coldLines, len(points)))
+	}
+	if warmLines != len(points) {
+		rep.Violations = append(rep.Violations,
+			fmt.Sprintf("warm sweep incomplete: %d of %d records", warmLines, len(points)))
+	}
+	if rep.WarmSimulated != 0 {
+		rep.Violations = append(rep.Violations,
+			fmt.Sprintf("warm sweep re-simulated %d points fleet-wide, want 0", rep.WarmSimulated))
+	}
+	if p.KillWorker && rep.WorkerFailures == 0 {
+		rep.Violations = append(rep.Violations, "worker kill was not observed by the coordinator")
+	}
+	rep.Pass = len(rep.Violations) == 0
+	return rep, nil
+}
+
+// fleetSweep posts the spec to target's /v1/explore and returns the raw
+// JSONL stream plus its record count. onLine, when non-nil, runs after
+// every received record with the 1-based count — the kill hook.
+func fleetSweep(ctx context.Context, target string, spec explore.Spec, onLine func(int)) ([]byte, int, error) {
+	body, err := marshalSpec(spec)
+	if err != nil {
+		return nil, 0, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, target+"/v1/explore", bytes.NewReader(body))
+	if err != nil {
+		return nil, 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close() //nolint:errcheck
+	if resp.StatusCode != http.StatusOK {
+		return nil, 0, fmt.Errorf("explore status %d", resp.StatusCode)
+	}
+	var out bytes.Buffer
+	rd := bufio.NewReader(resp.Body)
+	lines := 0
+	for {
+		line, err := rd.ReadBytes('\n')
+		out.Write(line)
+		if len(line) > 0 && line[len(line)-1] == '\n' {
+			lines++
+			if onLine != nil {
+				onLine(lines)
+			}
+		}
+		if err != nil {
+			break
+		}
+	}
+	return out.Bytes(), lines, nil
+}
+
+func marshalSpec(spec explore.Spec) ([]byte, error) {
+	body, err := json.Marshal(serve.ExploreRequest{Spec: spec})
+	if err != nil {
+		return nil, fmt.Errorf("load: marshal spec: %w", err)
+	}
+	return body, nil
+}
+
+// fleetSimulated sums rispp_explore_simulated_total across the live nodes.
+// Dead nodes contribute nothing — they are not running sweeps either.
+func fleetSimulated(ctx context.Context, nodes []*fleetNode) int64 {
+	client := &http.Client{Timeout: 5 * time.Second}
+	var total int64
+	for _, n := range nodes {
+		if n.dead {
+			continue
+		}
+		text, err := fetchText(ctx, client, n.url+"/metrics")
+		if err != nil {
+			continue
+		}
+		for _, line := range strings.Split(text, "\n") {
+			if name, _, v, ok := parseLine(line); ok && name == "rispp_explore_simulated_total" {
+				total += int64(v)
+			}
+		}
+	}
+	return total
+}

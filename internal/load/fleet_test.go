@@ -1,0 +1,71 @@
+package load
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"rispp/internal/explore"
+)
+
+// TestRunFleet is satellite coverage for the fabric-smoke scenario: a
+// 3-worker fleet with one worker killed mid-sweep must still produce a
+// complete, byte-identical stream and answer the warm re-run entirely from
+// the shared cache tier.
+func TestRunFleet(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	rep, err := RunFleet(ctx, FleetProfile{
+		Workers:    3,
+		KillWorker: true,
+		Spec: explore.Spec{
+			Schedulers: []string{"HEF", "Molen", "software"},
+			ACs:        []int{2, 6, 10},
+			Frames:     []int{2},
+		},
+		CacheDir: t.TempDir(),
+	}, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Pass {
+		t.Fatalf("fleet run failed: %v", rep.Violations)
+	}
+	if rep.Killed == "" || rep.WorkerFailures == 0 {
+		t.Errorf("kill not exercised: killed=%q failures=%d", rep.Killed, rep.WorkerFailures)
+	}
+	if rep.ColdSimulated == 0 {
+		t.Error("cold sweep reported zero simulations")
+	}
+	if rep.WarmSimulated != 0 {
+		t.Errorf("warm sweep re-simulated %d points", rep.WarmSimulated)
+	}
+	if rep.ColdLines != rep.Points || rep.WarmLines != rep.Points {
+		t.Errorf("incomplete streams: cold=%d warm=%d points=%d", rep.ColdLines, rep.WarmLines, rep.Points)
+	}
+}
+
+// TestRunFleetNoKill: the quiet path (no induced failure) must also pass
+// and observe zero worker failures.
+func TestRunFleetNoKill(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	rep, err := RunFleet(ctx, FleetProfile{
+		Workers: 2,
+		Spec: explore.Spec{
+			Schedulers: []string{"HEF", "SJF"},
+			ACs:        []int{4, 8},
+			Frames:     []int{2},
+		},
+		CacheDir: t.TempDir(),
+	}, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Pass {
+		t.Fatalf("fleet run failed: %v", rep.Violations)
+	}
+	if rep.WorkerFailures != 0 {
+		t.Errorf("no kill requested but %d worker failures recorded", rep.WorkerFailures)
+	}
+}

@@ -5,9 +5,17 @@
 //
 //	POST /v1/simulate   one design point → full JSON result
 //	POST /v1/explore    a sweep spec → JSONL record stream (risppexplore bytes)
+//	POST /v1/jobs       a sweep spec → async job id (resumable record stream)
+//	GET  /v1/jobs/{id}  job progress; /stream?offset=N resumes the records
 //	POST /v1/suggest    adaptive-search proposals: next points + Pareto front
+//	GET  /v1/cache/{h}  cache-peer protocol: fleet-shared result entries
+//	POST /v1/workers    fleet registry (coordinator nodes)
 //	GET  /v1/healthz    liveness + drain state
 //	GET  /metrics       Prometheus text exposition (stdlib only)
+//
+// A node becomes a sweep-fabric coordinator via Server.SetCoordinator:
+// /v1/explore and /v1/jobs then shard across the registered workers (see
+// internal/fabric), byte-identical to local execution.
 //
 // Requests are validated up front, deduplicated by the exploration
 // engine's canonical point key, and executed on a bounded simulation
@@ -62,6 +70,10 @@ type Config struct {
 	// (immediate shed on saturation, no quotas). Limits can be hot-swapped
 	// at run time with Server.UpdateQoS.
 	QoS QoSConfig
+	// MaxJobs caps the async sweep jobs retained by /v1/jobs; terminal
+	// jobs beyond the cap are evicted oldest-first, and job creation fails
+	// once the store is full of running jobs (0: 64).
+	MaxJobs int
 	// EnablePprof mounts net/http/pprof under /debug/pprof/ (CPU, heap,
 	// goroutine, ... profiles). Off by default: profiling endpoints leak
 	// internals and cost CPU, so production fleets opt in explicitly.
@@ -102,6 +114,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RetryAfter == 0 {
 		c.RetryAfter = time.Second
+	}
+	if c.MaxJobs <= 0 {
+		c.MaxJobs = 64
 	}
 	return c
 }

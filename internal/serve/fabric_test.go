@@ -1,0 +1,430 @@
+package serve
+
+// Serving-layer tests of the distributed sweep fabric: coordinator-backed
+// /v1/explore (byte parity with a single process, worker loss), the async
+// job API, the cache-peer endpoints and the fleet registry.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"rispp/internal/explore"
+	"rispp/internal/fabric"
+)
+
+var fleetSpec = ExploreRequest{Spec: explore.Spec{
+	Schedulers: []string{"HEF", "Molen", "software"},
+	ACs:        []int{4, 10},
+	Frames:     []int{2},
+}}
+
+// newFleet starts n worker servers and one coordinator server wired to
+// them, all in-process. Returned handlers speak full serve semantics.
+func newFleet(t *testing.T, n int) (coord *Server, workers []*httptest.Server) {
+	t.Helper()
+	c := fabric.NewCoordinator()
+	c.Logf = t.Logf
+	for i := 0; i < n; i++ {
+		ws := httptest.NewServer(newTestServer(t, Config{}).Handler())
+		t.Cleanup(ws.Close)
+		workers = append(workers, ws)
+		if err := c.Register(fmt.Sprintf("w%d", i+1), ws.URL); err != nil {
+			t.Fatal(err)
+		}
+	}
+	coord = newTestServer(t, Config{})
+	coord.SetCoordinator(c)
+	return coord, workers
+}
+
+func exploreBytes(t *testing.T, h http.Handler, req ExploreRequest) []byte {
+	t.Helper()
+	w := postJSON(t, h, "/v1/explore", req)
+	if w.Code != http.StatusOK {
+		t.Fatalf("explore status %d: %s", w.Code, w.Body.String())
+	}
+	return w.Body.Bytes()
+}
+
+// TestFleetExploreByteParity is the tentpole acceptance: /v1/explore
+// sharded across three in-process workers must stream byte-identical
+// results to the single-process endpoint.
+func TestFleetExploreByteParity(t *testing.T) {
+	single := newTestServer(t, Config{})
+	want := exploreBytes(t, single.Handler(), fleetSpec)
+
+	coord, _ := newFleet(t, 3)
+	got := exploreBytes(t, coord.Handler(), fleetSpec)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("fleet stream (%d bytes) differs from single-process stream (%d bytes)", len(got), len(want))
+	}
+
+	// The fleet did the simulating; the coordinator's own engine ran nothing.
+	if n := coord.met.engineSim.Load(); n != 0 {
+		t.Errorf("coordinator simulated %d points itself", n)
+	}
+	metrics := coord.Metrics()
+	if !strings.Contains(metrics, `rispp_fabric_workers{state="live"} 3`) {
+		t.Errorf("metrics missing live worker gauge:\n%s", metrics)
+	}
+}
+
+// TestFleetExploreSurvivesDeadWorker registers one unreachable worker among
+// live ones: its shard must re-hash to the survivors with byte parity kept.
+func TestFleetExploreSurvivesDeadWorker(t *testing.T) {
+	single := newTestServer(t, Config{})
+	want := exploreBytes(t, single.Handler(), fleetSpec)
+
+	coord, workers := newFleet(t, 3)
+	workers[1].Close() // dies before the sweep: connection refused mid-fleet
+
+	got := exploreBytes(t, coord.Handler(), fleetSpec)
+	if !bytes.Equal(got, want) {
+		t.Fatal("fleet stream with a dead worker differs from single-process stream")
+	}
+	_, failures := coord.Coordinator().Stats()
+	if failures != 1 {
+		t.Errorf("worker failures = %d, want 1", failures)
+	}
+	if !strings.Contains(coord.Metrics(), `rispp_fabric_workers{state="dead"} 1`) {
+		t.Error("metrics missing dead worker gauge")
+	}
+}
+
+// TestFleetExploreFallsBackLocally: a coordinator with an empty (or fully
+// dead) fleet must execute the sweep itself rather than fail it.
+func TestFleetExploreFallsBackLocally(t *testing.T) {
+	single := newTestServer(t, Config{})
+	want := exploreBytes(t, single.Handler(), fleetSpec)
+
+	coord := newTestServer(t, Config{})
+	coord.SetCoordinator(fabric.NewCoordinator())
+	got := exploreBytes(t, coord.Handler(), fleetSpec)
+	if !bytes.Equal(got, want) {
+		t.Fatal("local fallback stream differs from single-process stream")
+	}
+	if n := coord.met.engineSim.Load(); n == 0 {
+		t.Error("fallback did not run the local engine")
+	}
+}
+
+func waitJobDone(t *testing.T, h http.Handler, id string) fabric.JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		req := httptest.NewRequest(http.MethodGet, "/v1/jobs/"+id, nil)
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, req)
+		if w.Code != http.StatusOK {
+			t.Fatalf("job status %d: %s", w.Code, w.Body.String())
+		}
+		var st fabric.JobStatus
+		if err := json.Unmarshal(w.Body.Bytes(), &st); err != nil {
+			t.Fatal(err)
+		}
+		if st.State.Terminal() {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s still %s", id, st.State)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func streamJobBytes(t *testing.T, h http.Handler, id string, offset int) []byte {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, fmt.Sprintf("/v1/jobs/%s/stream?offset=%d", id, offset), nil)
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	if w.Code != http.StatusOK {
+		t.Fatalf("stream status %d: %s", w.Code, w.Body.String())
+	}
+	return w.Body.Bytes()
+}
+
+// TestJobsAPI drives the async sweep lifecycle on a single node: create,
+// poll, stream, resume from an offset — the stream must equal the
+// synchronous /v1/explore bytes.
+func TestJobsAPI(t *testing.T) {
+	s := newTestServer(t, Config{})
+	want := exploreBytes(t, s.Handler(), fleetSpec)
+
+	w := postJSON(t, s.Handler(), "/v1/jobs", fleetSpec)
+	if w.Code != http.StatusAccepted {
+		t.Fatalf("create job status %d: %s", w.Code, w.Body.String())
+	}
+	var created fabric.JobStatus
+	if err := json.Unmarshal(w.Body.Bytes(), &created); err != nil {
+		t.Fatal(err)
+	}
+	if loc := w.Header().Get("Location"); loc != "/v1/jobs/"+created.ID {
+		t.Errorf("Location = %q", loc)
+	}
+
+	st := waitJobDone(t, s.Handler(), created.ID)
+	if st.State != fabric.JobDone || st.Done != st.Total {
+		t.Fatalf("job finished as %+v", st)
+	}
+	if got := streamJobBytes(t, s.Handler(), created.ID, 0); !bytes.Equal(got, want) {
+		t.Fatal("job stream differs from synchronous /v1/explore stream")
+	}
+
+	// Resuming mid-stream yields exactly the remaining lines.
+	lines := bytes.SplitAfter(want, []byte("\n"))
+	resumeAt := 2
+	rest := bytes.Join(lines[resumeAt:], nil)
+	if got := streamJobBytes(t, s.Handler(), created.ID, resumeAt); !bytes.Equal(got, rest) {
+		t.Fatal("resumed stream differs from the remaining lines")
+	}
+
+	// The job shows up in the listing.
+	req := httptest.NewRequest(http.MethodGet, "/v1/jobs", nil)
+	lw := httptest.NewRecorder()
+	s.Handler().ServeHTTP(lw, req)
+	var list []fabric.JobStatus
+	if err := json.Unmarshal(lw.Body.Bytes(), &list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 1 || list[0].ID != created.ID {
+		t.Fatalf("job list: %+v", list)
+	}
+}
+
+// TestFleetJobSharded runs the async API through a coordinator: shard
+// progress must be reported and the stream must match the single process.
+func TestFleetJobSharded(t *testing.T) {
+	single := newTestServer(t, Config{})
+	want := exploreBytes(t, single.Handler(), fleetSpec)
+
+	coord, _ := newFleet(t, 3)
+	w := postJSON(t, coord.Handler(), "/v1/jobs", fleetSpec)
+	if w.Code != http.StatusAccepted {
+		t.Fatalf("create job status %d: %s", w.Code, w.Body.String())
+	}
+	var created fabric.JobStatus
+	if err := json.Unmarshal(w.Body.Bytes(), &created); err != nil {
+		t.Fatal(err)
+	}
+	st := waitJobDone(t, coord.Handler(), created.ID)
+	if st.State != fabric.JobDone {
+		t.Fatalf("job finished as %s: %s", st.State, st.Error)
+	}
+	if len(st.Shards) == 0 {
+		t.Error("fleet job reports no shard progress")
+	}
+	shardDone := 0
+	for _, sp := range st.Shards {
+		shardDone += sp.Done
+	}
+	if shardDone != st.Total {
+		t.Errorf("shard done total %d, want %d", shardDone, st.Total)
+	}
+	if got := streamJobBytes(t, coord.Handler(), created.ID, 0); !bytes.Equal(got, want) {
+		t.Fatal("fleet job stream differs from single-process stream")
+	}
+}
+
+func TestJobCancel(t *testing.T) {
+	s := newTestServer(t, Config{})
+	// A long sweep: enough frames that cancellation lands mid-run.
+	req := ExploreRequest{Spec: explore.Spec{
+		Schedulers: []string{"HEF", "Molen", "SJF", "ASF"}, ACs: []int{5, 10, 15}, Frames: []int{140},
+	}}
+	w := postJSON(t, s.Handler(), "/v1/jobs", req)
+	if w.Code != http.StatusAccepted {
+		t.Fatalf("create job status %d: %s", w.Code, w.Body.String())
+	}
+	var created fabric.JobStatus
+	if err := json.Unmarshal(w.Body.Bytes(), &created); err != nil {
+		t.Fatal(err)
+	}
+	dreq := httptest.NewRequest(http.MethodDelete, "/v1/jobs/"+created.ID, nil)
+	dw := httptest.NewRecorder()
+	s.Handler().ServeHTTP(dw, dreq)
+	if dw.Code != http.StatusOK {
+		t.Fatalf("cancel status %d", dw.Code)
+	}
+	st := waitJobDone(t, s.Handler(), created.ID)
+	if st.State != fabric.JobCanceled && st.State != fabric.JobDone {
+		t.Fatalf("canceled job finished as %s (%s)", st.State, st.Error)
+	}
+}
+
+func TestJobsValidation(t *testing.T) {
+	s := newTestServer(t, Config{MaxPoints: 4})
+	cases := []struct {
+		name string
+		body any
+		code int
+	}{
+		{"empty spec", ExploreRequest{}, http.StatusBadRequest},
+		{"bad scheduler", ExploreRequest{Spec: explore.Spec{Schedulers: []string{"nope"}}}, http.StatusBadRequest},
+		{"too many points", ExploreRequest{Spec: explore.Spec{ACs: []int{1, 2, 3, 4, 5}}}, http.StatusBadRequest},
+		{"negative timeout", ExploreRequest{Spec: explore.Spec{ACs: []int{5}}, TimeoutMS: -1}, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		if w := postJSON(t, s.Handler(), "/v1/jobs", tc.body); w.Code != tc.code {
+			t.Errorf("%s: status %d, want %d (%s)", tc.name, w.Code, tc.code, w.Body.String())
+		}
+	}
+	req := httptest.NewRequest(http.MethodGet, "/v1/jobs/missing", nil)
+	w := httptest.NewRecorder()
+	s.Handler().ServeHTTP(w, req)
+	if w.Code != http.StatusNotFound {
+		t.Errorf("unknown job: status %d", w.Code)
+	}
+}
+
+func TestCacheEndpoint(t *testing.T) {
+	s := newTestServer(t, Config{})
+	cache, err := explore.OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetExploreCache(cache)
+
+	p := explore.Point{Scheduler: "HEF", NumACs: 8, Frames: 3}.Normalized()
+	m := explore.Metrics{TotalCycles: 42, StallCycles: 1, SWExecutions: 2, HWExecutions: 3}
+	entry := explore.EncodeEntry(p, m)
+
+	do := func(method, path string, body []byte) *httptest.ResponseRecorder {
+		req := httptest.NewRequest(method, path, bytes.NewReader(body))
+		w := httptest.NewRecorder()
+		s.Handler().ServeHTTP(w, req)
+		return w
+	}
+
+	// Path traversal is stopped twice: the mux cleans dotted paths, and the
+	// handler rejects anything that is not 64 lowercase hex digits.
+	if w := do(http.MethodGet, "/v1/cache/not-a-hash", nil); w.Code != http.StatusBadRequest {
+		t.Errorf("malformed hash: status %d", w.Code)
+	}
+	if w := do(http.MethodGet, "/v1/cache/"+strings.ToUpper(p.Hash()), nil); w.Code != http.StatusBadRequest {
+		t.Errorf("uppercase hash: status %d", w.Code)
+	}
+	if w := do(http.MethodGet, "/v1/cache/"+p.Hash(), nil); w.Code != http.StatusNotFound {
+		t.Errorf("missing entry: status %d", w.Code)
+	}
+	if w := do(http.MethodPut, "/v1/cache/"+p.Hash(), []byte(`{"key":"forged","metrics":{}}`)); w.Code != http.StatusBadRequest {
+		t.Errorf("forged entry accepted: status %d", w.Code)
+	}
+	if w := do(http.MethodPut, "/v1/cache/"+p.Hash(), entry); w.Code != http.StatusNoContent {
+		t.Errorf("valid put: status %d: %s", w.Code, w.Body.String())
+	}
+	if w := do(http.MethodGet, "/v1/cache/"+p.Hash(), nil); w.Code != http.StatusOK || !bytes.Equal(w.Body.Bytes(), entry) {
+		t.Errorf("get after put: status %d, %d bytes", w.Code, w.Body.Len())
+	}
+	if got, ok := cache.Get(p); !ok || got != m {
+		t.Errorf("disk tier after peer put: %+v ok=%v", got, ok)
+	}
+
+	bare := newTestServer(t, Config{})
+	req := httptest.NewRequest(http.MethodGet, "/v1/cache/"+p.Hash(), nil)
+	w := httptest.NewRecorder()
+	bare.Handler().ServeHTTP(w, req)
+	if w.Code != http.StatusNotFound {
+		t.Errorf("cache-less node: status %d", w.Code)
+	}
+}
+
+func TestWorkersEndpoint(t *testing.T) {
+	coord := newTestServer(t, Config{})
+	coord.SetCoordinator(fabric.NewCoordinator())
+
+	if w := postJSON(t, coord.Handler(), "/v1/workers", workerRegistration{ID: "w1", URL: "http://h1:1"}); w.Code != http.StatusNoContent {
+		t.Fatalf("register: status %d: %s", w.Code, w.Body.String())
+	}
+	if w := postJSON(t, coord.Handler(), "/v1/workers", workerRegistration{}); w.Code != http.StatusBadRequest {
+		t.Errorf("empty registration: status %d", w.Code)
+	}
+
+	req := httptest.NewRequest(http.MethodGet, "/v1/workers", nil)
+	w := httptest.NewRecorder()
+	coord.Handler().ServeHTTP(w, req)
+	var ws []fabric.Worker
+	if err := json.Unmarshal(w.Body.Bytes(), &ws); err != nil {
+		t.Fatal(err)
+	}
+	if len(ws) != 1 || ws[0].ID != "w1" || !ws[0].Alive {
+		t.Fatalf("registry: %+v", ws)
+	}
+
+	req = httptest.NewRequest(http.MethodDelete, "/v1/workers?id=w1", nil)
+	w = httptest.NewRecorder()
+	coord.Handler().ServeHTTP(w, req)
+	if w.Code != http.StatusNoContent {
+		t.Errorf("remove: status %d", w.Code)
+	}
+	if n := coord.Coordinator().LiveWorkers(); n != 0 {
+		t.Errorf("live workers after remove = %d", n)
+	}
+
+	plain := newTestServer(t, Config{})
+	req = httptest.NewRequest(http.MethodGet, "/v1/workers", nil)
+	w = httptest.NewRecorder()
+	plain.Handler().ServeHTTP(w, req)
+	if w.Code != http.StatusNotFound {
+		t.Errorf("non-coordinator /v1/workers: status %d", w.Code)
+	}
+}
+
+// TestFleetSharedCacheZeroResim: with every worker writing through to the
+// coordinator's cache, re-running a sweep must simulate zero points
+// fleet-wide — the shared-cache acceptance of the fabric.
+func TestFleetSharedCacheZeroResim(t *testing.T) {
+	coordCache, err := explore.OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := fabric.NewCoordinator()
+	c.Logf = t.Logf
+	coord := newTestServer(t, Config{})
+	coord.SetExploreCache(coordCache)
+	coord.SetCoordinator(c)
+	coordURL := httptest.NewServer(coord.Handler())
+	t.Cleanup(coordURL.Close)
+
+	var workerServers []*Server
+	for i := 0; i < 3; i++ {
+		ws := newTestServer(t, Config{})
+		local, err := explore.OpenCache(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		ws.SetExploreStore(&fabric.Tiered{Local: local, Peer: fabric.NewPeer(coordURL.URL)}, local)
+		hs := httptest.NewServer(ws.Handler())
+		t.Cleanup(hs.Close)
+		if err := c.Register(fmt.Sprintf("w%d", i+1), hs.URL); err != nil {
+			t.Fatal(err)
+		}
+		workerServers = append(workerServers, ws)
+	}
+
+	simulated := func() (n int64) {
+		for _, ws := range workerServers {
+			n += ws.met.engineSim.Load()
+		}
+		return n
+	}
+
+	cold := exploreBytes(t, coord.Handler(), fleetSpec)
+	coldSim := simulated()
+	if coldSim == 0 {
+		t.Fatal("cold sweep simulated nothing")
+	}
+
+	warm := exploreBytes(t, coord.Handler(), fleetSpec)
+	if !bytes.Equal(cold, warm) {
+		t.Fatal("warm fleet stream differs from cold fleet stream")
+	}
+	if again := simulated(); again != coldSim {
+		t.Errorf("warm sweep re-simulated %d points fleet-wide, want 0", again-coldSim)
+	}
+}

@@ -395,15 +395,46 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 
 	flusher, _ := w.(http.Flusher)
-	eng := &explore.Engine{
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Points", strconv.Itoa(len(jobs)))
+	// From the first streamed byte on, errors can no longer change the
+	// status code; per-record errors travel in the records themselves and
+	// a deadline truncates the stream (clients compare against X-Points).
+	if handled, _ := s.sweepFleet(ctx, jobs, func(line []byte) error {
+		if _, err := w.Write(line); err != nil {
+			return err
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return nil
+	}, nil); handled {
+		return
+	}
+	eng := s.exploreEngine(tenant, func(rec explore.Record) {
+		if flusher != nil {
+			flusher.Flush()
+		}
+	})
+	eng.ExecutePoints(ctx, jobs, w) //nolint:errcheck // see above: reported in-band
+}
+
+// exploreEngine builds the local sweep engine charging the tenant's batch
+// class; onRecord, when non-nil, runs after the built-in cache accounting
+// for every streamed record.
+func (s *Server) exploreEngine(tenant string, onRecord func(explore.Record)) *explore.Engine {
+	return &explore.Engine{
 		Workers: s.cfg.ExploreWorkers,
-		Cache:   s.exploreCache,
+		Cache:   s.exploreStore,
 		OnRecord: func(rec explore.Record) {
-			if rec.Cached {
+			switch {
+			case rec.Cached:
 				s.met.engineHits.Add(1)
+			case rec.OK():
+				s.met.engineSim.Add(1)
 			}
-			if flusher != nil {
-				flusher.Flush()
+			if onRecord != nil {
+				onRecord(rec)
 			}
 		},
 		// Exploration jobs queue for slots at batch priority rather than
@@ -434,12 +465,6 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 			}, nil
 		},
 	}
-	w.Header().Set("Content-Type", "application/x-ndjson")
-	w.Header().Set("X-Points", strconv.Itoa(len(jobs)))
-	// From the first streamed byte on, errors can no longer change the
-	// status code; per-record errors travel in the records themselves and
-	// a deadline truncates the stream (clients compare against X-Points).
-	eng.Execute(ctx, req.Spec, w) //nolint:errcheck // see above: reported in-band
 }
 
 // handleSuggest answers POST /v1/suggest: the adaptive-search side of the

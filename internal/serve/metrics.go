@@ -66,6 +66,7 @@ type metrics struct {
 	cacheHits  atomic.Int64 // /v1/simulate response-cache hits
 	cacheMiss  atomic.Int64 // /v1/simulate response-cache misses
 	engineHits atomic.Int64 // /v1/explore records answered by the result cache
+	engineSim  atomic.Int64 // /v1/explore records actually simulated here
 	panics     atomic.Int64 // recovered handler panics
 
 	latCount  atomic.Int64
@@ -96,6 +97,11 @@ type metrics struct {
 	// poolStats, when non-nil, reads the runner's runtime-pool hit/miss
 	// counters at scrape time (the pool lives in rispp.Runner, not here).
 	poolStats func() (hits, misses int64)
+
+	// fabricStats, when non-nil (coordinator nodes), reads the sweep
+	// fabric's counters at scrape time; jobStats reads the async job store.
+	fabricStats func() (shardRetries, workerFailures int64, live, total int)
+	jobStats    func() (running, retained int)
 }
 
 func newMetrics() *metrics {
@@ -260,6 +266,31 @@ func (m *metrics) write(w io.Writer) {
 	fmt.Fprintf(w, "# HELP rispp_explore_cache_hits_total /v1/explore records answered from the result cache.\n")
 	fmt.Fprintf(w, "# TYPE rispp_explore_cache_hits_total counter\n")
 	fmt.Fprintf(w, "rispp_explore_cache_hits_total %d\n", m.engineHits.Load())
+
+	fmt.Fprintf(w, "# HELP rispp_explore_simulated_total /v1/explore records simulated on this node (cache misses that ran).\n")
+	fmt.Fprintf(w, "# TYPE rispp_explore_simulated_total counter\n")
+	fmt.Fprintf(w, "rispp_explore_simulated_total %d\n", m.engineSim.Load())
+
+	if m.fabricStats != nil {
+		retries, failures, live, total := m.fabricStats()
+		fmt.Fprintf(w, "# HELP rispp_fabric_shard_retries_total Sweep points re-dispatched after a worker shard failed.\n")
+		fmt.Fprintf(w, "# TYPE rispp_fabric_shard_retries_total counter\n")
+		fmt.Fprintf(w, "rispp_fabric_shard_retries_total %d\n", retries)
+		fmt.Fprintf(w, "# HELP rispp_fabric_worker_failures_total Workers declared dead by the coordinator.\n")
+		fmt.Fprintf(w, "# TYPE rispp_fabric_worker_failures_total counter\n")
+		fmt.Fprintf(w, "rispp_fabric_worker_failures_total %d\n", failures)
+		fmt.Fprintf(w, "# HELP rispp_fabric_workers Registered fleet workers by liveness.\n")
+		fmt.Fprintf(w, "# TYPE rispp_fabric_workers gauge\n")
+		fmt.Fprintf(w, "rispp_fabric_workers{state=\"live\"} %d\n", live)
+		fmt.Fprintf(w, "rispp_fabric_workers{state=\"dead\"} %d\n", total-live)
+	}
+	if m.jobStats != nil {
+		running, retained := m.jobStats()
+		fmt.Fprintf(w, "# HELP rispp_jobs Async sweep jobs in the store by state.\n")
+		fmt.Fprintf(w, "# TYPE rispp_jobs gauge\n")
+		fmt.Fprintf(w, "rispp_jobs{state=\"running\"} %d\n", running)
+		fmt.Fprintf(w, "rispp_jobs{state=\"terminal\"} %d\n", retained-running)
+	}
 
 	m.mu.Lock()
 	strats := make([]string, 0, len(m.suggests))

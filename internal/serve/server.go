@@ -14,6 +14,7 @@ import (
 
 	"rispp"
 	"rispp/internal/explore"
+	"rispp/internal/fabric"
 	"rispp/internal/isa"
 	"rispp/internal/sim"
 )
@@ -32,9 +33,26 @@ type Server struct {
 	mux    *http.ServeMux
 	logMu  sync.Mutex // serializes AccessLog writes
 
-	// exploreCache optionally backs /v1/explore with the engine's
-	// content-addressed disk cache (SetExploreCache).
-	exploreCache *explore.Cache
+	// exploreStore optionally backs /v1/explore with a result store:
+	// the engine's content-addressed disk cache (SetExploreCache) or a
+	// fleet worker's peer-backed tiered store (SetExploreStore). Nil when
+	// no cache is configured — never a typed-nil interface.
+	exploreStore explore.Store
+	// peerCache serves the cache-peer protocol (/v1/cache/{hash}): the raw
+	// disk tier other fabric nodes read and fill.
+	peerCache *explore.Cache
+
+	// coord, when non-nil, turns this node into a fleet coordinator:
+	// /v1/explore sweeps and async jobs shard across its registered
+	// workers, and /v1/workers manages the registry.
+	coord *fabric.Coordinator
+	// jobs is the async sweep store behind /v1/jobs; jobsCtx parents every
+	// job's sweep so Shutdown can stop them, and jobsWG is the drain
+	// barrier for their background goroutines.
+	jobs       *fabric.JobStore
+	jobsCtx    context.Context
+	jobsCancel context.CancelFunc
+	jobsWG     sync.WaitGroup
 
 	// runPoint is the simulation entry point; tests replace it to model
 	// slow or failing runs deterministically.
@@ -74,11 +92,18 @@ func New(cfg Config, base rispp.Config) *Server {
 	s.met.poolStats = runner.RuntimePoolStats
 	s.met.queueDepths = s.qos.queueDepths
 	s.met.costClasses = s.cost.snapshot
+	s.jobs = fabric.NewJobStore(cfg.MaxJobs)
+	s.jobsCtx, s.jobsCancel = context.WithCancel(context.Background())
+	s.met.jobStats = s.jobs.Counts
 	s.mux.HandleFunc("/v1/simulate", s.wrap("/v1/simulate", s.handleSimulate))
 	s.mux.HandleFunc("/v1/explore", s.wrap("/v1/explore", s.handleExplore))
 	s.mux.HandleFunc("/v1/suggest", s.wrap("/v1/suggest", s.handleSuggest))
 	s.mux.HandleFunc("/v1/scenarios", s.wrap("/v1/scenarios", s.handleScenarios))
 	s.mux.HandleFunc("/v1/healthz", s.wrap("/v1/healthz", s.handleHealthz))
+	s.mux.HandleFunc("/v1/jobs", s.wrap("/v1/jobs", s.handleJobs))
+	s.mux.HandleFunc("/v1/jobs/", s.wrap("/v1/jobs/", s.handleJob))
+	s.mux.HandleFunc("/v1/cache/", s.wrap("/v1/cache/", s.handleCache))
+	s.mux.HandleFunc("/v1/workers", s.wrap("/v1/workers", s.handleWorkers))
 	s.mux.Handle("/metrics", s.met)
 	if cfg.EnablePprof {
 		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -88,7 +113,7 @@ func New(cfg Config, base rispp.Config) *Server {
 		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	}
 	s.mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
-		writeError(w, http.StatusNotFound, "no route %s; see /v1/simulate, /v1/explore, /v1/suggest, /v1/scenarios, /v1/healthz, /metrics", r.URL.Path)
+		writeError(w, http.StatusNotFound, "no route %s; see /v1/simulate, /v1/explore, /v1/jobs, /v1/suggest, /v1/scenarios, /v1/workers, /v1/healthz, /metrics", r.URL.Path)
 	})
 	return s
 }
@@ -105,9 +130,58 @@ func (s *Server) UpdateQoS(q QoSConfig) {
 func (s *Server) qosCfg() QoSConfig { return s.qos.config() }
 
 // SetExploreCache backs /v1/explore sweeps with a content-addressed disk
-// cache (see explore.Cache): re-posted specs only simulate new points.
-// Must be called before the server starts handling requests.
-func (s *Server) SetExploreCache(c *explore.Cache) { s.exploreCache = c }
+// cache (see explore.Cache): re-posted specs only simulate new points. The
+// same cache serves the cache-peer endpoints (/v1/cache/{hash}) to other
+// fabric nodes. Must be called before the server starts handling requests.
+func (s *Server) SetExploreCache(c *explore.Cache) {
+	if c == nil {
+		return
+	}
+	s.exploreStore = c
+	s.peerCache = c
+}
+
+// SetExploreStore backs /v1/explore sweeps with an arbitrary result store —
+// a fleet worker installs a fabric.Tiered here so every lookup consults the
+// coordinator's cache too. raw, when non-nil, is the disk tier served to
+// cache peers (typically the Tiered store's local tier). Must be called
+// before the server starts handling requests.
+func (s *Server) SetExploreStore(st explore.Store, raw *explore.Cache) {
+	if st != nil {
+		s.exploreStore = st
+	}
+	if raw != nil {
+		s.peerCache = raw
+	}
+}
+
+// SetCoordinator turns this node into the fleet coordinator: /v1/explore
+// and /v1/jobs sweeps shard across the coordinator's registered workers
+// (falling back to local execution while the fleet is empty), and
+// /v1/workers manages the registry. Must be called before the server
+// starts handling requests.
+func (s *Server) SetCoordinator(c *fabric.Coordinator) {
+	s.coord = c
+	if c != nil {
+		if c.Logf == nil {
+			c.Logf = s.logf
+		}
+		s.met.fabricStats = func() (int64, int64, int, int) {
+			retries, failures := c.Stats()
+			ws := c.Workers()
+			live := 0
+			for _, w := range ws {
+				if w.Alive {
+					live++
+				}
+			}
+			return retries, failures, live, len(ws)
+		}
+	}
+}
+
+// Coordinator returns the fleet coordinator, or nil on a plain node.
+func (s *Server) Coordinator() *fabric.Coordinator { return s.coord }
 
 // Handler returns the root handler — the full service including metrics,
 // drain behavior and panic recovery — for tests and custom servers.
@@ -271,14 +345,19 @@ func (s *Server) Serve(ln net.Listener) error {
 }
 
 // Shutdown drains the server: new requests are answered 503 immediately,
-// in-flight requests (and their simulations) run to completion, then the
-// HTTP listener closes. The context bounds the drain; on expiry the
-// remaining requests are abandoned and ctx's error returned.
+// async jobs are canceled (they are resumable by re-posting, not worth
+// holding the drain for), in-flight requests (and their simulations) run
+// to completion, then the HTTP listener closes. The context bounds the
+// drain; on expiry the remaining requests are abandoned and ctx's error
+// returned.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.closing.Store(true)
+	s.jobsCancel()
+	s.jobs.CancelAll()
 	done := make(chan struct{})
 	go func() {
 		s.inflight.Wait()
+		s.jobsWG.Wait()
 		close(done)
 	}()
 	select {

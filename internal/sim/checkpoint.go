@@ -344,6 +344,13 @@ func ResumeCompiled(ctx context.Context, ct *workload.Compiled, rt Checkpointabl
 		return true, nil
 	}
 
+	if snap.rtState == nil {
+		// A serve-only imported trail (ImportTrail) carries no runtime
+		// state; its single rung can never be selected mid-run, but guard
+		// the invariant rather than assume it.
+		return false, nil
+	}
+
 	var recorder *trailRec
 	if rec != nil && rec != src {
 		rec.reset(rt.Name(), budget, ct, wantJ)

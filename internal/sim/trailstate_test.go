@@ -1,0 +1,165 @@
+package sim_test
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"rispp/internal/isa"
+	"rispp/internal/sim"
+	"rispp/internal/workload"
+)
+
+// recordedTrail runs one system to completion at the given budget and
+// returns the recorded trail plus its compiled trace.
+func recordedTrail(t *testing.T, system string, budget int) (*sim.Trail, *workload.Compiled) {
+	t.Helper()
+	is := isa.H264()
+	tr := workload.H264(workload.H264Config{Frames: 1})
+	ct, err := workload.Compile(tr, is)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trail := new(sim.Trail)
+	rt := checkpointRuntime(t, system, is, tr, budget)
+	if err := sim.RunCompiledTrail(context.Background(), ct, rt, sim.Options{}, new(sim.Result), trail); err != nil {
+		t.Fatal(err)
+	}
+	if !trail.Complete() {
+		t.Fatal("trail incomplete after a successful run")
+	}
+	return trail, ct
+}
+
+// TestTrailStateRoundTrip: an exported-and-reimported trail must serve the
+// recorded budget with field-exact results — the imported final rung is the
+// warm-restart path of a fleet worker.
+func TestTrailStateRoundTrip(t *testing.T) {
+	const budget = 10
+	for _, system := range checkpointSystems {
+		t.Run(system, func(t *testing.T) {
+			trail, ct := recordedTrail(t, system, budget)
+			st, ok := trail.ExportState("key-" + system)
+			if !ok {
+				t.Fatal("ExportState failed for a complete trail")
+			}
+			// The recorded budget is the runtime's own container count —
+			// "software" has none and records 0.
+			if st.Version != sim.TrailStateVersion || st.Budget != trail.RecordedBudget() {
+				t.Fatalf("exported version=%d budget=%d, recorded %d", st.Version, st.Budget, trail.RecordedBudget())
+			}
+
+			// Round-trip through JSON exactly as the store does.
+			b, err := json.Marshal(st)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var back sim.TrailState
+			if err := json.Unmarshal(b, &back); err != nil {
+				t.Fatal(err)
+			}
+			imported, ok := sim.ImportTrail(&back, ct)
+			if !ok {
+				t.Fatal("ImportTrail rejected its own export")
+			}
+
+			is := isa.H264()
+			tr := workload.H264(workload.H264Config{Frames: 1})
+			want := new(sim.Result)
+			if err := sim.RunCompiled(context.Background(), ct,
+				checkpointRuntime(t, system, is, tr, budget), sim.Options{}, want); err != nil {
+				t.Fatal(err)
+			}
+			got := new(sim.Result)
+			served, err := imported.Serve(ct, trail.RecordedBudget(), sim.Options{}, got)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !served {
+				t.Fatal("imported trail does not serve its own budget")
+			}
+			requireSameRun(t, system, got, want, nil, nil)
+		})
+	}
+}
+
+func TestImportTrailRejectsMismatches(t *testing.T) {
+	trail, ct := recordedTrail(t, "HEF", 10)
+	good, ok := trail.ExportState("k")
+	if !ok {
+		t.Fatal("ExportState failed")
+	}
+	mutate := func(f func(st *sim.TrailState)) *sim.TrailState {
+		b, _ := json.Marshal(good)
+		var st sim.TrailState
+		if err := json.Unmarshal(b, &st); err != nil {
+			t.Fatal(err)
+		}
+		f(&st)
+		return &st
+	}
+	cases := map[string]*sim.TrailState{
+		"nil":          nil,
+		"version skew": mutate(func(st *sim.TrailState) { st.Version++ }),
+		"phase drift":  mutate(func(st *sim.TrailState) { st.Phases++ }),
+		"si drift":     mutate(func(st *sim.TrailState) { st.NumSIs++ }),
+		"short execs":  mutate(func(st *sim.TrailState) { st.Execs = st.Execs[:1] }),
+		"short phases": mutate(func(st *sim.TrailState) { st.PhaseStats = st.PhaseStats[:0] }),
+	}
+	for name, st := range cases {
+		if _, ok := sim.ImportTrail(st, ct); ok {
+			t.Errorf("%s: ImportTrail accepted a corrupt state", name)
+		}
+	}
+}
+
+func TestTrailStore(t *testing.T) {
+	trail, ct := recordedTrail(t, "HEF", 10)
+	store, err := sim.OpenTrailStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Put("cfg-a", trail); err != nil {
+		t.Fatal(err)
+	}
+	if store.Len() != 1 {
+		t.Fatalf("store holds %d trails, want 1", store.Len())
+	}
+
+	if _, ok := store.Get("cfg-a", 10, ct); !ok {
+		t.Error("stored trail not found under its own key and budget")
+	}
+	if _, ok := store.Get("cfg-b", 10, ct); ok {
+		t.Error("foreign key served a trail")
+	}
+	if _, ok := store.Get("cfg-a", 11, ct); ok {
+		t.Error("wrong budget served a trail")
+	}
+
+	// Idempotent re-put (the concurrent-writer path: identical bytes).
+	if err := store.Put("cfg-a", trail); err != nil {
+		t.Fatal(err)
+	}
+
+	// An incomplete trail must be silently skipped, not persisted.
+	if err := store.Put("cfg-c", new(sim.Trail)); err != nil {
+		t.Fatal(err)
+	}
+	if store.Len() != 1 {
+		t.Fatalf("incomplete trail was persisted (%d files)", store.Len())
+	}
+
+	// Corruption degrades to a miss, never an error or a wrong serve.
+	files, err := filepath.Glob(filepath.Join(store.Dir(), "*.trail.json"))
+	if err != nil || len(files) != 1 {
+		t.Fatalf("glob: %v (%d files)", err, len(files))
+	}
+	if err := os.WriteFile(files[0], []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := store.Get("cfg-a", 10, ct); ok {
+		t.Error("corrupt file served a trail")
+	}
+}

@@ -93,6 +93,18 @@ type Config struct {
 	// Results are identical either way; the knob exists for benchmarking
 	// the raw simulator and for tests that pin runtime-pool behavior.
 	DisableDelta bool
+
+	// TrailDir, when non-empty, persists completed delta-resimulation
+	// trails (their serve-only final rung, see sim.TrailStore) in this
+	// directory, so repeated configurations full-skip across process
+	// restarts — typically a "trails" directory next to the explore result
+	// cache. Like that cache, the directory must be exclusive to one base
+	// configuration: the persisted key covers the per-point knobs
+	// (scheduler, forecast seeding, prefetch, workload), not the platform
+	// calibration fields of this struct. Ignored when the runner's memo is
+	// off (Bus set) or a custom base Workload is installed — the knobs then
+	// no longer identify the trace.
+	TrailDir string
 }
 
 func (c *Config) setDefaults() {
@@ -220,6 +232,13 @@ type Runner struct {
 	// complete trail is immutable, so lookups are lock-free reads.
 	trails                               sync.Map // trailKey → *trailSet
 	deltaServes, deltaResumes, deltaRecs atomic.Int64
+
+	// trailStore, when non-nil, persists completed trails' final rungs
+	// (Config.TrailDir) and is consulted when no in-memory trail serves —
+	// the warm-start path across process restarts.
+	trailStore             *sim.TrailStore
+	trailStoreErr          error
+	trailLoads, trailSaves atomic.Int64
 }
 
 // workKey identifies a distinct workload under a fixed base config: which
@@ -332,7 +351,36 @@ func NewRunner(base Config) *Runner {
 	if base.ISA == nil {
 		base.ISA = isa.H264()
 	}
-	return &Runner{base: base, memo: base.Bus == nil}
+	r := &Runner{base: base, memo: base.Bus == nil}
+	// Trail persistence needs the knobs to identify the trace: with the
+	// memo off or a verbatim base workload installed, equal persisted keys
+	// would not imply equal runs, so the store stays off.
+	if base.TrailDir != "" && r.memo && base.Workload == nil {
+		r.trailStore, r.trailStoreErr = sim.OpenTrailStore(base.TrailDir)
+	}
+	return r
+}
+
+// TrailPersistence reports the persisted-trail store state: the directory
+// (empty when persistence is off), the open error if any, and how many
+// runs were served from disk (loads) and persisted to it (saves).
+func (r *Runner) TrailPersistence() (dir string, err error, loads, saves int64) {
+	if r.trailStore != nil {
+		dir = r.trailStore.Dir()
+	}
+	return dir, r.trailStoreErr, r.trailLoads.Load(), r.trailSaves.Load()
+}
+
+// persistKey renders the durable identity of a trail class: the trailKey
+// fields in a stable string form. It deliberately excludes the container
+// budget (the transfer axis — the store keys files by it separately) and
+// the base platform calibration (the store directory is documented as
+// exclusive to one base configuration, exactly like the explore cache).
+func persistKey(cfg *Config, key workKey) string {
+	return fmt.Sprintf("sched=%s|sf=%t|pf=%t|scenario=%s|frames=%d|w=%d|h=%d|seed=%d|motion=%g|scene=%d",
+		cfg.Scheduler, cfg.SeedForecasts, cfg.Prefetch, key.scenario,
+		key.knobs.Frames, key.knobs.WidthMB, key.knobs.HeightMB,
+		key.knobs.Seed, key.knobs.MotionVariability, key.knobs.SceneChangeFrame)
 }
 
 // RuntimePoolStats reports how often a RunPoint/RunPointSet runtime request
@@ -395,6 +443,21 @@ func (r *Runner) runPointDelta(ctx context.Context, cfg *Config, key workKey, ct
 			return err
 		}
 	}
+	// Nothing in memory full-skips; a trail persisted by an earlier process
+	// (same key, exact budget) still might. A loaded trail joins the
+	// in-memory set so subsequent requests skip the disk.
+	if r.trailStore != nil {
+		if t, ok := r.trailStore.Get(persistKey(cfg, key), cfg.NumACs, ct); ok {
+			if served, err := t.Serve(ct, cfg.NumACs, cfg.Collect, res); served {
+				if err == nil {
+					r.trailLoads.Add(1)
+					r.deltaServes.Add(1)
+					ts.store(cfg.NumACs, t)
+				}
+				return err
+			}
+		}
+	}
 
 	rt, pool, err := r.runtime(cfg, runtimeKey{
 		scheduler:     cfg.Scheduler,
@@ -434,6 +497,13 @@ func (r *Runner) runPointDelta(ctx context.Context, cfg *Config, key workKey, ct
 		r.deltaRecs.Add(1)
 	}
 	ts.store(cfg.NumACs, rec)
+	if r.trailStore != nil {
+		// Best-effort: a failed save costs a future warm start, never the
+		// current result.
+		if err := r.trailStore.Put(persistKey(cfg, key), rec); err == nil {
+			r.trailSaves.Add(1)
+		}
+	}
 	return nil
 }
 
@@ -701,12 +771,15 @@ func (r *Runner) RunPointSet(ctx context.Context, ps []explore.Point, collect si
 // the shared compiled trace (Runner.RunPointSet).
 func Explorer(base Config, workers int, cache *explore.Cache) *explore.Engine {
 	rn := NewRunner(base)
-	return &explore.Engine{
+	eng := &explore.Engine{
 		Workers: workers,
-		Cache:   cache,
 		Run:     rn.EngineRun(),
 		RunSet:  rn.EngineRunSet(),
 	}
+	if cache != nil { // avoid a typed-nil Store interface
+		eng.Cache = cache
+	}
+	return eng
 }
 
 // EngineRun adapts the Runner to the exploration engine's job signature:
@@ -766,12 +839,15 @@ func (r *Runner) EngineRunSet() explore.RunSetFunc {
 // a guided optimizer can never exploit a simulator bug.
 func CheckedExplorer(base Config, workers int, cache *explore.Cache) *explore.Engine {
 	rn := NewRunner(base)
-	return &explore.Engine{
+	eng := &explore.Engine{
 		Workers: workers,
-		Cache:   cache,
 		Run:     rn.CheckedEngineRun(),
 		RunSet:  rn.CheckedEngineRunSet(),
 	}
+	if cache != nil { // avoid a typed-nil Store interface
+		eng.Cache = cache
+	}
+	return eng
 }
 
 // check validates res for point p against the oracle invariants. The trace
